@@ -1,0 +1,16 @@
+"""Table IV: compute-platform specifications used by every experiment."""
+
+from repro.bench.reporting import BenchmarkTable
+from repro.gpu.platforms import platform_table
+
+
+def test_table4_platform_specifications(benchmark):
+    """Regenerate Table IV (and benchmark the table construction itself)."""
+    rows = benchmark(platform_table)
+    table = BenchmarkTable("Table IV: platform specifications")
+    for row in rows:
+        table.add_row(**row)
+    print()
+    print(table.to_text())
+    benchmark.extra_info["platforms"] = [row["Compute Platform"] for row in rows]
+    assert len(rows) == 5

@@ -1,0 +1,17 @@
+"""Table VIII: qualitative feature comparison of GPU CKKS libraries."""
+
+from repro.bench.reporting import BenchmarkTable
+from repro.perf.feature_matrix import FEATURE_MATRIX, feature_table
+
+
+def test_table8_feature_matrix(benchmark):
+    """Regenerate Table VIII."""
+    rows = benchmark(feature_table)
+    table = BenchmarkTable("Table VIII: qualitative comparison of GPU CKKS libraries")
+    for row in rows:
+        table.add_row(**row)
+    print()
+    print(table.to_text())
+    fides = next(lib for lib in FEATURE_MATRIX if lib.name == "FIDESlib")
+    assert fides.bootstrapping and fides.openfhe_interoperability
+    assert len(rows) == 9

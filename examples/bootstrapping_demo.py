@@ -1,0 +1,85 @@
+"""Bootstrapping demo: refresh an exhausted ciphertext and keep computing.
+
+The headline feature of FIDESlib is the first open-source GPU
+implementation of CKKS bootstrapping.  This demo runs the same pipeline
+functionally at a reduced ring dimension: a ciphertext is used until no
+multiplicative levels remain, bootstrapped, and then used again.
+
+Run with:  python examples/bootstrapping_demo.py   (takes ~1 minute)
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.ckks.bootstrap import Bootstrapper
+from repro.ckks.context import Context
+from repro.ckks.encryption import Decryptor, Encryptor
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import KeyGenerator, KeySet
+from repro.ckks.params import PARAMETER_SETS
+
+
+def main() -> None:
+    params = PARAMETER_SETS["toy-bootstrap"]
+    print(f"parameter set {params.describe()}: N={params.ring_degree}, "
+          f"L={params.mult_depth}, sparse secret h={params.secret_hamming_weight}")
+
+    start = time.time()
+    context = Context(params)
+    generator = KeyGenerator(context, seed=2024)
+    secret = generator.generate_secret()
+    keys = KeySet(
+        public_key=generator.generate_public(secret),
+        relinearization_key=generator.generate_relinearization_key(secret),
+        secret_key=secret,
+    )
+    evaluator = Evaluator(context, keys)
+    bootstrapper = Bootstrapper(context, evaluator)
+    for step in bootstrapper.required_rotations():
+        keys.rotation_keys[step] = generator.generate_rotation_key(secret, step)
+    keys.conjugation_key = generator.generate_conjugation_key(secret)
+    print(f"context, evaluation keys and {len(keys.rotation_keys)} rotation keys "
+          f"ready in {time.time() - start:.1f}s")
+
+    encryptor = Encryptor(context, keys.public_key, seed=5)
+    decryptor = Decryptor(context, keys.secret_key)
+
+    rng = np.random.default_rng(0)
+    message = rng.uniform(-0.4, 0.4, 8)
+    ciphertext = encryptor.encrypt_values(message)
+    print(f"\nfresh ciphertext: level {ciphertext.level} "
+          f"(message {np.round(message[:4], 3)}...)")
+
+    # Consume every level with squarings of an auxiliary ciphertext.
+    other = encryptor.encrypt_values(np.full(8, 0.9))
+    expected = message.copy()
+    while ciphertext.level > 0:
+        ciphertext = evaluator.multiply(ciphertext, other)
+        expected = expected * 0.9
+    print(f"after exhausting the modulus chain: level {ciphertext.level}, "
+          f"decrypt error {np.max(np.abs(decryptor.decrypt_values(ciphertext, 8).real - expected)):.2e}")
+
+    start = time.time()
+    refreshed = bootstrapper.bootstrap(ciphertext)
+    elapsed = time.time() - start
+    error = np.max(np.abs(decryptor.decrypt_values(refreshed, 8).real - expected))
+    print(f"\nbootstrap took {elapsed:.1f}s: level {ciphertext.level} -> {refreshed.level}, "
+          f"message error {error:.2e}")
+
+    followup = evaluator.square(refreshed)
+    error = np.max(np.abs(decryptor.decrypt_values(followup, 8).real - expected**2))
+    print(f"post-bootstrap squaring works: level {followup.level}, error {error:.2e}")
+
+    workload_note = (
+        "At the paper's parameters [2^16, 29, 59, 4] the performance model places this "
+        "operation at ~0.1-0.2 s on an RTX 4090 versus ~10-30 s for CPU OpenFHE "
+        "(see benchmarks/bench_table6_bootstrap.py)."
+    )
+    print("\n" + workload_note)
+
+
+if __name__ == "__main__":
+    main()

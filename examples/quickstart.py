@@ -1,0 +1,58 @@
+"""Quickstart: encrypt, compute homomorphically, decrypt.
+
+Mirrors the paper's architecture: an OpenFHE-style client performs key
+generation, encoding and encryption; the server-side evaluator (the
+FIDESlib role) performs every homomorphic operation; the client decrypts
+and verifies.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.params import CKKSParameters
+from repro.openfhe.client import OpenFHEClient
+
+
+def main() -> None:
+    # 1. Client side: parameters, keys, encryption (the OpenFHE role).
+    params = CKKSParameters(
+        ring_degree=1 << 10,   # N = 1024 (reduced, insecure, for the demo)
+        mult_depth=6,          # L = 6 multiplicative levels
+        scale_bits=28,         # Δ = 2^28
+        dnum=3,                # hybrid key-switching digits
+    )
+    client = OpenFHEClient(params, seed=1)
+    server_keys = client.key_gen(rotations=[1, 2], conjugation=True)
+
+    a = np.array([0.25, -0.5, 1.0, 0.75])
+    b = np.array([1.5, 0.25, -1.0, 0.5])
+    ct_a = client.upload(client.encrypt(a))
+    ct_b = client.upload(client.encrypt(b))
+
+    # 2. Server side: homomorphic computation (the FIDESlib role).
+    server = Evaluator(client.context, server_keys)
+    ct_sum = server.add(ct_a, ct_b)
+    ct_product = server.multiply(ct_a, ct_b)
+    ct_poly = server.add_scalar(server.multiply_scalar(ct_product, 2.0), 1.0)
+    ct_rotated = server.rotate(ct_a, 1)
+
+    # 3. Client side again: decrypt and verify.
+    print("CKKS quickstart", params.describe())
+    print(f"{'operation':<18} {'expected':<42} decrypted")
+    for name, ct, expected in (
+        ("a + b", ct_sum, a + b),
+        ("a * b", ct_product, a * b),
+        ("2*a*b + 1", ct_poly, 2 * a * b + 1),
+        ("rotate(a, 1)", ct_rotated, np.roll(a, -1)),
+    ):
+        decrypted = client.decrypt(ct, len(expected)).real
+        error = np.max(np.abs(decrypted - expected))
+        print(f"{name:<18} {np.round(expected, 4)!s:<42} {np.round(decrypted, 4)}  (max err {error:.2e})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro: a Python reproduction of FIDESlib (ISPASS 2025).
+
+FIDESlib is an open-source server-side CKKS GPU library interoperable with
+OpenFHE clients.  This package rebuilds the complete system in Python:
+
+* :mod:`repro.core` -- power-of-two polynomial ring arithmetic under
+  word-sized moduli (modular arithmetic, NTT, RNS, limb containers).
+* :mod:`repro.ckks` -- the CKKS scheme itself: encoding, encryption,
+  homomorphic arithmetic, hybrid key switching, rotations and full
+  bootstrapping.
+* :mod:`repro.openfhe` -- the client-side reference library and the thin
+  adapter layer that mirrors the paper's OpenFHE interoperation.
+* :mod:`repro.gpu` -- a GPU execution-model substrate (devices, streams,
+  kernels, L2 cache, memory pools) standing in for physical CUDA hardware.
+* :mod:`repro.perf` -- execution plans mapping CKKS operations onto the GPU
+  model for FIDESlib, Phantom and OpenFHE CPU baselines.
+* :mod:`repro.apps` -- realistic encrypted workloads (logistic regression,
+  linear algebra, statistics).
+* :mod:`repro.bench` -- Google-Benchmark-style reporting used by the
+  benchmark harness.
+"""
+
+from repro.ckks.params import CKKSParameters, PARAMETER_SETS
+from repro.ckks.context import Context
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.keys import KeySet, KeyGenerator
+
+__all__ = [
+    "CKKSParameters",
+    "PARAMETER_SETS",
+    "Context",
+    "Ciphertext",
+    "Plaintext",
+    "KeySet",
+    "KeyGenerator",
+    "__version__",
+]
+
+__version__ = "1.0.0"

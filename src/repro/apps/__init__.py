@@ -1,0 +1,26 @@
+"""Realistic encrypted workloads built on the public CKKS API.
+
+* :mod:`repro.apps.dataset` -- synthetic loan-eligibility data standing in
+  for the proprietary 45,000-sample dataset of the paper's LR experiment.
+* :mod:`repro.apps.logistic_regression` -- encrypted mini-batch logistic
+  regression training (Table VII's workload) plus a plaintext reference.
+* :mod:`repro.apps.linear_algebra` -- encrypted dot products, rotation
+  sums and matrix-vector products using hoisted rotations.
+* :mod:`repro.apps.stats` -- encrypted descriptive statistics.
+"""
+
+from repro.apps.dataset import make_loan_dataset
+from repro.apps.logistic_regression import (
+    EncryptedLogisticRegression,
+    PlaintextLogisticRegression,
+)
+from repro.apps.linear_algebra import EncryptedLinearAlgebra
+from repro.apps.stats import EncryptedStatistics
+
+__all__ = [
+    "make_loan_dataset",
+    "EncryptedLogisticRegression",
+    "PlaintextLogisticRegression",
+    "EncryptedLinearAlgebra",
+    "EncryptedStatistics",
+]

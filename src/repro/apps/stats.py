@@ -1,0 +1,51 @@
+"""Encrypted descriptive statistics.
+
+A small privacy-preserving-analytics workload: mean, variance and
+covariance of encrypted samples, computed with rotation sums and
+scalar/plaintext arithmetic only.  Used as one of the runnable examples
+and as an integration test of the rotation and rescaling machinery.
+"""
+
+from __future__ import annotations
+
+from repro.apps.linear_algebra import EncryptedLinearAlgebra
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.context import Context
+from repro.ckks.evaluator import Evaluator
+
+
+class EncryptedStatistics:
+    """Mean / variance / covariance over encrypted sample vectors."""
+
+    def __init__(self, context: Context, evaluator: Evaluator) -> None:
+        self.context = context
+        self.evaluator = evaluator
+        self.linalg = EncryptedLinearAlgebra(context, evaluator)
+
+    def mean(self, ct: Ciphertext, count: int) -> Ciphertext:
+        """Mean of the first ``count`` slots, broadcast to every slot."""
+        total = self.linalg.sum_slots(ct, count)
+        return self.evaluator.multiply_scalar(total, 1.0 / count)
+
+    def variance(self, ct: Ciphertext, count: int) -> Ciphertext:
+        """Population variance of the first ``count`` slots (broadcast)."""
+        mean = self.mean(ct, count)
+        mean_of_squares = self.evaluator.multiply_scalar(
+            self.linalg.sum_slots(self.evaluator.square(ct), count), 1.0 / count
+        )
+        mean_squared = self.evaluator.square(mean)
+        return self.evaluator.sub(mean_of_squares, mean_squared)
+
+    def covariance(self, ct_a: Ciphertext, ct_b: Ciphertext, count: int) -> Ciphertext:
+        """Population covariance of two encrypted sample vectors."""
+        mean_a = self.mean(ct_a, count)
+        mean_b = self.mean(ct_b, count)
+        mean_product = self.evaluator.multiply_scalar(
+            self.linalg.sum_slots(self.evaluator.multiply(ct_a, ct_b), count),
+            1.0 / count,
+        )
+        product_of_means = self.evaluator.multiply(mean_a, mean_b)
+        return self.evaluator.sub(mean_product, product_of_means)
+
+
+__all__ = ["EncryptedStatistics"]

@@ -1,0 +1,28 @@
+"""The CKKS scheme (paper namespace ``FIDESlib::CKKS``).
+
+This subpackage implements every CKKS primitive of Table I plus the
+internal routines of Figure 1: encoding, encryption, homomorphic
+arithmetic, hybrid key switching (ModUp/ModDown), rotations with hoisting,
+BSGS linear transforms, Chebyshev evaluation and full bootstrapping.
+"""
+
+from repro.ckks.params import CKKSParameters, PARAMETER_SETS
+from repro.ckks.context import Context
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.keys import KeyGenerator, KeySet, KeySwitchingKey
+from repro.ckks.encryption import Encryptor, Decryptor
+from repro.ckks.evaluator import Evaluator
+
+__all__ = [
+    "CKKSParameters",
+    "PARAMETER_SETS",
+    "Context",
+    "Ciphertext",
+    "Plaintext",
+    "KeyGenerator",
+    "KeySet",
+    "KeySwitchingKey",
+    "Encryptor",
+    "Decryptor",
+    "Evaluator",
+]

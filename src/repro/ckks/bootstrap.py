@@ -1,0 +1,212 @@
+"""CKKS bootstrapping: ModRaise, CoeffToSlot, ApproxModEval, SlotToCoeff.
+
+Bootstrapping refreshes an exhausted ciphertext (one remaining limb) into a
+high-level ciphertext encrypting approximately the same message, following
+the blueprint of Cheon et al. [38] with the improvements FIDESlib adopts
+from OpenFHE: a Chebyshev/Paterson-Stockmeyer approximation of the scaled
+sine (Han-Ki [37], Bossuat et al. [43]) and BSGS homomorphic DFTs for the
+CoeffToSlot / SlotToCoeff linear transforms [40], [42], [44].
+
+Outline (for input ciphertext ``ct`` at level 0, scale ``Δ0``, modulus
+``q0``, encrypting the integer polynomial ``m``):
+
+1. **ModRaise** -- reinterpret the level-0 residues over the full modulus
+   ``Q``.  The underlying polynomial becomes ``t = m + q0·I`` with
+   ``‖I‖_∞`` bounded by the sparse secret's Hamming weight.
+2. **CoeffToSlot** -- homomorphic inverse DFT scaled by
+   ``Δ0 / (2·q0·2^r)``; together with a conjugation this yields two
+   ciphertexts whose slots hold the lower and upper coefficient halves of
+   ``t``, scaled to the Chebyshev interval.
+3. **ApproxModEval** -- evaluate ``cos(2π·y)`` via a Chebyshev series,
+   apply ``r`` double-angle iterations, obtaining ``sin(2π·t/q0)`` which
+   approximates ``2π·(t mod q0)/q0``.
+4. **SlotToCoeff** -- homomorphic DFT scaled by ``q0/(2π·Δ0)`` recombining
+   both halves into a ciphertext encrypting ``m`` again, now with many
+   levels left.
+
+The functional backend runs this at reduced (insecure) ring dimensions;
+the paper-scale cost is reproduced by :mod:`repro.perf`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ckks.chebyshev import (
+    chebyshev_coefficients,
+    double_angle,
+    evaluate_chebyshev,
+)
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.context import Context
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.linear_transform import (
+    LinearTransform,
+    coeff_to_slot_matrix,
+    slot_to_coeff_matrix,
+)
+from repro.core.limb import LimbFormat
+from repro.core.rns_poly import RNSPoly
+
+
+@dataclass(frozen=True)
+class BootstrapConfig:
+    """Tunable parameters of the bootstrapping procedure."""
+
+    #: Degree of the Chebyshev approximation of cos(2π y) on [-1, 1].
+    chebyshev_degree: int = 30
+    #: Number of double-angle iterations r; the admissible integer range is
+    #: K ≈ 2^r - 1, so ``2^r`` must exceed the ModRaise overflow bound.
+    #: Each iteration also amplifies arithmetic noise by up to 4x, so sparse
+    #: secrets (small K) buy precision (the sparse-secret encapsulation of
+    #: [43]).
+    double_angle_iterations: int = 2
+    #: Baby-step count for the BSGS linear transforms (None = sqrt heuristic).
+    baby_steps: int | None = None
+
+    @property
+    def range_bound(self) -> int:
+        """Largest |I| the sine approximation tolerates (K in the paper)."""
+        return (1 << self.double_angle_iterations) - 1
+
+
+class Bootstrapper:
+    """Precomputes and runs the CKKS bootstrapping procedure."""
+
+    def __init__(self, context: Context, evaluator: Evaluator,
+                 config: BootstrapConfig | None = None) -> None:
+        self.context = context
+        self.evaluator = evaluator
+        self.config = config or BootstrapConfig()
+        weight = context.params.secret_hamming_weight
+        bound = (weight + 1) / 2 + 1
+        if bound > (1 << self.config.double_angle_iterations):
+            raise ValueError(
+                "secret Hamming weight too large for the configured double-angle "
+                f"iterations: need 2^r > {bound:.0f}"
+            )
+        self._cos_coefficients = chebyshev_coefficients(
+            lambda y: math.cos(2.0 * math.pi * y), self.config.chebyshev_degree
+        )
+        # The linear-transform matrices depend on the input scale, which is
+        # only known per ciphertext; the unscaled DFT matrices are cached.
+        self._transforms: dict[tuple[str, float], LinearTransform] = {}
+
+    # ------------------------------------------------------------------
+    # key requirements
+    # ------------------------------------------------------------------
+
+    def required_rotations(self) -> list[int]:
+        """Rotation steps for which keys must be generated before bootstrapping."""
+        probe = LinearTransform(
+            self.context,
+            np.eye(self.context.slots, dtype=np.complex128),
+            baby_steps=self.config.baby_steps,
+        )
+        baby = probe.baby_steps
+        giant = probe.giant_steps
+        steps = set(range(1, baby))
+        steps.update(baby * j for j in range(1, giant))
+        return sorted(steps)
+
+    def depth_required(self) -> int:
+        """Multiplicative levels consumed by one bootstrap invocation."""
+        cheb_depth = math.ceil(math.log2(self.config.chebyshev_degree + 1)) + 1
+        return 3 + cheb_depth + self.config.double_angle_iterations
+
+    # ------------------------------------------------------------------
+    # pipeline stages
+    # ------------------------------------------------------------------
+
+    def mod_raise(self, ct: Ciphertext) -> Ciphertext:
+        """Reinterpret a level-0 ciphertext over the full modulus ``Q``."""
+        if ct.limb_count != 1:
+            ct = self.evaluator.mod_reduce(ct, 1)
+        moduli = self.context.moduli
+
+        def raise_poly(poly: RNSPoly) -> RNSPoly:
+            coefficients = poly.to_int_coefficients(centered=True)
+            return RNSPoly.from_int_coefficients(
+                self.context.ring_degree, moduli, coefficients,
+                fmt=LimbFormat.EVALUATION,
+            )
+
+        return ct.with_polys(raise_poly(ct.c0), raise_poly(ct.c1))
+
+    def coeff_to_slot(self, ct: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
+        """Return ciphertexts whose slots are the lower/upper coefficients of ``t``.
+
+        Both outputs are scaled to the Chebyshev argument
+        ``y = (t/q0 - 1/4) / 2^r`` expected by ApproxModEval.  The small
+        overall factor ``Δ0 / (2·q0·2^r)`` is applied as a separate scalar
+        multiplication (one extra level) so the encoded DFT diagonals keep
+        full precision -- the same reason OpenFHE spends a level budget on
+        its CoeffToSlot factorisation.
+        """
+        ev = self.evaluator
+        q0 = self.context.moduli[0]
+        prescale = ct.scale / (2.0 * q0 * (1 << self.config.double_angle_iterations))
+        scaled = ev.multiply_scalar(ct, prescale)
+        transform = self._transform("c2s", 1.0)
+        combined = transform.apply(ev, scaled)
+        conjugated = ev.conjugate(combined)
+        ct_lower = ev.add(combined, conjugated)
+        difference = ev.sub(combined, conjugated)
+        ct_upper = ev.negate(ev.multiply_by_i(difference))
+        shift = -0.25 / (1 << self.config.double_angle_iterations)
+        return ev.add_scalar(ct_lower, shift), ev.add_scalar(ct_upper, shift)
+
+    def approx_mod_eval(self, ct: Ciphertext) -> Ciphertext:
+        """Evaluate ``sin(2π t/q0)`` from the scaled Chebyshev argument."""
+        ev = self.evaluator
+        series = evaluate_chebyshev(ev, ct, self._cos_coefficients)
+        return double_angle(ev, series, self.config.double_angle_iterations)
+
+    def slot_to_coeff(self, ct_lower: Ciphertext, ct_upper: Ciphertext,
+                      original_scale: float) -> Ciphertext:
+        """Recombine the two halves into a ciphertext encrypting ``m``."""
+        ev = self.evaluator
+        q0 = self.context.moduli[0]
+        combined = ev.add(ct_lower, ev.multiply_by_i(ct_upper))
+        factor = q0 / (2.0 * math.pi * original_scale)
+        transform = self._transform("s2c", factor)
+        return transform.apply(ev, combined)
+
+    # ------------------------------------------------------------------
+    # full pipeline
+    # ------------------------------------------------------------------
+
+    def bootstrap(self, ct: Ciphertext) -> Ciphertext:
+        """Refresh ``ct`` (Table I's ``Bootstrap`` primitive)."""
+        original_scale = ct.scale if ct.limb_count == 1 else self.context.scale_at(0)
+        raised = self.mod_raise(ct)
+        lower, upper = self.coeff_to_slot(raised)
+        lower = self.approx_mod_eval(lower)
+        upper = self.approx_mod_eval(upper)
+        refreshed = self.slot_to_coeff(lower, upper, original_scale)
+        refreshed.encoded_length = ct.encoded_length
+        refreshed.slots = ct.slots
+        return refreshed
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _transform(self, kind: str, factor: float) -> LinearTransform:
+        key = (kind, round(float(factor), 14))
+        transform = self._transforms.get(key)
+        if transform is None:
+            if kind == "c2s":
+                matrix = coeff_to_slot_matrix(self.context.ring_degree, factor)
+            else:
+                matrix = slot_to_coeff_matrix(self.context.ring_degree, factor)
+            transform = LinearTransform(self.context, matrix,
+                                        baby_steps=self.config.baby_steps)
+            self._transforms[key] = transform
+        return transform
+
+
+__all__ = ["Bootstrapper", "BootstrapConfig"]

@@ -1,0 +1,131 @@
+"""``Plaintext`` and ``Ciphertext`` containers.
+
+These mirror the FIDESlib classes of Figure 2: thin wrappers around one
+(:class:`Plaintext`) or two (:class:`Ciphertext`) :class:`~repro.core.rns_poly.RNSPoly`
+objects plus the metadata CKKS needs to track -- the scaling factor, the
+number of meaningful message slots and a static noise-budget estimate that
+travels back to the client through the adapter layer (§III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.limb import LimbFormat
+from repro.core.rns_poly import RNSPoly
+
+
+@dataclass
+class Plaintext:
+    """An encoded (unencrypted) CKKS message."""
+
+    poly: RNSPoly
+    scale: float
+    slots: int
+    encoded_length: int | None = None
+
+    @property
+    def limb_count(self) -> int:
+        """Number of RNS limbs the plaintext is defined over."""
+        return self.poly.level_count
+
+    @property
+    def level(self) -> int:
+        """Remaining multiplicative depth (limb count minus one)."""
+        return self.limb_count - 1
+
+    def copy(self) -> "Plaintext":
+        """Return a deep copy."""
+        return Plaintext(self.poly.copy(), self.scale, self.slots, self.encoded_length)
+
+    def to_evaluation(self) -> "Plaintext":
+        """Return the plaintext with its polynomial in evaluation format."""
+        return Plaintext(self.poly.to_evaluation(), self.scale, self.slots, self.encoded_length)
+
+
+@dataclass
+class Ciphertext:
+    """A two-component RLWE ciphertext ``(c0, c1)`` with CKKS metadata."""
+
+    c0: RNSPoly
+    c1: RNSPoly
+    scale: float
+    slots: int
+    noise_bits: float = 0.0
+    encoded_length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.c0.moduli != self.c1.moduli:
+            raise ValueError("ciphertext components use different RNS bases")
+        if self.c0.ring_degree != self.c1.ring_degree:
+            raise ValueError("ciphertext components use different ring degrees")
+
+    # -- metadata -------------------------------------------------------------
+
+    @property
+    def ring_degree(self) -> int:
+        """Polynomial degree bound ``N``."""
+        return self.c0.ring_degree
+
+    @property
+    def limb_count(self) -> int:
+        """Current number of limbs (``ℓ + 1`` in the paper's notation)."""
+        return self.c0.level_count
+
+    @property
+    def level(self) -> int:
+        """Remaining multiplicative depth ``ℓ``."""
+        return self.limb_count - 1
+
+    @property
+    def moduli(self) -> list[int]:
+        """The RNS moduli currently attached to the ciphertext."""
+        return list(self.c0.moduli)
+
+    @property
+    def fmt(self) -> LimbFormat:
+        """Common representation of the ciphertext limbs."""
+        return self.c0.fmt
+
+    def footprint_bytes(self, element_bytes: int = 8) -> int:
+        """Device-memory footprint of the ciphertext."""
+        return self.c0.footprint_bytes(element_bytes) + self.c1.footprint_bytes(element_bytes)
+
+    # -- structural helpers ---------------------------------------------------
+
+    def copy(self) -> "Ciphertext":
+        """Return a deep copy."""
+        return Ciphertext(
+            self.c0.copy(),
+            self.c1.copy(),
+            self.scale,
+            self.slots,
+            self.noise_bits,
+            self.encoded_length,
+        )
+
+    def map_polys(self, fn) -> "Ciphertext":
+        """Return a ciphertext with ``fn`` applied to both components."""
+        return Ciphertext(
+            fn(self.c0),
+            fn(self.c1),
+            self.scale,
+            self.slots,
+            self.noise_bits,
+            self.encoded_length,
+        )
+
+    def with_polys(self, c0: RNSPoly, c1: RNSPoly, *, scale: float | None = None,
+                   noise_bits: float | None = None) -> "Ciphertext":
+        """Return a ciphertext reusing this one's metadata with new polynomials."""
+        return Ciphertext(
+            c0,
+            c1,
+            self.scale if scale is None else scale,
+            self.slots,
+            self.noise_bits if noise_bits is None else noise_bits,
+            self.encoded_length,
+        )
+
+
+__all__ = ["Plaintext", "Ciphertext"]

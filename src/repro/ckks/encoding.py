@@ -1,0 +1,128 @@
+"""CKKS canonical-embedding encoder/decoder.
+
+CKKS messages are vectors of up to ``N/2`` complex numbers.  Encoding maps
+a message to an integer polynomial whose canonical embedding (evaluations
+at the primitive 2N-th roots of unity indexed by the powers of 5) equals
+the message scaled by ``Δ``; decoding inverts the map.  Both directions
+are computed with length-``2N`` FFTs, so they cost ``O(N log N)`` like the
+NTT-based server operations.
+
+Sparse packing: messages shorter than ``N/2`` slots are zero-padded to a
+power of two and replicated across the slot vector, which is equivalent to
+the sparse encoding used by OpenFHE (the underlying polynomial is then
+supported on every ``N/(2s)``-th coefficient).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=None)
+def rotation_group(ring_degree: int) -> np.ndarray:
+    """Return the slot-index exponents ``5^j mod 2N`` for ``j < N/2``."""
+    n = ring_degree
+    group = np.zeros(n // 2, dtype=np.int64)
+    value = 1
+    for j in range(n // 2):
+        group[j] = value
+        value = (value * 5) % (2 * n)
+    return group
+
+
+def _next_power_of_two(value: int) -> int:
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class CKKSEncoder:
+    """Encode/decode between complex message vectors and integer polynomials."""
+
+    ring_degree: int
+
+    @property
+    def max_slots(self) -> int:
+        """Maximum number of message slots (``N/2``)."""
+        return self.ring_degree // 2
+
+    # -- message layout -------------------------------------------------------
+
+    def expand_message(self, values) -> np.ndarray:
+        """Zero-pad to a power of two and replicate to fill all ``N/2`` slots."""
+        values = np.asarray(values, dtype=np.complex128).ravel()
+        if len(values) == 0:
+            raise ValueError("cannot encode an empty message")
+        if len(values) > self.max_slots:
+            raise ValueError(
+                f"message has {len(values)} entries; at most {self.max_slots} slots"
+            )
+        padded_len = _next_power_of_two(len(values))
+        padded = np.zeros(padded_len, dtype=np.complex128)
+        padded[: len(values)] = values
+        repeats = self.max_slots // padded_len
+        return np.tile(padded, repeats)
+
+    # -- encode / decode ------------------------------------------------------
+
+    def embed(self, slot_values: np.ndarray) -> np.ndarray:
+        """Inverse canonical embedding: slot values -> real coefficient vector."""
+        n = self.ring_degree
+        slots = np.asarray(slot_values, dtype=np.complex128)
+        if len(slots) != self.max_slots:
+            raise ValueError("embed expects a full slot vector")
+        group = rotation_group(n)
+        spectrum = np.zeros(2 * n, dtype=np.complex128)
+        spectrum[group] = slots
+        spectrum[(2 * n - group) % (2 * n)] = np.conj(slots)
+        coeffs = np.fft.fft(spectrum)[:n] / n
+        return coeffs.real
+
+    def project(self, coefficients: np.ndarray) -> np.ndarray:
+        """Canonical embedding: real coefficient vector -> slot values."""
+        n = self.ring_degree
+        coeffs = np.asarray(coefficients, dtype=np.float64)
+        if len(coeffs) != n:
+            raise ValueError("project expects N coefficients")
+        padded = np.zeros(2 * n, dtype=np.complex128)
+        padded[:n] = coeffs
+        spectrum = np.fft.ifft(padded) * (2 * n)
+        group = rotation_group(n)
+        return spectrum[group]
+
+    def encode(self, values, scale: float) -> list[int]:
+        """Encode a message into integer polynomial coefficients at ``scale``."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        slots = self.expand_message(values)
+        coeffs = self.embed(slots) * scale
+        return [int(round(c)) for c in coeffs]
+
+    def decode(self, coefficients, scale: float, length: int | None = None) -> np.ndarray:
+        """Decode integer (or float) coefficients back into complex slot values."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        coeffs = np.asarray([float(c) for c in coefficients], dtype=np.float64)
+        slots = self.project(coeffs) / scale
+        if length is None:
+            length = self.max_slots
+        return slots[:length]
+
+    def encode_diagonal(self, diagonal, scale: float) -> list[int]:
+        """Encode an arbitrary complex slot vector without replication.
+
+        Used by the linear-transform machinery, where diagonals are already
+        full-length slot vectors (possibly non-repeating).
+        """
+        diagonal = np.asarray(diagonal, dtype=np.complex128).ravel()
+        if len(diagonal) != self.max_slots:
+            raise ValueError("diagonal must have exactly N/2 entries")
+        coeffs = self.embed(diagonal) * scale
+        return [int(round(c)) for c in coeffs]
+
+
+__all__ = ["CKKSEncoder", "rotation_group"]

@@ -1,0 +1,339 @@
+"""The server-side CKKS evaluator: every primitive of Table I.
+
+``Evaluator`` implements the homomorphic operations FIDESlib runs on the
+GPU -- HAdd, PtAdd, ScalarAdd, HMult, PtMult, ScalarMult, HSquare,
+Rescale, HRotate, HConjugate and the hoisted-rotation routine -- on top of
+the :mod:`repro.core` polynomial substrate and the hybrid key switching of
+:mod:`repro.ckks.keyswitch`.
+
+Scale management follows the per-level scale ladder computed by the
+context (Kim et al. [36]): ciphertexts at the same level always carry the
+same scaling factor, so additions are exact, and plaintext/scalar
+multiplications encode their operand at the scale that restores the ladder
+after the following rescale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.context import Context
+from repro.ckks.encryption import encode
+from repro.ckks.keys import KeySet, KeySwitchingKey
+from repro.ckks.keyswitch import apply_key, decompose_and_mod_up, key_switch
+from repro.core.automorphism import conjugation_exponent, rotation_to_exponent
+from repro.core.limb import LimbFormat
+from repro.core.rns_poly import RNSPoly
+
+#: Relative scale mismatch tolerated before an addition is rejected.
+_SCALE_TOLERANCE = 1e-6
+
+
+class Evaluator:
+    """Applies homomorphic operations using a context and evaluation keys."""
+
+    def __init__(self, context: Context, keys: KeySet) -> None:
+        self.context = context
+        self.keys = keys
+
+    # ------------------------------------------------------------------
+    # level and scale management
+    # ------------------------------------------------------------------
+
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """Drop the last limb, dividing the message scale by its prime."""
+        if ct.limb_count < 2:
+            raise ValueError("cannot rescale a level-0 ciphertext")
+        q_last = ct.moduli[-1]
+        return ct.with_polys(
+            ct.c0.rescale_last(),
+            ct.c1.rescale_last(),
+            scale=ct.scale / q_last,
+        )
+
+    def mod_reduce(self, ct: Ciphertext, limb_count: int) -> Ciphertext:
+        """Drop limbs without rescaling (message and scale unchanged)."""
+        if limb_count > ct.limb_count:
+            raise ValueError("cannot mod-reduce to a larger limb count")
+        if limb_count == ct.limb_count:
+            return ct.copy()
+        return ct.with_polys(
+            ct.c0.keep_limbs(limb_count),
+            ct.c1.keep_limbs(limb_count),
+        )
+
+    def adjust(self, ct: Ciphertext, target_level: int,
+               target_scale: float | None = None) -> Ciphertext:
+        """Bring ``ct`` to ``target_level`` with the requested scale.
+
+        Uses a scalar multiplication folded with a rescale so the output
+        scale matches ``target_scale`` (default: the ladder scale of the
+        target level) to within rounding error.
+        """
+        if target_scale is None:
+            target_scale = self.context.scale_at(target_level)
+        if target_level > ct.level:
+            raise ValueError("cannot adjust to a higher level")
+        if target_level == ct.level:
+            if not _scales_match(ct.scale, target_scale):
+                raise ValueError(
+                    f"cannot change scale in place ({ct.scale:.6g} vs {target_scale:.6g})"
+                )
+            return ct.copy()
+        reduced = self.mod_reduce(ct, target_level + 2)
+        q = reduced.moduli[-1]
+        weight = max(1, int(round(q * target_scale / reduced.scale)))
+        adjusted = reduced.with_polys(
+            reduced.c0.multiply_scalar(weight),
+            reduced.c1.multiply_scalar(weight),
+            scale=reduced.scale * weight,
+        )
+        rescaled = self.rescale(adjusted)
+        return rescaled.with_polys(rescaled.c0, rescaled.c1, scale=target_scale)
+
+    def _match(self, ct1: Ciphertext, ct2: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
+        """Bring two ciphertexts to a common level and scale for addition."""
+        if ct1.level == ct2.level:
+            if _scales_match(ct1.scale, ct2.scale):
+                return ct1, ct2
+            raise ValueError(
+                f"scale mismatch at equal level: {ct1.scale:.6g} vs {ct2.scale:.6g}"
+            )
+        if ct1.level > ct2.level:
+            return self.adjust(ct1, ct2.level, ct2.scale), ct2
+        return ct1, self.adjust(ct2, ct1.level, ct1.scale)
+
+    # ------------------------------------------------------------------
+    # additions (HAdd, PtAdd, ScalarAdd)
+    # ------------------------------------------------------------------
+
+    def add(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
+        """Homomorphic ciphertext addition (``HAdd``)."""
+        a, b = self._match(ct1, ct2)
+        return a.with_polys(a.c0.add(b.c0), a.c1.add(b.c1))
+
+    def sub(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
+        """Homomorphic ciphertext subtraction."""
+        a, b = self._match(ct1, ct2)
+        return a.with_polys(a.c0.sub(b.c0), a.c1.sub(b.c1))
+
+    def negate(self, ct: Ciphertext) -> Ciphertext:
+        """Homomorphic negation."""
+        return ct.with_polys(ct.c0.negate(), ct.c1.negate())
+
+    def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """Plaintext addition (``PtAdd``)."""
+        if not _scales_match(ct.scale, pt.scale):
+            raise ValueError(
+                f"plaintext scale {pt.scale:.6g} does not match ciphertext {ct.scale:.6g}"
+            )
+        poly = pt.poly.to_evaluation().keep_limbs(ct.limb_count)
+        return ct.with_polys(ct.c0.add(poly), ct.c1.copy())
+
+    def sub_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """Plaintext subtraction."""
+        if not _scales_match(ct.scale, pt.scale):
+            raise ValueError("plaintext scale does not match ciphertext")
+        poly = pt.poly.to_evaluation().keep_limbs(ct.limb_count)
+        return ct.with_polys(ct.c0.sub(poly), ct.c1.copy())
+
+    def add_scalar(self, ct: Ciphertext, value: float) -> Ciphertext:
+        """Constant addition (``ScalarAdd``): adds ``value`` to every slot."""
+        integer = int(round(float(value) * ct.scale))
+        return ct.with_polys(ct.c0.add_scalar(integer), ct.c1.copy())
+
+    def sub_scalar(self, ct: Ciphertext, value: float) -> Ciphertext:
+        """Constant subtraction."""
+        return self.add_scalar(ct, -float(value))
+
+    # ------------------------------------------------------------------
+    # multiplications (HMult, PtMult, ScalarMult, HSquare)
+    # ------------------------------------------------------------------
+
+    def multiply_plain(self, ct: Ciphertext, pt: Plaintext, *, rescale: bool = True) -> Ciphertext:
+        """Plaintext multiplication (``PtMult``)."""
+        poly = pt.poly.to_evaluation().keep_limbs(ct.limb_count)
+        result = ct.with_polys(
+            ct.c0.multiply(poly),
+            ct.c1.multiply(poly),
+            scale=ct.scale * pt.scale,
+        )
+        return self.rescale(result) if rescale else result
+
+    def multiply_scalar(self, ct: Ciphertext, value: float, *, rescale: bool = True,
+                        scalar_scale: float | None = None) -> Ciphertext:
+        """Constant multiplication (``ScalarMult``).
+
+        The constant is encoded at the scale that restores the ladder after
+        the rescale, so chained operations keep exact per-level scales.
+        """
+        if scalar_scale is None:
+            if rescale and ct.level >= 1:
+                q = ct.moduli[-1]
+                scalar_scale = q * self.context.scale_at(ct.level - 1) / ct.scale
+            else:
+                scalar_scale = self.context.scale
+        integer = int(round(float(value) * scalar_scale))
+        result = ct.with_polys(
+            ct.c0.multiply_scalar(integer),
+            ct.c1.multiply_scalar(integer),
+            scale=ct.scale * scalar_scale,
+        )
+        if rescale:
+            result = self.rescale(result)
+            if ct.level >= 1:
+                result = result.with_polys(
+                    result.c0, result.c1,
+                    scale=self.context.scale_at(ct.level - 1) * 1.0,
+                )
+        return result
+
+    def multiply_scalar_int(self, ct: Ciphertext, value: int) -> Ciphertext:
+        """Multiply by a small integer without changing the scale."""
+        return ct.with_polys(
+            ct.c0.multiply_scalar(int(value)),
+            ct.c1.multiply_scalar(int(value)),
+        )
+
+    def multiply(self, ct1: Ciphertext, ct2: Ciphertext, *, rescale: bool = True,
+                 relinearize: bool = True) -> Ciphertext:
+        """Homomorphic multiplication (``HMult``) with relinearisation."""
+        a, b = self._match_for_product(ct1, ct2)
+        d0 = a.c0.multiply(b.c0)
+        d1 = a.c0.multiply(b.c1).add(a.c1.multiply(b.c0))
+        d2 = a.c1.multiply(b.c1)
+        result = self._relinearize(a, d0, d1, d2, a.scale * b.scale) if relinearize else \
+            a.with_polys(d0, d1, scale=a.scale * b.scale)
+        return self.rescale(result) if rescale else result
+
+    def square(self, ct: Ciphertext, *, rescale: bool = True) -> Ciphertext:
+        """Homomorphic squaring (``HSquare``), cheaper than a general HMult."""
+        d0 = ct.c0.multiply(ct.c0)
+        cross = ct.c0.multiply(ct.c1)
+        d1 = cross.add(cross)
+        d2 = ct.c1.multiply(ct.c1)
+        result = self._relinearize(ct, d0, d1, d2, ct.scale * ct.scale)
+        return self.rescale(result) if rescale else result
+
+    def _match_for_product(self, ct1: Ciphertext, ct2: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
+        if ct1.level == ct2.level:
+            return ct1, ct2
+        if ct1.level > ct2.level:
+            return self.adjust(ct1, ct2.level), ct2
+        return ct1, self.adjust(ct2, ct1.level)
+
+    def _relinearize(self, template: Ciphertext, d0: RNSPoly, d1: RNSPoly,
+                     d2: RNSPoly, scale: float) -> Ciphertext:
+        delta0, delta1 = key_switch(self.context, d2, self.keys.relinearization_key)
+        return template.with_polys(d0.add(delta0), d1.add(delta1), scale=scale)
+
+    def multiply_by_monomial(self, ct: Ciphertext, power: int) -> Ciphertext:
+        """Multiply by ``X^power`` (no scale change).
+
+        ``power = N/2`` multiplies every slot by the imaginary unit ``i``,
+        which the bootstrapping transforms use to recombine the real and
+        imaginary coefficient halves without consuming a level.
+        """
+        n = self.context.ring_degree
+        power = power % (2 * n)
+        sign = 1
+        if power >= n:
+            power -= n
+            sign = -1
+        coefficients = [0] * n
+        coefficients[power] = sign
+        monomial = RNSPoly.from_int_coefficients(
+            n, ct.moduli, coefficients, fmt=LimbFormat.EVALUATION
+        )
+        return ct.with_polys(ct.c0.multiply(monomial), ct.c1.multiply(monomial))
+
+    def multiply_by_i(self, ct: Ciphertext) -> Ciphertext:
+        """Multiply every slot by the imaginary unit ``i``."""
+        return self.multiply_by_monomial(ct, self.context.ring_degree // 2)
+
+    # ------------------------------------------------------------------
+    # rotations (HRotate, HConjugate, hoisting)
+    # ------------------------------------------------------------------
+
+    def rotate(self, ct: Ciphertext, steps: int) -> Ciphertext:
+        """Rotate the message vector left by ``steps`` slots (``HRotate``)."""
+        if steps % ct.slots == 0:
+            return ct.copy()
+        key = self.keys.rotation_key(steps)
+        exponent = rotation_to_exponent(self.context.ring_degree, steps)
+        return self._apply_automorphism(ct, exponent, key)
+
+    def conjugate(self, ct: Ciphertext) -> Ciphertext:
+        """Conjugate the message vector (``HConjugate``)."""
+        if self.keys.conjugation_key is None:
+            raise KeyError("no conjugation key was generated")
+        exponent = conjugation_exponent(self.context.ring_degree)
+        return self._apply_automorphism(ct, exponent, self.keys.conjugation_key)
+
+    def _apply_automorphism(self, ct: Ciphertext, exponent: int,
+                            key: KeySwitchingKey) -> Ciphertext:
+        rotated_c0 = ct.c0.automorphism(exponent)
+        rotated_c1 = ct.c1.automorphism(exponent)
+        delta0, delta1 = key_switch(self.context, rotated_c1, key)
+        return ct.with_polys(rotated_c0.add(delta0), delta1)
+
+    def hoisted_rotations(self, ct: Ciphertext, steps: Sequence[int]) -> dict[int, Ciphertext]:
+        """Rotate one ciphertext by many step counts, sharing the ModUp.
+
+        Implements the hoisting optimisation of Halevi-Shoup [39]
+        (§III-F.6): the digit decomposition and base extension of ``c1``
+        are computed once and reused for every rotation key.
+        """
+        decomposed = decompose_and_mod_up(self.context, ct.c1)
+        results: dict[int, Ciphertext] = {}
+        for step in steps:
+            step = int(step)
+            if step % ct.slots == 0:
+                results[step] = ct.copy()
+                continue
+            key = self.keys.rotation_key(step)
+            exponent = rotation_to_exponent(self.context.ring_degree, step)
+            delta0, delta1 = apply_key(
+                self.context, decomposed, key, automorphism_exponent=exponent
+            )
+            rotated_c0 = ct.c0.automorphism(exponent)
+            results[step] = ct.with_polys(rotated_c0.add(delta0), delta1)
+        return results
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    def encode_for(self, ct: Ciphertext, values, *, for_multiplication: bool = True) -> Plaintext:
+        """Encode values so the plaintext composes cleanly with ``ct``.
+
+        For multiplication the plaintext is encoded at the scale that
+        restores the ladder after the following rescale; for addition it is
+        encoded at the ciphertext's own scale.
+        """
+        if for_multiplication and ct.level >= 1:
+            q = ct.moduli[-1]
+            scale = q * self.context.scale_at(ct.level - 1) / ct.scale
+        else:
+            scale = ct.scale
+        return encode(self.context, values, scale=scale, limb_count=ct.limb_count)
+
+    def dot_product_plain(self, cts: Sequence[Ciphertext], plaintexts: Sequence[Plaintext],
+                          *, rescale: bool = True) -> Ciphertext:
+        """Fused weighted sum ``Σ ct_i ⊙ pt_i`` (the dot-product fusion of §III-F.5)."""
+        if len(cts) != len(plaintexts) or not cts:
+            raise ValueError("need equally many ciphertexts and plaintexts")
+        acc = self.multiply_plain(cts[0], plaintexts[0], rescale=False)
+        for ct, pt in zip(cts[1:], plaintexts[1:]):
+            acc = self.add(acc, self.multiply_plain(ct, pt, rescale=False))
+        return self.rescale(acc) if rescale else acc
+
+
+def _scales_match(scale_a: float, scale_b: float, tolerance: float = _SCALE_TOLERANCE) -> bool:
+    """Return True when two scales are equal up to ``tolerance`` (relative)."""
+    return math.isclose(scale_a, scale_b, rel_tol=tolerance)
+
+
+__all__ = ["Evaluator"]

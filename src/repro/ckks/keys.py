@@ -1,0 +1,273 @@
+"""Key material: secret, public, relinearisation and rotation keys.
+
+Key generation is a client-side operation in the paper's architecture
+(handled by OpenFHE); the reference implementation lives here so the
+:mod:`repro.openfhe` client can delegate to it, and so the server-side
+tests can validate every homomorphic operation against freshly generated
+keys.
+
+Hybrid key switching (Han-Ki [37]) stores, for every digit ``j`` of the
+RNS basis, an RLWE encryption under ``s`` of ``T_j * s'`` over the
+extended modulus ``P * Q``, where
+``T_j = P * (Q/Q_j) * [(Q/Q_j)^{-1} mod Q_j]``.  The same key works at
+every ciphertext level (the level-dependent parts of the computation live
+in :mod:`repro.ckks.keyswitch`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ckks.context import Context
+from repro.core import modmath
+from repro.core.automorphism import conjugation_exponent, rotation_to_exponent
+from repro.core.limb import Limb, LimbFormat
+from repro.core.rns_poly import RNSPoly
+
+
+@dataclass
+class SecretKey:
+    """Ternary secret key stored over the full extended basis."""
+
+    coefficients: list[int]
+    poly: RNSPoly  # evaluation format, extended basis
+    hamming_weight: int
+
+    def restricted(self, limb_count: int) -> RNSPoly:
+        """Return the secret key over the first ``limb_count`` ciphertext limbs."""
+        return self.poly.keep_limbs(limb_count)
+
+
+@dataclass
+class PublicKey:
+    """RLWE public key ``(b, a) = (-a*s + e, a)`` over the ciphertext basis."""
+
+    b: RNSPoly
+    a: RNSPoly
+
+
+@dataclass
+class KeySwitchingKey:
+    """Hybrid key-switching key: one ``(b_j, a_j)`` pair per digit."""
+
+    digits: list[tuple[RNSPoly, RNSPoly]]
+    target_description: str = ""
+
+    @property
+    def dnum(self) -> int:
+        """Number of digits."""
+        return len(self.digits)
+
+    def footprint_bytes(self, element_bytes: int = 8) -> int:
+        """Device-memory footprint of the key (Figure 8 discussion)."""
+        return sum(
+            b.footprint_bytes(element_bytes) + a.footprint_bytes(element_bytes)
+            for b, a in self.digits
+        )
+
+
+@dataclass
+class KeySet:
+    """All key material produced by :class:`KeyGenerator.generate`."""
+
+    public_key: PublicKey
+    relinearization_key: KeySwitchingKey
+    rotation_keys: dict[int, KeySwitchingKey] = field(default_factory=dict)
+    conjugation_key: KeySwitchingKey | None = None
+    secret_key: SecretKey | None = None
+
+    def rotation_key(self, steps: int) -> KeySwitchingKey:
+        """Return the rotation key for ``steps``, raising if it was not generated."""
+        key = self.rotation_keys.get(steps)
+        if key is None:
+            raise KeyError(
+                f"no rotation key for {steps} steps; generate it with KeyGenerator"
+            )
+        return key
+
+    def without_secret(self) -> "KeySet":
+        """Return a copy safe to hand to the (untrusted) server side."""
+        return KeySet(
+            public_key=self.public_key,
+            relinearization_key=self.relinearization_key,
+            rotation_keys=dict(self.rotation_keys),
+            conjugation_key=self.conjugation_key,
+            secret_key=None,
+        )
+
+
+class KeyGenerator:
+    """Generates CKKS key material for a :class:`~repro.ckks.context.Context`."""
+
+    def __init__(self, context: Context, seed: int | None = None) -> None:
+        self.context = context
+        self.rng = np.random.default_rng(seed)
+
+    # -- sampling helpers -----------------------------------------------------
+
+    def sample_ternary(self, hamming_weight: int | None = None) -> list[int]:
+        """Sample a ternary polynomial, sparse when ``hamming_weight`` is given."""
+        n = self.context.ring_degree
+        if hamming_weight is None:
+            return [int(v) for v in self.rng.integers(-1, 2, size=n)]
+        hamming_weight = min(hamming_weight, n)
+        coeffs = [0] * n
+        positions = self.rng.choice(n, size=hamming_weight, replace=False)
+        signs = self.rng.choice([-1, 1], size=hamming_weight)
+        for pos, sign in zip(positions, signs):
+            coeffs[int(pos)] = int(sign)
+        return coeffs
+
+    def sample_error(self) -> list[int]:
+        """Sample a discrete Gaussian error polynomial."""
+        n = self.context.ring_degree
+        std = self.context.params.error_std
+        return [int(round(v)) for v in self.rng.normal(0.0, std, size=n)]
+
+    def sample_uniform_poly(self, moduli: list[int]) -> RNSPoly:
+        """Sample a uniformly random polynomial over ``moduli`` (evaluation format)."""
+        n = self.context.ring_degree
+        limbs = []
+        for q in moduli:
+            values = [int(v) for v in self.rng.integers(0, q, size=n, dtype=np.int64)]
+            limbs.append(Limb(q, np.array(values, dtype=object), LimbFormat.EVALUATION, n))
+        return RNSPoly(n, moduli, limbs)
+
+    # -- key generation -------------------------------------------------------
+
+    def generate_secret(self) -> SecretKey:
+        """Generate a sparse ternary secret key over the extended basis."""
+        coeffs = self.sample_ternary(self.context.params.secret_hamming_weight)
+        poly = RNSPoly.from_int_coefficients(
+            self.context.ring_degree,
+            self.context.extended_moduli,
+            coeffs,
+            fmt=LimbFormat.EVALUATION,
+        )
+        weight = sum(1 for c in coeffs if c != 0)
+        return SecretKey(coefficients=coeffs, poly=poly, hamming_weight=weight)
+
+    def generate_public(self, secret: SecretKey) -> PublicKey:
+        """Generate the RLWE public key over the ciphertext basis."""
+        moduli = self.context.moduli
+        a = self.sample_uniform_poly(moduli)
+        e = RNSPoly.from_int_coefficients(
+            self.context.ring_degree, moduli, self.sample_error(),
+            fmt=LimbFormat.EVALUATION,
+        )
+        s = secret.restricted(len(moduli))
+        b = a.multiply(s).negate().add(e)
+        return PublicKey(b=b, a=a)
+
+    def generate_switching_key(
+        self, target_coefficients: list[int], secret: SecretKey, description: str = ""
+    ) -> KeySwitchingKey:
+        """Generate a hybrid key-switching key for the target secret ``s'``.
+
+        ``target_coefficients`` are the integer coefficients of ``s'``
+        (e.g. the coefficients of ``s^2`` for relinearisation, or of
+        ``σ_k(s)`` for a rotation key).
+        """
+        ctx = self.context
+        moduli = ctx.extended_moduli
+        target = RNSPoly.from_int_coefficients(
+            ctx.ring_degree, moduli, target_coefficients, fmt=LimbFormat.EVALUATION
+        )
+        digits = []
+        for j in range(ctx.params.dnum):
+            factors = ctx.key_switch_factor(j)
+            a_j = self.sample_uniform_poly(moduli)
+            e_j = RNSPoly.from_int_coefficients(
+                ctx.ring_degree, moduli, self.sample_error(), fmt=LimbFormat.EVALUATION
+            )
+            payload = target.multiply_scalar(factors)
+            b_j = a_j.multiply(secret.poly).negate().add(e_j).add(payload)
+            digits.append((b_j, a_j))
+        return KeySwitchingKey(digits=digits, target_description=description)
+
+    def generate_relinearization_key(self, secret: SecretKey) -> KeySwitchingKey:
+        """Generate the key for switching ``s^2`` back to ``s`` after HMult."""
+        s_squared = _square_coefficients(secret.coefficients, self.context.ring_degree)
+        return self.generate_switching_key(s_squared, secret, "s^2")
+
+    def generate_rotation_key(self, secret: SecretKey, steps: int) -> KeySwitchingKey:
+        """Generate the key-switching key for a rotation by ``steps`` slots."""
+        exponent = rotation_to_exponent(self.context.ring_degree, steps)
+        rotated = _automorphism_coefficients(
+            secret.coefficients, self.context.ring_degree, exponent
+        )
+        return self.generate_switching_key(rotated, secret, f"rot({steps})")
+
+    def generate_conjugation_key(self, secret: SecretKey) -> KeySwitchingKey:
+        """Generate the key-switching key for complex conjugation."""
+        exponent = conjugation_exponent(self.context.ring_degree)
+        conj = _automorphism_coefficients(
+            secret.coefficients, self.context.ring_degree, exponent
+        )
+        return self.generate_switching_key(conj, secret, "conjugate")
+
+    def generate(
+        self,
+        rotations: list[int] | tuple[int, ...] = (),
+        *,
+        conjugation: bool = False,
+        keep_secret: bool = True,
+    ) -> KeySet:
+        """Generate a full key set (public, relinearisation, rotation keys)."""
+        secret = self.generate_secret()
+        public = self.generate_public(secret)
+        relin = self.generate_relinearization_key(secret)
+        rotation_keys = {
+            int(steps): self.generate_rotation_key(secret, int(steps))
+            for steps in rotations
+        }
+        conj_key = self.generate_conjugation_key(secret) if conjugation else None
+        return KeySet(
+            public_key=public,
+            relinearization_key=relin,
+            rotation_keys=rotation_keys,
+            conjugation_key=conj_key,
+            secret_key=secret if keep_secret else None,
+        )
+
+
+def _square_coefficients(coefficients: list[int], ring_degree: int) -> list[int]:
+    """Return the integer coefficients of ``s^2`` in ``Z[X]/(X^N + 1)``."""
+    n = ring_degree
+    result = [0] * n
+    nonzero = [(i, c) for i, c in enumerate(coefficients) if c != 0]
+    for i, ci in nonzero:
+        for j, cj in nonzero:
+            idx = i + j
+            value = ci * cj
+            if idx >= n:
+                idx -= n
+                value = -value
+            result[idx] += value
+    return result
+
+
+def _automorphism_coefficients(coefficients: list[int], ring_degree: int, exponent: int) -> list[int]:
+    """Return the coefficients of ``s(X^exponent)`` in ``Z[X]/(X^N + 1)``."""
+    n = ring_degree
+    result = [0] * n
+    for i, c in enumerate(coefficients):
+        if c == 0:
+            continue
+        idx = (i * exponent) % (2 * n)
+        if idx >= n:
+            result[idx - n] -= c
+        else:
+            result[idx] += c
+    return result
+
+
+__all__ = [
+    "SecretKey",
+    "PublicKey",
+    "KeySwitchingKey",
+    "KeySet",
+    "KeyGenerator",
+]

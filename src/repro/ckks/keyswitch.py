@@ -1,0 +1,151 @@
+"""Hybrid key switching: digit decomposition, ModUp, ModDown.
+
+``HMult`` and ``HRotate`` produce ciphertext components encrypted under a
+different secret (``s^2`` or ``σ_k(s)``); key switching converts them back
+to ``s`` using the hybrid technique of Han-Ki [37]:
+
+1. **decompose** the polynomial into ``dnum`` digits of the RNS basis;
+2. **ModUp** each digit from its own sub-basis to the full current basis
+   plus the extension limbs ``P`` (a fast base conversion, Equation 1);
+3. multiply each extended digit with the matching key-switching key
+   component and accumulate (the "dot product fusion" of §III-F.5);
+4. **ModDown** the accumulators by ``P`` (another base conversion followed
+   by the fused ``P^{-1}(x - Conv(x'))`` step the paper folds into its NTT
+   kernels).
+
+The functions here operate on :class:`~repro.core.rns_poly.RNSPoly`
+objects in evaluation format and return deltas that the caller adds to the
+ciphertext components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ckks.context import Context
+from repro.ckks.keys import KeySwitchingKey
+from repro.core.limb import Limb, LimbFormat
+from repro.core.rns_poly import RNSPoly
+
+
+@dataclass
+class DecomposedPolynomial:
+    """The ModUp'd digits of a polynomial, reusable across rotations.
+
+    Hoisted rotations (§III-F.6) perform the expensive decompose + ModUp
+    once and reuse the result for every rotation key; this dataclass is
+    that reusable intermediate.
+    """
+
+    extended_digits: list[RNSPoly]
+    limb_count: int
+
+
+def decompose_and_mod_up(context: Context, poly: RNSPoly) -> DecomposedPolynomial:
+    """Split ``poly`` into digits and raise each digit to the extended basis.
+
+    ``poly`` must be in evaluation format over the first ``limb_count``
+    ciphertext moduli.  Each returned digit polynomial is in evaluation
+    format over ``{q_0..q_l} ∪ P``; the digit's own limbs are copied
+    verbatim (no conversion error), the remaining limbs come from the fast
+    base conversion.
+    """
+    limb_count = poly.level_count
+    target_moduli = context.moduli_at(limb_count) + context.special_moduli
+    digits_out: list[RNSPoly] = []
+    for digit_index in range(context.active_digits(limb_count)):
+        digit_indices = [
+            i for i in context.digit_limb_indices(digit_index) if i < limb_count
+        ]
+        digit_coeff_limbs = [poly.limbs[i].to_coefficient() for i in digit_indices]
+        converter = context.modup_converter(limb_count, digit_index)
+        converted = converter.convert([limb.data for limb in digit_coeff_limbs])
+        converted_moduli = list(converter.target.moduli)
+        converted_map = dict(zip(converted_moduli, converted))
+        limbs = []
+        for limb_idx, modulus in enumerate(target_moduli):
+            if limb_idx in digit_indices:
+                # Own limbs are exact copies, already in evaluation format.
+                limbs.append(poly.limbs[limb_idx].copy())
+            else:
+                coeff_limb = Limb(modulus, converted_map[modulus],
+                                  LimbFormat.COEFFICIENT, context.ring_degree)
+                limbs.append(coeff_limb.to_evaluation())
+        digits_out.append(RNSPoly(context.ring_degree, target_moduli, limbs))
+    return DecomposedPolynomial(extended_digits=digits_out, limb_count=limb_count)
+
+
+def mod_down(context: Context, poly: RNSPoly) -> RNSPoly:
+    """Divide an extended-basis polynomial by ``P`` and drop the special limbs.
+
+    Computes ``P^{-1} * (x_i - Conv_{P->Q_l}(x_P))`` per ciphertext limb,
+    the sequence FIDESlib fuses into its NTT kernels (ModDown fusion).
+    """
+    limb_count = poly.level_count - len(context.special_moduli)
+    if limb_count < 1:
+        raise ValueError("polynomial does not carry special limbs to remove")
+    special_limbs = [limb.to_coefficient() for limb in poly.limbs[limb_count:]]
+    converter = context.moddown_converter(limb_count)
+    converted = converter.convert([limb.data for limb in special_limbs])
+    out_limbs = []
+    for i in range(limb_count):
+        q = context.moduli[i]
+        converted_limb = Limb(q, converted[i], LimbFormat.COEFFICIENT, context.ring_degree)
+        if poly.limbs[i].fmt is LimbFormat.EVALUATION:
+            converted_limb = converted_limb.to_evaluation()
+        diff = poly.limbs[i].sub(converted_limb)
+        out_limbs.append(diff.multiply_scalar(context.p_inv_mod_q[i]))
+    return RNSPoly(context.ring_degree, context.moduli_at(limb_count), out_limbs)
+
+
+def apply_key(
+    context: Context,
+    decomposed: DecomposedPolynomial,
+    key: KeySwitchingKey,
+    *,
+    automorphism_exponent: int | None = None,
+) -> tuple[RNSPoly, RNSPoly]:
+    """Multiply ModUp'd digits with a key-switching key and ModDown the result.
+
+    When ``automorphism_exponent`` is given, the automorphism is applied to
+    every extended digit before the key multiplication -- this is the
+    hoisted-rotation path, where the decomposition is shared across many
+    rotation keys.
+
+    Returns the pair ``(delta_c0, delta_c1)`` over the ciphertext basis.
+    """
+    limb_count = decomposed.limb_count
+    active_indices = list(range(limb_count)) + [
+        len(context.moduli) + i for i in range(len(context.special_moduli))
+    ]
+    acc0: RNSPoly | None = None
+    acc1: RNSPoly | None = None
+    for digit_index, digit_poly in enumerate(decomposed.extended_digits):
+        if automorphism_exponent is not None:
+            digit_poly = digit_poly.automorphism(automorphism_exponent)
+        b_j, a_j = key.digits[digit_index]
+        b_j = b_j.select_limbs(active_indices)
+        a_j = a_j.select_limbs(active_indices)
+        term0 = digit_poly.multiply(b_j)
+        term1 = digit_poly.multiply(a_j)
+        acc0 = term0 if acc0 is None else acc0.add(term0)
+        acc1 = term1 if acc1 is None else acc1.add(term1)
+    assert acc0 is not None and acc1 is not None
+    return mod_down(context, acc0), mod_down(context, acc1)
+
+
+def key_switch(
+    context: Context, poly: RNSPoly, key: KeySwitchingKey
+) -> tuple[RNSPoly, RNSPoly]:
+    """Full key switch of ``poly`` (decompose, ModUp, key multiply, ModDown)."""
+    decomposed = decompose_and_mod_up(context, poly)
+    return apply_key(context, decomposed, key)
+
+
+__all__ = [
+    "DecomposedPolynomial",
+    "decompose_and_mod_up",
+    "mod_down",
+    "apply_key",
+    "key_switch",
+]

@@ -1,0 +1,178 @@
+"""Homomorphic linear transforms (ciphertext-vector x plaintext-matrix).
+
+The CoeffToSlot and SlotToCoeff stages of bootstrapping are homomorphic
+multiplications by fixed DFT-derived matrices.  FIDESlib (like OpenFHE)
+evaluates them with the Baby-Step Giant-Step (BSGS) algorithm of
+Bossuat et al. [42]: the matrix is decomposed into its generalized
+diagonals, baby-step rotations of the input are produced once with the
+hoisted-rotation optimisation, and each giant step combines ``n1``
+plaintext multiplications with a single rotation.
+
+:class:`LinearTransform` implements that algorithm for an arbitrary
+``slots x slots`` complex matrix; :func:`coeff_to_slot_matrix` and
+:func:`slot_to_coeff_matrix` build the (scaled) DFT matrices used by
+:mod:`repro.ckks.bootstrap`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.context import Context
+from repro.ckks.encoding import rotation_group
+from repro.ckks.evaluator import Evaluator
+from repro.core.limb import LimbFormat
+from repro.core.rns_poly import RNSPoly
+
+
+def decoding_matrix(ring_degree: int) -> np.ndarray:
+    """Return ``E0``: the slots-from-lower-coefficients decoding matrix.
+
+    ``E0[j, t] = ζ^{5^j * t}`` with ``ζ = exp(iπ/N)`` and ``t < N/2``.  The
+    full canonical embedding of a real polynomial ``m`` satisfies
+    ``σ(m) = E0 · (m_lo + i·m_hi)``, which is the identity CoeffToSlot and
+    SlotToCoeff exploit.
+    """
+    n = ring_degree
+    slots = n // 2
+    group = rotation_group(n)
+    zeta = np.exp(1j * np.pi / n)
+    exponents = np.outer(group, np.arange(slots))
+    return zeta ** (exponents % (2 * n))
+
+
+def coeff_to_slot_matrix(ring_degree: int, scale_factor: float) -> np.ndarray:
+    """Return ``scale_factor * E0^{-1}`` used by CoeffToSlot."""
+    e0 = decoding_matrix(ring_degree)
+    return scale_factor * np.linalg.inv(e0)
+
+
+def slot_to_coeff_matrix(ring_degree: int, scale_factor: float) -> np.ndarray:
+    """Return ``scale_factor * E0`` used by SlotToCoeff."""
+    return scale_factor * decoding_matrix(ring_degree)
+
+
+class LinearTransform:
+    """BSGS evaluation of ``slots x slots`` plaintext matrices.
+
+    Parameters
+    ----------
+    context:
+        The CKKS context (the matrix must be ``N/2 x N/2``).
+    matrix:
+        Complex matrix applied to the slot vector.
+    baby_steps:
+        Number of baby steps ``n1``; defaults to ``ceil(sqrt(slots))``
+        rounded to a divisor of the slot count.
+    """
+
+    def __init__(self, context: Context, matrix: np.ndarray,
+                 baby_steps: int | None = None) -> None:
+        slots = context.slots
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if matrix.shape != (slots, slots):
+            raise ValueError(f"matrix must be {slots}x{slots}, got {matrix.shape}")
+        self.context = context
+        self.matrix = matrix
+        self.slots = slots
+        if baby_steps is None:
+            baby_steps = 1 << math.ceil(math.log2(max(1, math.isqrt(slots))))
+        if slots % baby_steps != 0:
+            raise ValueError("baby_steps must divide the slot count")
+        self.baby_steps = baby_steps
+        self.giant_steps = slots // baby_steps
+        # Generalized diagonals diag_k[j] = M[j, (j + k) mod slots], pre-rotated
+        # by -giant*n1 so each giant step needs a single output rotation.
+        self._diagonals: dict[tuple[int, int], np.ndarray] = {}
+        indices = np.arange(slots)
+        for giant in range(self.giant_steps):
+            for baby in range(self.baby_steps):
+                k = giant * self.baby_steps + baby
+                diag = matrix[indices, (indices + k) % slots]
+                if not np.any(np.abs(diag) > 1e-12):
+                    continue
+                rotated = np.roll(diag, giant * self.baby_steps)
+                self._diagonals[(giant, baby)] = rotated
+
+    # -- rotation-key requirements --------------------------------------------
+
+    def required_rotations(self) -> list[int]:
+        """Return the rotation steps the evaluator needs keys for."""
+        steps = set()
+        for baby in range(1, self.baby_steps):
+            if any(key[1] == baby for key in self._diagonals):
+                steps.add(baby)
+        for giant in range(1, self.giant_steps):
+            if any(key[0] == giant for key in self._diagonals):
+                steps.add(giant * self.baby_steps)
+        return sorted(steps)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def apply(self, evaluator: Evaluator, ct: Ciphertext) -> Ciphertext:
+        """Return the ciphertext whose slots are ``matrix @ slots(ct)``.
+
+        Consumes exactly one multiplicative level.  Baby-step rotations are
+        produced with the hoisted-rotation routine; plaintext diagonals are
+        encoded at the scale that restores the context's scale ladder after
+        the final rescale.
+        """
+        if ct.level < 1:
+            raise ValueError("linear transform needs at least one spare level")
+        baby_rotations = self._baby_rotations(evaluator, ct)
+        plaintext_scale = self._plaintext_scale(ct)
+        accumulator: Ciphertext | None = None
+        for giant in range(self.giant_steps):
+            inner: Ciphertext | None = None
+            for baby in range(self.baby_steps):
+                diag = self._diagonals.get((giant, baby))
+                if diag is None:
+                    continue
+                pt = self._encode_diagonal(diag, ct.limb_count, plaintext_scale)
+                term = evaluator.multiply_plain(baby_rotations[baby], pt, rescale=False)
+                inner = term if inner is None else evaluator.add(inner, term)
+            if inner is None:
+                continue
+            if giant != 0:
+                inner = self._rotate_product(evaluator, inner, giant * self.baby_steps)
+            accumulator = inner if accumulator is None else evaluator.add(accumulator, inner)
+        if accumulator is None:
+            raise ValueError("the transform matrix is identically zero")
+        return evaluator.rescale(accumulator)
+
+    def _baby_rotations(self, evaluator: Evaluator, ct: Ciphertext) -> dict[int, Ciphertext]:
+        steps = sorted({baby for _, baby in self._diagonals})
+        nonzero = [s for s in steps if s != 0]
+        rotations = evaluator.hoisted_rotations(ct, nonzero) if nonzero else {}
+        rotations[0] = ct
+        return rotations
+
+    def _rotate_product(self, evaluator: Evaluator, ct: Ciphertext, steps: int) -> Ciphertext:
+        return evaluator.rotate(ct, steps)
+
+    def _plaintext_scale(self, ct: Ciphertext) -> float:
+        q = ct.moduli[-1]
+        target = self.context.scale_at(ct.level - 1)
+        return q * target / ct.scale
+
+    def _encode_diagonal(self, diagonal: np.ndarray, limb_count: int,
+                         scale: float) -> Plaintext:
+        coefficients = self.context.encoder.encode_diagonal(diagonal, scale)
+        poly = RNSPoly.from_int_coefficients(
+            self.context.ring_degree,
+            self.context.moduli_at(limb_count),
+            coefficients,
+            fmt=LimbFormat.EVALUATION,
+        )
+        return Plaintext(poly=poly, scale=scale, slots=self.slots)
+
+
+__all__ = [
+    "LinearTransform",
+    "decoding_matrix",
+    "coeff_to_slot_matrix",
+    "slot_to_coeff_matrix",
+]

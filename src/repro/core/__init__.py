@@ -1,0 +1,54 @@
+"""Core polynomial-ring arithmetic substrate (paper namespace ``FIDESlib``).
+
+This subpackage provides everything needed to compute with degree-``N``
+negacyclic polynomials under word-sized prime moduli:
+
+* :mod:`repro.core.modmath` -- modular arithmetic, including the fast
+  reduction techniques compared in Table III of the paper (Barrett,
+  Montgomery and Shoup).
+* :mod:`repro.core.primes` -- NTT-friendly prime generation and roots of
+  unity.
+* :mod:`repro.core.ntt` -- negacyclic NTT/iNTT including the
+  hierarchical/2D formulation of Figure 3.
+* :mod:`repro.core.rns` -- residue number system bases, CRT recombination
+  and the fast base conversion of Equation 1.
+* :mod:`repro.core.limb` / :mod:`repro.core.rns_poly` -- the
+  ``Limb`` / ``LimbPartition`` / ``RNSPoly`` containers of Figure 2.
+* :mod:`repro.core.memory` -- the stream-ordered memory-pool analogue of
+  the ``VectorGPU`` RAII wrapper.
+"""
+
+from repro.core.modmath import (
+    BarrettReducer,
+    MontgomeryReducer,
+    ShoupMultiplier,
+    add_mod,
+    sub_mod,
+    mul_mod,
+    pow_mod,
+    inv_mod,
+)
+from repro.core.primes import generate_ntt_primes, find_primitive_root
+from repro.core.ntt import NTTEngine
+from repro.core.rns import RNSBasis, BaseConverter
+from repro.core.rns_poly import RNSPoly
+from repro.core.limb import Limb, VectorGPU
+
+__all__ = [
+    "BarrettReducer",
+    "MontgomeryReducer",
+    "ShoupMultiplier",
+    "add_mod",
+    "sub_mod",
+    "mul_mod",
+    "pow_mod",
+    "inv_mod",
+    "generate_ntt_primes",
+    "find_primitive_root",
+    "NTTEngine",
+    "RNSBasis",
+    "BaseConverter",
+    "RNSPoly",
+    "Limb",
+    "VectorGPU",
+]

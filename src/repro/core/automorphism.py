@@ -1,0 +1,76 @@
+"""Galois automorphism index maps for the negacyclic ring.
+
+Rotation (``HRotate``) and conjugation (``HConjugate``) of CKKS messages
+are realised by the ring automorphisms ``X -> X^k`` with ``k`` odd.  In the
+coefficient representation the automorphism permutes coefficients and
+flips the sign of those whose exponent wraps past ``X^N = -1``.  This
+module precomputes those permutations; :class:`~repro.core.rns_poly.RNSPoly`
+applies them limb by limb (switching to the coefficient representation
+when necessary, as the GPU ``Automorph`` kernel does).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=None)
+def coeff_automorphism_map(ring_degree: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(source_index, sign)`` arrays for ``a(X) -> a(X^k)``.
+
+    The transformed polynomial ``b`` satisfies
+    ``b[i] = sign[i] * a[source_index[i]]`` where ``sign`` is ±1.  ``k``
+    must be odd so the map is a bijection on exponents modulo ``2N``.
+    """
+    n = ring_degree
+    if k % 2 == 0:
+        raise ValueError("automorphism exponent must be odd")
+    k = k % (2 * n)
+    source = np.zeros(n, dtype=np.int64)
+    sign = np.zeros(n, dtype=np.int64)
+    for j in range(n):
+        exponent = (j * k) % (2 * n)
+        if exponent < n:
+            source[exponent] = j
+            sign[exponent] = 1
+        else:
+            source[exponent - n] = j
+            sign[exponent - n] = -1
+    return source, sign
+
+
+def apply_coeff_automorphism(data: np.ndarray, ring_degree: int, k: int, modulus: int) -> np.ndarray:
+    """Apply ``X -> X^k`` to a coefficient-domain limb array."""
+    source, sign = coeff_automorphism_map(ring_degree, k)
+    gathered = np.asarray(data)[source]
+    if gathered.dtype == np.object_:
+        negate = np.array([(-int(v)) % modulus for v in gathered], dtype=object)
+    else:
+        negate = np.where(gathered == 0, gathered, np.uint64(modulus) - gathered)
+    return np.where(sign == 1, gathered, negate)
+
+
+def rotation_to_exponent(ring_degree: int, steps: int) -> int:
+    """Return the automorphism exponent implementing a rotation by ``steps``.
+
+    CKKS slots are indexed by powers of 5 modulo ``2N``; rotating the
+    message vector left by ``steps`` corresponds to ``X -> X^{5^steps}``.
+    Negative steps rotate right.
+    """
+    m = 2 * ring_degree
+    return pow(5, steps % (ring_degree // 2), m)
+
+
+def conjugation_exponent(ring_degree: int) -> int:
+    """Return the automorphism exponent implementing complex conjugation."""
+    return 2 * ring_degree - 1
+
+
+__all__ = [
+    "coeff_automorphism_map",
+    "apply_coeff_automorphism",
+    "rotation_to_exponent",
+    "conjugation_exponent",
+]

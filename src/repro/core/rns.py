@@ -1,0 +1,254 @@
+"""Residue Number System (RNS) bases and fast base conversion.
+
+CKKS ciphertext moduli are hundreds to thousands of bits wide; the RNS
+technique (Cheon et al. [35]) represents every coefficient by its residues
+modulo a basis of word-sized primes ``B = {q_0, ..., q_l}`` so all
+arithmetic stays within machine words.  Three ingredients live here:
+
+* :class:`RNSBasis` -- a prime basis with its CRT constants
+  (``Q``, ``q̂_i = Q/q_i``, ``q̂_i^{-1} mod q_i``).
+* :class:`BaseConverter` -- the fast base conversion of Equation 1 of the
+  paper, the core of ModUp / ModDown / Rescale.  It is implemented, as the
+  paper describes, as a modular matrix-vector product preceded by a
+  limb-wise scaling, with the partial dot products accumulated exactly
+  (the 128-bit accumulator of §III-F.3) and reduced only once per output
+  element.
+* digit-decomposition helpers used by hybrid key switching (the ``dnum``
+  partition of the basis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core import modmath
+
+
+@dataclass(frozen=True)
+class RNSBasis:
+    """A basis of coprime word-sized moduli with precomputed CRT constants."""
+
+    moduli: tuple[int, ...]
+    modulus: int = field(init=False)
+    q_hat: tuple[int, ...] = field(init=False)
+    q_hat_inv: tuple[int, ...] = field(init=False)
+
+    def __init__(self, moduli: Sequence[int]) -> None:
+        moduli = tuple(int(q) for q in moduli)
+        if not moduli:
+            raise ValueError("an RNS basis needs at least one modulus")
+        if len(set(moduli)) != len(moduli):
+            raise ValueError("RNS moduli must be distinct")
+        product = 1
+        for q in moduli:
+            product *= q
+        q_hat = tuple(product // q for q in moduli)
+        q_hat_inv = tuple(
+            modmath.inv_mod(h % q, q) for h, q in zip(q_hat, moduli)
+        )
+        object.__setattr__(self, "moduli", moduli)
+        object.__setattr__(self, "modulus", product)
+        object.__setattr__(self, "q_hat", q_hat)
+        object.__setattr__(self, "q_hat_inv", q_hat_inv)
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    def __iter__(self):
+        return iter(self.moduli)
+
+    def subbasis(self, count: int) -> "RNSBasis":
+        """Return the basis formed by the first ``count`` moduli."""
+        if not 1 <= count <= len(self.moduli):
+            raise ValueError(f"invalid sub-basis size {count}")
+        return RNSBasis(self.moduli[:count])
+
+    # -- conversions between integers and residue vectors --------------------
+
+    def to_rns(self, value: int) -> list[int]:
+        """Return the residue vector of a (possibly negative) integer."""
+        return [int(value) % q for q in self.moduli]
+
+    def decompose(self, coefficients: Sequence[int]) -> list[np.ndarray]:
+        """Decompose integer coefficients into one residue array per limb."""
+        limbs = []
+        for q in self.moduli:
+            limbs.append(
+                modmath.as_residue_array(
+                    np.array([int(c) % q for c in coefficients], dtype=object), q
+                )
+            )
+        return limbs
+
+    def crt_reconstruct(self, residues: Sequence[int]) -> int:
+        """Recombine one residue per modulus into the value in ``[0, Q)``."""
+        if len(residues) != len(self.moduli):
+            raise ValueError("residue count does not match basis size")
+        total = 0
+        for r, q_hat, q_hat_inv in zip(residues, self.q_hat, self.q_hat_inv):
+            total += q_hat * ((int(r) * q_hat_inv) % (self.modulus // q_hat))
+        return total % self.modulus
+
+    def compose(self, limbs: Sequence[np.ndarray], *, centered: bool = True) -> list[int]:
+        """Recombine per-limb residue arrays into integer coefficients.
+
+        With ``centered=True`` the result is mapped to ``(-Q/2, Q/2]``,
+        which is the signed convention CKKS decoding expects.
+        """
+        if len(limbs) != len(self.moduli):
+            raise ValueError("limb count does not match basis size")
+        length = len(limbs[0])
+        big_q = self.modulus
+        half = big_q >> 1
+        out = []
+        for idx in range(length):
+            value = self.crt_reconstruct([limbs[i][idx] for i in range(len(limbs))])
+            if centered and value > half:
+                value -= big_q
+            out.append(value)
+        return out
+
+
+class BaseConverter:
+    """Fast (approximate) base conversion ``Conv_{B' -> B}`` of Equation 1.
+
+    Given residues of ``x`` under the input basis ``B'``, produces residues
+    under the output basis ``B`` of a value congruent to ``x`` up to a small
+    multiple ``α·Q_{B'}`` with ``0 <= α < |B'|`` -- the standard HPS
+    approximation whose error CKKS absorbs into its noise.  The computation
+    is exactly the matrix-matrix product the paper describes: a limb-wise
+    scaling ``x_i · q̂_i^{-1} mod q_i`` followed by accumulation against the
+    precomputed ``[q̂_i]_{p_k}`` table with one final reduction per output
+    element.
+    """
+
+    def __init__(self, source: RNSBasis, target: RNSBasis) -> None:
+        overlap = set(source.moduli) & set(target.moduli)
+        if overlap:
+            raise ValueError(f"source and target bases overlap: {sorted(overlap)}")
+        self.source = source
+        self.target = target
+        # [q̂_i]_{p_k} table, indexed [k][i] as in Equation 1.
+        self.q_hat_mod_target = [
+            [h % p for h in source.q_hat] for p in target.moduli
+        ]
+        self.q_hat_inv = list(source.q_hat_inv)
+        # Q mod p_k, used by the exact (flooring) variant.
+        self.source_modulus_mod_target = [source.modulus % p for p in target.moduli]
+
+    def _all_fast(self) -> bool:
+        return all(
+            modmath.is_fast_modulus(q)
+            for q in (*self.source.moduli, *self.target.moduli)
+        )
+
+    def _scaled_limbs(self, limbs: Sequence[np.ndarray], fast: bool) -> list[np.ndarray]:
+        """Return the limb-wise scaling ``x_i * q̂_i^{-1} mod q_i`` of Eq. 1."""
+        scaled = []
+        for limb, q, inv in zip(limbs, self.source.moduli, self.q_hat_inv):
+            if fast:
+                scaled.append(modmath.vec_mul_scalar_mod(
+                    modmath.as_residue_array(limb, q), inv, q))
+            else:
+                scaled.append(np.array(
+                    [(int(v) * inv) % q for v in np.asarray(limb).ravel()],
+                    dtype=object,
+                ))
+        return scaled
+
+    def convert(self, limbs: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Convert per-limb residue arrays from the source to the target basis."""
+        if len(limbs) != len(self.source):
+            raise ValueError(
+                f"expected {len(self.source)} source limbs, got {len(limbs)}"
+            )
+        length = len(limbs[0])
+        fast = self._all_fast()
+        # Limb-wise scaling x_i * q̂_i^{-1} mod q_i; the accumulation below
+        # mimics the wide (128-bit) accumulator of §III-F.3 with a single
+        # reduction per output element.
+        scaled = self._scaled_limbs(limbs, fast)
+        outputs = []
+        for k, p in enumerate(self.target.moduli):
+            row = self.q_hat_mod_target[k]
+            if fast:
+                acc = np.zeros(length, dtype=np.uint64)
+                for i in range(len(self.source)):
+                    # Reduce each partial product so the running sum stays
+                    # far below 2**64 for any realistic limb count.
+                    acc += (scaled[i] * np.uint64(row[i])) % np.uint64(p)
+                outputs.append(acc % np.uint64(p))
+            else:
+                acc = np.zeros(length, dtype=object)
+                for i in range(len(self.source)):
+                    acc = acc + scaled[i] * row[i]
+                outputs.append(modmath.as_residue_array(acc % p, p))
+        return outputs
+
+    def convert_exact(self, limbs: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Exact base conversion removing the ``α·Q`` overshoot.
+
+        Uses the floating-point estimate of ``α = round(Σ y_i / q_i)`` from
+        the HPS full-RNS variant; exact for the parameter ranges used here.
+        The unit tests compare :meth:`convert` against this reference to
+        bound the approximation error.
+        """
+        if len(limbs) != len(self.source):
+            raise ValueError(
+                f"expected {len(self.source)} source limbs, got {len(limbs)}"
+            )
+        length = len(limbs[0])
+        fast = self._all_fast()
+        scaled = self._scaled_limbs(limbs, fast)
+        fractions = np.zeros(length, dtype=np.float64)
+        for y, q in zip(scaled, self.source.moduli):
+            fractions += np.array([float(v) for v in y]) / float(q)
+        alphas = np.rint(fractions).astype(np.int64)
+        alpha_obj = np.array([int(a) for a in alphas], dtype=object)
+        outputs = []
+        for k, p in enumerate(self.target.moduli):
+            row = self.q_hat_mod_target[k]
+            q_mod_p = self.source_modulus_mod_target[k]
+            acc = np.zeros(length, dtype=object)
+            for i in range(len(self.source)):
+                acc = acc + np.array([int(v) for v in scaled[i]], dtype=object) * row[i]
+            acc = acc - alpha_obj * q_mod_p
+            outputs.append(modmath.as_residue_array(acc % p, p))
+        return outputs
+
+    def shared_memory_bytes_per_thread(self) -> int:
+        """Shared-memory bytes per GPU thread used by the kernel (§III-F.3)."""
+        return 4 * len(self.source)
+
+
+def partition_digits(moduli: Sequence[int], dnum: int) -> list[list[int]]:
+    """Split a basis into ``dnum`` contiguous digits for hybrid key switching.
+
+    The first digits receive ``ceil(len/dnum)`` moduli so that every digit
+    is non-empty whenever ``len(moduli) >= 1``.
+    """
+    moduli = list(moduli)
+    if dnum <= 0:
+        raise ValueError("dnum must be positive")
+    per_digit = -(-len(moduli) // dnum)  # ceil division
+    digits = []
+    for start in range(0, len(moduli), per_digit):
+        digits.append(moduli[start : start + per_digit])
+    return digits
+
+
+def digit_of_limb(limb_index: int, total_limbs: int, dnum: int) -> int:
+    """Return the digit index that limb ``limb_index`` belongs to."""
+    per_digit = -(-total_limbs // dnum)
+    return limb_index // per_digit
+
+
+__all__ = [
+    "RNSBasis",
+    "BaseConverter",
+    "partition_digits",
+    "digit_of_limb",
+]

@@ -1,0 +1,337 @@
+"""``RNSPoly`` and ``LimbPartition``: the polynomial containers of Figure 2.
+
+An :class:`RNSPoly` is a degree-``N`` polynomial decomposed over an RNS
+basis ``B = {q_0, ..., q_l}``; it owns one or more
+:class:`LimbPartition` objects, each representing the portion of the
+polynomial stored on one device.  The current FIDESlib release is
+single-GPU, so every poly has exactly one partition -- the class structure
+keeps the multi-GPU extension point the paper describes.
+
+The heavy lifting (NTT, element-wise modular arithmetic, automorphisms,
+modulus switching) is delegated to :class:`~repro.core.limb.Limb`; this
+module provides the cross-limb operations CKKS needs: rescaling, limb
+dropping, base extension glue and CRT recomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core import modmath
+from repro.core.limb import Limb, LimbFormat
+from repro.core.memory import MemoryPool
+from repro.core.rns import RNSBasis
+
+
+@dataclass
+class LimbPartition:
+    """The limbs of an :class:`RNSPoly` that live on a single device."""
+
+    device_id: int
+    limbs: list[Limb] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.limbs)
+
+    def __iter__(self):
+        return iter(self.limbs)
+
+    def append(self, limb: Limb) -> None:
+        """Add a limb to this partition."""
+        self.limbs.append(limb)
+
+    def footprint_bytes(self, element_bytes: int = 8) -> int:
+        """Return the device-memory footprint of this partition."""
+        return sum(limb.ring_degree * element_bytes for limb in self.limbs)
+
+
+class RNSPoly:
+    """A polynomial in ``Z_Q[X]/(X^N + 1)`` stored limb-by-limb.
+
+    Parameters
+    ----------
+    ring_degree:
+        Polynomial degree bound ``N``.
+    moduli:
+        The RNS basis primes ``q_0 ... q_l`` currently attached to the
+        polynomial (shrinks as levels are consumed).
+    limbs:
+        Optional initial limbs; zero limbs are created when omitted.
+    device_id:
+        Device the single partition is assigned to.
+    """
+
+    def __init__(
+        self,
+        ring_degree: int,
+        moduli: Sequence[int],
+        limbs: Sequence[Limb] | None = None,
+        *,
+        fmt: LimbFormat = LimbFormat.COEFFICIENT,
+        device_id: int = 0,
+        pool: MemoryPool | None = None,
+    ) -> None:
+        self.ring_degree = ring_degree
+        self.moduli = list(int(q) for q in moduli)
+        if limbs is None:
+            limbs = [Limb.zero(ring_degree, q, fmt, pool=pool) for q in self.moduli]
+        else:
+            limbs = list(limbs)
+            if len(limbs) != len(self.moduli):
+                raise ValueError("limb count does not match modulus count")
+            for limb, q in zip(limbs, self.moduli):
+                if limb.modulus != q:
+                    raise ValueError("limb modulus does not match basis")
+        self.partition = LimbPartition(device_id=device_id, limbs=limbs)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_int_coefficients(
+        cls,
+        ring_degree: int,
+        moduli: Sequence[int],
+        coefficients: Sequence[int],
+        *,
+        fmt: LimbFormat = LimbFormat.COEFFICIENT,
+    ) -> "RNSPoly":
+        """Build a poly from signed integer coefficients (length ``<= N``)."""
+        coeffs = list(coefficients)
+        if len(coeffs) > ring_degree:
+            raise ValueError("too many coefficients for the ring degree")
+        coeffs = coeffs + [0] * (ring_degree - len(coeffs))
+        limbs = []
+        for q in moduli:
+            data = modmath.as_residue_array(
+                np.array([int(c) % q for c in coeffs], dtype=object), q
+            )
+            limbs.append(Limb(q, data, LimbFormat.COEFFICIENT, ring_degree))
+        poly = cls(ring_degree, moduli, limbs)
+        if fmt is LimbFormat.EVALUATION:
+            poly = poly.to_evaluation()
+        return poly
+
+    @classmethod
+    def from_limb_arrays(
+        cls,
+        ring_degree: int,
+        moduli: Sequence[int],
+        arrays: Sequence[np.ndarray],
+        fmt: LimbFormat,
+    ) -> "RNSPoly":
+        """Build a poly from raw per-limb residue arrays."""
+        limbs = [
+            Limb(q, arr, fmt, ring_degree) for q, arr in zip(moduli, arrays, strict=True)
+        ]
+        return cls(ring_degree, moduli, limbs)
+
+    def copy(self) -> "RNSPoly":
+        """Return a deep copy."""
+        return RNSPoly(
+            self.ring_degree,
+            self.moduli,
+            [limb.copy() for limb in self.limbs],
+            device_id=self.partition.device_id,
+        )
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def limbs(self) -> list[Limb]:
+        """Return the limbs of the (single) partition."""
+        return self.partition.limbs
+
+    @property
+    def level_count(self) -> int:
+        """Return the number of limbs currently attached (ℓ + 1)."""
+        return len(self.moduli)
+
+    @property
+    def fmt(self) -> LimbFormat:
+        """Return the common representation of all limbs."""
+        formats = {limb.fmt for limb in self.limbs}
+        if len(formats) != 1:
+            raise RuntimeError("limbs are in mixed formats")
+        return next(iter(formats))
+
+    def basis(self) -> RNSBasis:
+        """Return the :class:`RNSBasis` for the current moduli."""
+        return RNSBasis(self.moduli)
+
+    def footprint_bytes(self, element_bytes: int = 8) -> int:
+        """Return the memory footprint of the polynomial."""
+        return self.partition.footprint_bytes(element_bytes)
+
+    # -- representation ------------------------------------------------------
+
+    def to_evaluation(self) -> "RNSPoly":
+        """Return the polynomial with every limb in evaluation format."""
+        return self._map(lambda limb: limb.to_evaluation())
+
+    def to_coefficient(self) -> "RNSPoly":
+        """Return the polynomial with every limb in coefficient format."""
+        return self._map(lambda limb: limb.to_coefficient())
+
+    def _map(self, fn) -> "RNSPoly":
+        return RNSPoly(
+            self.ring_degree,
+            self.moduli,
+            [fn(limb) for limb in self.limbs],
+            device_id=self.partition.device_id,
+        )
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _check_compatible(self, other: "RNSPoly") -> None:
+        if self.ring_degree != other.ring_degree:
+            raise ValueError("ring degrees differ")
+        if self.moduli != other.moduli:
+            raise ValueError(
+                f"RNS bases differ ({len(self.moduli)} vs {len(other.moduli)} limbs)"
+            )
+
+    def add(self, other: "RNSPoly") -> "RNSPoly":
+        """Return the element-wise sum (same basis and format required)."""
+        self._check_compatible(other)
+        return RNSPoly(
+            self.ring_degree,
+            self.moduli,
+            [a.add(b) for a, b in zip(self.limbs, other.limbs)],
+        )
+
+    def sub(self, other: "RNSPoly") -> "RNSPoly":
+        """Return the element-wise difference."""
+        self._check_compatible(other)
+        return RNSPoly(
+            self.ring_degree,
+            self.moduli,
+            [a.sub(b) for a, b in zip(self.limbs, other.limbs)],
+        )
+
+    def negate(self) -> "RNSPoly":
+        """Return the negated polynomial."""
+        return self._map(lambda limb: limb.negate())
+
+    def multiply(self, other: "RNSPoly") -> "RNSPoly":
+        """Return the element-wise (evaluation-domain) product."""
+        self._check_compatible(other)
+        return RNSPoly(
+            self.ring_degree,
+            self.moduli,
+            [a.multiply(b) for a, b in zip(self.limbs, other.limbs)],
+        )
+
+    def multiply_scalar(self, scalar: int | Sequence[int]) -> "RNSPoly":
+        """Multiply by an integer constant, or by one constant per limb."""
+        if isinstance(scalar, (int, np.integer)):
+            scalars: Iterable[int] = [int(scalar)] * len(self.moduli)
+        else:
+            scalars = list(scalar)
+            if len(scalars) != len(self.moduli):
+                raise ValueError("need one scalar per limb")
+        return RNSPoly(
+            self.ring_degree,
+            self.moduli,
+            [limb.multiply_scalar(s) for limb, s in zip(self.limbs, scalars)],
+        )
+
+    def add_scalar(self, scalar: int | Sequence[int]) -> "RNSPoly":
+        """Add an integer constant (or one constant per limb)."""
+        if isinstance(scalar, (int, np.integer)):
+            scalars: Iterable[int] = [int(scalar)] * len(self.moduli)
+        else:
+            scalars = list(scalar)
+            if len(scalars) != len(self.moduli):
+                raise ValueError("need one scalar per limb")
+        return RNSPoly(
+            self.ring_degree,
+            self.moduli,
+            [limb.add_scalar(s) for limb, s in zip(self.limbs, scalars)],
+        )
+
+    def automorphism(self, exponent: int) -> "RNSPoly":
+        """Apply the Galois automorphism ``X -> X^exponent`` to every limb."""
+        return self._map(lambda limb: limb.automorphism(exponent))
+
+    # -- level management ----------------------------------------------------
+
+    def drop_last_limbs(self, count: int = 1) -> "RNSPoly":
+        """Return the polynomial with the last ``count`` limbs removed."""
+        if count < 0 or count >= len(self.moduli):
+            raise ValueError(f"cannot drop {count} of {len(self.moduli)} limbs")
+        if count == 0:
+            return self.copy()
+        return RNSPoly(
+            self.ring_degree,
+            self.moduli[:-count],
+            [limb.copy() for limb in self.limbs[:-count]],
+        )
+
+    def keep_limbs(self, count: int) -> "RNSPoly":
+        """Return the polynomial truncated to its first ``count`` limbs."""
+        if not 1 <= count <= len(self.moduli):
+            raise ValueError(f"cannot keep {count} of {len(self.moduli)} limbs")
+        return RNSPoly(
+            self.ring_degree,
+            self.moduli[:count],
+            [limb.copy() for limb in self.limbs[:count]],
+        )
+
+    def select_limbs(self, indices: Sequence[int]) -> "RNSPoly":
+        """Return a polynomial containing copies of the limbs at ``indices``.
+
+        Used by hybrid key switching to restrict a key-switching key (stored
+        over the full extended basis) to the limbs active at the current
+        level plus the special limbs.
+        """
+        indices = list(indices)
+        if not indices:
+            raise ValueError("at least one limb index is required")
+        moduli = [self.moduli[i] for i in indices]
+        limbs = [self.limbs[i].copy() for i in indices]
+        return RNSPoly(self.ring_degree, moduli, limbs)
+
+    def rescale_last(self) -> "RNSPoly":
+        """Divide by the last prime ``q_l`` and drop its limb (RNS rescale).
+
+        For every remaining limb ``i``:
+        ``c_i' = q_l^{-1} · (c_i - SwitchModulus(c_l)) mod q_i``.
+        This is the computation FIDESlib fuses into its NTT kernels
+        ("Rescale fusion", §III-F.5); here it is applied limb by limb in
+        whatever format the polynomial is in, switching the last limb
+        through the coefficient domain as required.
+        """
+        if len(self.moduli) < 2:
+            raise ValueError("cannot rescale a single-limb polynomial")
+        q_last = self.moduli[-1]
+        last_coeff = self.limbs[-1].to_coefficient()
+        out_limbs = []
+        target_fmt = self.fmt
+        for limb, q in zip(self.limbs[:-1], self.moduli[:-1]):
+            switched = last_coeff.switch_modulus(q)
+            if target_fmt is LimbFormat.EVALUATION:
+                switched = switched.to_evaluation()
+            diff = limb.sub(switched)
+            inv = modmath.inv_mod(q_last % q, q)
+            out_limbs.append(diff.multiply_scalar(inv))
+        return RNSPoly(self.ring_degree, self.moduli[:-1], out_limbs)
+
+    # -- conversions ---------------------------------------------------------
+
+    def limb_arrays(self) -> list[np.ndarray]:
+        """Return the raw residue arrays of every limb."""
+        return [limb.data for limb in self.limbs]
+
+    def to_int_coefficients(self, *, centered: bool = True) -> list[int]:
+        """CRT-recombine the limbs into signed integer coefficients."""
+        poly = self.to_coefficient()
+        return poly.basis().compose(poly.limb_arrays(), centered=centered)
+
+    def __len__(self) -> int:
+        return self.ring_degree
+
+
+__all__ = ["RNSPoly", "LimbPartition"]

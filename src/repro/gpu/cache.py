@@ -1,0 +1,64 @@
+"""Last-level-cache reuse model.
+
+FHE kernels are memory-bound; the paper's central performance argument
+(§III-F.1) is that processing a *subset* of a ciphertext's limbs per
+kernel keeps the working set inside the GPU's L2 cache, so consecutive
+kernels hit in L2 instead of going to DRAM.  This module captures that
+effect: given a kernel's working-set size and how many times each byte is
+touched, it estimates the fraction of traffic served from L2 and the
+resulting effective bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.platforms import ComputePlatform
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Simple capacity-based last-level-cache model.
+
+    The model assumes streaming access: the first touch of every byte
+    misses; subsequent touches hit if the working set fits in the cache,
+    and degrade linearly as the working set grows up to ``overflow_factor``
+    times the capacity (approximating partial retention).
+    """
+
+    platform: ComputePlatform
+    overflow_factor: float = 4.0
+
+    def hit_fraction(self, working_set_bytes: float, reuse: float) -> float:
+        """Fraction of accesses served by the cache.
+
+        Parameters
+        ----------
+        working_set_bytes:
+            Bytes the kernel (or kernel group) touches repeatedly.
+        reuse:
+            Average number of times each byte is accessed (>= 1).
+        """
+        if reuse <= 1.0 or working_set_bytes <= 0:
+            return 0.0
+        capacity = self.platform.shared_cache_bytes
+        if working_set_bytes <= capacity:
+            retention = 1.0
+        elif working_set_bytes >= capacity * self.overflow_factor:
+            retention = 0.0
+        else:
+            span = capacity * (self.overflow_factor - 1.0)
+            retention = 1.0 - (working_set_bytes - capacity) / span
+        return retention * (reuse - 1.0) / reuse
+
+    def effective_bandwidth(self, working_set_bytes: float, reuse: float) -> float:
+        """Blended bandwidth (bytes/s) given the cache hit fraction."""
+        hit = self.hit_fraction(working_set_bytes, reuse)
+        dram = self.platform.bandwidth_bytes_per_s
+        cache = dram * self.platform.cache_bandwidth_multiplier
+        # Time-weighted harmonic blend of cache and DRAM service rates.
+        miss = 1.0 - hit
+        return 1.0 / (miss / dram + hit / cache)
+
+
+__all__ = ["CacheModel"]

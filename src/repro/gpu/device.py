@@ -1,0 +1,90 @@
+"""A simulated GPU device: executes kernel lists and reports timings.
+
+``GPUDevice`` combines the roofline kernel cost model, the L2 cache model
+and the stream scheduler into a single entry point used by the
+:mod:`repro.perf` execution plans.  It also tracks device-memory
+allocations against the platform's DRAM capacity so key-switching-key
+residency questions (Figure 8's discussion) can be answered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.memory import MemoryPool
+from repro.gpu.kernel import Kernel, KernelCostModel, KernelTiming
+from repro.gpu.platforms import ComputePlatform
+from repro.gpu.stream import ScheduleResult, StreamScheduler
+
+
+@dataclass
+class ExecutionResult:
+    """Timing summary of one operation executed on the device."""
+
+    platform: str
+    total_time: float
+    execution_time: float
+    launch_time: float
+    kernel_count: int
+    bytes_moved: float
+    int_ops: float
+    compute_bound_kernels: int
+    memory_bound_kernels: int
+
+    @property
+    def total_time_us(self) -> float:
+        """Total time in microseconds."""
+        return self.total_time * 1e6
+
+    @property
+    def total_time_ms(self) -> float:
+        """Total time in milliseconds."""
+        return self.total_time * 1e3
+
+
+class GPUDevice:
+    """Executes kernel sequences under the platform's execution model."""
+
+    def __init__(
+        self,
+        platform: ComputePlatform,
+        *,
+        streams: int = 4,
+        compute_efficiency: float = 0.5,
+        bandwidth_efficiency: float = 0.85,
+    ) -> None:
+        self.platform = platform
+        self.cost_model = KernelCostModel(
+            platform,
+            compute_efficiency=compute_efficiency,
+            bandwidth_efficiency=bandwidth_efficiency,
+        )
+        self.scheduler = StreamScheduler(platform, streams=streams)
+        self.memory = MemoryPool(capacity_bytes=platform.dram_gb * (1 << 30))
+
+    def execute(self, kernels: list[Kernel]) -> ExecutionResult:
+        """Execute a kernel list and return the timing summary."""
+        timings: list[KernelTiming] = self.cost_model.time_kernels(kernels)
+        schedule: ScheduleResult = self.scheduler.schedule(timings)
+        return ExecutionResult(
+            platform=self.platform.name,
+            total_time=schedule.makespan,
+            execution_time=schedule.execution_time,
+            launch_time=schedule.launch_time,
+            kernel_count=schedule.kernel_count,
+            bytes_moved=sum(k.bytes_moved for k in kernels),
+            int_ops=sum(k.int_ops for k in kernels),
+            compute_bound_kernels=sum(1 for t in timings if t.bound == "compute"),
+            memory_bound_kernels=sum(1 for t in timings if t.bound == "memory"),
+        )
+
+    def allocate(self, nbytes: int, tag: str = "") -> int:
+        """Allocate device memory (raises when DRAM capacity is exceeded)."""
+        return self.memory.allocate(nbytes, tag=tag)
+
+    def free(self, handle: int) -> None:
+        """Free a device allocation."""
+        self.memory.free(handle)
+
+
+__all__ = ["GPUDevice", "ExecutionResult"]

@@ -1,0 +1,110 @@
+"""Kernel descriptors and the per-kernel cost model.
+
+Every CKKS operation is decomposed by :mod:`repro.perf.costmodel` into a
+sequence of :class:`Kernel` descriptors -- the same granularity at which
+FIDESlib launches CUDA kernels.  A kernel is characterised by how many
+bytes it reads and writes, how many integer operations it performs, the
+working set it keeps hot, and which CUDA stream it is issued to.
+
+The roofline-style cost model charges
+``max(compute_time, memory_time)`` per kernel, where memory time uses the
+cache-aware effective bandwidth of :class:`repro.gpu.cache.CacheModel`.
+Kernel-launch overhead is accounted by the stream scheduler, not here,
+because limb batching and multi-stream execution amortise it (§III-F.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.cache import CacheModel
+from repro.gpu.platforms import ComputePlatform
+
+
+@dataclass
+class Kernel:
+    """One device kernel launch (or ``launches`` identical launches).
+
+    Repeated identical launches are represented by a single descriptor with
+    ``launches > 1`` and aggregated byte/op volumes; the roofline time of
+    the aggregate equals the sum of the individual times, while the
+    working-set size (which determines cache behaviour) stays that of a
+    single launch.
+    """
+
+    name: str
+    bytes_read: float
+    bytes_written: float
+    int_ops: float
+    working_set_bytes: float = 0.0
+    reuse: float = 1.0
+    stream: int = 0
+    fused: int = 1  # number of logical operations fused into this launch
+    launches: float = 1.0
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total bytes transferred by the kernel."""
+        return self.bytes_read + self.bytes_written
+
+    def scaled(self, factor: float) -> "Kernel":
+        """Return a copy representing ``factor`` times as many launches."""
+        return Kernel(
+            name=self.name,
+            bytes_read=self.bytes_read * factor,
+            bytes_written=self.bytes_written * factor,
+            int_ops=self.int_ops * factor,
+            working_set_bytes=self.working_set_bytes,
+            reuse=self.reuse,
+            stream=self.stream,
+            fused=self.fused,
+            launches=self.launches * factor,
+        )
+
+
+@dataclass
+class KernelTiming:
+    """Timing breakdown of a single kernel."""
+
+    kernel: Kernel
+    compute_time: float
+    memory_time: float
+
+    @property
+    def execution_time(self) -> float:
+        """Roofline execution time (excluding launch overhead)."""
+        return max(self.compute_time, self.memory_time)
+
+    @property
+    def bound(self) -> str:
+        """Whether the kernel is compute- or memory-bound."""
+        return "compute" if self.compute_time >= self.memory_time else "memory"
+
+
+@dataclass
+class KernelCostModel:
+    """Roofline cost model for a compute platform."""
+
+    platform: ComputePlatform
+    compute_efficiency: float = 0.5
+    bandwidth_efficiency: float = 0.85
+    cache: CacheModel = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.cache is None:
+            self.cache = CacheModel(self.platform)
+
+    def time_kernel(self, kernel: Kernel) -> KernelTiming:
+        """Return the roofline timing of one kernel."""
+        compute = kernel.int_ops / (self.platform.int_ops_per_s * self.compute_efficiency)
+        working_set = kernel.working_set_bytes or kernel.bytes_moved
+        bandwidth = self.cache.effective_bandwidth(working_set, kernel.reuse)
+        memory = kernel.bytes_moved / (bandwidth * self.bandwidth_efficiency)
+        return KernelTiming(kernel=kernel, compute_time=compute, memory_time=memory)
+
+    def time_kernels(self, kernels: list[Kernel]) -> list[KernelTiming]:
+        """Time a list of kernels individually."""
+        return [self.time_kernel(k) for k in kernels]
+
+
+__all__ = ["Kernel", "KernelTiming", "KernelCostModel"]

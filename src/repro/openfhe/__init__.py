@@ -1,0 +1,36 @@
+"""Client-side reference library and adapter layer (paper §III-B).
+
+In the paper, client-side operations (key generation, encoding,
+encryption, decryption, serialization) run inside OpenFHE on the CPU and
+the FIDESlib server communicates with it through a thin adapter layer that
+exchanges simplified raw data structures.  This subpackage reproduces that
+architecture:
+
+* :mod:`repro.openfhe.client` -- ``OpenFHEClient``: the trusted client
+  that owns the secret key and performs every client-side operation.
+* :mod:`repro.openfhe.adapter` -- the adapter layer: raw exchange objects
+  and the conversions between client objects and the server-side
+  (:mod:`repro.ckks`) classes, including the noise metadata round trip.
+* :mod:`repro.openfhe.serialization` -- byte-level serialization of the
+  raw exchange objects.
+"""
+
+from repro.openfhe.client import OpenFHEClient
+from repro.openfhe.adapter import (
+    RawCiphertext,
+    RawPlaintext,
+    export_ciphertext,
+    import_ciphertext,
+    export_plaintext,
+    import_plaintext,
+)
+
+__all__ = [
+    "OpenFHEClient",
+    "RawCiphertext",
+    "RawPlaintext",
+    "export_ciphertext",
+    "import_ciphertext",
+    "export_plaintext",
+    "import_plaintext",
+]

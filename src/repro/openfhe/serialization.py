@@ -1,0 +1,108 @@
+"""Serialization of adapter exchange objects.
+
+OpenFHE handles serialization on the client side (Figure 1); the adapter
+structures defined in :mod:`repro.openfhe.adapter` are the objects that
+actually travel between client and server, so they are what gets
+serialized here.  The format is a compact JSON envelope with hexadecimal
+residue payloads -- simple, portable, and byte-for-byte reproducible,
+which is what the round-trip unit tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.openfhe.adapter import RawCiphertext, RawPlaintext, RawPolynomial
+
+_FORMAT_VERSION = 1
+
+
+def _encode_polynomial(poly: RawPolynomial) -> dict:
+    return {
+        "moduli": [str(q) for q in poly.moduli],
+        "fmt": poly.fmt,
+        "limbs": [
+            "".join(f"{int(x):016x}" for x in limb) for limb in poly.limbs
+        ],
+    }
+
+
+def _decode_polynomial(payload: dict) -> RawPolynomial:
+    moduli = [int(q) for q in payload["moduli"]]
+    limbs = []
+    for blob in payload["limbs"]:
+        values = [int(blob[i : i + 16], 16) for i in range(0, len(blob), 16)]
+        limbs.append(np.array(values, dtype=object))
+    return RawPolynomial(moduli=moduli, limbs=limbs, fmt=payload["fmt"])
+
+
+def serialize_ciphertext(raw: RawCiphertext) -> bytes:
+    """Serialize a raw ciphertext into bytes."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "type": "ciphertext",
+        "scale": raw.scale,
+        "slots": raw.slots,
+        "noise_bits": raw.noise_bits,
+        "encoded_length": raw.encoded_length,
+        "parameter_tag": raw.parameter_tag,
+        "c0": _encode_polynomial(raw.c0),
+        "c1": _encode_polynomial(raw.c1),
+    }
+    return json.dumps(payload).encode("utf-8")
+
+
+def deserialize_ciphertext(blob: bytes) -> RawCiphertext:
+    """Deserialize bytes produced by :func:`serialize_ciphertext`."""
+    payload = json.loads(blob.decode("utf-8"))
+    if payload.get("type") != "ciphertext":
+        raise ValueError("blob does not contain a ciphertext")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported serialization version {payload.get('version')}")
+    return RawCiphertext(
+        c0=_decode_polynomial(payload["c0"]),
+        c1=_decode_polynomial(payload["c1"]),
+        scale=float(payload["scale"]),
+        slots=int(payload["slots"]),
+        noise_bits=float(payload["noise_bits"]),
+        encoded_length=payload["encoded_length"],
+        parameter_tag=payload.get("parameter_tag", ""),
+    )
+
+
+def serialize_plaintext(raw: RawPlaintext) -> bytes:
+    """Serialize a raw plaintext into bytes."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "type": "plaintext",
+        "scale": raw.scale,
+        "slots": raw.slots,
+        "encoded_length": raw.encoded_length,
+        "parameter_tag": raw.parameter_tag,
+        "poly": _encode_polynomial(raw.poly),
+    }
+    return json.dumps(payload).encode("utf-8")
+
+
+def deserialize_plaintext(blob: bytes) -> RawPlaintext:
+    """Deserialize bytes produced by :func:`serialize_plaintext`."""
+    payload = json.loads(blob.decode("utf-8"))
+    if payload.get("type") != "plaintext":
+        raise ValueError("blob does not contain a plaintext")
+    return RawPlaintext(
+        poly=_decode_polynomial(payload["poly"]),
+        scale=float(payload["scale"]),
+        slots=int(payload["slots"]),
+        encoded_length=payload["encoded_length"],
+        parameter_tag=payload.get("parameter_tag", ""),
+    )
+
+
+__all__ = [
+    "serialize_ciphertext",
+    "deserialize_ciphertext",
+    "serialize_plaintext",
+    "deserialize_plaintext",
+]

@@ -1,0 +1,427 @@
+"""Decomposition of CKKS operations into kernel-level work.
+
+This module is the bridge between the CKKS algorithms (what work has to
+happen, derived from the same formulas the functional implementation in
+:mod:`repro.ckks` executes) and the GPU/CPU execution models (how long
+that work takes).  Every public method returns an :class:`OperationCost`:
+the list of kernels a GPU backend would launch, from which byte and
+operation totals for the CPU baselines are also derived.
+
+Backend-specific behaviour is expressed through constructor knobs:
+
+* ``limb_batch`` -- how many limbs each element-wise/NTT kernel processes
+  (FIDESlib's limb batching, §III-F.1).  ``None`` means "all limbs in a
+  single kernel", which is the Phantom/OpenFHE behaviour.
+* ``fusion`` -- whether the Rescale/ModDown/HMult/dot-product fusions of
+  §III-F.5 are applied (they remove intermediate reads and writes).
+* ``ntt_compute_factor`` -- relative arithmetic cost of the NTT butterfly
+  (used to model Phantom's radix-8 formulation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.ckks.params import CKKSParameters
+from repro.gpu.kernel import Kernel
+from repro.perf.calibration import ARITHMETIC, ArithmeticCosts
+
+ELEMENT_BYTES = 8
+
+
+@dataclass
+class OperationCost:
+    """Kernel-level description of one CKKS operation."""
+
+    name: str
+    kernels: list[Kernel] = field(default_factory=list)
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total bytes read plus written."""
+        return sum(k.bytes_moved for k in self.kernels)
+
+    @property
+    def int_ops(self) -> float:
+        """Total integer operations."""
+        return sum(k.int_ops for k in self.kernels)
+
+    @property
+    def kernel_count(self) -> int:
+        """Number of kernel launches."""
+        return int(round(sum(k.launches for k in self.kernels)))
+
+    def extend(self, other: "OperationCost") -> None:
+        """Append another operation's kernels (used to compose workloads)."""
+        self.kernels.extend(other.kernels)
+
+    def scaled(self, repetitions: float) -> "OperationCost":
+        """Return this cost repeated ``repetitions`` times."""
+        repeated = OperationCost(name=f"{self.name} x{repetitions:g}")
+        repeated.kernels = [k.scaled(repetitions) for k in self.kernels]
+        return repeated
+
+
+class CKKSOperationCosts:
+    """Builds :class:`OperationCost` objects for every CKKS primitive."""
+
+    def __init__(
+        self,
+        params: CKKSParameters,
+        *,
+        limb_batch: int | None = None,
+        fusion: bool = True,
+        ntt_compute_factor: float = 1.0,
+        fusion_penalty: float = 1.0,
+        ntt_twiddle_traffic: bool = False,
+        working_set_factor: float = 8.0,
+        arithmetic: ArithmeticCosts = ARITHMETIC,
+    ) -> None:
+        self.params = params
+        self.n = params.ring_degree
+        self.limb_batch = limb_batch
+        self.fusion = fusion
+        self.ntt_compute_factor = ntt_compute_factor
+        self.fusion_penalty = fusion_penalty
+        #: When True the NTT kernels stream the full twiddle-factor vectors
+        #: from memory instead of computing them "on the fly" (§III-F.4);
+        #: used to model the Phantom baseline.
+        self.ntt_twiddle_traffic = ntt_twiddle_traffic
+        #: How many limb-batches of intermediate buffers the in-flight
+        #: streams keep resident; determines whether consecutive kernels
+        #: find their data in the L2 cache (the limb-batching trade-off of
+        #: §III-F.1 and Figure 7).
+        self.working_set_factor = working_set_factor
+        self.arith = arithmetic
+
+    # ------------------------------------------------------------------
+    # kernel builders
+    # ------------------------------------------------------------------
+
+    def _limb_bytes(self) -> float:
+        return self.n * ELEMENT_BYTES
+
+    def _batches(self, limbs: int) -> list[int]:
+        """Split ``limbs`` into per-kernel batches according to limb batching."""
+        if limbs <= 0:
+            return []
+        if self.limb_batch is None or self.limb_batch >= limbs:
+            return [limbs]
+        full, rest = divmod(limbs, self.limb_batch)
+        batches = [self.limb_batch] * full
+        if rest:
+            batches.append(rest)
+        return batches
+
+    def elementwise_kernels(
+        self,
+        tag: str,
+        limbs: int,
+        *,
+        polys_read: float,
+        polys_written: float,
+        ops_per_element: float,
+        reuse: float = 1.0,
+    ) -> list[Kernel]:
+        """Element-wise kernels over ``limbs`` limbs (split per limb batch)."""
+        kernels = []
+        for index, batch in enumerate(self._batches(limbs)):
+            elements = batch * self.n
+            kernels.append(
+                Kernel(
+                    name=f"{tag}[{batch}]",
+                    bytes_read=polys_read * elements * ELEMENT_BYTES,
+                    bytes_written=polys_written * elements * ELEMENT_BYTES,
+                    int_ops=ops_per_element * elements,
+                    working_set_bytes=self._working_set(batch, polys_read + polys_written),
+                    reuse=max(reuse, 1.5),
+                    stream=index,
+                )
+            )
+        return kernels
+
+    def _working_set(self, batch_limbs: int, polys: float = 2.0) -> float:
+        """Bytes of data the in-flight kernels keep hot in the L2 cache."""
+        return self.working_set_factor * max(1.0, min(polys / 2.0, 2.0)) * batch_limbs * self._limb_bytes()
+
+    def ntt_kernels(
+        self,
+        limbs: int,
+        *,
+        tag: str = "ntt",
+        fused_elementwise_polys: float = 0.0,
+        fused_ops_per_element: float = 0.0,
+    ) -> list[Kernel]:
+        """Hierarchical NTT kernels (4 memory accesses per element, Fig. 3).
+
+        When fusion is enabled, fused element-wise pre/post processing adds
+        arithmetic but no additional memory traffic; with fusion disabled
+        the same processing is charged as separate element-wise kernels.
+        """
+        kernels = []
+        butterflies_per_limb = (self.n / 2) * math.log2(self.n)
+        for index, batch in enumerate(self._batches(limbs)):
+            elements = batch * self.n
+            int_ops = (
+                batch * butterflies_per_limb * self.arith.butterfly_ops * self.ntt_compute_factor
+            )
+            extra_bytes = 0.0
+            if self.ntt_twiddle_traffic:
+                # Streaming the precomputed twiddle vectors from memory
+                # instead of recomputing them on the fly (§III-F.4).
+                extra_bytes += elements * ELEMENT_BYTES
+            if self.fusion:
+                int_ops += fused_ops_per_element * elements
+            elif fused_elementwise_polys:
+                extra_bytes += (
+                    fused_elementwise_polys * elements * ELEMENT_BYTES * self.fusion_penalty
+                )
+            kernels.append(
+                Kernel(
+                    name=f"{tag}[{batch}]",
+                    bytes_read=2.0 * elements * ELEMENT_BYTES + extra_bytes,
+                    bytes_written=2.0 * elements * ELEMENT_BYTES,
+                    int_ops=int_ops,
+                    working_set_bytes=self._working_set(batch),
+                    reuse=2.0,
+                    stream=index,
+                )
+            )
+        return kernels
+
+    def base_conversion_kernels(
+        self, source_limbs: int, target_limbs: int, *, tag: str = "baseconv"
+    ) -> list[Kernel]:
+        """Fast base conversion (Equation 1): the compute-bound kernel of §III-F.3."""
+        if source_limbs <= 0 or target_limbs <= 0:
+            return []
+        elements = self.n
+        return [
+            Kernel(
+                name=f"{tag}[{source_limbs}->{target_limbs}]",
+                bytes_read=source_limbs * elements * ELEMENT_BYTES,
+                bytes_written=target_limbs * elements * ELEMENT_BYTES,
+                int_ops=source_limbs * target_limbs * elements * self.arith.baseconv_mac_ops,
+                working_set_bytes=(source_limbs + target_limbs) * self._limb_bytes(),
+                reuse=float(max(2, target_limbs)),
+            )
+        ]
+
+    def automorphism_kernels(self, limbs: int, polys: int = 2, *, tag: str = "automorph") -> list[Kernel]:
+        """Coefficient permutation kernels for HRotate/HConjugate."""
+        return self.elementwise_kernels(
+            tag, limbs, polys_read=float(polys), polys_written=float(polys),
+            ops_per_element=polys * 2.0,
+        )
+
+    # ------------------------------------------------------------------
+    # primitive operations (Table I / Table V)
+    # ------------------------------------------------------------------
+
+    def hadd(self, limbs: int) -> OperationCost:
+        """HAdd: element-wise addition of two ciphertexts."""
+        cost = OperationCost("HAdd")
+        cost.kernels = self.elementwise_kernels(
+            "hadd", limbs, polys_read=4.0, polys_written=2.0,
+            ops_per_element=2.0 * self.arith.modadd_ops,
+        )
+        return cost
+
+    def ptadd(self, limbs: int) -> OperationCost:
+        """PtAdd: addition of a plaintext into a ciphertext (in place)."""
+        cost = OperationCost("PtAdd")
+        cost.kernels = self.elementwise_kernels(
+            "ptadd", limbs, polys_read=2.0, polys_written=1.0,
+            ops_per_element=self.arith.modadd_ops,
+        )
+        return cost
+
+    def scalar_add(self, limbs: int) -> OperationCost:
+        """ScalarAdd: addition of a broadcast constant (c0 only)."""
+        cost = OperationCost("ScalarAdd")
+        cost.kernels = self.elementwise_kernels(
+            "scalaradd", limbs, polys_read=1.0, polys_written=1.0,
+            ops_per_element=self.arith.modadd_ops,
+        )
+        return cost
+
+    def ptmult(self, limbs: int) -> OperationCost:
+        """PtMult: plaintext-ciphertext multiplication."""
+        cost = OperationCost("PtMult")
+        cost.kernels = self.elementwise_kernels(
+            "ptmult", limbs, polys_read=3.0, polys_written=2.0,
+            ops_per_element=2.0 * self.arith.modmul_ops,
+        )
+        return cost
+
+    def scalar_mult(self, limbs: int) -> OperationCost:
+        """ScalarMult: multiplication by a broadcast constant.
+
+        Includes the per-limb constant preparation pass that makes the
+        routine more expensive than PtMult's element-wise product alone in
+        the paper's measurements.
+        """
+        cost = OperationCost("ScalarMult")
+        cost.kernels = self.elementwise_kernels(
+            "scalarmult", limbs, polys_read=2.0, polys_written=2.0,
+            ops_per_element=2.0 * self.arith.modmul_ops + self.arith.modadd_ops,
+        )
+        cost.kernels += self.elementwise_kernels(
+            "scalar-encode", limbs, polys_read=1.0, polys_written=1.0,
+            ops_per_element=self.arith.modmul_ops,
+        )
+        return cost
+
+    def rescale(self, limbs: int) -> OperationCost:
+        """Rescale: divide by the last prime and drop its limb.
+
+        Per polynomial: one iNTT of the dropped limb plus an NTT of the
+        switched limb fused with the subtract/scale step on every remaining
+        limb (the "Rescale fusion").
+        """
+        cost = OperationCost("Rescale")
+        remaining = max(1, limbs - 1)
+        for _ in range(2):  # both ciphertext components
+            cost.kernels += self.ntt_kernels(1, tag="rescale-intt")
+            cost.kernels += self.ntt_kernels(
+                remaining,
+                tag="rescale-ntt",
+                fused_elementwise_polys=2.0,
+                fused_ops_per_element=self.arith.modmul_ops + self.arith.modadd_ops,
+            )
+        return cost
+
+    def key_switch(self, limbs: int, *, input_in_coeff: bool = False) -> OperationCost:
+        """Hybrid key switching of one polynomial at ``limbs`` active limbs."""
+        params = self.params
+        alpha = params.digit_size
+        special = params.special_limb_count
+        digits = math.ceil(limbs / alpha)
+        extended = limbs + special
+        cost = OperationCost("KeySwitch")
+        # iNTT of the input polynomial (fused into the tensor step for HMult).
+        if not input_in_coeff:
+            cost.kernels += self.ntt_kernels(limbs, tag="ks-intt",
+                                             fused_elementwise_polys=1.0,
+                                             fused_ops_per_element=self.arith.modmul_ops)
+        for digit in range(digits):
+            digit_limbs = min(alpha, limbs - digit * alpha)
+            target = extended - digit_limbs
+            cost.kernels += self.base_conversion_kernels(digit_limbs, target, tag="modup")
+            cost.kernels += self.ntt_kernels(target, tag="modup-ntt",
+                                             fused_elementwise_polys=2.0,
+                                             fused_ops_per_element=self.arith.modmul_ops)
+        # Key inner product (dot-product fusion saves intermediate writes).
+        writes = 2.0 if self.fusion else 2.0 * digits * self.fusion_penalty
+        cost.kernels += self.elementwise_kernels(
+            "ks-inner-product", extended,
+            polys_read=3.0 * digits,
+            polys_written=writes,
+            ops_per_element=digits * 2.0 * (self.arith.modmul_ops + self.arith.modadd_ops),
+        )
+        # ModDown of both accumulated components.
+        for _ in range(2):
+            cost.kernels += self.ntt_kernels(special, tag="moddown-intt")
+            cost.kernels += self.base_conversion_kernels(special, limbs, tag="moddown-conv")
+            cost.kernels += self.ntt_kernels(
+                limbs, tag="moddown-ntt",
+                fused_elementwise_polys=2.0,
+                fused_ops_per_element=self.arith.modmul_ops + self.arith.modadd_ops,
+            )
+        return cost
+
+    def hmult(self, limbs: int, *, include_rescale: bool = False) -> OperationCost:
+        """HMult: tensor product, relinearisation key switch and final add."""
+        cost = OperationCost("HMult")
+        cost.kernels += self.elementwise_kernels(
+            "tensor", limbs, polys_read=4.0, polys_written=3.0,
+            ops_per_element=4.0 * self.arith.modmul_ops + 2.0 * self.arith.modadd_ops,
+        )
+        cost.extend(self.key_switch(limbs))
+        cost.kernels += self.elementwise_kernels(
+            "relin-add", limbs, polys_read=4.0, polys_written=2.0,
+            ops_per_element=2.0 * self.arith.modadd_ops,
+        )
+        if include_rescale:
+            cost.extend(self.rescale(limbs))
+        return cost
+
+    def hsquare(self, limbs: int) -> OperationCost:
+        """HSquare: cheaper tensor step (3 products instead of 4)."""
+        cost = OperationCost("HSquare")
+        cost.kernels += self.elementwise_kernels(
+            "square-tensor", limbs, polys_read=2.0, polys_written=3.0,
+            ops_per_element=3.0 * self.arith.modmul_ops + self.arith.modadd_ops,
+        )
+        cost.extend(self.key_switch(limbs))
+        cost.kernels += self.elementwise_kernels(
+            "relin-add", limbs, polys_read=4.0, polys_written=2.0,
+            ops_per_element=2.0 * self.arith.modadd_ops,
+        )
+        return cost
+
+    def hrotate(self, limbs: int) -> OperationCost:
+        """HRotate / HConjugate: automorphism plus key switching."""
+        cost = OperationCost("HRotate")
+        cost.kernels += self.automorphism_kernels(limbs, polys=2)
+        cost.extend(self.key_switch(limbs))
+        cost.kernels += self.elementwise_kernels(
+            "rotate-add", limbs, polys_read=2.0, polys_written=1.0,
+            ops_per_element=self.arith.modadd_ops,
+        )
+        return cost
+
+    def hoisted_rotations(self, limbs: int, rotation_count: int) -> OperationCost:
+        """HoistedRotate: one decomposition shared by many rotations (§III-F.6)."""
+        params = self.params
+        alpha = params.digit_size
+        special = params.special_limb_count
+        digits = math.ceil(limbs / alpha)
+        extended = limbs + special
+        cost = OperationCost(f"HoistedRotate x{rotation_count}")
+        # Shared decompose + ModUp.
+        cost.kernels += self.ntt_kernels(limbs, tag="hoist-intt")
+        for digit in range(digits):
+            digit_limbs = min(alpha, limbs - digit * alpha)
+            target = extended - digit_limbs
+            cost.kernels += self.base_conversion_kernels(digit_limbs, target, tag="hoist-modup")
+            cost.kernels += self.ntt_kernels(target, tag="hoist-modup-ntt")
+        # Per-rotation work: automorphism of extended digits, key product, ModDown.
+        for _ in range(rotation_count):
+            cost.kernels += self.automorphism_kernels(extended * digits, polys=1,
+                                                      tag="hoist-automorph")
+            cost.kernels += self.elementwise_kernels(
+                "hoist-inner-product", extended,
+                polys_read=3.0 * digits, polys_written=2.0,
+                ops_per_element=digits * 2.0 * (self.arith.modmul_ops + self.arith.modadd_ops),
+            )
+            for _ in range(2):
+                cost.kernels += self.ntt_kernels(special, tag="hoist-moddown-intt")
+                cost.kernels += self.base_conversion_kernels(special, limbs, tag="hoist-moddown")
+                cost.kernels += self.ntt_kernels(limbs, tag="hoist-moddown-ntt",
+                                                 fused_elementwise_polys=2.0,
+                                                 fused_ops_per_element=self.arith.modmul_ops)
+            cost.kernels += self.automorphism_kernels(limbs, polys=1, tag="hoist-c0")
+            cost.kernels += self.elementwise_kernels(
+                "hoist-add", limbs, polys_read=2.0, polys_written=1.0,
+                ops_per_element=self.arith.modadd_ops,
+            )
+        return cost
+
+    def ptmult_rescale(self, limbs: int) -> OperationCost:
+        """The PtMult + Rescale sequence of Figure 5."""
+        cost = OperationCost("PtMult+Rescale")
+        cost.extend(self.ptmult(limbs))
+        cost.extend(self.rescale(limbs))
+        return cost
+
+    def ntt_microbenchmark(self, limbs: int, *, inverse: bool = False) -> OperationCost:
+        """A standalone batch of (i)NTTs over ``limbs`` limbs (Figure 4)."""
+        tag = "intt" if inverse else "ntt"
+        cost = OperationCost(tag.upper())
+        cost.kernels = self.ntt_kernels(limbs, tag=tag)
+        return cost
+
+
+__all__ = ["OperationCost", "CKKSOperationCosts", "ELEMENT_BYTES"]

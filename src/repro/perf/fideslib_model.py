@@ -1,0 +1,129 @@
+"""FIDESlib execution plan on the GPU model.
+
+Maps CKKS operations to kernel sequences with every optimisation the paper
+describes enabled: kernel fusion (§III-F.5), limb batching with
+multi-stream execution (§III-F.1), the radix-2 hierarchical NTT
+(§III-F.4) and hoisted rotations (§III-F.6).  The limb batch is a tunable
+parameter exactly as in the library; :meth:`best_limb_batch` sweeps it the
+way Figure 7 does and returns the fastest configuration for the platform.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ckks.params import CKKSParameters
+from repro.gpu.device import ExecutionResult, GPUDevice
+from repro.gpu.platforms import ComputePlatform
+from repro.perf.calibration import GPU_CALIBRATION
+from repro.perf.costmodel import CKKSOperationCosts, OperationCost
+
+
+class FIDESlibModel:
+    """Performance model of FIDESlib on a given GPU platform."""
+
+    #: Operations exposed by the library (Figure 1 API functionality).
+    SUPPORTED_OPERATIONS = (
+        "ScalarAdd", "PtAdd", "HAdd", "ScalarMult", "PtMult", "HMult",
+        "HSquare", "Rescale", "HRotate", "HConjugate", "HoistedRotate",
+        "NTT", "iNTT", "PtMultRescale", "KeySwitch", "Bootstrap",
+    )
+
+    def __init__(
+        self,
+        platform: ComputePlatform,
+        params: CKKSParameters,
+        *,
+        limb_batch: int | None = None,
+        streams: int | None = None,
+    ) -> None:
+        self.platform = platform
+        self.params = params
+        self.limb_batch = limb_batch if limb_batch is not None else params.limb_batch
+        self.device = GPUDevice(
+            platform,
+            streams=streams if streams is not None else GPU_CALIBRATION.fideslib_streams,
+            compute_efficiency=GPU_CALIBRATION.compute_efficiency,
+            bandwidth_efficiency=GPU_CALIBRATION.bandwidth_efficiency,
+        )
+        self.costs = CKKSOperationCosts(params, limb_batch=self.limb_batch, fusion=True)
+
+    # ------------------------------------------------------------------
+
+    def supports(self, operation: str) -> bool:
+        """True when FIDESlib implements ``operation`` (it implements all)."""
+        return operation in self.SUPPORTED_OPERATIONS
+
+    def operation_cost(self, operation: str, limbs: int | None = None, **kwargs) -> OperationCost:
+        """Return the kernel decomposition of ``operation``."""
+        limbs = self.params.limb_count if limbs is None else limbs
+        builders = {
+            "ScalarAdd": lambda: self.costs.scalar_add(limbs),
+            "PtAdd": lambda: self.costs.ptadd(limbs),
+            "HAdd": lambda: self.costs.hadd(limbs),
+            "ScalarMult": lambda: self.costs.scalar_mult(limbs),
+            "PtMult": lambda: self.costs.ptmult(limbs),
+            "HMult": lambda: self.costs.hmult(limbs),
+            "HSquare": lambda: self.costs.hsquare(limbs),
+            "Rescale": lambda: self.costs.rescale(limbs),
+            "HRotate": lambda: self.costs.hrotate(limbs),
+            "HConjugate": lambda: self.costs.hrotate(limbs),
+            "HoistedRotate": lambda: self.costs.hoisted_rotations(
+                limbs, kwargs.get("rotations", 2)
+            ),
+            "NTT": lambda: self.costs.ntt_microbenchmark(limbs),
+            "iNTT": lambda: self.costs.ntt_microbenchmark(limbs, inverse=True),
+            "PtMultRescale": lambda: self.costs.ptmult_rescale(limbs),
+            "KeySwitch": lambda: self.costs.key_switch(limbs),
+        }
+        if operation not in builders:
+            raise ValueError(f"unknown operation {operation!r}")
+        return builders[operation]()
+
+    def execute(self, cost: OperationCost) -> ExecutionResult:
+        """Run a prepared cost object through the device model."""
+        return self.device.execute(cost.kernels)
+
+    def time_operation(self, operation: str, limbs: int | None = None, **kwargs) -> float:
+        """Return the modelled execution time (seconds) of one operation."""
+        return self.execute(self.operation_cost(operation, limbs, **kwargs)).total_time
+
+    # ------------------------------------------------------------------
+
+    def with_limb_batch(self, limb_batch: int) -> "FIDESlibModel":
+        """Return a copy of this model using a different limb batch."""
+        return FIDESlibModel(
+            self.platform, self.params, limb_batch=limb_batch,
+            streams=self.device.scheduler.streams,
+        )
+
+    def best_limb_batch(self, candidates: tuple[int, ...] = (1, 2, 3, 4, 6, 8, 10, 12),
+                        *, operation: str = "HMult", limbs: int | None = None) -> int:
+        """Sweep the limb-batch parameter (Figure 7) and return the fastest."""
+        best_batch, best_time = None, float("inf")
+        for batch in candidates:
+            model = self.with_limb_batch(batch)
+            elapsed = model.time_operation(operation, limbs)
+            if elapsed < best_time:
+                best_batch, best_time = batch, elapsed
+        return best_batch
+
+
+@lru_cache(maxsize=None)
+def _cached_best_batch(platform_name: str, log_n: int, depth: int, scale: int, dnum: int) -> int:
+    from repro.gpu.platforms import PLATFORMS_BY_NAME
+    from repro.ckks.params import paper_parameter_set
+
+    params = paper_parameter_set(log_n, depth, scale, dnum)
+    model = FIDESlibModel(PLATFORMS_BY_NAME[platform_name], params)
+    return model.best_limb_batch()
+
+
+def best_limb_batch_for(platform: ComputePlatform, params: CKKSParameters) -> int:
+    """Cached Figure 7-style sweep used by the figure benches."""
+    log_n = params.ring_degree.bit_length() - 1
+    return _cached_best_batch(platform.name, log_n, params.mult_depth,
+                              params.scale_bits, params.dnum)
+
+
+__all__ = ["FIDESlibModel", "best_limb_batch_for"]

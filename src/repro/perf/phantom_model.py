@@ -1,0 +1,96 @@
+"""Phantom execution plan on the GPU model (the open-source GPU baseline).
+
+Phantom [15] is the leading open-source GPU CKKS library the paper
+compares against.  Its published design differs from FIDESlib in the ways
+Table VIII and §V spell out, and those differences are what this model
+encodes:
+
+* radix-8 NTT formulation (more arithmetic per butterfly than the radix-2
+  scheme the paper found to minimise compute);
+* no kernel fusion -- element-wise pre/post-processing around NTT kernels
+  is separate traffic;
+* monolithic kernels over all limbs on a single stream -- no limb
+  batching, so large working sets spill the L2 cache and kernel-launch
+  overhead is serialised;
+* missing functionality: no ScalarAdd, ScalarMult, HSquare, hoisted
+  rotations or bootstrapping (reported as ``N/A`` in Table V).
+"""
+
+from __future__ import annotations
+
+from repro.ckks.params import CKKSParameters
+from repro.gpu.device import ExecutionResult, GPUDevice
+from repro.gpu.platforms import ComputePlatform
+from repro.perf.calibration import GPU_CALIBRATION
+from repro.perf.costmodel import CKKSOperationCosts, OperationCost
+
+
+class UnsupportedOperation(NotImplementedError):
+    """Raised when a baseline library does not implement an operation."""
+
+
+class PhantomModel:
+    """Performance model of the Phantom library on a given GPU platform."""
+
+    SUPPORTED_OPERATIONS = (
+        "PtAdd", "HAdd", "PtMult", "HMult", "Rescale", "HRotate",
+        "HConjugate", "NTT", "iNTT", "PtMultRescale", "KeySwitch",
+    )
+    UNSUPPORTED_OPERATIONS = (
+        "ScalarAdd", "ScalarMult", "HSquare", "HoistedRotate", "Bootstrap",
+    )
+
+    def __init__(self, platform: ComputePlatform, params: CKKSParameters) -> None:
+        self.platform = platform
+        self.params = params
+        self.device = GPUDevice(
+            platform,
+            streams=GPU_CALIBRATION.phantom_streams,
+            compute_efficiency=GPU_CALIBRATION.compute_efficiency,
+            bandwidth_efficiency=GPU_CALIBRATION.bandwidth_efficiency,
+        )
+        self.costs = CKKSOperationCosts(
+            params,
+            limb_batch=None,  # monolithic kernels over every limb
+            fusion=False,
+            ntt_compute_factor=GPU_CALIBRATION.phantom_ntt_compute_penalty,
+            fusion_penalty=GPU_CALIBRATION.phantom_fusion_penalty,
+            ntt_twiddle_traffic=True,
+        )
+
+    def supports(self, operation: str) -> bool:
+        """True when Phantom implements ``operation``."""
+        return operation in self.SUPPORTED_OPERATIONS
+
+    def operation_cost(self, operation: str, limbs: int | None = None, **kwargs) -> OperationCost:
+        """Return the kernel decomposition, raising for unsupported ops."""
+        if not self.supports(operation):
+            raise UnsupportedOperation(
+                f"Phantom does not implement {operation} (Table V reports N/A)"
+            )
+        limbs = self.params.limb_count if limbs is None else limbs
+        builders = {
+            "PtAdd": lambda: self.costs.ptadd(limbs),
+            "HAdd": lambda: self.costs.hadd(limbs),
+            "PtMult": lambda: self.costs.ptmult(limbs),
+            "HMult": lambda: self.costs.hmult(limbs),
+            "Rescale": lambda: self.costs.rescale(limbs),
+            "HRotate": lambda: self.costs.hrotate(limbs),
+            "HConjugate": lambda: self.costs.hrotate(limbs),
+            "NTT": lambda: self.costs.ntt_microbenchmark(limbs),
+            "iNTT": lambda: self.costs.ntt_microbenchmark(limbs, inverse=True),
+            "PtMultRescale": lambda: self.costs.ptmult_rescale(limbs),
+            "KeySwitch": lambda: self.costs.key_switch(limbs),
+        }
+        return builders[operation]()
+
+    def execute(self, cost: OperationCost) -> ExecutionResult:
+        """Run a prepared cost object through the device model."""
+        return self.device.execute(cost.kernels)
+
+    def time_operation(self, operation: str, limbs: int | None = None, **kwargs) -> float:
+        """Return the modelled execution time (seconds) of one operation."""
+        return self.execute(self.operation_cost(operation, limbs, **kwargs)).total_time
+
+
+__all__ = ["PhantomModel", "UnsupportedOperation"]

@@ -1,0 +1,75 @@
+"""Shared fixtures: contexts, keys and evaluators at test-sized parameters.
+
+Key generation is comparatively expensive, so the fixtures are
+session-scoped; tests must not mutate the shared objects (all evaluator
+operations return new ciphertexts, so this is the natural usage anyway).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.linear_algebra import EncryptedLinearAlgebra
+from repro.ckks.context import Context
+from repro.ckks.encryption import Decryptor, Encryptor
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import KeyGenerator, KeySet
+from repro.ckks.params import CKKSParameters, PARAMETER_SETS
+
+
+#: Rotation steps made available in the shared key set.
+TEST_ROTATIONS = (1, 2, 3, 4, 8, -1)
+
+
+@pytest.fixture(scope="session")
+def toy_params() -> CKKSParameters:
+    """Small parameter set used by most functional tests."""
+    return PARAMETER_SETS["toy"]
+
+
+@pytest.fixture(scope="session")
+def context(toy_params) -> Context:
+    """Shared CKKS context at the toy parameter set."""
+    return Context(toy_params)
+
+
+@pytest.fixture(scope="session")
+def keys(context) -> KeySet:
+    """Shared key material (secret retained for decryption in tests)."""
+    generator = KeyGenerator(context, seed=12345)
+    rotations = list(TEST_ROTATIONS) + EncryptedLinearAlgebra.rotation_steps_for_sum(8)
+    return generator.generate(sorted(set(rotations)), conjugation=True)
+
+
+@pytest.fixture(scope="session")
+def evaluator(context, keys) -> Evaluator:
+    """Shared evaluator bound to the session keys."""
+    return Evaluator(context, keys)
+
+
+@pytest.fixture(scope="session")
+def encryptor(context, keys) -> Encryptor:
+    """Shared public-key encryptor."""
+    return Encryptor(context, keys.public_key, seed=777)
+
+
+@pytest.fixture(scope="session")
+def decryptor(context, keys) -> Decryptor:
+    """Shared decryptor (plays the client role of the integration tests)."""
+    return Decryptor(context, keys.secret_key)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Deterministic random generator for message sampling."""
+    return np.random.default_rng(20250614)
+
+
+def assert_close(actual, expected, tolerance=5e-4):
+    """Assert CKKS approximate equality with a default tolerance."""
+    actual = np.asarray(actual)
+    expected = np.asarray(expected)
+    assert actual.shape == expected.shape
+    error = float(np.max(np.abs(actual - expected))) if actual.size else 0.0
+    assert error < tolerance, f"max error {error} exceeds tolerance {tolerance}"

@@ -1,0 +1,204 @@
+"""Tests for the application workloads, noise estimation and bench reporting."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dataset import make_loan_dataset
+from repro.apps.linear_algebra import EncryptedLinearAlgebra
+from repro.apps.logistic_regression import (
+    EncryptedLogisticRegression,
+    PlaintextLogisticRegression,
+    sigmoid,
+    sigmoid_poly,
+)
+from repro.apps.stats import EncryptedStatistics
+from repro.bench.reporting import BenchmarkTable, format_seconds, speedup
+from repro.ckks.noise import (
+    estimate_noise_bits,
+    fresh_encryption_noise_bits,
+    key_switch_noise_bits,
+    measured_precision_bits,
+    precision_bits_from_error,
+)
+from repro.ckks.params import PARAMETER_SETS
+from tests.conftest import assert_close
+
+
+class TestDataset:
+    def test_shapes_and_padding(self):
+        data = make_loan_dataset(samples=200, features=25, seed=1)
+        assert data.features.shape == (200, 32)
+        assert data.padded_feature_count == 32 and data.feature_count == 25
+        assert np.all(data.features[:, 25:] == 0)
+
+    def test_labels_binary_and_balanced(self):
+        data = make_loan_dataset(samples=2000, features=10, seed=2)
+        assert set(np.unique(data.labels)) <= {0.0, 1.0}
+        assert 0.2 < np.mean(data.labels) < 0.8
+
+    def test_batches(self):
+        data = make_loan_dataset(samples=64, features=4, seed=3)
+        batches = list(data.batches(16))
+        assert len(batches) == 4
+        assert batches[0][0].shape == (16, 4)
+
+    def test_reproducible(self):
+        a = make_loan_dataset(samples=50, features=5, seed=7)
+        b = make_loan_dataset(samples=50, features=5, seed=7)
+        assert np.array_equal(a.features, b.features)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_loan_dataset(samples=0)
+
+
+class TestPlaintextLogisticRegression:
+    def test_training_improves_accuracy(self):
+        data = make_loan_dataset(samples=4000, features=8, noise=0.1, seed=4)
+        model = PlaintextLogisticRegression(learning_rate=2.0)
+        for features, labels in data.batches(256):
+            model.fit_batch(features, labels)
+        assert model.accuracy(data.features, data.labels) > 0.8
+
+    def test_sigmoid_approximation_close_near_zero(self):
+        xs = np.linspace(-2, 2, 21)
+        assert np.max(np.abs(sigmoid(xs) - sigmoid_poly(xs))) < 0.06
+
+    def test_predict_requires_training(self):
+        with pytest.raises(RuntimeError):
+            PlaintextLogisticRegression().predict(np.zeros((1, 2)))
+
+
+class TestEncryptedLinearAlgebra:
+    def test_sum_slots(self, context, evaluator, encryptor, decryptor, rng):
+        values = rng.uniform(-1, 1, 8)
+        linalg = EncryptedLinearAlgebra(context, evaluator)
+        result = linalg.sum_slots(encryptor.encrypt_values(values), 8)
+        assert_close(decryptor.decrypt_values(result, 1).real, [values.sum()], 2e-3)
+
+    def test_inner_product(self, context, evaluator, encryptor, decryptor, rng):
+        a, b = rng.uniform(-1, 1, 8), rng.uniform(-1, 1, 8)
+        linalg = EncryptedLinearAlgebra(context, evaluator)
+        result = linalg.inner_product(
+            encryptor.encrypt_values(a), encryptor.encrypt_values(b), 8
+        )
+        assert_close(decryptor.decrypt_values(result, 1).real, [float(a @ b)], 5e-3)
+
+    def test_weighted_sum(self, context, evaluator, encryptor, decryptor, rng):
+        vectors = [rng.uniform(-1, 1, 4) for _ in range(3)]
+        weights = [0.5, -1.0, 0.25]
+        linalg = EncryptedLinearAlgebra(context, evaluator)
+        result = linalg.weighted_sum([encryptor.encrypt_values(v) for v in vectors], weights)
+        expected = sum(w * v for w, v in zip(weights, vectors))
+        assert_close(decryptor.decrypt_values(result, 4).real, expected, 2e-3)
+
+    def test_matrix_vector(self, context, evaluator, encryptor, decryptor, rng):
+        matrix = rng.uniform(-0.5, 0.5, (4, 4))
+        vector = rng.uniform(-1, 1, 4)
+        linalg = EncryptedLinearAlgebra(context, evaluator)
+        result = linalg.matrix_vector(matrix, encryptor.encrypt_values(vector))
+        assert_close(decryptor.decrypt_values(result, 4).real, matrix @ vector, 5e-3)
+
+    def test_rotation_steps_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            EncryptedLinearAlgebra.rotation_steps_for_sum(6)
+
+
+class TestEncryptedStatistics:
+    def test_mean_variance(self, context, evaluator, encryptor, decryptor, rng):
+        values = rng.uniform(-1, 1, 8)
+        stats = EncryptedStatistics(context, evaluator)
+        ct = encryptor.encrypt_values(values)
+        mean = decryptor.decrypt_values(stats.mean(ct, 8), 1).real[0]
+        variance = decryptor.decrypt_values(stats.variance(ct, 8), 1).real[0]
+        assert abs(mean - values.mean()) < 2e-3
+        assert abs(variance - values.var()) < 5e-3
+
+    def test_covariance(self, context, evaluator, encryptor, decryptor, rng):
+        a, b = rng.uniform(-1, 1, 8), rng.uniform(-1, 1, 8)
+        stats = EncryptedStatistics(context, evaluator)
+        cov = decryptor.decrypt_values(
+            stats.covariance(encryptor.encrypt_values(a), encryptor.encrypt_values(b), 8), 1
+        ).real[0]
+        assert abs(cov - np.mean(a * b) + a.mean() * b.mean()) < 5e-3
+
+
+class TestEncryptedLogisticRegression:
+    def test_one_encrypted_step_matches_plaintext(self, context, evaluator, encryptor,
+                                                  decryptor, keys):
+        data = make_loan_dataset(samples=8, features=4, noise=0.1, seed=9)
+        features, labels = data.features[:, :4], data.labels
+        plain = PlaintextLogisticRegression(learning_rate=1.0)
+        plain.fit_batch(features, labels)
+
+        encrypted = EncryptedLogisticRegression(
+            context=context, evaluator=evaluator, encryptor=encryptor,
+            feature_count=4, learning_rate=1.0,
+        )
+        columns, label_ct = encrypted.encrypt_batch(features, labels)
+        encrypted.train_batch(columns, label_ct, batch_size=8)
+        weights = encrypted.decrypt_weights(decryptor)
+        assert np.max(np.abs(weights - plain.weights)) < 5e-2
+
+    def test_required_rotations(self):
+        assert EncryptedLogisticRegression.required_rotations(8) == [1, 2, 4]
+
+    def test_encrypt_batch_validates_dimensions(self, context, evaluator, encryptor):
+        model = EncryptedLogisticRegression(
+            context=context, evaluator=evaluator, encryptor=encryptor, feature_count=4
+        )
+        with pytest.raises(ValueError):
+            model.encrypt_batch(np.zeros((8, 5)), np.zeros(8))
+
+
+class TestNoiseEstimation:
+    params = PARAMETER_SETS["toy"]
+
+    def test_fresh_noise_positive(self):
+        assert fresh_encryption_noise_bits(self.params) > 0
+
+    def test_key_switch_noise_finite(self):
+        assert 0 < key_switch_noise_bits(self.params) < 60
+
+    def test_estimate_accumulates(self):
+        short = estimate_noise_bits(self.params, ["encrypt"])
+        long = estimate_noise_bits(self.params, ["encrypt", "hmult", "rescale", "hmult"])
+        assert long > short
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_noise_bits(self.params, ["teleport"])
+
+    def test_precision_bits(self):
+        assert precision_bits_from_error(0.0) == 60.0
+        assert precision_bits_from_error(0.25) == pytest.approx(2.0)
+        assert measured_precision_bits([1.0, 2.0], [1.0, 2.25]) == pytest.approx(2.0)
+
+    def test_measured_precision_validates_shapes(self):
+        with pytest.raises(ValueError):
+            measured_precision_bits([1.0], [1.0, 2.0])
+
+
+class TestBenchReporting:
+    def test_format_seconds_units(self):
+        assert format_seconds(5e-6).endswith("µs")
+        assert format_seconds(5e-3).endswith("ms")
+        assert format_seconds(5.0).endswith("s")
+
+    def test_speedup(self):
+        assert speedup(1.0, 0.5) == 2.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_table_rendering(self):
+        table = BenchmarkTable("Table V", note="toy data")
+        table.add_row(Operation="HMult", FIDESlib="1.08 ms", Speedup=374.6)
+        table.add_row(Operation="HAdd", FIDESlib="50.7 µs")
+        text = table.to_text()
+        markdown = table.to_markdown()
+        csv = table.to_csv()
+        assert "Table V" in text and "HMult" in text
+        assert markdown.count("|") > 6
+        assert csv.splitlines()[0] == "Operation,FIDESlib,Speedup"
+        assert table.columns == ["Operation", "FIDESlib", "Speedup"]
+        assert table.column_values("FIDESlib") == ["1.08 ms", "50.7 µs"]

@@ -1,0 +1,116 @@
+"""End-to-end bootstrapping tests (the paper's headline functionality)."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.bootstrap import BootstrapConfig, Bootstrapper
+from repro.ckks.context import Context
+from repro.ckks.encryption import Decryptor, Encryptor
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import KeyGenerator, KeySet
+from repro.ckks.params import PARAMETER_SETS
+
+
+@pytest.fixture(scope="module")
+def bootstrap_setup():
+    """Context, keys and bootstrapper at the toy-bootstrap parameter set."""
+    params = PARAMETER_SETS["toy-bootstrap"]
+    context = Context(params)
+    generator = KeyGenerator(context, seed=2024)
+    secret = generator.generate_secret()
+    keys = KeySet(
+        public_key=generator.generate_public(secret),
+        relinearization_key=generator.generate_relinearization_key(secret),
+        secret_key=secret,
+    )
+    evaluator = Evaluator(context, keys)
+    bootstrapper = Bootstrapper(context, evaluator)
+    for step in bootstrapper.required_rotations():
+        keys.rotation_keys[step] = generator.generate_rotation_key(secret, step)
+    keys.conjugation_key = generator.generate_conjugation_key(secret)
+    return {
+        "params": params,
+        "context": context,
+        "keys": keys,
+        "evaluator": evaluator,
+        "bootstrapper": bootstrapper,
+        "encryptor": Encryptor(context, keys.public_key, seed=7),
+        "decryptor": Decryptor(context, keys.secret_key),
+    }
+
+
+class TestBootstrapConfig:
+    def test_range_bound(self):
+        assert BootstrapConfig(double_angle_iterations=3).range_bound == 7
+
+    def test_depth_estimate_positive(self, bootstrap_setup):
+        boot = bootstrap_setup["bootstrapper"]
+        assert 0 < boot.depth_required() <= bootstrap_setup["params"].mult_depth
+
+    def test_dense_secret_rejected(self):
+        params = PARAMETER_SETS["toy-bootstrap"].with_overrides(secret_hamming_weight=256)
+        context = Context(params)
+        keys = KeyGenerator(context, seed=1)
+        secret = keys.generate_secret()
+        key_set = KeySet(
+            public_key=keys.generate_public(secret),
+            relinearization_key=keys.generate_relinearization_key(secret),
+            secret_key=secret,
+        )
+        with pytest.raises(ValueError):
+            Bootstrapper(context, Evaluator(context, key_set))
+
+
+class TestModRaise:
+    def test_preserves_message(self, bootstrap_setup):
+        encryptor, decryptor = bootstrap_setup["encryptor"], bootstrap_setup["decryptor"]
+        evaluator, boot = bootstrap_setup["evaluator"], bootstrap_setup["bootstrapper"]
+        message = np.array([0.25, -0.125, 0.0625, -0.03125])
+        ct = evaluator.mod_reduce(encryptor.encrypt_values(message), 1)
+        raised = boot.mod_raise(ct)
+        assert raised.limb_count == len(bootstrap_setup["context"].moduli)
+        # The raised ciphertext decrypts to m + q0*I; modulo-q0 reduction of
+        # its coefficients recovers the message.
+        plain = decryptor.decrypt(raised)
+        q0 = bootstrap_setup["context"].moduli[0]
+        coeffs = np.array(plain.poly.to_int_coefficients(), dtype=np.float64)
+        centred = coeffs - q0 * np.round(coeffs / q0)
+        decoded = bootstrap_setup["context"].encoder.decode(centred, ct.scale, 4)
+        assert np.max(np.abs(decoded.real - message)) < 1e-3
+
+
+class TestFullBootstrap:
+    def test_refreshes_levels_and_preserves_message(self, bootstrap_setup):
+        encryptor, decryptor = bootstrap_setup["encryptor"], bootstrap_setup["decryptor"]
+        evaluator, boot = bootstrap_setup["evaluator"], bootstrap_setup["bootstrapper"]
+        rng = np.random.default_rng(11)
+        message = rng.uniform(-0.4, 0.4, 16)
+        exhausted = evaluator.mod_reduce(encryptor.encrypt_values(message), 1)
+        assert exhausted.level == 0
+        refreshed = boot.bootstrap(exhausted)
+        assert refreshed.level >= 3  # multiplicative budget restored
+        decoded = decryptor.decrypt_values(refreshed, 16).real
+        assert np.max(np.abs(decoded - message)) < 5e-2
+
+    def test_computation_continues_after_bootstrap(self, bootstrap_setup):
+        encryptor, decryptor = bootstrap_setup["encryptor"], bootstrap_setup["decryptor"]
+        evaluator, boot = bootstrap_setup["evaluator"], bootstrap_setup["bootstrapper"]
+        message = np.array([0.3, -0.2, 0.1, 0.25])
+        exhausted = evaluator.mod_reduce(encryptor.encrypt_values(message), 1)
+        refreshed = boot.bootstrap(exhausted)
+        squared = evaluator.square(refreshed)
+        assert squared.level == refreshed.level - 1
+        decoded = decryptor.decrypt_values(squared, 4).real
+        assert np.max(np.abs(decoded - message**2)) < 5e-2
+
+    def test_precision_reported_in_bits(self, bootstrap_setup):
+        from repro.ckks.noise import measured_precision_bits
+
+        encryptor, decryptor = bootstrap_setup["encryptor"], bootstrap_setup["decryptor"]
+        evaluator, boot = bootstrap_setup["evaluator"], bootstrap_setup["bootstrapper"]
+        message = np.array([0.1, -0.3, 0.2, 0.05])
+        refreshed = boot.bootstrap(
+            evaluator.mod_reduce(encryptor.encrypt_values(message), 1)
+        )
+        decoded = decryptor.decrypt_values(refreshed, 4).real
+        assert measured_precision_bits(message, decoded) > 4.0

@@ -1,0 +1,156 @@
+"""Tests for canonical-embedding encoding and RLWE encryption/decryption."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks.encoding import CKKSEncoder, rotation_group
+from repro.ckks.encryption import SymmetricEncryptor, decode, encode
+from repro.ckks.params import CKKSParameters
+from tests.conftest import assert_close
+
+
+class TestEncoder:
+    encoder = CKKSEncoder(ring_degree=256)
+
+    def test_roundtrip_real(self):
+        values = np.linspace(-1, 1, 32)
+        decoded = self.encoder.decode(self.encoder.encode(values, 2**30), 2**30, 32)
+        assert_close(decoded.real, values, 1e-6)
+
+    def test_roundtrip_complex(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=16) + 1j * rng.normal(size=16)
+        decoded = self.encoder.decode(self.encoder.encode(values, 2**30), 2**30, 16)
+        assert_close(decoded, values, 1e-6)
+
+    def test_sparse_replication(self):
+        values = np.array([1.0, -2.0])
+        expanded = self.encoder.expand_message(values)
+        assert len(expanded) == 128
+        assert_close(expanded[:2], values, 1e-12)
+        assert_close(expanded[2:4], values, 1e-12)
+
+    def test_padding_to_power_of_two(self):
+        expanded = self.encoder.expand_message([1.0, 2.0, 3.0])
+        assert expanded[3] == 0.0
+        assert expanded[4] == 1.0
+
+    def test_rejects_oversized_message(self):
+        with pytest.raises(ValueError):
+            self.encoder.encode(np.zeros(200), 2**30)
+
+    def test_rejects_empty_message(self):
+        with pytest.raises(ValueError):
+            self.encoder.encode([], 2**30)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            self.encoder.encode([1.0], 0)
+
+    def test_rotation_group_orbit(self):
+        group = rotation_group(256)
+        assert len(set(group.tolist())) == 128
+        assert all(g % 2 == 1 for g in group)
+
+    def test_encode_diagonal_not_replicated(self):
+        rng = np.random.default_rng(1)
+        diag = rng.normal(size=128) + 1j * rng.normal(size=128)
+        coeffs = self.encoder.encode_diagonal(diag, 2**30)
+        decoded = self.encoder.decode(coeffs, 2**30, 128)
+        assert_close(decoded, diag, 1e-5)
+
+    def test_higher_scale_improves_precision(self):
+        values = np.array([0.1234567, -0.7654321])
+        low = self.encoder.decode(self.encoder.encode(values, 2**12), 2**12, 2)
+        high = self.encoder.decode(self.encoder.encode(values, 2**30), 2**30, 2)
+        assert np.max(np.abs(high.real - values)) < np.max(np.abs(low.real - values))
+
+
+class TestEncodePlaintext:
+    def test_encode_defaults(self, context):
+        pt = encode(context, [0.5, -0.5])
+        assert pt.limb_count == len(context.moduli)
+        assert pt.scale == context.scale
+        assert pt.encoded_length == 2
+
+    def test_encode_limits_limbs(self, context):
+        pt = encode(context, [1.0], limb_count=2)
+        assert pt.limb_count == 2
+
+    def test_decode_matches_input(self, context):
+        values = np.array([0.25, -0.125, 1.0, 0.0])
+        assert_close(decode(context, encode(context, values)).real, values, 1e-6)
+
+
+class TestEncryption:
+    def test_public_key_roundtrip(self, context, encryptor, decryptor, rng):
+        values = rng.uniform(-1, 1, 16)
+        ct = encryptor.encrypt_values(values)
+        assert_close(decryptor.decrypt_values(ct, 16).real, values)
+
+    def test_fresh_ciphertext_metadata(self, context, encryptor):
+        ct = encryptor.encrypt_values([1.0, 2.0])
+        assert ct.limb_count == len(context.moduli)
+        assert ct.level == context.max_level
+        assert ct.slots == context.slots
+        assert ct.encoded_length == 2
+
+    def test_symmetric_encryption_roundtrip(self, context, keys, decryptor, rng):
+        values = rng.uniform(-1, 1, 8)
+        ct = SymmetricEncryptor(context, keys.secret_key, seed=3).encrypt(
+            encode(context, values)
+        )
+        assert_close(decryptor.decrypt_values(ct, 8).real, values)
+
+    def test_complex_messages(self, context, encryptor, decryptor, rng):
+        values = rng.uniform(-0.5, 0.5, 8) + 1j * rng.uniform(-0.5, 0.5, 8)
+        ct = encryptor.encrypt_values(values)
+        assert_close(decryptor.decrypt_values(ct, 8), values)
+
+    def test_symmetric_noise_smaller_than_public(self, context, keys, encryptor, decryptor, rng):
+        values = rng.uniform(-1, 1, 8)
+        sym = SymmetricEncryptor(context, keys.secret_key, seed=4).encrypt(
+            encode(context, values)
+        )
+        pub = encryptor.encrypt_values(values)
+        sym_err = np.max(np.abs(decryptor.decrypt_values(sym, 8).real - values))
+        pub_err = np.max(np.abs(decryptor.decrypt_values(pub, 8).real - values))
+        assert sym_err <= pub_err * 2  # symmetric encryption is at least as clean
+
+    def test_lower_level_encryption(self, context, encryptor, decryptor):
+        ct = encryptor.encrypt_values([0.5], limb_count=3)
+        assert ct.limb_count == 3
+        assert_close(decryptor.decrypt_values(ct, 1).real, [0.5])
+
+
+@given(st.lists(st.floats(min_value=-1, max_value=1, allow_nan=False), min_size=1, max_size=32))
+@settings(max_examples=25, deadline=None)
+def test_encoder_roundtrip_property(values):
+    encoder = CKKSEncoder(ring_degree=128)
+    decoded = encoder.decode(encoder.encode(values, 2**32), 2**32, len(values))
+    assert np.max(np.abs(decoded.real - np.asarray(values))) < 1e-6
+
+
+def test_parameter_validation_errors():
+    with pytest.raises(ValueError):
+        CKKSParameters(ring_degree=100, mult_depth=3, scale_bits=28)
+    with pytest.raises(ValueError):
+        CKKSParameters(ring_degree=1024, mult_depth=0, scale_bits=28)
+    with pytest.raises(ValueError):
+        CKKSParameters(ring_degree=1024, mult_depth=3, scale_bits=70)
+    with pytest.raises(ValueError):
+        CKKSParameters(ring_degree=1024, mult_depth=3, scale_bits=28, dnum=9)
+
+
+def test_parameter_derived_quantities():
+    params = CKKSParameters(ring_degree=1 << 12, mult_depth=8, scale_bits=30, dnum=3)
+    assert params.slots == 1 << 11
+    assert params.limb_count == 9
+    assert params.digit_size == 3
+    assert params.special_limb_count == 3
+    assert params.describe() == "[12, 8, 30, 3]"
+    assert params.key_switching_key_bytes() == 2 * 3 * 12 * (1 << 12) * 8
+    resized = params.with_overrides(mult_depth=5)
+    assert resized.mult_depth == 5 and resized.ring_degree == params.ring_degree

@@ -1,0 +1,168 @@
+"""Tests of the GPU execution-model substrate (platforms, cache, kernels, streams)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks.params import PARAMETER_SETS
+from repro.gpu.cache import CacheModel
+from repro.gpu.device import GPUDevice
+from repro.gpu.kernel import Kernel, KernelCostModel
+from repro.gpu.memory import (
+    ciphertext_bytes,
+    fits_in_shared_cache,
+    hmult_working_set_bytes,
+    key_switching_key_bytes,
+)
+from repro.gpu.platforms import (
+    ALL_GPUS,
+    ALL_PLATFORMS,
+    CPU_RYZEN_9_7900,
+    GPU_RTX_4060TI,
+    GPU_RTX_4090,
+    platform_table,
+)
+from repro.gpu.stream import StreamScheduler
+from repro.core.memory import OutOfDeviceMemory
+
+
+class TestPlatforms:
+    def test_table_iv_has_five_rows(self):
+        assert len(platform_table()) == 5
+
+    def test_gpu_bandwidth_exceeds_cpu(self):
+        assert all(gpu.bandwidth_gbps > CPU_RYZEN_9_7900.bandwidth_gbps for gpu in ALL_GPUS)
+
+    def test_4090_is_fastest(self):
+        assert GPU_RTX_4090.bandwidth_gbps == max(p.bandwidth_gbps for p in ALL_GPUS)
+        assert GPU_RTX_4090.int32_tops == max(p.int32_tops for p in ALL_GPUS)
+
+    def test_table_iv_values(self):
+        assert GPU_RTX_4090.shared_cache_mb == 72
+        assert GPU_RTX_4060TI.shared_cache_mb == 32
+        assert CPU_RYZEN_9_7900.compute_units == 12
+
+    def test_derived_quantities(self):
+        assert GPU_RTX_4090.shared_cache_bytes == 72 * (1 << 20)
+        assert GPU_RTX_4090.is_gpu and not CPU_RYZEN_9_7900.is_gpu
+
+
+class TestCacheModel:
+    def test_no_reuse_means_no_hits(self):
+        cache = CacheModel(GPU_RTX_4090)
+        assert cache.hit_fraction(1 << 20, reuse=1.0) == 0.0
+
+    def test_fitting_working_set_hits(self):
+        cache = CacheModel(GPU_RTX_4090)
+        assert cache.hit_fraction(1 << 20, reuse=2.0) == pytest.approx(0.5)
+
+    def test_oversized_working_set_misses(self):
+        cache = CacheModel(GPU_RTX_4090)
+        huge = GPU_RTX_4090.shared_cache_bytes * 10
+        assert cache.hit_fraction(huge, reuse=4.0) == 0.0
+
+    def test_effective_bandwidth_bounded(self):
+        cache = CacheModel(GPU_RTX_4090)
+        dram = GPU_RTX_4090.bandwidth_bytes_per_s
+        bw = cache.effective_bandwidth(1 << 20, reuse=2.0)
+        assert dram <= bw <= dram * GPU_RTX_4090.cache_bandwidth_multiplier
+
+    def test_monotone_in_working_set(self):
+        cache = CacheModel(GPU_RTX_4060TI)
+        sizes = [1 << 20, 16 << 20, 40 << 20, 200 << 20]
+        bandwidths = [cache.effective_bandwidth(s, 2.0) for s in sizes]
+        assert all(a >= b for a, b in zip(bandwidths, bandwidths[1:]))
+
+
+class TestKernelCostModel:
+    def test_memory_bound_kernel(self):
+        model = KernelCostModel(GPU_RTX_4090, compute_efficiency=1.0, bandwidth_efficiency=1.0)
+        kernel = Kernel("stream", bytes_read=1e9, bytes_written=0, int_ops=1e6)
+        timing = model.time_kernel(kernel)
+        assert timing.bound == "memory"
+        assert timing.execution_time == pytest.approx(1e9 / GPU_RTX_4090.bandwidth_bytes_per_s, rel=0.2)
+
+    def test_compute_bound_kernel(self):
+        model = KernelCostModel(GPU_RTX_4090, compute_efficiency=1.0, bandwidth_efficiency=1.0)
+        kernel = Kernel("crunch", bytes_read=1e3, bytes_written=0, int_ops=1e12)
+        assert model.time_kernel(kernel).bound == "compute"
+
+    def test_kernel_scaling(self):
+        kernel = Kernel("k", bytes_read=100, bytes_written=50, int_ops=10, launches=1)
+        scaled = kernel.scaled(3)
+        assert scaled.bytes_read == 300 and scaled.launches == 3
+        assert scaled.working_set_bytes == kernel.working_set_bytes
+
+    def test_time_scales_linearly_with_volume(self):
+        model = KernelCostModel(GPU_RTX_4090)
+        small = Kernel("k", 1e6, 1e6, 1e6)
+        large = small.scaled(10)
+        assert model.time_kernel(large).execution_time == pytest.approx(
+            10 * model.time_kernel(small).execution_time, rel=1e-6
+        )
+
+
+class TestStreamScheduler:
+    def _timings(self, count, execution=1e-5):
+        model = KernelCostModel(GPU_RTX_4090, bandwidth_efficiency=1.0)
+        kernels = [
+            Kernel(f"k{i}", bytes_read=execution * GPU_RTX_4090.bandwidth_bytes_per_s,
+                   bytes_written=0, int_ops=0)
+            for i in range(count)
+        ]
+        return model.time_kernels(kernels)
+
+    def test_empty_schedule(self):
+        result = StreamScheduler(GPU_RTX_4090, streams=4).schedule([])
+        assert result.makespan == 0.0
+
+    def test_multi_stream_hides_launch_overhead(self):
+        timings = self._timings(64)
+        single = StreamScheduler(GPU_RTX_4090, streams=1).schedule(timings)
+        multi = StreamScheduler(GPU_RTX_4090, streams=8).schedule(timings)
+        assert multi.makespan < single.makespan
+        assert multi.launch_hidden >= 0.0
+
+    def test_launch_bound_detection(self):
+        timings = self._timings(1000, execution=1e-8)
+        result = StreamScheduler(GPU_RTX_4090, streams=8).schedule(timings)
+        assert result.launch_bound
+
+    def test_requires_positive_streams(self):
+        with pytest.raises(ValueError):
+            StreamScheduler(GPU_RTX_4090, streams=0)
+
+
+class TestDevice:
+    def test_execution_result_fields(self):
+        device = GPUDevice(GPU_RTX_4090)
+        kernels = [Kernel("k", 1e6, 1e6, 1e6), Kernel("c", 1e3, 1e3, 1e11)]
+        result = device.execute(kernels)
+        assert result.total_time > 0
+        assert result.kernel_count == 2
+        assert result.bytes_moved == pytest.approx(2e6 + 2e3)
+        assert result.compute_bound_kernels + result.memory_bound_kernels == 2
+        assert result.total_time_us == pytest.approx(result.total_time * 1e6)
+
+    def test_device_memory_capacity(self):
+        device = GPUDevice(GPU_RTX_4060TI)
+        with pytest.raises(OutOfDeviceMemory):
+            device.allocate(20 << 30)
+
+    def test_memory_footprints_match_paper_magnitudes(self):
+        params = PARAMETER_SETS["paper-default"]
+        # §III-F.1: ciphertext + switching key is on the order of 120 MB.
+        total = ciphertext_bytes(params) + key_switching_key_bytes(params)
+        assert 80e6 < total < 260e6
+        assert hmult_working_set_bytes(params) > total
+        assert not fits_in_shared_cache(GPU_RTX_4090, total)
+
+
+@given(bytes_moved=st.floats(min_value=1e3, max_value=1e10),
+       ops=st.floats(min_value=1e3, max_value=1e12))
+@settings(max_examples=50, deadline=None)
+def test_kernel_time_is_positive_and_monotone(bytes_moved, ops):
+    model = KernelCostModel(GPU_RTX_4060TI)
+    base = model.time_kernel(Kernel("k", bytes_moved, 0, ops)).execution_time
+    double = model.time_kernel(Kernel("k", 2 * bytes_moved, 0, 2 * ops)).execution_time
+    assert base > 0 and double >= base

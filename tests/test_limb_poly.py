@@ -1,0 +1,211 @@
+"""Tests for Limb / RNSPoly containers, automorphisms and the memory pool."""
+
+import numpy as np
+import pytest
+
+from repro.core import modmath
+from repro.core.automorphism import (
+    apply_coeff_automorphism,
+    conjugation_exponent,
+    coeff_automorphism_map,
+    rotation_to_exponent,
+)
+from repro.core.limb import Limb, LimbFormat, VectorGPU
+from repro.core.memory import MemoryPool, OutOfDeviceMemory
+from repro.core.primes import generate_ntt_primes
+from repro.core.rns_poly import RNSPoly
+
+N = 64
+PRIMES = generate_ntt_primes(3, 28, N)
+
+
+def random_poly(seed=0, fmt=LimbFormat.COEFFICIENT):
+    rng = np.random.default_rng(seed)
+    coeffs = [int(v) for v in rng.integers(-50, 50, N)]
+    poly = RNSPoly.from_int_coefficients(N, PRIMES, coeffs, fmt=fmt)
+    return poly, coeffs
+
+
+class TestMemoryPool:
+    def test_allocation_accounting(self):
+        pool = MemoryPool()
+        handle = pool.allocate(1000, tag="test")
+        assert pool.bytes_in_use == 1024  # rounded to granularity
+        pool.free(handle)
+        assert pool.bytes_in_use == 0
+        assert pool.allocation_count == 1 and pool.free_count == 1
+
+    def test_peak_tracking(self):
+        pool = MemoryPool()
+        handles = [pool.allocate(4096) for _ in range(4)]
+        assert pool.peak_bytes == 4 * 4096
+        for handle in handles:
+            pool.free(handle)
+        assert pool.peak_bytes == 4 * 4096
+
+    def test_capacity_enforced(self):
+        pool = MemoryPool(capacity_bytes=2048)
+        pool.allocate(1024)
+        with pytest.raises(OutOfDeviceMemory):
+            pool.allocate(2048)
+
+    def test_double_free_rejected(self):
+        pool = MemoryPool()
+        handle = pool.allocate(16)
+        pool.free(handle)
+        with pytest.raises(KeyError):
+            pool.free(handle)
+
+    def test_vector_gpu_raii(self):
+        pool = MemoryPool()
+        vector = VectorGPU(128, pool=pool)
+        assert vector.is_live and pool.bytes_in_use == 1024
+        vector.free()
+        assert not vector.is_live and pool.bytes_in_use == 0
+
+    def test_unmanaged_vector_does_not_allocate(self):
+        pool = MemoryPool()
+        vector = VectorGPU(128, pool=pool, managed=False)
+        assert pool.bytes_in_use == 0
+        vector.free()  # no-op
+
+
+class TestLimb:
+    def test_add_sub_roundtrip(self):
+        q = PRIMES[0]
+        rng = np.random.default_rng(0)
+        a = Limb(q, rng.integers(0, q, N).astype(object))
+        b = Limb(q, rng.integers(0, q, N).astype(object))
+        assert [int(x) for x in a.add(b).sub(b).data] == [int(x) for x in a.data]
+
+    def test_multiply_requires_eval_format(self):
+        q = PRIMES[0]
+        a = Limb(q, modmath.zeros(N, q))
+        with pytest.raises(ValueError):
+            a.multiply(a)
+
+    def test_format_conversion_roundtrip(self):
+        q = PRIMES[0]
+        rng = np.random.default_rng(1)
+        limb = Limb(q, rng.integers(0, q, N).astype(object))
+        back = limb.to_evaluation().to_coefficient()
+        assert [int(x) for x in back.data] == [int(x) for x in limb.data]
+
+    def test_add_scalar_eval_vs_coeff_consistent(self):
+        q = PRIMES[0]
+        rng = np.random.default_rng(2)
+        limb = Limb(q, rng.integers(0, q, N).astype(object))
+        via_coeff = limb.add_scalar(17).to_evaluation()
+        via_eval = limb.to_evaluation().add_scalar(17)
+        assert [int(x) for x in via_coeff.data] == [int(x) for x in via_eval.data]
+
+    def test_incompatible_moduli_rejected(self):
+        a = Limb(PRIMES[0], modmath.zeros(N, PRIMES[0]))
+        b = Limb(PRIMES[1], modmath.zeros(N, PRIMES[1]))
+        with pytest.raises(ValueError):
+            a.add(b)
+
+
+class TestAutomorphism:
+    def test_map_requires_odd_exponent(self):
+        with pytest.raises(ValueError):
+            coeff_automorphism_map(N, 2)
+
+    def test_rotation_exponent_is_power_of_five(self):
+        assert rotation_to_exponent(N, 1) == 5
+        assert rotation_to_exponent(N, 2) == 25 % (2 * N)
+
+    def test_conjugation_exponent(self):
+        assert conjugation_exponent(N) == 2 * N - 1
+
+    def test_apply_matches_polynomial_substitution(self):
+        q = PRIMES[0]
+        rng = np.random.default_rng(3)
+        coeffs = [int(v) for v in rng.integers(0, q, N)]
+        k = 5
+        transformed = apply_coeff_automorphism(
+            modmath.as_residue_array(np.array(coeffs, dtype=object), q), N, k, q
+        )
+        expected = [0] * N
+        for j, c in enumerate(coeffs):
+            idx = (j * k) % (2 * N)
+            if idx >= N:
+                expected[idx - N] = (expected[idx - N] - c) % q
+            else:
+                expected[idx] = (expected[idx] + c) % q
+        assert [int(x) for x in transformed] == expected
+
+    def test_inverse_automorphism_restores(self):
+        poly, _ = random_poly(4)
+        k = rotation_to_exponent(N, 3)
+        k_inv = pow(k, -1, 2 * N)
+        back = poly.automorphism(k).automorphism(k_inv)
+        assert back.to_int_coefficients() == poly.to_int_coefficients()
+
+
+class TestRNSPoly:
+    def test_roundtrip_int_coefficients(self):
+        poly, coeffs = random_poly(5)
+        assert poly.to_int_coefficients() == coeffs
+
+    def test_eval_roundtrip(self):
+        poly, coeffs = random_poly(6)
+        assert poly.to_evaluation().to_coefficient().to_int_coefficients() == coeffs
+
+    def test_add_matches_integer_arithmetic(self):
+        a, ca = random_poly(7)
+        b, cb = random_poly(8)
+        assert a.add(b).to_int_coefficients() == [x + y for x, y in zip(ca, cb)]
+
+    def test_multiply_matches_negacyclic_reference(self):
+        a, ca = random_poly(9, fmt=LimbFormat.EVALUATION)
+        b, cb = random_poly(10, fmt=LimbFormat.EVALUATION)
+        product = a.multiply(b).to_int_coefficients()
+        expected = [0] * N
+        for i, x in enumerate(ca):
+            for j, y in enumerate(cb):
+                idx, value = i + j, x * y
+                if idx >= N:
+                    idx, value = idx - N, -value
+                expected[idx] += value
+        assert product == expected
+
+    def test_multiply_scalar_per_limb(self):
+        poly, coeffs = random_poly(11)
+        scaled = poly.multiply_scalar(3)
+        assert scaled.to_int_coefficients() == [3 * c for c in coeffs]
+
+    def test_drop_and_keep_limbs(self):
+        poly, _ = random_poly(12)
+        assert poly.drop_last_limbs(1).level_count == 2
+        assert poly.keep_limbs(1).level_count == 1
+        with pytest.raises(ValueError):
+            poly.drop_last_limbs(3)
+
+    def test_select_limbs(self):
+        poly, _ = random_poly(13)
+        selected = poly.select_limbs([0, 2])
+        assert selected.moduli == [PRIMES[0], PRIMES[2]]
+
+    def test_rescale_divides_by_last_prime(self):
+        q_last = PRIMES[-1]
+        values = [q_last * v for v in range(-10, 10)]
+        poly = RNSPoly.from_int_coefficients(N, PRIMES, values)
+        rescaled = poly.rescale_last()
+        assert rescaled.level_count == 2
+        assert rescaled.to_int_coefficients()[: len(values)] == [v // q_last for v in values]
+
+    def test_rescale_requires_two_limbs(self):
+        poly = RNSPoly.from_int_coefficients(N, PRIMES[:1], [1, 2, 3])
+        with pytest.raises(ValueError):
+            poly.rescale_last()
+
+    def test_mixed_basis_rejected(self):
+        a, _ = random_poly(14)
+        b = RNSPoly.from_int_coefficients(N, PRIMES[:2], [1])
+        with pytest.raises(ValueError):
+            a.add(b)
+
+    def test_footprint(self):
+        poly, _ = random_poly(15)
+        assert poly.footprint_bytes() == 3 * N * 8

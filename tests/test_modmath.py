@@ -1,0 +1,201 @@
+"""Unit and property tests for the modular-arithmetic primitives (Table III)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import modmath
+from repro.core.primes import generate_ntt_primes
+
+PRIMES = {
+    "small": generate_ntt_primes(1, 20, 64)[0],
+    "fast": generate_ntt_primes(1, 30, 1024)[0],
+    "word": generate_ntt_primes(1, 59, 1024)[0],
+}
+
+
+@pytest.fixture(params=sorted(PRIMES))
+def modulus(request):
+    return PRIMES[request.param]
+
+
+class TestScalarHelpers:
+    def test_add_mod_wraps(self, modulus):
+        assert modmath.add_mod(modulus - 1, 1, modulus) == 0
+
+    def test_add_mod_no_wrap(self, modulus):
+        assert modmath.add_mod(2, 3, modulus) == 5
+
+    def test_sub_mod_wraps(self, modulus):
+        assert modmath.sub_mod(0, 1, modulus) == modulus - 1
+
+    def test_neg_mod_zero(self, modulus):
+        assert modmath.neg_mod(0, modulus) == 0
+
+    def test_neg_mod_inverse(self, modulus):
+        assert modmath.add_mod(5 % modulus, modmath.neg_mod(5 % modulus, modulus), modulus) == 0
+
+    def test_mul_mod_matches_python(self, modulus):
+        a, b = modulus - 3, modulus - 7
+        assert modmath.mul_mod(a, b, modulus) == (a * b) % modulus
+
+    def test_inv_mod(self, modulus):
+        for value in (2, 3, 12345 % modulus):
+            inv = modmath.inv_mod(value, modulus)
+            assert (value * inv) % modulus == 1
+
+    def test_pow_mod_fermat(self, modulus):
+        assert modmath.pow_mod(7, modulus - 1, modulus) == 1
+
+
+class TestBarrett:
+    def test_reduce_matches_modulo(self, modulus):
+        reducer = modmath.BarrettReducer.create(modulus)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            x = int(rng.integers(0, modulus)) * int(rng.integers(0, modulus))
+            assert reducer.reduce(x) == x % modulus
+
+    def test_mul(self, modulus):
+        reducer = modmath.BarrettReducer.create(modulus)
+        assert reducer.mul(modulus - 1, modulus - 1) == ((modulus - 1) ** 2) % modulus
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ValueError):
+            modmath.BarrettReducer.create(1)
+
+    def test_multiplication_count_matches_table_iii(self):
+        counts = modmath.BarrettReducer.create(97).multiplication_count()
+        assert counts == {"wide": 2, "low": 1}
+
+
+class TestMontgomery:
+    def test_roundtrip(self, modulus):
+        reducer = modmath.MontgomeryReducer.create(modulus)
+        for value in (0, 1, 12345 % modulus, modulus - 1):
+            assert reducer.from_montgomery(reducer.to_montgomery(value)) == value
+
+    def test_mul_plain(self, modulus):
+        reducer = modmath.MontgomeryReducer.create(modulus)
+        a, b = 987654321 % modulus, 123456789 % modulus
+        assert reducer.mul_plain(a, b) == (a * b) % modulus
+
+    def test_requires_odd_modulus(self):
+        with pytest.raises(ValueError):
+            modmath.MontgomeryReducer.create(2**20)
+
+    def test_multiplication_count_matches_table_iii(self):
+        counts = modmath.MontgomeryReducer.create(97).multiplication_count()
+        assert counts == {"wide": 2, "low": 1}
+
+
+class TestShoup:
+    def test_matches_modmul(self, modulus):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            operand = int(rng.integers(0, modulus))
+            multiplier = modmath.ShoupMultiplier.create(operand, modulus)
+            a = int(rng.integers(0, modulus))
+            assert multiplier.mul(a) == (a * operand) % modulus
+
+    def test_rejects_out_of_range_operand(self, modulus):
+        with pytest.raises(ValueError):
+            modmath.ShoupMultiplier.create(modulus, modulus)
+
+    def test_multiplication_count_matches_table_iii(self):
+        counts = modmath.ShoupMultiplier.create(5, 97).multiplication_count()
+        assert counts == {"wide": 1, "low": 2}
+
+
+class TestVectorised:
+    @pytest.fixture(params=["fast", "word"])
+    def vec_modulus(self, request):
+        return PRIMES[request.param]
+
+    def _random(self, q, n=257, seed=0):
+        rng = np.random.default_rng(seed)
+        values = [int(rng.integers(0, q)) for _ in range(n)]
+        return modmath.as_residue_array(np.array(values, dtype=object), q), values
+
+    def test_dtype_selection(self):
+        assert modmath.dtype_for_modulus(PRIMES["fast"]) == np.uint64
+        assert modmath.dtype_for_modulus(PRIMES["word"]) == np.object_
+
+    def test_vec_add(self, vec_modulus):
+        q = vec_modulus
+        a, av = self._random(q, seed=1)
+        b, bv = self._random(q, seed=2)
+        out = modmath.vec_add_mod(a, b, q)
+        assert [int(x) for x in out] == [(x + y) % q for x, y in zip(av, bv)]
+
+    def test_vec_sub(self, vec_modulus):
+        q = vec_modulus
+        a, av = self._random(q, seed=3)
+        b, bv = self._random(q, seed=4)
+        out = modmath.vec_sub_mod(a, b, q)
+        assert [int(x) for x in out] == [(x - y) % q for x, y in zip(av, bv)]
+
+    def test_vec_mul(self, vec_modulus):
+        q = vec_modulus
+        a, av = self._random(q, seed=5)
+        b, bv = self._random(q, seed=6)
+        out = modmath.vec_mul_mod(a, b, q)
+        assert [int(x) for x in out] == [(x * y) % q for x, y in zip(av, bv)]
+
+    def test_vec_mul_scalar(self, vec_modulus):
+        q = vec_modulus
+        a, av = self._random(q, seed=7)
+        out = modmath.vec_mul_scalar_mod(a, 12345, q)
+        assert [int(x) for x in out] == [(x * 12345) % q for x in av]
+
+    def test_vec_neg(self, vec_modulus):
+        q = vec_modulus
+        a, av = self._random(q, seed=8)
+        out = modmath.vec_neg_mod(a, q)
+        assert [int(x) for x in out] == [(-x) % q for x in av]
+
+    def test_switch_modulus_centred(self):
+        q_from, q_to = PRIMES["fast"], PRIMES["small"]
+        values = [1, 2, q_from - 1, q_from - 2, q_from // 2]
+        arr = modmath.as_residue_array(np.array(values, dtype=object), q_from)
+        out = modmath.vec_switch_modulus(arr, q_from, q_to)
+        half = q_from >> 1
+        expected = [((v - q_from) if v > half else v) % q_to for v in values]
+        assert [int(x) for x in out] == expected
+
+    def test_as_residue_array_negative_values(self):
+        q = PRIMES["fast"]
+        arr = modmath.as_residue_array(np.array([-1, -q, q + 5], dtype=object), q)
+        assert [int(x) for x in arr] == [q - 1, 0, 5]
+
+    def test_zeros(self, vec_modulus):
+        z = modmath.zeros(16, vec_modulus)
+        assert len(z) == 16
+        assert all(int(x) == 0 for x in z)
+
+
+@given(a=st.integers(min_value=0, max_value=2**59), b=st.integers(min_value=0, max_value=2**59))
+@settings(max_examples=200, deadline=None)
+def test_barrett_reduce_property(a, b):
+    q = PRIMES["word"]
+    reducer = modmath.BarrettReducer.create(q)
+    assert reducer.mul(a % q, b % q) == ((a % q) * (b % q)) % q
+
+
+@given(a=st.integers(min_value=0, max_value=2**62), b=st.integers(min_value=0, max_value=2**62))
+@settings(max_examples=200, deadline=None)
+def test_montgomery_matches_barrett_property(a, b):
+    q = PRIMES["word"]
+    barrett = modmath.BarrettReducer.create(q)
+    montgomery = modmath.MontgomeryReducer.create(q)
+    assert montgomery.mul_plain(a % q, b % q) == barrett.mul(a % q, b % q)
+
+
+@given(st.lists(st.integers(min_value=-(2**40), max_value=2**40), min_size=1, max_size=64))
+@settings(max_examples=100, deadline=None)
+def test_vector_add_neg_is_zero_property(values):
+    q = PRIMES["fast"]
+    arr = modmath.as_residue_array(np.array(values, dtype=object), q)
+    total = modmath.vec_add_mod(arr, modmath.vec_neg_mod(arr, q), q)
+    assert all(int(x) == 0 for x in total)

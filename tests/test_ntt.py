@@ -1,0 +1,158 @@
+"""Tests for the radix-2 and hierarchical negacyclic NTT engines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import modmath
+from repro.core.ntt import HierarchicalNTT, NTTEngine, bit_reverse_indices, get_engine
+from repro.core.primes import generate_ntt_primes
+
+
+def schoolbook_negacyclic(a, b, q, n):
+    """Reference O(N^2) negacyclic multiplication."""
+    result = [0] * n
+    for i in range(n):
+        ai = int(a[i])
+        if ai == 0:
+            continue
+        for j in range(n):
+            idx = i + j
+            value = ai * int(b[j])
+            if idx >= n:
+                idx -= n
+                value = -value
+            result[idx] = (result[idx] + value) % q
+    return result
+
+
+@pytest.fixture(params=[(32, 25), (128, 28), (64, 59)], ids=["n32", "n128", "n64w59"])
+def engine(request):
+    n, bits = request.param
+    q = generate_ntt_primes(1, bits, n)[0]
+    return NTTEngine(n, q)
+
+
+class TestRadix2:
+    def test_roundtrip(self, engine):
+        rng = np.random.default_rng(0)
+        a = [int(rng.integers(0, engine.modulus)) for _ in range(engine.ring_degree)]
+        forward = engine.forward(a)
+        back = engine.inverse(forward)
+        assert [int(x) for x in back] == [x % engine.modulus for x in a]
+
+    def test_convolution_theorem(self, engine):
+        n, q = engine.ring_degree, engine.modulus
+        rng = np.random.default_rng(1)
+        a = [int(rng.integers(0, q)) for _ in range(n)]
+        b = [int(rng.integers(0, q)) for _ in range(n)]
+        product = engine.negacyclic_multiply(a, b)
+        assert [int(x) for x in product] == schoolbook_negacyclic(a, b, q, n)
+
+    def test_forward_is_linear(self, engine):
+        n, q = engine.ring_degree, engine.modulus
+        rng = np.random.default_rng(2)
+        a = modmath.as_residue_array(rng.integers(0, q, n).astype(object), q)
+        b = modmath.as_residue_array(rng.integers(0, q, n).astype(object), q)
+        lhs = engine.forward(modmath.vec_add_mod(a, b, q))
+        rhs = modmath.vec_add_mod(engine.forward(a), engine.forward(b), q)
+        assert [int(x) for x in lhs] == [int(x) for x in rhs]
+
+    def test_fused_premultiply(self, engine):
+        n, q = engine.ring_degree, engine.modulus
+        rng = np.random.default_rng(3)
+        a = [int(rng.integers(0, q)) for _ in range(n)]
+        scalar = 12345 % q
+        fused = engine.forward(a, premultiply=scalar)
+        reference = engine.forward([(x * scalar) % q for x in a])
+        assert [int(x) for x in fused] == [int(x) for x in reference]
+
+    def test_fused_postmultiply_inverse(self, engine):
+        n, q = engine.ring_degree, engine.modulus
+        rng = np.random.default_rng(4)
+        a = [int(rng.integers(0, q)) for _ in range(n)]
+        scalar = 987 % q
+        forward = engine.forward(a)
+        fused = engine.inverse(forward, postmultiply=scalar)
+        assert [int(x) for x in fused] == [(x * scalar) % q for x in a]
+
+    def test_constant_polynomial_transform(self, engine):
+        n, q = engine.ring_degree, engine.modulus
+        constant = [7] + [0] * (n - 1)
+        evaluations = engine.forward(constant)
+        assert all(int(x) == 7 for x in evaluations)
+
+    def test_n_inverse(self, engine):
+        assert (engine.n_inverse * engine.ring_degree) % engine.modulus == 1
+
+    def test_shoup_twiddles_shape(self, engine):
+        twiddles = engine.shoup_twiddles()
+        assert len(twiddles) == engine.ring_degree
+
+    def test_rejects_bad_degree(self):
+        q = generate_ntt_primes(1, 25, 32)[0]
+        with pytest.raises(ValueError):
+            NTTEngine(31, q)
+
+    def test_rejects_unfriendly_modulus(self):
+        with pytest.raises(ValueError):
+            NTTEngine(64, 97)
+
+    def test_engine_cache_reuses_instances(self):
+        q = generate_ntt_primes(1, 25, 64)[0]
+        assert get_engine(64, q) is get_engine(64, q)
+
+
+class TestHierarchical:
+    @pytest.mark.parametrize("n,bits", [(64, 25), (256, 28)])
+    def test_matches_schoolbook(self, n, bits):
+        q = generate_ntt_primes(1, bits, n)[0]
+        hier = HierarchicalNTT(n, q)
+        rng = np.random.default_rng(5)
+        a = [int(rng.integers(0, q)) for _ in range(n)]
+        b = [int(rng.integers(0, q)) for _ in range(n)]
+        assert [int(x) for x in hier.negacyclic_multiply(a, b)] == schoolbook_negacyclic(a, b, q, n)
+
+    def test_roundtrip(self):
+        n = 64
+        q = generate_ntt_primes(1, 25, n)[0]
+        hier = HierarchicalNTT(n, q)
+        rng = np.random.default_rng(6)
+        a = [int(rng.integers(0, q)) for _ in range(n)]
+        back = hier.inverse(hier.forward(a))
+        assert [int(x) for x in back] == a
+
+    def test_agrees_with_radix2_in_evaluation_products(self):
+        n = 64
+        q = generate_ntt_primes(1, 25, n)[0]
+        hier = HierarchicalNTT(n, q)
+        radix2 = NTTEngine(n, q, psi=hier.psi)
+        rng = np.random.default_rng(7)
+        a = [int(rng.integers(0, q)) for _ in range(n)]
+        b = [int(rng.integers(0, q)) for _ in range(n)]
+        assert [int(x) for x in hier.negacyclic_multiply(a, b)] == \
+            [int(x) for x in radix2.negacyclic_multiply(a, b)]
+
+    def test_memory_passes_matches_figure3(self):
+        n = 64
+        q = generate_ntt_primes(1, 25, n)[0]
+        assert HierarchicalNTT(n, q).memory_passes == 4
+
+
+class TestBitReversal:
+    def test_is_involution(self):
+        indices = bit_reverse_indices(64)
+        assert np.array_equal(indices[indices], np.arange(64))
+
+    def test_small_case(self):
+        assert list(bit_reverse_indices(8)) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**25 - 1), min_size=32, max_size=32))
+@settings(max_examples=30, deadline=None)
+def test_roundtrip_property(values):
+    q = generate_ntt_primes(1, 26, 32)[0]
+    engine = get_engine(32, q)
+    back = engine.inverse(engine.forward(values))
+    assert [int(x) for x in back] == [v % q for v in values]

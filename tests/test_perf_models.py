@@ -1,0 +1,237 @@
+"""Tests of the FIDESlib / Phantom / OpenFHE performance models.
+
+These assert the qualitative "shape" results the reproduction targets:
+ordering between backends, speedup magnitudes, figure trends, and the
+Table VIII feature matrix.
+"""
+
+import pytest
+
+from repro.ckks.params import PARAMETER_SETS
+from repro.gpu.platforms import ALL_GPUS, GPU_RTX_4060TI, GPU_RTX_4090, GPU_V100
+from repro.perf.costmodel import CKKSOperationCosts
+from repro.perf.feature_matrix import FEATURE_MATRIX, feature_counts, feature_table
+from repro.perf.fideslib_model import FIDESlibModel
+from repro.perf.openfhe_model import OpenFHEModel
+from repro.perf.phantom_model import PhantomModel, UnsupportedOperation
+from repro.perf.workloads import BootstrapWorkload, LogisticRegressionWorkload
+
+PARAMS = PARAMETER_SETS["paper-default"]
+TABLE_V_OPS = ("ScalarAdd", "PtAdd", "HAdd", "ScalarMult", "PtMult", "Rescale", "HRotate", "HMult")
+
+
+@pytest.fixture(scope="module")
+def models():
+    return {
+        "fideslib": FIDESlibModel(GPU_RTX_4090, PARAMS, limb_batch=4),
+        "phantom": PhantomModel(GPU_RTX_4090, PARAMS),
+        "openfhe": OpenFHEModel(PARAMS, variant="baseline"),
+        "hexl": OpenFHEModel(PARAMS, variant="hexl"),
+    }
+
+
+class TestCostModel:
+    def test_costs_scale_with_limbs(self):
+        costs = CKKSOperationCosts(PARAMS, limb_batch=4)
+        assert costs.hmult(30).bytes_moved > costs.hmult(10).bytes_moved
+        assert costs.hmult(30).int_ops > costs.hmult(10).int_ops
+
+    def test_hsquare_cheaper_than_hmult(self):
+        costs = CKKSOperationCosts(PARAMS, limb_batch=4)
+        assert costs.hsquare(30).bytes_moved < costs.hmult(30).bytes_moved
+
+    def test_fusion_reduces_bytes(self):
+        fused = CKKSOperationCosts(PARAMS, limb_batch=4, fusion=True)
+        unfused = CKKSOperationCosts(PARAMS, limb_batch=4, fusion=False)
+        assert fused.rescale(30).bytes_moved < unfused.rescale(30).bytes_moved
+        assert fused.key_switch(30).bytes_moved < unfused.key_switch(30).bytes_moved
+
+    def test_limb_batching_increases_kernel_count(self):
+        batched = CKKSOperationCosts(PARAMS, limb_batch=2)
+        monolithic = CKKSOperationCosts(PARAMS, limb_batch=None)
+        assert batched.hmult(30).kernel_count > monolithic.hmult(30).kernel_count
+
+    def test_hoisting_cheaper_than_individual_rotations(self):
+        costs = CKKSOperationCosts(PARAMS, limb_batch=4)
+        hoisted = costs.hoisted_rotations(30, 8).bytes_moved
+        individual = costs.hrotate(30).bytes_moved * 8
+        assert hoisted < individual
+
+    def test_scaled_costs(self):
+        costs = CKKSOperationCosts(PARAMS, limb_batch=4)
+        base = costs.hadd(10)
+        tripled = base.scaled(3.0)
+        assert tripled.bytes_moved == pytest.approx(3 * base.bytes_moved)
+        assert tripled.kernel_count == 3 * base.kernel_count
+
+
+class TestTableV:
+    def test_fideslib_fastest_on_every_operation(self, models):
+        for op in TABLE_V_OPS:
+            fides = models["fideslib"].time_operation(op)
+            assert fides <= models["openfhe"].time_operation(op)
+            assert fides <= models["hexl"].time_operation(op)
+            if models["phantom"].supports(op):
+                assert fides <= models["phantom"].time_operation(op)
+
+    def test_hmult_speedup_exceeds_100x_over_multithreaded_cpu(self, models):
+        speedup = models["hexl"].time_operation("HMult") / models["fideslib"].time_operation("HMult")
+        assert speedup > 100  # paper: "more than 100x"
+
+    def test_rescale_speedup_exceeds_30x(self, models):
+        speedup = models["hexl"].time_operation("Rescale") / models["fideslib"].time_operation("Rescale")
+        assert speedup > 30
+
+    def test_phantom_lacks_fideslib_exclusive_ops(self, models):
+        for op in ("ScalarAdd", "ScalarMult", "HSquare", "Bootstrap"):
+            assert not models["phantom"].supports(op)
+        with pytest.raises(UnsupportedOperation):
+            models["phantom"].operation_cost("ScalarAdd")
+
+    def test_hmult_in_millisecond_range_on_4090(self, models):
+        assert 3e-4 < models["fideslib"].time_operation("HMult") < 3e-3
+
+    def test_hexl_faster_than_baseline_on_heavy_ops(self, models):
+        for op in ("HMult", "HRotate", "Rescale", "ScalarMult"):
+            assert models["hexl"].time_operation(op) < models["openfhe"].time_operation(op)
+
+
+class TestFigures:
+    def test_fig4_fideslib_beats_phantom_per_limb(self):
+        for platform in (GPU_RTX_4090, GPU_RTX_4060TI):
+            fides = FIDESlibModel(platform, PARAMS, limb_batch=2)
+            phantom = PhantomModel(platform, PARAMS)
+            for limbs in (16, 32, 64, 128):
+                assert fides.time_operation("NTT", limbs=limbs) < \
+                    phantom.time_operation("NTT", limbs=limbs)
+
+    def test_fig4_phantom_degrades_with_working_set(self):
+        phantom = PhantomModel(GPU_RTX_4060TI, PARAMS)
+        per_limb_16 = phantom.time_operation("NTT", limbs=16) / 16
+        per_limb_128 = phantom.time_operation("NTT", limbs=128) / 128
+        assert per_limb_128 > per_limb_16
+
+    def test_fig5_ptmult_rescale_roughly_linear_in_limbs(self):
+        model = FIDESlibModel(GPU_RTX_4090, PARAMS, limb_batch=4)
+        t10 = model.time_operation("PtMultRescale", limbs=10)
+        t20 = model.time_operation("PtMultRescale", limbs=20)
+        t30 = model.time_operation("PtMultRescale", limbs=30)
+        assert 1.5 < t20 / t10 < 2.5
+        assert 1.3 < t30 / t20 < 1.9
+
+    def test_fig5_fig6_platform_ordering(self):
+        for op in ("PtMultRescale", "HMult"):
+            times = [FIDESlibModel(p, PARAMS, limb_batch=4).time_operation(op, limbs=30)
+                     for p in ALL_GPUS]
+            # ALL_GPUS is ordered by ascending memory bandwidth.
+            assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_fig6_hmult_increases_with_level(self):
+        model = FIDESlibModel(GPU_V100, PARAMS, limb_batch=4)
+        times = [model.time_operation("HMult", limbs=l) for l in (5, 10, 20, 30)]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_fig7_limb_batch_sweep_has_finite_optimum(self):
+        model = FIDESlibModel(GPU_RTX_4090, PARAMS)
+        best = model.best_limb_batch()
+        assert best in (1, 2, 3, 4, 6, 8, 10, 12)
+
+    def test_fig7_large_batches_hurt_small_cache_gpus(self):
+        model = FIDESlibModel(GPU_RTX_4060TI, PARAMS)
+        assert model.with_limb_batch(12).time_operation("HMult") > \
+            model.with_limb_batch(2).time_operation("HMult")
+
+    def test_fig8_small_params_favour_high_clock(self):
+        small = PARAMETER_SETS["fig8-13-5-36-2"]
+        t4060 = FIDESlibModel(GPU_RTX_4060TI, small, limb_batch=2).time_operation("HMult")
+        tv100 = FIDESlibModel(GPU_V100, small, limb_batch=2).time_operation("HMult")
+        assert t4060 < tv100  # kernel-latency bound favours the faster clock
+
+    def test_fig8_large_params_favour_bandwidth(self):
+        large = PARAMETER_SETS["fig8-17-44-59-4"]
+        t4090 = FIDESlibModel(GPU_RTX_4090, large, limb_batch=4).time_operation("HMult")
+        t4060 = FIDESlibModel(GPU_RTX_4060TI, large, limb_batch=4).time_operation("HMult")
+        assert t4090 < t4060
+
+
+class TestTableVI:
+    @pytest.mark.parametrize("slots", [64, 512, 16384, 32768])
+    def test_bootstrap_speedup_over_70x(self, models, slots):
+        workload = BootstrapWorkload(PARAMS, slots)
+        gpu = models["fideslib"].execute(workload.build(models["fideslib"].costs)).total_time
+        cpu = models["hexl"].time_cost(workload.build(models["hexl"].costs))
+        assert cpu / gpu > 70  # paper: "no less than 70x"
+
+    def test_bootstrap_time_grows_with_slots(self, models):
+        times = []
+        for slots in (64, 512, 16384, 32768):
+            workload = BootstrapWorkload(PARAMS, slots)
+            times.append(models["fideslib"].execute(workload.build(models["fideslib"].costs)).total_time)
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_amortized_time_drops_with_slots(self, models):
+        amortized = []
+        for slots in (64, 512, 16384, 32768):
+            workload = BootstrapWorkload(PARAMS, slots)
+            total = models["fideslib"].execute(workload.build(models["fideslib"].costs)).total_time
+            amortized.append(workload.amortized_time_us(total))
+        assert all(a > b for a, b in zip(amortized, amortized[1:]))
+
+    def test_remaining_levels_decrease_with_slots(self):
+        levels = [BootstrapWorkload(PARAMS, slots).remaining_levels
+                  for slots in (64, 512, 16384, 32768)]
+        assert all(a >= b for a, b in zip(levels, levels[1:]))
+        assert levels[-1] >= 8
+
+    def test_slots_validation(self):
+        with pytest.raises(ValueError):
+            BootstrapWorkload(PARAMS, 48)
+        with pytest.raises(ValueError):
+            BootstrapWorkload(PARAMS, PARAMS.slots * 2)
+
+
+class TestTableVII:
+    def test_lr_iteration_speedups(self):
+        params = PARAMETER_SETS["paper-lr"]
+        workload = LogisticRegressionWorkload(params)
+        fides = FIDESlibModel(GPU_RTX_4090, params, limb_batch=4)
+        hexl = OpenFHEModel(params, variant="hexl")
+        baseline = OpenFHEModel(params, variant="baseline")
+        gpu = fides.execute(workload.build_iteration(fides.costs)).total_time
+        cpu = baseline.time_cost(workload.build_iteration(baseline.costs))
+        cpu_hexl = hexl.time_cost(workload.build_iteration(hexl.costs))
+        assert cpu / gpu > 20           # paper: 67x
+        assert cpu / cpu_hexl > 1.5     # paper: 3.47x
+
+    def test_lr_iteration_with_bootstrap_dominated_by_bootstrap(self):
+        params = PARAMETER_SETS["paper-lr"]
+        workload = LogisticRegressionWorkload(params)
+        fides = FIDESlibModel(GPU_RTX_4090, params, limb_batch=4)
+        iteration = fides.execute(workload.build_iteration(fides.costs)).total_time
+        with_boot = fides.execute(workload.build_iteration_with_bootstrap(fides.costs)).total_time
+        assert with_boot > 3 * iteration
+
+    def test_iteration_operation_counts_positive(self):
+        counts = LogisticRegressionWorkload(PARAMETER_SETS["paper-lr"]).iteration_operations()
+        assert all(v > 0 for v in counts.values())
+        assert "HMult" in counts and "HRotate" in counts
+
+
+class TestTableVIII:
+    def test_only_fideslib_interoperates_with_openfhe(self):
+        interoperable = [lib.name for lib in FEATURE_MATRIX if lib.openfhe_interoperability]
+        assert interoperable == ["FIDESlib"]
+
+    def test_only_fideslib_has_integration_tests(self):
+        assert [lib.name for lib in FEATURE_MATRIX if lib.integration_tests] == ["FIDESlib"]
+
+    def test_five_libraries_support_bootstrapping(self):
+        assert feature_counts()["Bootstrapping"] == 5
+
+    def test_table_has_nine_libraries(self):
+        assert len(feature_table()) == 9
+
+    def test_fideslib_multi_gpu_is_work_in_progress(self):
+        fides = next(lib for lib in FEATURE_MATRIX if lib.name == "FIDESlib")
+        assert fides.multi_gpu == "WIP"
+        assert fides.bootstrapping and fides.open_source and fides.unit_tests
