@@ -1,7 +1,10 @@
 """Table VII: logistic-regression iteration and iteration+bootstrap times."""
 
+import numpy as np
 import pytest
 
+from repro.api import CostModelBackend
+from repro.apps.logistic_regression import EncryptedLogisticRegression
 from repro.bench.reporting import BenchmarkTable, format_seconds, speedup
 from repro.gpu.platforms import GPU_RTX_4090
 from repro.perf.fideslib_model import FIDESlibModel
@@ -41,6 +44,44 @@ def test_table7_lr(benchmark, lr_models, with_bootstrap):
         }
     )
     assert gpu_time < hexl_time < base_time
+
+
+def test_table7_program_on_cost_backend(benchmark, lr_params, lr_models):
+    """Cost the *actual* LR training program through the backend seam.
+
+    The same :class:`EncryptedLogisticRegression` step that the functional
+    tests verify at toy parameters is replayed symbolically on a
+    :class:`CostModelBackend` at the paper's LR parameter set, and the
+    accumulated ledger is executed on the FIDESlib GPU model -- the
+    written-once / costed-on-GPU loop of the reproduction.
+    """
+    batch_size, features = 8, 4
+    rng = np.random.default_rng(0)
+
+    def run_program():
+        backend = CostModelBackend.for_model(lr_models["fideslib"])
+        model = EncryptedLogisticRegression(backend=backend, feature_count=features)
+        columns, labels = model.encrypt_batch(
+            rng.uniform(-1, 1, (batch_size, features)),
+            rng.integers(0, 2, batch_size).astype(float),
+        )
+        model.train_batch(columns, labels, batch_size)
+        return backend.ledger
+
+    ledger = benchmark(run_program)
+    fides = lr_models["fideslib"]
+    gpu_time = fides.execute(ledger.as_cost("lr-iteration")).total_time
+    counts = ledger.operation_counts()
+    benchmark.extra_info.update(
+        {
+            "operations": sum(counts.values()),
+            "hmult_count": counts.get("HMult", 0),
+            "fideslib_rtx4090": format_seconds(gpu_time),
+        }
+    )
+    assert counts.get("HMult", 0) >= features + 1  # X·w products + sigmoid cube
+    assert counts.get("HRotate", 0) > 0            # gradient rotation sums
+    assert gpu_time > 0
 
 
 def test_table7_summary(lr_models):

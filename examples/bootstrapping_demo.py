@@ -2,8 +2,9 @@
 
 The headline feature of FIDESlib is the first open-source GPU
 implementation of CKKS bootstrapping.  This demo runs the same pipeline
-functionally at a reduced ring dimension: a ciphertext is used until no
-multiplicative levels remain, bootstrapped, and then used again.
+functionally at a reduced ring dimension through the high-level API: a
+ciphertext is used until no multiplicative levels remain, bootstrapped,
+and then used again.
 
 Run with:  python examples/bootstrapping_demo.py   (takes ~1 minute)
 """
@@ -14,11 +15,8 @@ import time
 
 import numpy as np
 
+from repro.api import CKKSSession
 from repro.ckks.bootstrap import Bootstrapper
-from repro.ckks.context import Context
-from repro.ckks.encryption import Decryptor, Encryptor
-from repro.ckks.evaluator import Evaluator
-from repro.ckks.keys import KeyGenerator, KeySet
 from repro.ckks.params import PARAMETER_SETS
 
 
@@ -28,49 +26,36 @@ def main() -> None:
           f"L={params.mult_depth}, sparse secret h={params.secret_hamming_weight}")
 
     start = time.time()
-    context = Context(params)
-    generator = KeyGenerator(context, seed=2024)
-    secret = generator.generate_secret()
-    keys = KeySet(
-        public_key=generator.generate_public(secret),
-        relinearization_key=generator.generate_relinearization_key(secret),
-        secret_key=secret,
-    )
-    evaluator = Evaluator(context, keys)
-    bootstrapper = Bootstrapper(context, evaluator)
-    for step in bootstrapper.required_rotations():
-        keys.rotation_keys[step] = generator.generate_rotation_key(secret, step)
-    keys.conjugation_key = generator.generate_conjugation_key(secret)
-    print(f"context, evaluation keys and {len(keys.rotation_keys)} rotation keys "
+    session = CKKSSession.create(params, conjugation=True, seed=2024)
+    bootstrapper = Bootstrapper(session.context, session.evaluator)
+    session.add_rotation_keys(bootstrapper.required_rotations())
+    print(f"session, evaluation keys and {len(session.keys.rotation_keys)} rotation keys "
           f"ready in {time.time() - start:.1f}s")
-
-    encryptor = Encryptor(context, keys.public_key, seed=5)
-    decryptor = Decryptor(context, keys.secret_key)
 
     rng = np.random.default_rng(0)
     message = rng.uniform(-0.4, 0.4, 8)
-    ciphertext = encryptor.encrypt_values(message)
+    ciphertext = session.encrypt(message)
     print(f"\nfresh ciphertext: level {ciphertext.level} "
           f"(message {np.round(message[:4], 3)}...)")
 
-    # Consume every level with squarings of an auxiliary ciphertext.
-    other = encryptor.encrypt_values(np.full(8, 0.9))
+    # Consume every level with multiplications by an auxiliary ciphertext.
+    other = session.encrypt(np.full(8, 0.9))
     expected = message.copy()
     while ciphertext.level > 0:
-        ciphertext = evaluator.multiply(ciphertext, other)
+        ciphertext = ciphertext * other
         expected = expected * 0.9
     print(f"after exhausting the modulus chain: level {ciphertext.level}, "
-          f"decrypt error {np.max(np.abs(decryptor.decrypt_values(ciphertext, 8).real - expected)):.2e}")
+          f"decrypt error {np.max(np.abs(session.decrypt(ciphertext, 8).real - expected)):.2e}")
 
     start = time.time()
-    refreshed = bootstrapper.bootstrap(ciphertext)
+    refreshed = session.wrap(bootstrapper.bootstrap(ciphertext.handle))
     elapsed = time.time() - start
-    error = np.max(np.abs(decryptor.decrypt_values(refreshed, 8).real - expected))
+    error = np.max(np.abs(session.decrypt(refreshed, 8).real - expected))
     print(f"\nbootstrap took {elapsed:.1f}s: level {ciphertext.level} -> {refreshed.level}, "
           f"message error {error:.2e}")
 
-    followup = evaluator.square(refreshed)
-    error = np.max(np.abs(decryptor.decrypt_values(followup, 8).real - expected**2))
+    followup = refreshed ** 2
+    error = np.max(np.abs(session.decrypt(followup, 8).real - expected**2))
     print(f"post-bootstrap squaring works: level {followup.level}, error {error:.2e}")
 
     workload_note = (

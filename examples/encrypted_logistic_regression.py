@@ -1,8 +1,12 @@
 """Encrypted logistic-regression training (the Table VII workload, reduced size).
 
 Trains a logistic-regression model on an encrypted synthetic
-loan-eligibility mini-batch and compares the decrypted model against the
-plaintext reference trained on the same data.
+loan-eligibility mini-batch through the high-level API
+(:class:`~repro.api.session.CKKSSession` + operator-overloaded
+ciphertexts) and compares the decrypted model against the plaintext
+reference trained on the same data.  The same training step is then
+replayed on the cost-model backend at the paper's LR parameter set to
+reproduce the GPU-scale cost -- one program, two backends.
 
 Run with:  python examples/encrypted_logistic_regression.py
 """
@@ -13,16 +17,15 @@ import time
 
 import numpy as np
 
+from repro.api import CKKSSession, CostModelBackend
 from repro.apps.dataset import make_loan_dataset
 from repro.apps.logistic_regression import (
     EncryptedLogisticRegression,
     PlaintextLogisticRegression,
 )
-from repro.ckks.encryption import Decryptor, Encryptor
-from repro.ckks.evaluator import Evaluator
-from repro.ckks.keys import KeyGenerator
 from repro.ckks.params import PARAMETER_SETS
-from repro.openfhe.adapter import export_ciphertext
+from repro.gpu.platforms import GPU_RTX_4090
+from repro.perf.fideslib_model import FIDESlibModel
 
 
 def main() -> None:
@@ -33,22 +36,17 @@ def main() -> None:
 
     params = PARAMETER_SETS["toy-deep"]
     context_keys_start = time.time()
-    from repro.ckks.context import Context
-
-    context = Context(params)
-    keys = KeyGenerator(context, seed=11).generate(
-        EncryptedLogisticRegression.required_rotations(batch_size)
+    session = CKKSSession.create(
+        params,
+        rotations=EncryptedLogisticRegression.required_rotations(batch_size),
+        seed=11,
     )
-    evaluator = Evaluator(context, keys)
-    encryptor = Encryptor(context, keys.public_key, seed=12)
-    decryptor = Decryptor(context, keys.secret_key)
-    print(f"context + keys ready in {time.time() - context_keys_start:.1f}s "
-          f"({params.describe()}, {len(context.moduli)} limbs)")
+    print(f"session ready in {time.time() - context_keys_start:.1f}s "
+          f"({params.describe()}, {len(session.context.moduli)} limbs)")
 
     plaintext_model = PlaintextLogisticRegression(learning_rate=2.0)
     encrypted_model = EncryptedLogisticRegression(
-        context=context, evaluator=evaluator, encryptor=encryptor,
-        feature_count=features, learning_rate=2.0,
+        backend=session, feature_count=features, learning_rate=2.0,
     )
 
     iterations = 2
@@ -60,7 +58,7 @@ def main() -> None:
         plaintext_model.fit_batch(x, y)
         print(f"iteration {index + 1}: encrypted step took {time.time() - start:.1f}s")
 
-    encrypted_weights = encrypted_model.decrypt_weights(decryptor)
+    encrypted_weights = encrypted_model.decrypt_weights(session)
     print("\nplaintext weights :", np.round(plaintext_model.weights, 4))
     print("encrypted weights :", np.round(encrypted_weights, 4))
     print("max difference    :", f"{np.max(np.abs(encrypted_weights - plaintext_model.weights)):.2e}")
@@ -70,9 +68,24 @@ def main() -> None:
     accuracy = plaintext_model.accuracy(data.features, data.labels)
     print(f"accuracy of the encrypted-trained model: {accuracy:.2%}")
 
-    raw = export_ciphertext(encrypted_model.weight_cts[0])
-    kib = 2 * len(raw.c0.limbs) * context.ring_degree * 8 // 1024
+    raw = session.download(encrypted_model.weights[0])
+    kib = 2 * len(raw.c0.limbs) * session.context.ring_degree * 8 // 1024
     print(f"one weight ciphertext occupies about {kib} KiB when exported through the adapter")
+
+    # The same training step on the GPU cost model at paper-LR parameters.
+    paper_params = PARAMETER_SETS["paper-lr"]
+    gpu = FIDESlibModel(GPU_RTX_4090, paper_params, limb_batch=4)
+    cost_model = CostModelBackend.for_model(gpu)
+    cost_lr = EncryptedLogisticRegression(
+        backend=cost_model, feature_count=features, learning_rate=2.0,
+    )
+    x, y = batches[0]
+    columns, label_ct = cost_lr.encrypt_batch(x, y)
+    cost_lr.train_batch(columns, label_ct, batch_size)
+    modelled = gpu.execute(cost_model.ledger.as_cost("lr-iteration")).total_time
+    print(f"\nsame step on the cost model at {paper_params.describe()}: "
+          f"{len(cost_model.ledger)} operations, modelled {modelled * 1e3:.1f} ms "
+          f"on an RTX 4090")
 
 
 if __name__ == "__main__":

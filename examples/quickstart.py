@@ -1,9 +1,12 @@
-"""Quickstart: encrypt, compute homomorphically, decrypt.
+"""Quickstart: encrypt, compute homomorphically with operators, decrypt.
 
-Mirrors the paper's architecture: an OpenFHE-style client performs key
-generation, encoding and encryption; the server-side evaluator (the
-FIDESlib role) performs every homomorphic operation; the client decrypts
-and verifies.
+Mirrors the paper's architecture through the high-level API: a
+:class:`~repro.api.session.CKKSSession` bundles the OpenFHE-style client
+(key generation, encoding, encryption, decryption) with the server-side
+evaluator (the FIDESlib role), and homomorphic arithmetic is written with
+:class:`~repro.api.vector.CipherVector` operators instead of evaluator
+verbs.  The same program is then replayed on the GPU cost model -- the
+reproduction's core loop: verify functionally, cost on the model.
 
 Run with:  python examples/quickstart.py
 """
@@ -12,33 +15,30 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ckks.evaluator import Evaluator
+from repro.api import CipherVector, CKKSSession
 from repro.ckks.params import CKKSParameters
-from repro.openfhe.client import OpenFHEClient
 
 
 def main() -> None:
-    # 1. Client side: parameters, keys, encryption (the OpenFHE role).
+    # 1. One session object: parameters, client-side keys, server evaluator.
     params = CKKSParameters(
         ring_degree=1 << 10,   # N = 1024 (reduced, insecure, for the demo)
         mult_depth=6,          # L = 6 multiplicative levels
         scale_bits=28,         # Δ = 2^28
         dnum=3,                # hybrid key-switching digits
     )
-    client = OpenFHEClient(params, seed=1)
-    server_keys = client.key_gen(rotations=[1, 2], conjugation=True)
+    session = CKKSSession.create(params, rotations=[1, 2], conjugation=True, seed=1)
 
     a = np.array([0.25, -0.5, 1.0, 0.75])
     b = np.array([1.5, 0.25, -1.0, 0.5])
-    ct_a = client.upload(client.encrypt(a))
-    ct_b = client.upload(client.encrypt(b))
+    ct_a = session.encrypt(a)
+    ct_b = session.encrypt(b)
 
-    # 2. Server side: homomorphic computation (the FIDESlib role).
-    server = Evaluator(client.context, server_keys)
-    ct_sum = server.add(ct_a, ct_b)
-    ct_product = server.multiply(ct_a, ct_b)
-    ct_poly = server.add_scalar(server.multiply_scalar(ct_product, 2.0), 1.0)
-    ct_rotated = server.rotate(ct_a, 1)
+    # 2. Server side: homomorphic computation as plain arithmetic.
+    ct_sum = ct_a + ct_b
+    ct_product = ct_a * ct_b
+    ct_poly = 2.0 * (ct_a * ct_b) + 1.0
+    ct_rotated = ct_a << 1
 
     # 3. Client side again: decrypt and verify.
     print("CKKS quickstart", params.describe())
@@ -47,11 +47,23 @@ def main() -> None:
         ("a + b", ct_sum, a + b),
         ("a * b", ct_product, a * b),
         ("2*a*b + 1", ct_poly, 2 * a * b + 1),
-        ("rotate(a, 1)", ct_rotated, np.roll(a, -1)),
+        ("a << 1", ct_rotated, np.roll(a, -1)),
     ):
-        decrypted = client.decrypt(ct, len(expected)).real
+        decrypted = session.decrypt(ct, len(expected)).real
         error = np.max(np.abs(decrypted - expected))
         print(f"{name:<18} {np.round(expected, 4)!s:<42} {np.round(decrypted, 4)}  (max err {error:.2e})")
+
+    # 4. The same program on the cost-model backend: no data, only the
+    #    level/scale trajectory and the kernel-level cost ledger.
+    model = session.cost_backend()
+    sym_a = CipherVector(model, model.encrypt(a))
+    sym_b = CipherVector(model, model.encrypt(b))
+    sym_poly = 2.0 * (sym_a * sym_b) + 1.0
+    assert (sym_poly.level, sym_poly.scale) == (ct_poly.level, ct_poly.scale)
+    counts = ", ".join(f"{op} x{n}" for op, n in model.ledger.operation_counts().items())
+    print(f"\ncost model replay: level {sym_poly.level}, ops [{counts}], "
+          f"{model.ledger.bytes_moved / 1e6:.1f} MB moved, "
+          f"{model.ledger.kernel_count} kernel launches")
 
 
 if __name__ == "__main__":

@@ -3,6 +3,11 @@
 FIDESlib is an open-source server-side CKKS GPU library interoperable with
 OpenFHE clients.  This package rebuilds the complete system in Python:
 
+* :mod:`repro.api` -- the high-level entry point: :class:`CKKSSession`
+  (one object bundling params, context, keys and evaluator),
+  :class:`CipherVector` (operator-overloaded ciphertext handles) and the
+  pluggable :class:`EvaluationBackend` seam that runs the same program
+  functionally or against the GPU cost model.
 * :mod:`repro.core` -- power-of-two polynomial ring arithmetic under
   word-sized moduli (modular arithmetic, NTT, RNS, limb containers).
 * :mod:`repro.ckks` -- the CKKS scheme itself: encoding, encryption,
@@ -15,17 +20,31 @@ OpenFHE clients.  This package rebuilds the complete system in Python:
 * :mod:`repro.perf` -- execution plans mapping CKKS operations onto the GPU
   model for FIDESlib, Phantom and OpenFHE CPU baselines.
 * :mod:`repro.apps` -- realistic encrypted workloads (logistic regression,
-  linear algebra, statistics).
+  linear algebra, statistics) written once against the backend seam.
 * :mod:`repro.bench` -- Google-Benchmark-style reporting used by the
   benchmark harness.
 """
 
+from repro.api import (
+    CKKSSession,
+    CipherVector,
+    CostLedger,
+    CostModelBackend,
+    EvaluationBackend,
+    FunctionalBackend,
+)
 from repro.ckks.params import CKKSParameters, PARAMETER_SETS
 from repro.ckks.context import Context
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.keys import KeySet, KeyGenerator
 
 __all__ = [
+    "CKKSSession",
+    "CipherVector",
+    "EvaluationBackend",
+    "FunctionalBackend",
+    "CostModelBackend",
+    "CostLedger",
     "CKKSParameters",
     "PARAMETER_SETS",
     "Context",
@@ -36,4 +55,4 @@ __all__ = [
     "__version__",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

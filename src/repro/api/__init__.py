@@ -1,0 +1,43 @@
+"""High-level API: sessions, operator-overloaded handles, backend seam.
+
+This package is the canonical way to use the library (the lower layers
+stay available underneath):
+
+* :class:`~repro.api.session.CKKSSession` -- one object bundling
+  parameters, context, keys, encryptor/decryptor and the server-side
+  evaluator, with the paper's client/server split preserved.
+* :class:`~repro.api.vector.CipherVector` -- operator-overloaded
+  ciphertext handles (``+ - * **2 << >>``) dispatching to
+  HAdd/PtAdd/ScalarAdd/HMult/PtMult/ScalarMult/HSquare/HRotate by operand
+  type.
+* :class:`~repro.api.backend.EvaluationBackend` -- the pluggable seam:
+  :class:`~repro.api.backend.FunctionalBackend` executes for real,
+  :class:`~repro.api.backend.CostModelBackend` replays the same program
+  symbolically against the GPU cost model, accumulating a
+  :class:`~repro.api.backend.CostLedger`.
+"""
+
+from repro.api.backend import (
+    CostLedger,
+    CostModelBackend,
+    EvaluationBackend,
+    FunctionalBackend,
+    SymbolicCiphertext,
+    as_backend,
+)
+from repro.api.session import CKKSSession, resolve_parameters, resolve_rotations
+from repro.api.vector import CipherVector, as_vector
+
+__all__ = [
+    "CKKSSession",
+    "CipherVector",
+    "EvaluationBackend",
+    "FunctionalBackend",
+    "CostModelBackend",
+    "CostLedger",
+    "SymbolicCiphertext",
+    "as_backend",
+    "as_vector",
+    "resolve_parameters",
+    "resolve_rotations",
+]

@@ -1,0 +1,571 @@
+"""Pluggable evaluation backends behind the high-level API.
+
+The reproduction's core loop runs every workload twice: once functionally
+(real RNS polynomials, verified against decryption) and once on the GPU
+execution model (kernel-level costs at paper-scale parameters).  The
+:class:`EvaluationBackend` protocol is the seam that makes this a single
+program: :class:`~repro.api.vector.CipherVector` dispatches each operator
+to whichever backend its handle belongs to.
+
+* :class:`FunctionalBackend` wraps :class:`~repro.ckks.evaluator.Evaluator`
+  and executes for real; its handles are
+  :class:`~repro.ckks.ciphertext.Ciphertext` objects.
+* :class:`CostModelBackend` wraps :mod:`repro.perf.costmodel`; its handles
+  are :class:`SymbolicCiphertext` objects that track the level and scale
+  trajectory exactly as the evaluator would (including the scale-ladder
+  bookkeeping and the error paths), while every operation appends its
+  kernel decomposition to a :class:`CostLedger`.
+
+Both backends accept plaintext operands either pre-encoded
+(:class:`~repro.ckks.ciphertext.Plaintext`) or as raw value arrays, which
+they encode at the ladder-restoring scale the evaluator uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.context import Context
+from repro.ckks.encryption import Encryptor
+from repro.ckks.evaluator import Evaluator, scales_match
+from repro.ckks.keys import KeySet
+from repro.ckks.params import CKKSParameters
+from repro.perf.costmodel import CKKSOperationCosts, OperationCost
+
+
+@runtime_checkable
+class EvaluationBackend(Protocol):
+    """The operation surface a :class:`~repro.api.vector.CipherVector` needs.
+
+    Handles are opaque to the caller; both backends expose ``level``,
+    ``scale``, ``slots`` and ``limb_count`` attributes on them so the
+    high-level API can report ciphertext metadata without knowing which
+    backend produced it.
+    """
+
+    params: CKKSParameters
+
+    def encrypt(self, values, *, scale: float | None = None, level: int | None = None): ...
+
+    def add(self, a, b): ...
+    def sub(self, a, b): ...
+    def negate(self, a): ...
+    def add_plain(self, a, values): ...
+    def sub_plain(self, a, values): ...
+    def add_scalar(self, a, value: float): ...
+
+    def multiply(self, a, b): ...
+    def square(self, a): ...
+    def multiply_plain(self, a, values, *, rescale: bool = True): ...
+    def multiply_scalar(self, a, value: float): ...
+
+    def rotate(self, a, steps: int): ...
+    def conjugate(self, a): ...
+    def hoisted_rotations(self, a, steps: Sequence[int]) -> dict: ...
+
+    def rescale(self, a): ...
+    def at_level(self, a, level: int): ...
+    def dot_product_plain(self, handles: Sequence, value_rows: Sequence): ...
+
+    def describe(self) -> dict: ...
+
+
+def as_backend(obj) -> EvaluationBackend:
+    """Normalise a backend-ish object (session or backend) to a backend.
+
+    Lets the application layer accept either a
+    :class:`~repro.api.session.CKKSSession` or a bare backend.
+    """
+    backend = getattr(obj, "backend", obj)
+    if not isinstance(backend, EvaluationBackend):
+        raise TypeError(
+            f"{type(obj).__name__} is neither an EvaluationBackend nor an "
+            f"object exposing one via a .backend attribute"
+        )
+    return backend
+
+
+# ----------------------------------------------------------------------
+# functional backend
+# ----------------------------------------------------------------------
+
+
+class FunctionalBackend:
+    """Executes operations for real through an :class:`Evaluator`.
+
+    Handles are :class:`Ciphertext` objects.  An optional encryptor makes
+    the backend a source of fresh ciphertexts so whole applications (the
+    :mod:`repro.apps` workloads) can be written against the backend alone.
+    """
+
+    name = "functional"
+
+    def __init__(self, evaluator: Evaluator, *, encryptor: Encryptor | None = None) -> None:
+        self.evaluator = evaluator
+        self.context: Context = evaluator.context
+        self.params: CKKSParameters = self.context.params
+        self.encryptor = encryptor
+
+    # -- ciphertext sources -------------------------------------------------
+
+    def encrypt(self, values, *, scale: float | None = None,
+                level: int | None = None) -> Ciphertext:
+        """Encode and encrypt fresh values (requires an encryptor)."""
+        if self.encryptor is None:
+            raise RuntimeError(
+                "this FunctionalBackend has no encryptor; construct it with "
+                "encryptor=... or encrypt through the session/client instead"
+            )
+        limb_count = None if level is None else level + 1
+        return self.encryptor.encrypt_values(values, scale=scale, limb_count=limb_count)
+
+    # -- plaintext encoding -------------------------------------------------
+
+    def _as_plaintext(self, ct: Ciphertext, values, *, for_multiplication: bool) -> Plaintext:
+        if isinstance(values, Plaintext):
+            return values
+        return self.evaluator.encode_for(ct, values, for_multiplication=for_multiplication)
+
+    # -- additions ----------------------------------------------------------
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        return self.evaluator.add(a, b)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        return self.evaluator.sub(a, b)
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        return self.evaluator.negate(a)
+
+    def add_plain(self, a: Ciphertext, values) -> Ciphertext:
+        return self.evaluator.add_plain(a, self._as_plaintext(a, values, for_multiplication=False))
+
+    def sub_plain(self, a: Ciphertext, values) -> Ciphertext:
+        return self.evaluator.sub_plain(a, self._as_plaintext(a, values, for_multiplication=False))
+
+    def add_scalar(self, a: Ciphertext, value: float) -> Ciphertext:
+        return self.evaluator.add_scalar(a, value)
+
+    # -- multiplications ----------------------------------------------------
+
+    def multiply(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        return self.evaluator.multiply(a, b)
+
+    def square(self, a: Ciphertext) -> Ciphertext:
+        return self.evaluator.square(a)
+
+    def multiply_plain(self, a: Ciphertext, values, *, rescale: bool = True) -> Ciphertext:
+        pt = self._as_plaintext(a, values, for_multiplication=True)
+        return self.evaluator.multiply_plain(a, pt, rescale=rescale)
+
+    def multiply_scalar(self, a: Ciphertext, value: float) -> Ciphertext:
+        return self.evaluator.multiply_scalar(a, value)
+
+    # -- rotations ----------------------------------------------------------
+
+    def rotate(self, a: Ciphertext, steps: int) -> Ciphertext:
+        return self.evaluator.rotate(a, steps)
+
+    def conjugate(self, a: Ciphertext) -> Ciphertext:
+        return self.evaluator.conjugate(a)
+
+    def hoisted_rotations(self, a: Ciphertext, steps: Sequence[int]) -> dict[int, Ciphertext]:
+        return self.evaluator.hoisted_rotations(a, steps)
+
+    # -- level / scale management -------------------------------------------
+
+    def rescale(self, a: Ciphertext) -> Ciphertext:
+        return self.evaluator.rescale(a)
+
+    def at_level(self, a: Ciphertext, level: int) -> Ciphertext:
+        return self.evaluator.adjust(a, level)
+
+    def dot_product_plain(self, handles: Sequence[Ciphertext], value_rows: Sequence) -> Ciphertext:
+        plaintexts = [
+            self._as_plaintext(ct, row, for_multiplication=True)
+            for ct, row in zip(handles, value_rows)
+        ]
+        return self.evaluator.dot_product_plain(list(handles), plaintexts)
+
+    # -- reporting ----------------------------------------------------------
+
+    def describe(self) -> dict:
+        return {
+            "backend": self.name,
+            "parameter_set": self.params.describe(),
+            "encryptor": self.encryptor is not None,
+        }
+
+
+# ----------------------------------------------------------------------
+# cost-model backend
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SymbolicCiphertext:
+    """A data-free ciphertext: level, scale and slot metadata only."""
+
+    limb_count: int
+    scale: float
+    slots: int
+    encoded_length: int | None = None
+
+    @property
+    def level(self) -> int:
+        """Remaining multiplicative depth (limb count minus one)."""
+        return self.limb_count - 1
+
+    def copy(self) -> "SymbolicCiphertext":
+        """Return a copy (symbolic ciphertexts are treated as immutable)."""
+        return SymbolicCiphertext(self.limb_count, self.scale, self.slots, self.encoded_length)
+
+
+@dataclass
+class CostLedger:
+    """Accumulated kernel-level costs of a symbolic program."""
+
+    entries: list[tuple[str, OperationCost]] = field(default_factory=list)
+
+    def record(self, name: str, cost: OperationCost) -> None:
+        """Append one operation's cost."""
+        self.entries.append((name, cost))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def operation_counts(self) -> dict[str, int]:
+        """How many times each operation was issued."""
+        counts: dict[str, int] = {}
+        for name, _ in self.entries:
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def as_cost(self, name: str = "program") -> OperationCost:
+        """Flatten the ledger into one composite :class:`OperationCost`."""
+        total = OperationCost(name)
+        for _, cost in self.entries:
+            total.extend(cost)
+        return total
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total bytes read plus written across the whole program."""
+        return sum(cost.bytes_moved for _, cost in self.entries)
+
+    @property
+    def int_ops(self) -> float:
+        """Total integer operations across the whole program."""
+        return sum(cost.int_ops for _, cost in self.entries)
+
+    @property
+    def kernel_count(self) -> int:
+        """Total kernel launches across the whole program."""
+        return sum(cost.kernel_count for _, cost in self.entries)
+
+    def clear(self) -> None:
+        """Drop all recorded entries."""
+        self.entries.clear()
+
+
+class CostModelBackend:
+    """Symbolic execution: level/scale tracking plus an operation-cost ledger.
+
+    Two construction modes:
+
+    * :meth:`from_context` (or ``context=...``) -- track scales against a
+      real context's moduli chain and scale ladder, bit-identical to the
+      functional evaluator (used by the backend-parity tests).
+    * bare ``CostModelBackend(params)`` -- an idealised ladder where every
+      level's scale is ``Δ`` and every rescale prime is ``2**scale_bits``;
+      this is what paper-scale parameter sets use, since their contexts are
+      too large for the functional Python backend.
+
+    Passing ``key_inventory`` (a :class:`KeySet`, typically the server key
+    set of a session) makes rotations and conjugations fail with the same
+    ``KeyError`` the functional backend would raise for a missing key.
+    """
+
+    name = "costmodel"
+
+    def __init__(
+        self,
+        params: CKKSParameters,
+        *,
+        costs: CKKSOperationCosts | None = None,
+        context: Context | None = None,
+        ledger: CostLedger | None = None,
+        key_inventory: KeySet | None = None,
+    ) -> None:
+        self.params = params
+        self.costs = costs if costs is not None else CKKSOperationCosts(
+            params, limb_batch=params.limb_batch, fusion=True
+        )
+        self.context = context
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.key_inventory = key_inventory
+        if context is not None:
+            self._ladder: list[float] = list(context.scale_ladder)
+            self._moduli: list = list(context.moduli)
+        else:
+            delta = params.scale
+            self._ladder = [delta] * (params.mult_depth + 1)
+            self._moduli = [float(2 ** params.first_mod_bits)] + [
+                float(2 ** params.scale_bits)
+            ] * params.mult_depth
+
+    @classmethod
+    def from_context(cls, context: Context, *, costs: CKKSOperationCosts | None = None,
+                     key_inventory: KeySet | None = None) -> "CostModelBackend":
+        """Build a backend whose scale trajectory matches ``context`` exactly."""
+        return cls(context.params, context=context, costs=costs, key_inventory=key_inventory)
+
+    @classmethod
+    def for_model(cls, model) -> "CostModelBackend":
+        """Build a backend sharing a perf model's cost builder (e.g. FIDESlibModel)."""
+        return cls(model.params, costs=model.costs)
+
+    # -- ladder helpers -----------------------------------------------------
+
+    def _scale_at(self, level: int) -> float:
+        if not 0 <= level <= self.params.mult_depth:
+            raise ValueError(f"invalid level {level}")
+        return self._ladder[level]
+
+    def _last_modulus(self, limb_count: int):
+        return self._moduli[limb_count - 1]
+
+    def _record(self, name: str, cost: OperationCost) -> None:
+        self.ledger.record(name, cost)
+
+    # -- ciphertext sources -------------------------------------------------
+
+    def encrypt(self, values=None, *, scale: float | None = None,
+                level: int | None = None) -> SymbolicCiphertext:
+        """Return a fresh symbolic ciphertext (client-side, hence cost-free)."""
+        limb_count = self.params.mult_depth + 1 if level is None else level + 1
+        if not 1 <= limb_count <= self.params.mult_depth + 1:
+            raise ValueError(f"invalid level {level}")
+        scale = self.params.scale if scale is None else float(scale)
+        encoded_length = None
+        if values is not None:
+            encoded_length = int(np.atleast_1d(np.asarray(values)).shape[0])
+        return SymbolicCiphertext(limb_count, scale, self.params.slots, encoded_length)
+
+    # -- level and scale management (mirrors Evaluator) ----------------------
+
+    def rescale(self, a: SymbolicCiphertext) -> SymbolicCiphertext:
+        if a.limb_count < 2:
+            raise ValueError("cannot rescale a level-0 ciphertext")
+        self._record("Rescale", self.costs.rescale(a.limb_count))
+        return SymbolicCiphertext(
+            a.limb_count - 1, a.scale / self._last_modulus(a.limb_count),
+            a.slots, a.encoded_length,
+        )
+
+    def at_level(self, a: SymbolicCiphertext, level: int) -> SymbolicCiphertext:
+        return self._adjust(a, level)
+
+    def _adjust(self, a: SymbolicCiphertext, target_level: int,
+                target_scale: float | None = None) -> SymbolicCiphertext:
+        if target_scale is None:
+            target_scale = self._scale_at(target_level)
+        if target_level > a.level:
+            raise ValueError("cannot adjust to a higher level")
+        if target_level == a.level:
+            if not scales_match(a.scale, target_scale):
+                raise ValueError(
+                    f"cannot change scale in place ({a.scale:.6g} vs {target_scale:.6g})"
+                )
+            return a.copy()
+        reduced_limbs = target_level + 2
+        cost = OperationCost("Adjust")
+        cost.extend(self.costs.scalar_mult(reduced_limbs))
+        cost.extend(self.costs.rescale(reduced_limbs))
+        self._record("Adjust", cost)
+        return SymbolicCiphertext(target_level + 1, float(target_scale),
+                                  a.slots, a.encoded_length)
+
+    def _match(self, a: SymbolicCiphertext, b: SymbolicCiphertext
+               ) -> tuple[SymbolicCiphertext, SymbolicCiphertext]:
+        if a.level == b.level:
+            if scales_match(a.scale, b.scale):
+                return a, b
+            raise ValueError(
+                f"scale mismatch at equal level: {a.scale:.6g} vs {b.scale:.6g}"
+            )
+        if a.level > b.level:
+            return self._adjust(a, b.level, b.scale), b
+        return a, self._adjust(b, a.level, a.scale)
+
+    def _match_for_product(self, a: SymbolicCiphertext, b: SymbolicCiphertext
+                           ) -> tuple[SymbolicCiphertext, SymbolicCiphertext]:
+        if a.level == b.level:
+            return a, b
+        if a.level > b.level:
+            return self._adjust(a, b.level), b
+        return a, self._adjust(b, a.level)
+
+    # -- plaintext scales (mirrors Evaluator.encode_for) ----------------------
+
+    def _plain_scale(self, a: SymbolicCiphertext, values, *, for_multiplication: bool) -> float:
+        if isinstance(values, Plaintext):
+            return values.scale
+        if for_multiplication and a.level >= 1:
+            q = self._last_modulus(a.limb_count)
+            return q * self._scale_at(a.level - 1) / a.scale
+        return a.scale
+
+    # -- additions ----------------------------------------------------------
+
+    def add(self, a: SymbolicCiphertext, b: SymbolicCiphertext) -> SymbolicCiphertext:
+        a2, b2 = self._match(a, b)
+        self._record("HAdd", self.costs.hadd(a2.limb_count))
+        return SymbolicCiphertext(a2.limb_count, a2.scale, a2.slots, a2.encoded_length)
+
+    def sub(self, a: SymbolicCiphertext, b: SymbolicCiphertext) -> SymbolicCiphertext:
+        a2, b2 = self._match(a, b)
+        self._record("HSub", self.costs.hadd(a2.limb_count))
+        return SymbolicCiphertext(a2.limb_count, a2.scale, a2.slots, a2.encoded_length)
+
+    def negate(self, a: SymbolicCiphertext) -> SymbolicCiphertext:
+        cost = OperationCost("Negate")
+        cost.kernels = self.costs.elementwise_kernels(
+            "negate", a.limb_count, polys_read=2.0, polys_written=2.0,
+            ops_per_element=1.0,
+        )
+        self._record("Negate", cost)
+        return a.copy()
+
+    def add_plain(self, a: SymbolicCiphertext, values) -> SymbolicCiphertext:
+        pt_scale = self._plain_scale(a, values, for_multiplication=False)
+        if not scales_match(a.scale, pt_scale):
+            raise ValueError(
+                f"plaintext scale {pt_scale:.6g} does not match ciphertext {a.scale:.6g}"
+            )
+        self._record("PtAdd", self.costs.ptadd(a.limb_count))
+        return a.copy()
+
+    def sub_plain(self, a: SymbolicCiphertext, values) -> SymbolicCiphertext:
+        pt_scale = self._plain_scale(a, values, for_multiplication=False)
+        if not scales_match(a.scale, pt_scale):
+            raise ValueError("plaintext scale does not match ciphertext")
+        self._record("PtSub", self.costs.ptadd(a.limb_count))
+        return a.copy()
+
+    def add_scalar(self, a: SymbolicCiphertext, value: float) -> SymbolicCiphertext:
+        self._record("ScalarAdd", self.costs.scalar_add(a.limb_count))
+        return a.copy()
+
+    # -- multiplications ----------------------------------------------------
+
+    def multiply(self, a: SymbolicCiphertext, b: SymbolicCiphertext) -> SymbolicCiphertext:
+        a2, b2 = self._match_for_product(a, b)
+        self._record("HMult", self.costs.hmult(a2.limb_count))
+        raw = SymbolicCiphertext(a2.limb_count, a2.scale * b2.scale, a2.slots, a2.encoded_length)
+        return self.rescale(raw)
+
+    def square(self, a: SymbolicCiphertext) -> SymbolicCiphertext:
+        self._record("HSquare", self.costs.hsquare(a.limb_count))
+        raw = SymbolicCiphertext(a.limb_count, a.scale * a.scale, a.slots, a.encoded_length)
+        return self.rescale(raw)
+
+    def multiply_plain(self, a: SymbolicCiphertext, values, *,
+                       rescale: bool = True) -> SymbolicCiphertext:
+        pt_scale = self._plain_scale(a, values, for_multiplication=True)
+        self._record("PtMult", self.costs.ptmult(a.limb_count))
+        raw = SymbolicCiphertext(a.limb_count, a.scale * pt_scale, a.slots, a.encoded_length)
+        return self.rescale(raw) if rescale else raw
+
+    def multiply_scalar(self, a: SymbolicCiphertext, value: float) -> SymbolicCiphertext:
+        if a.level == 0:
+            raise ValueError(
+                "multiply_scalar(..., rescale=True) on a level-0 ciphertext: there is "
+                "no limb left to drop, so the result scale cannot be restored to the "
+                "ladder; pass rescale=False (the result keeps scale * scalar_scale) "
+                "or bootstrap the ciphertext first"
+            )
+        self._record("ScalarMult", self.costs.scalar_mult(a.limb_count))
+        self._record("Rescale", self.costs.rescale(a.limb_count))
+        return SymbolicCiphertext(
+            a.limb_count - 1, self._scale_at(a.level - 1) * 1.0, a.slots, a.encoded_length
+        )
+
+    # -- rotations ----------------------------------------------------------
+
+    def _check_rotation_key(self, steps: int) -> None:
+        if self.key_inventory is not None:
+            self.key_inventory.rotation_key(steps)  # raises a descriptive KeyError
+
+    def rotate(self, a: SymbolicCiphertext, steps: int) -> SymbolicCiphertext:
+        if steps % a.slots == 0:
+            return a.copy()
+        self._check_rotation_key(steps)
+        self._record("HRotate", self.costs.hrotate(a.limb_count))
+        return a.copy()
+
+    def conjugate(self, a: SymbolicCiphertext) -> SymbolicCiphertext:
+        if self.key_inventory is not None and self.key_inventory.conjugation_key is None:
+            raise KeyError("no conjugation key was generated")
+        self._record("HConjugate", self.costs.hrotate(a.limb_count))
+        return a.copy()
+
+    def hoisted_rotations(self, a: SymbolicCiphertext,
+                          steps: Sequence[int]) -> dict[int, SymbolicCiphertext]:
+        results: dict[int, SymbolicCiphertext] = {}
+        effective = []
+        for step in steps:
+            step = int(step)
+            results[step] = a.copy()
+            if step % a.slots != 0:
+                self._check_rotation_key(step)
+                effective.append(step)
+        if effective:
+            self._record(
+                f"HoistedRotate x{len(effective)}",
+                self.costs.hoisted_rotations(a.limb_count, len(effective)),
+            )
+        return results
+
+    # -- fusions ------------------------------------------------------------
+
+    def dot_product_plain(self, handles: Sequence[SymbolicCiphertext],
+                          value_rows: Sequence) -> SymbolicCiphertext:
+        if not handles:
+            raise ValueError(
+                "dot_product_plain needs at least one ciphertext/plaintext pair; "
+                "got an empty ciphertext sequence"
+            )
+        if len(handles) != len(value_rows):
+            raise ValueError(
+                f"dot_product_plain needs equally many ciphertexts and plaintexts; "
+                f"got {len(handles)} ciphertexts and {len(value_rows)} plaintexts"
+            )
+        acc = self.multiply_plain(handles[0], value_rows[0], rescale=False)
+        for ct, row in zip(handles[1:], value_rows[1:]):
+            acc = self.add(acc, self.multiply_plain(ct, row, rescale=False))
+        return self.rescale(acc)
+
+    # -- reporting ----------------------------------------------------------
+
+    def describe(self) -> dict:
+        return {
+            "backend": self.name,
+            "parameter_set": self.params.describe(),
+            "mode": "context-exact" if self.context is not None else "ideal-ladder",
+            "operations_recorded": len(self.ledger),
+        }
+
+
+__all__ = [
+    "EvaluationBackend",
+    "FunctionalBackend",
+    "CostModelBackend",
+    "CostLedger",
+    "SymbolicCiphertext",
+    "as_backend",
+]

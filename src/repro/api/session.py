@@ -1,0 +1,336 @@
+"""``CKKSSession``: the one-object entry point to the library.
+
+The paper's usability pitch (§III-E, Table I) is a single ``Context``
+object plus composable primitives.  ``CKKSSession`` bundles the whole
+client/server wiring -- parameters, context, key material,
+encryptor/decryptor and the server-side evaluator -- behind two
+constructors::
+
+    session = CKKSSession.create("toy", rotations=[1, 2], conjugation=True)
+    ct = session.encrypt([0.25, -0.5, 1.0])
+    result = 2.0 * (ct * ct) + 1.0            # CipherVector operators
+    values = session.decrypt(result, 3)
+
+The client/server split of the paper is preserved: ``create`` builds an
+:class:`~repro.openfhe.client.OpenFHEClient` internally and hands only the
+secret-stripped key set to the server-side evaluator, while
+:meth:`CKKSSession.from_client` adopts an existing client.  Sessions also
+wire the FIDESlib-style singleton context
+(:func:`~repro.ckks.context.set_default_context`): creating a session
+registers its context as the process default, and using the session as a
+context manager restores the previous default on exit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.backend import CostModelBackend, FunctionalBackend
+from repro.api.vector import CipherVector
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.context import Context, set_default_context
+from repro.ckks.encryption import encode as encode_plaintext
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import KeySet
+from repro.ckks.params import CKKSParameters, PARAMETER_SETS
+from repro.openfhe.adapter import RawCiphertext, export_ciphertext, import_ciphertext
+from repro.openfhe.client import OpenFHEClient
+from repro.perf.costmodel import CKKSOperationCosts
+
+#: Accepted spellings of the power-of-two rotation autofill spec.
+_POWER_OF_TWO_SPECS = frozenset({"power-of-two", "power_of_two", "pow2"})
+
+
+def resolve_parameters(params_or_preset: CKKSParameters | str) -> CKKSParameters:
+    """Resolve a parameter set from an object or a preset name."""
+    if isinstance(params_or_preset, CKKSParameters):
+        return params_or_preset
+    if isinstance(params_or_preset, str):
+        try:
+            return PARAMETER_SETS[params_or_preset]
+        except KeyError:
+            presets = ", ".join(sorted(PARAMETER_SETS))
+            raise ValueError(
+                f"unknown parameter preset {params_or_preset!r}; "
+                f"available presets: {presets}"
+            ) from None
+    raise TypeError(
+        f"expected CKKSParameters or a preset name, got {type(params_or_preset).__name__}"
+    )
+
+
+def resolve_rotations(spec, slots: int) -> list[int]:
+    """Expand a rotation-key spec into a sorted list of step counts.
+
+    ``spec`` may be ``None``, an iterable of integers, the string
+    ``"power-of-two"`` (autofill of every ``±2^i`` below ``slots``), or an
+    iterable mixing both.
+    """
+    if spec is None:
+        return []
+    if isinstance(spec, str):
+        spec = [spec]
+    steps: set[int] = set()
+    for item in spec:
+        if isinstance(item, str):
+            if item not in _POWER_OF_TWO_SPECS:
+                raise ValueError(
+                    f"unknown rotation spec {item!r}; expected an integer or "
+                    f"'power-of-two'"
+                )
+            power = 1
+            while power < slots:
+                steps.add(power)
+                steps.add(-power)
+                power <<= 1
+        else:
+            step = int(item)
+            if step != 0:
+                steps.add(step)
+    return sorted(steps)
+
+
+class CKKSSession:
+    """A bundled CKKS deployment: context, keys, client and evaluator.
+
+    Most users go through :meth:`create` or :meth:`from_client`; the
+    direct constructor accepts pre-built components (the tests use it to
+    share expensive session-scoped key material).
+    """
+
+    def __init__(
+        self,
+        *,
+        context: Context,
+        evaluator: Evaluator,
+        keys: KeySet | None = None,
+        encryptor=None,
+        decryptor=None,
+        client: OpenFHEClient | None = None,
+        register_default: bool = True,
+    ) -> None:
+        self.context = context
+        self.evaluator = evaluator
+        self.keys = keys if keys is not None else evaluator.keys
+        self.client = client
+        self._encryptor = encryptor if encryptor is not None else (
+            client.encryptor if client is not None else None
+        )
+        self._decryptor = decryptor if decryptor is not None else (
+            client.decryptor if client is not None else None
+        )
+        self.backend = FunctionalBackend(evaluator, encryptor=self._encryptor)
+        self._previous_default: Context | None = None
+        self._active = False
+        if register_default:
+            self._previous_default = set_default_context(context)
+            self._active = True
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        params_or_preset: CKKSParameters | str = "toy",
+        *,
+        rotations=(),
+        conjugation: bool = False,
+        seed: int | None = None,
+        register_default: bool = True,
+    ) -> "CKKSSession":
+        """Create a full session: parameters, client, keys and evaluator.
+
+        ``rotations`` accepts explicit step counts or the
+        ``"power-of-two"`` autofill (see :func:`resolve_rotations`); the
+        corresponding rotation keys are generated up front so
+        ``CipherVector`` rotations cannot hit a missing-key error later.
+        """
+        params = resolve_parameters(params_or_preset)
+        client = OpenFHEClient(params, seed=seed)
+        steps = resolve_rotations(rotations, params.slots)
+        server_keys = client.key_gen(steps, conjugation=conjugation)
+        evaluator = Evaluator(client.context, server_keys)
+        return cls(
+            context=client.context,
+            evaluator=evaluator,
+            keys=server_keys,
+            client=client,
+            register_default=register_default,
+        )
+
+    @classmethod
+    def from_client(
+        cls,
+        client: OpenFHEClient,
+        *,
+        rotations=(),
+        conjugation: bool = False,
+        register_default: bool = True,
+    ) -> "CKKSSession":
+        """Adopt an existing client, preserving the paper's client/server split.
+
+        If the client has not generated keys yet, ``key_gen`` runs with
+        the requested rotations; otherwise any missing rotation (and
+        conjugation) keys are generated on top of the existing material.
+        """
+        steps = resolve_rotations(rotations, client.params.slots)
+        if not client.has_keys:
+            server_keys = client.key_gen(steps, conjugation=conjugation)
+        else:
+            server_keys = client.add_rotation_keys(steps) if steps else \
+                client.keys.without_secret()
+            if conjugation and server_keys.conjugation_key is None:
+                server_keys = client.add_conjugation_key()
+        evaluator = Evaluator(client.context, server_keys)
+        return cls(
+            context=client.context,
+            evaluator=evaluator,
+            keys=server_keys,
+            client=client,
+            register_default=register_default,
+        )
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+
+    @property
+    def params(self) -> CKKSParameters:
+        """The session's CKKS parameter set."""
+        return self.context.params
+
+    @property
+    def slots(self) -> int:
+        """Number of message slots ``N/2``."""
+        return self.context.slots
+
+    @property
+    def max_level(self) -> int:
+        """Top multiplicative level ``L``."""
+        return self.context.max_level
+
+    # ------------------------------------------------------------------
+    # encode / encrypt / decrypt / upload
+    # ------------------------------------------------------------------
+
+    def encrypt(self, values, *, scale: float | None = None,
+                level: int | None = None) -> CipherVector:
+        """Encode and encrypt values into an operator-ready handle."""
+        return CipherVector(self.backend, self.backend.encrypt(values, scale=scale, level=level))
+
+    def encode(self, values, *, like: CipherVector | Ciphertext | None = None,
+               for_multiplication: bool = True, scale: float | None = None) -> Plaintext:
+        """Encode values, optionally matched to a ciphertext's level/scale."""
+        if like is not None:
+            ct = like.handle if isinstance(like, CipherVector) else like
+            return self.evaluator.encode_for(ct, values, for_multiplication=for_multiplication)
+        return encode_plaintext(self.context, values, scale=scale)
+
+    def decrypt(self, ciphertext, length: int | None = None) -> np.ndarray:
+        """Decrypt a CipherVector, Ciphertext or RawCiphertext (client role)."""
+        if self._decryptor is None:
+            raise RuntimeError(
+                "this session has no decryptor (server-side session); decrypt "
+                "on the client that owns the secret key"
+            )
+        if isinstance(ciphertext, CipherVector):
+            ciphertext = ciphertext.handle
+        if isinstance(ciphertext, RawCiphertext):
+            ciphertext = import_ciphertext(self.context, ciphertext)
+        if not isinstance(ciphertext, Ciphertext):
+            raise TypeError(
+                f"cannot decrypt a {type(ciphertext).__name__}; cost-model "
+                f"handles carry no message data"
+            )
+        return self._decryptor.decrypt_values(ciphertext, length)
+
+    def upload(self, raw: RawCiphertext) -> CipherVector:
+        """Import a raw adapter ciphertext into the server-side session."""
+        return self.wrap(import_ciphertext(self.context, raw))
+
+    def download(self, vector: CipherVector | Ciphertext) -> RawCiphertext:
+        """Export a ciphertext through the adapter layer (for the client)."""
+        ct = vector.handle if isinstance(vector, CipherVector) else vector
+        return export_ciphertext(ct, parameter_tag=self.params.describe())
+
+    def wrap(self, ciphertext: Ciphertext) -> CipherVector:
+        """Wrap an existing server-side ciphertext in a CipherVector."""
+        return CipherVector(self.backend, ciphertext)
+
+    # ------------------------------------------------------------------
+    # key management
+    # ------------------------------------------------------------------
+
+    def add_rotation_keys(self, rotations) -> None:
+        """Generate additional rotation keys (requires the owning client)."""
+        if self.client is None:
+            raise RuntimeError(
+                "this session was built without a client; generate rotation keys "
+                "through the KeyGenerator that produced its key set"
+            )
+        steps = resolve_rotations(rotations, self.slots)
+        refreshed = self.client.add_rotation_keys(steps)
+        self.keys.rotation_keys.update(refreshed.rotation_keys)
+
+    # ------------------------------------------------------------------
+    # backends
+    # ------------------------------------------------------------------
+
+    def cost_backend(self, costs: CKKSOperationCosts | None = None,
+                     *, check_keys: bool = True) -> CostModelBackend:
+        """A cost-model twin of this session's functional backend.
+
+        The returned backend tracks levels and scales against this
+        session's real moduli chain, so a program replayed on it follows
+        the exact trajectory of the functional backend, while accumulating
+        an :class:`~repro.api.backend.CostLedger`.  With ``check_keys``
+        (default) it also raises the same ``KeyError`` the evaluator would
+        for rotations whose keys were never generated.
+        """
+        return CostModelBackend.from_context(
+            self.context, costs=costs,
+            key_inventory=self.keys if check_keys else None,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle / default-context wiring
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "CKKSSession":
+        if not self._active:
+            # Sessions built with register_default=True already captured the
+            # previous default at construction; don't overwrite it with
+            # ourselves here, or close() could never restore it.
+            self._previous_default = set_default_context(self.context)
+            self._active = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Restore the previously registered default context."""
+        if self._active:
+            set_default_context(self._previous_default)
+            self._previous_default = None
+            self._active = False
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Context summary merged with the key inventory."""
+        summary = self.context.describe()
+        summary["keys"] = {
+            "relinearization": self.keys.relinearization_key is not None,
+            "rotation_steps": sorted(self.keys.rotation_keys),
+            "conjugation": self.keys.conjugation_key is not None,
+            "secret_available": self.client is not None or self.keys.secret_key is not None,
+        }
+        return summary
+
+
+__all__ = ["CKKSSession", "resolve_parameters", "resolve_rotations"]

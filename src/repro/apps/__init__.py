@@ -1,4 +1,10 @@
-"""Realistic encrypted workloads built on the public CKKS API.
+"""Realistic encrypted workloads built on the high-level :mod:`repro.api`.
+
+Every workload is written once against the
+:class:`~repro.api.backend.EvaluationBackend` seam: it verifies
+functionally on a :class:`~repro.api.backend.FunctionalBackend` and costs
+on a :class:`~repro.api.backend.CostModelBackend` at paper-scale
+parameters.
 
 * :mod:`repro.apps.dataset` -- synthetic loan-eligibility data standing in
   for the proprietary 45,000-sample dataset of the paper's LR experiment.

@@ -1,27 +1,32 @@
-"""Encrypted linear-algebra building blocks.
+"""Encrypted linear-algebra building blocks on the backend seam.
 
 These helpers exercise the rotation machinery (including hoisted
 rotations) on realistic patterns: slot sums, inner products between
 ciphertexts, and small matrix-vector products evaluated with the diagonal
-method.  The logistic-regression and statistics apps are built on top of
-them.
+method.  They are written against the
+:class:`~repro.api.backend.EvaluationBackend` protocol, so the same code
+runs functionally (real ciphertexts) or symbolically (GPU cost model).
+The logistic-regression and statistics apps are built on top of them.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.ckks.ciphertext import Ciphertext
-from repro.ckks.context import Context
-from repro.ckks.evaluator import Evaluator
+from repro.api.backend import as_backend
+from repro.api.vector import CipherVector, as_vector
 
 
 class EncryptedLinearAlgebra:
-    """Rotation-based linear algebra over encrypted vectors."""
+    """Rotation-based linear algebra over encrypted vectors.
 
-    def __init__(self, context: Context, evaluator: Evaluator) -> None:
-        self.context = context
-        self.evaluator = evaluator
+    ``backend`` may be an :class:`~repro.api.backend.EvaluationBackend`
+    or anything exposing one through a ``.backend`` attribute (e.g. a
+    :class:`~repro.api.session.CKKSSession`).
+    """
+
+    def __init__(self, backend) -> None:
+        self.backend = as_backend(backend)
 
     @staticmethod
     def rotation_steps_for_sum(length: int) -> list[int]:
@@ -30,61 +35,61 @@ class EncryptedLinearAlgebra:
             raise ValueError("length must be a power of two")
         return [1 << i for i in range(int(np.log2(length)))] if length > 1 else []
 
-    def sum_slots(self, ct: Ciphertext, length: int) -> Ciphertext:
+    def sum_slots(self, ct, length: int) -> CipherVector:
         """Return a ciphertext whose slots all contain ``Σ_{i<length} slot_i``.
 
         Uses the rotate-and-add tree, so it needs rotation keys for the
         powers of two below ``length``.
         """
-        result = ct
+        result = as_vector(self.backend, ct)
         for step in self.rotation_steps_for_sum(length):
-            rotated = self.evaluator.rotate(result, step)
-            result = self.evaluator.add(result, rotated)
+            result = result + (result << step)
         return result
 
-    def inner_product(self, ct_a: Ciphertext, ct_b: Ciphertext, length: int) -> Ciphertext:
+    def inner_product(self, ct_a, ct_b, length: int) -> CipherVector:
         """Inner product of two encrypted vectors, broadcast to every slot."""
-        product = self.evaluator.multiply(ct_a, ct_b)
+        product = as_vector(self.backend, ct_a) * as_vector(self.backend, ct_b)
         return self.sum_slots(product, length)
 
-    def weighted_sum(self, cts: list[Ciphertext], weights: list[float]) -> Ciphertext:
+    def weighted_sum(self, cts, weights) -> CipherVector:
         """Return ``Σ_i weights[i] * cts[i]`` (scalar multiplications + adds)."""
         if len(cts) != len(weights) or not cts:
             raise ValueError("need equally many ciphertexts and weights")
-        result = self.evaluator.multiply_scalar(cts[0], float(weights[0]))
+        result = as_vector(self.backend, cts[0]) * float(weights[0])
         for ct, weight in zip(cts[1:], weights[1:]):
-            term = self.evaluator.multiply_scalar(ct, float(weight))
-            result = self.evaluator.add(result, term)
+            result = result + as_vector(self.backend, ct) * float(weight)
         return result
 
-    def matrix_vector(self, matrix: np.ndarray, ct: Ciphertext) -> Ciphertext:
+    def matrix_vector(self, matrix: np.ndarray, ct) -> CipherVector:
         """Multiply an encrypted vector by a small plaintext square matrix.
 
         Uses the diagonal method: ``M·v = Σ_k diag_k(M) ⊙ rot_k(v)``, with
-        all rotations produced by one hoisted decomposition (§III-F.6).
-        The matrix dimension must divide the slot count.
+        all rotations produced by one hoisted decomposition (§III-F.6) and
+        the accumulation by the dot-product fusion of §III-F.5.  The
+        matrix dimension must divide the slot count.
         """
         matrix = np.asarray(matrix, dtype=np.float64)
         dim = matrix.shape[0]
         if matrix.shape != (dim, dim):
             raise ValueError("matrix must be square")
+        vector = as_vector(self.backend, ct)
         steps = [k for k in range(1, dim)]
-        rotations = self.evaluator.hoisted_rotations(ct, steps) if steps else {}
-        rotations[0] = ct
-        result = None
+        rotations = vector.rotate_many(steps) if steps else {}
+        rotations[0] = vector
+        handles, diagonal_rows = [], []
         indices = np.arange(dim)
+        repeats = vector.slots // dim
         for k in range(dim):
             diagonal = matrix[indices, (indices + k) % dim]
             if not np.any(np.abs(diagonal) > 1e-12):
                 continue
-            repeats = ct.slots // dim
-            diag_slots = np.tile(diagonal, repeats)
-            pt = self.evaluator.encode_for(rotations[k], diag_slots)
-            term = self.evaluator.multiply_plain(rotations[k], pt, rescale=False)
-            result = term if result is None else self.evaluator.add(result, term)
-        if result is None:
+            handles.append(rotations[k].handle)
+            diagonal_rows.append(np.tile(diagonal, repeats))
+        if not handles:
             raise ValueError("matrix is identically zero")
-        return self.evaluator.rescale(result)
+        return CipherVector(
+            self.backend, self.backend.dot_product_plain(handles, diagonal_rows)
+        )
 
 
 __all__ = ["EncryptedLinearAlgebra"]

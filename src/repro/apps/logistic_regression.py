@@ -5,9 +5,14 @@ the paper benchmarks: features and labels are encrypted column-wise
 (one ciphertext per feature column, samples in the slots), the model is a
 set of encrypted per-feature weight ciphertexts, and each iteration
 evaluates the polynomial-approximated sigmoid and the gradient entirely
-under encryption.  The functional backend runs reduced problem sizes; the
-paper-scale cost is reproduced by
-:class:`repro.perf.workloads.LogisticRegressionWorkload`.
+under encryption.
+
+The model is written against the backend seam of :mod:`repro.api`: on a
+:class:`~repro.api.backend.FunctionalBackend` it trains for real at
+reduced problem sizes, while the *same* training step replayed on a
+:class:`~repro.api.backend.CostModelBackend` reproduces the paper-scale
+GPU cost (see :class:`repro.perf.workloads.LogisticRegressionWorkload`
+for the closed-form counterpart).
 """
 
 from __future__ import annotations
@@ -16,11 +21,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.backend import as_backend
+from repro.api.vector import CipherVector
 from repro.apps.linear_algebra import EncryptedLinearAlgebra
-from repro.ckks.ciphertext import Ciphertext
-from repro.ckks.context import Context
-from repro.ckks.encryption import Decryptor, Encryptor
-from repro.ckks.evaluator import Evaluator
 
 #: Degree-3 least-squares approximation of the sigmoid on [-6, 6]
 #: (the approximation used by Han et al. for encrypted LR training).
@@ -74,24 +77,25 @@ class EncryptedLogisticRegression:
 
     Parameters
     ----------
-    context, evaluator, encryptor:
-        CKKS machinery; the evaluator needs rotation keys for the powers
-        of two below the batch size (rotation sums over the samples).
+    backend:
+        An :class:`~repro.api.backend.EvaluationBackend` (or a
+        :class:`~repro.api.session.CKKSSession`).  The backend needs
+        rotation keys for the powers of two below the batch size
+        (rotation sums over the samples).
     feature_count:
         Number of (padded) features; one ciphertext per feature column.
     learning_rate:
         Gradient-descent step size.
     """
 
-    context: Context
-    evaluator: Evaluator
-    encryptor: Encryptor
+    backend: object
     feature_count: int
     learning_rate: float = 1.0
-    weight_cts: list[Ciphertext] = field(default_factory=list)
+    weights: list[CipherVector] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self._linalg = EncryptedLinearAlgebra(self.context, self.evaluator)
+        self.backend = as_backend(self.backend)
+        self._linalg = EncryptedLinearAlgebra(self.backend)
 
     # ------------------------------------------------------------------
 
@@ -100,65 +104,65 @@ class EncryptedLogisticRegression:
         """Rotation keys needed to train with mini-batches of ``batch_size``."""
         return EncryptedLinearAlgebra.rotation_steps_for_sum(batch_size)
 
+    def _encrypt(self, values) -> CipherVector:
+        return CipherVector(self.backend, self.backend.encrypt(values))
+
     def encrypt_batch(self, features: np.ndarray, labels: np.ndarray
-                      ) -> tuple[list[Ciphertext], Ciphertext]:
+                      ) -> tuple[list[CipherVector], CipherVector]:
         """Encrypt a mini-batch column-wise: one ciphertext per feature."""
         samples, dim = features.shape
         if dim != self.feature_count:
             raise ValueError("feature dimension mismatch")
-        columns = [self.encryptor.encrypt_values(features[:, j]) for j in range(dim)]
-        label_ct = self.encryptor.encrypt_values(labels)
+        columns = [self._encrypt(features[:, j]) for j in range(dim)]
+        label_ct = self._encrypt(labels)
         return columns, label_ct
 
     def initialise_weights(self) -> None:
         """Encrypt an all-zero weight vector (one broadcast ciphertext per feature)."""
-        self.weight_cts = [
-            self.encryptor.encrypt_values(np.zeros(1)) for _ in range(self.feature_count)
-        ]
+        self.weights = [self._encrypt(np.zeros(1)) for _ in range(self.feature_count)]
 
     # ------------------------------------------------------------------
 
-    def _logits(self, columns: list[Ciphertext]) -> Ciphertext:
-        terms = [
-            self.evaluator.multiply(column, weight)
-            for column, weight in zip(columns, self.weight_cts)
-        ]
+    def _logits(self, columns: list[CipherVector]) -> CipherVector:
+        terms = [column * weight for column, weight in zip(columns, self.weights)]
         logits = terms[0]
         for term in terms[1:]:
-            logits = self.evaluator.add(logits, term)
+            logits = logits + term
         return logits
 
-    def _sigmoid(self, logits: Ciphertext) -> Ciphertext:
+    def _sigmoid(self, logits: CipherVector) -> CipherVector:
         c0, c1, _, c3 = SIGMOID_COEFFS
-        linear = self.evaluator.multiply_scalar(logits, c1)
-        squared = self.evaluator.square(logits)
-        cubed = self.evaluator.multiply(squared, logits)
-        cubic = self.evaluator.multiply_scalar(cubed, c3)
-        result = self.evaluator.add(linear, cubic)
-        return self.evaluator.add_scalar(result, c0)
+        linear = logits * c1
+        cubed = (logits ** 2) * logits
+        return linear + cubed * c3 + c0
 
-    def train_batch(self, columns: list[Ciphertext], label_ct: Ciphertext,
+    def train_batch(self, columns: list[CipherVector], label_ct: CipherVector,
                     batch_size: int) -> None:
         """Run one encrypted gradient-descent step on an encrypted mini-batch."""
-        if not self.weight_cts:
+        if not self.weights:
             self.initialise_weights()
         logits = self._logits(columns)
         activation = self._sigmoid(logits)
-        residual = self.evaluator.sub(activation, label_ct)
+        residual = activation - label_ct
         scale = -self.learning_rate / batch_size
         new_weights = []
-        for column, weight in zip(columns, self.weight_cts):
-            correlation = self.evaluator.multiply(residual, column)
+        for column, weight in zip(columns, self.weights):
+            correlation = residual * column
             gradient = self._linalg.sum_slots(correlation, batch_size)
-            update = self.evaluator.multiply_scalar(gradient, scale)
-            new_weights.append(self.evaluator.add(weight, update))
-        self.weight_cts = new_weights
+            new_weights.append(weight + gradient * scale)
+        self.weights = new_weights
 
-    def decrypt_weights(self, decryptor: Decryptor) -> np.ndarray:
-        """Decrypt the current model (client-side operation)."""
-        return np.array(
-            [float(decryptor.decrypt_values(w, 1)[0].real) for w in self.weight_cts]
-        )
+    def decrypt_weights(self, decryptor) -> np.ndarray:
+        """Decrypt the current model (client-side operation).
+
+        ``decryptor`` may be a :class:`~repro.ckks.encryption.Decryptor`
+        or a :class:`~repro.api.session.CKKSSession`.
+        """
+        if hasattr(decryptor, "decrypt_values"):
+            values = [decryptor.decrypt_values(w.handle, 1) for w in self.weights]
+        else:
+            values = [decryptor.decrypt(w, 1) for w in self.weights]
+        return np.array([float(v[0].real) for v in values])
 
 
 __all__ = [

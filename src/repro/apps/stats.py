@@ -2,50 +2,43 @@
 
 A small privacy-preserving-analytics workload: mean, variance and
 covariance of encrypted samples, computed with rotation sums and
-scalar/plaintext arithmetic only.  Used as one of the runnable examples
-and as an integration test of the rotation and rescaling machinery.
+scalar/plaintext arithmetic only.  Written against the backend seam of
+:mod:`repro.api`, so the same code verifies functionally and costs on the
+GPU model.  Used as one of the runnable examples and as an integration
+test of the rotation and rescaling machinery.
 """
 
 from __future__ import annotations
 
+from repro.api.backend import as_backend
+from repro.api.vector import CipherVector, as_vector
 from repro.apps.linear_algebra import EncryptedLinearAlgebra
-from repro.ckks.ciphertext import Ciphertext
-from repro.ckks.context import Context
-from repro.ckks.evaluator import Evaluator
 
 
 class EncryptedStatistics:
     """Mean / variance / covariance over encrypted sample vectors."""
 
-    def __init__(self, context: Context, evaluator: Evaluator) -> None:
-        self.context = context
-        self.evaluator = evaluator
-        self.linalg = EncryptedLinearAlgebra(context, evaluator)
+    def __init__(self, backend) -> None:
+        self.backend = as_backend(backend)
+        self.linalg = EncryptedLinearAlgebra(self.backend)
 
-    def mean(self, ct: Ciphertext, count: int) -> Ciphertext:
+    def mean(self, ct, count: int) -> CipherVector:
         """Mean of the first ``count`` slots, broadcast to every slot."""
-        total = self.linalg.sum_slots(ct, count)
-        return self.evaluator.multiply_scalar(total, 1.0 / count)
+        return self.linalg.sum_slots(ct, count) * (1.0 / count)
 
-    def variance(self, ct: Ciphertext, count: int) -> Ciphertext:
+    def variance(self, ct, count: int) -> CipherVector:
         """Population variance of the first ``count`` slots (broadcast)."""
-        mean = self.mean(ct, count)
-        mean_of_squares = self.evaluator.multiply_scalar(
-            self.linalg.sum_slots(self.evaluator.square(ct), count), 1.0 / count
-        )
-        mean_squared = self.evaluator.square(mean)
-        return self.evaluator.sub(mean_of_squares, mean_squared)
+        vector = as_vector(self.backend, ct)
+        mean = self.mean(vector, count)
+        mean_of_squares = self.linalg.sum_slots(vector ** 2, count) * (1.0 / count)
+        return mean_of_squares - mean ** 2
 
-    def covariance(self, ct_a: Ciphertext, ct_b: Ciphertext, count: int) -> Ciphertext:
+    def covariance(self, ct_a, ct_b, count: int) -> CipherVector:
         """Population covariance of two encrypted sample vectors."""
-        mean_a = self.mean(ct_a, count)
-        mean_b = self.mean(ct_b, count)
-        mean_product = self.evaluator.multiply_scalar(
-            self.linalg.sum_slots(self.evaluator.multiply(ct_a, ct_b), count),
-            1.0 / count,
-        )
-        product_of_means = self.evaluator.multiply(mean_a, mean_b)
-        return self.evaluator.sub(mean_product, product_of_means)
+        a = as_vector(self.backend, ct_a)
+        b = as_vector(self.backend, ct_b)
+        mean_product = self.linalg.sum_slots(a * b, count) * (1.0 / count)
+        return mean_product - self.mean(a, count) * self.mean(b, count)
 
 
 __all__ = ["EncryptedStatistics"]

@@ -233,17 +233,44 @@ class Context:
 _default_context: Context | None = None
 
 
-def set_default_context(context: Context) -> None:
-    """Register ``context`` as the process-wide default (singleton pattern)."""
+def set_default_context(context: Context | None) -> Context | None:
+    """Register ``context`` as the process-wide default (singleton pattern).
+
+    Returns the previously registered default (or ``None``) so callers --
+    notably :class:`repro.api.session.CKKSSession` used as a context
+    manager -- can restore it afterwards.  Passing ``None`` clears the
+    default.
+    """
     global _default_context
+    previous = _default_context
     _default_context = context
+    return previous
 
 
 def get_default_context() -> Context:
-    """Return the process-wide default context, raising if none is set."""
+    """Return the process-wide default context, raising if none is set.
+
+    The default is registered by :func:`set_default_context`, which the
+    session layer (:class:`repro.api.session.CKKSSession`) calls on
+    activation -- mirroring FIDESlib's singleton ``Context`` whose
+    precomputed tables live in GPU constant memory.
+    """
     if _default_context is None:
-        raise RuntimeError("no default CKKS context has been registered")
+        raise RuntimeError(
+            "no default CKKS context has been registered; create one via "
+            "CKKSSession.create(...) or call set_default_context() directly"
+        )
     return _default_context
 
 
-__all__ = ["Context", "set_default_context", "get_default_context"]
+def clear_default_context() -> None:
+    """Unregister the process-wide default context (mainly for tests)."""
+    set_default_context(None)
+
+
+__all__ = [
+    "Context",
+    "set_default_context",
+    "get_default_context",
+    "clear_default_context",
+]

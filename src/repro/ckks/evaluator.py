@@ -169,6 +169,13 @@ class Evaluator:
         The constant is encoded at the scale that restores the ladder after
         the rescale, so chained operations keep exact per-level scales.
         """
+        if rescale and ct.level == 0:
+            raise ValueError(
+                "multiply_scalar(..., rescale=True) on a level-0 ciphertext: there is "
+                "no limb left to drop, so the result scale cannot be restored to the "
+                "ladder; pass rescale=False (the result keeps scale * scalar_scale) "
+                "or bootstrap the ciphertext first"
+            )
         if scalar_scale is None:
             if rescale and ct.level >= 1:
                 q = ct.moduli[-1]
@@ -323,17 +330,33 @@ class Evaluator:
     def dot_product_plain(self, cts: Sequence[Ciphertext], plaintexts: Sequence[Plaintext],
                           *, rescale: bool = True) -> Ciphertext:
         """Fused weighted sum ``Σ ct_i ⊙ pt_i`` (the dot-product fusion of §III-F.5)."""
-        if len(cts) != len(plaintexts) or not cts:
-            raise ValueError("need equally many ciphertexts and plaintexts")
+        if not cts:
+            raise ValueError(
+                "dot_product_plain needs at least one ciphertext/plaintext pair; "
+                "got an empty ciphertext sequence"
+            )
+        if len(cts) != len(plaintexts):
+            raise ValueError(
+                f"dot_product_plain needs equally many ciphertexts and plaintexts; "
+                f"got {len(cts)} ciphertexts and {len(plaintexts)} plaintexts"
+            )
         acc = self.multiply_plain(cts[0], plaintexts[0], rescale=False)
         for ct, pt in zip(cts[1:], plaintexts[1:]):
             acc = self.add(acc, self.multiply_plain(ct, pt, rescale=False))
         return self.rescale(acc) if rescale else acc
 
 
-def _scales_match(scale_a: float, scale_b: float, tolerance: float = _SCALE_TOLERANCE) -> bool:
-    """Return True when two scales are equal up to ``tolerance`` (relative)."""
+def scales_match(scale_a: float, scale_b: float, tolerance: float = _SCALE_TOLERANCE) -> bool:
+    """Return True when two scales are equal up to ``tolerance`` (relative).
+
+    Shared by the evaluator and the symbolic cost-model backend of
+    :mod:`repro.api` so both reject mismatched scales identically.
+    """
     return math.isclose(scale_a, scale_b, rel_tol=tolerance)
 
 
-__all__ = ["Evaluator"]
+#: Backwards-compatible private alias.
+_scales_match = scales_match
+
+
+__all__ = ["Evaluator", "scales_match"]

@@ -82,8 +82,12 @@ class KeySet:
         """Return the rotation key for ``steps``, raising if it was not generated."""
         key = self.rotation_keys.get(steps)
         if key is None:
+            available = sorted(self.rotation_keys)
+            inventory = ", ".join(str(s) for s in available) if available else "none"
             raise KeyError(
-                f"no rotation key for {steps} steps; generate it with KeyGenerator"
+                f"no rotation key for {steps} steps (available rotation steps: "
+                f"{inventory}); generate it with KeyGenerator.generate_rotation_key "
+                f"or request it up front via CKKSSession.create(rotations=...)"
             )
         return key
 

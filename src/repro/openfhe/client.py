@@ -74,10 +74,34 @@ class OpenFHEClient:
                 )
         return keys.without_secret()
 
+    def add_conjugation_key(self) -> KeySet:
+        """Generate the conjugation key if it is missing."""
+        keys = self._require_keys()
+        if keys.conjugation_key is None:
+            keys.conjugation_key = self._keygen.generate_conjugation_key(keys.secret_key)
+        return keys.without_secret()
+
+    @property
+    def has_keys(self) -> bool:
+        """True once :meth:`key_gen` has run."""
+        return self._keys is not None
+
     @property
     def keys(self) -> KeySet:
         """Return the full key set (secret included); client-side only."""
         return self._require_keys()
+
+    @property
+    def encryptor(self) -> Encryptor:
+        """The public-key encryptor (available after :meth:`key_gen`)."""
+        self._require_keys()
+        return self._encryptor
+
+    @property
+    def decryptor(self) -> Decryptor:
+        """The secret-key decryptor (available after :meth:`key_gen`)."""
+        self._require_keys()
+        return self._decryptor
 
     # ------------------------------------------------------------------
     # encode / encrypt / decrypt

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.api.session import CKKSSession
 from repro.apps.linear_algebra import EncryptedLinearAlgebra
 from repro.ckks.context import Context
 from repro.ckks.encryption import Decryptor, Encryptor
@@ -58,6 +59,19 @@ def encryptor(context, keys) -> Encryptor:
 def decryptor(context, keys) -> Decryptor:
     """Shared decryptor (plays the client role of the integration tests)."""
     return Decryptor(context, keys.secret_key)
+
+
+@pytest.fixture(scope="session")
+def session(context, keys, evaluator, encryptor, decryptor) -> CKKSSession:
+    """High-level session sharing the expensive session-scoped key material."""
+    return CKKSSession(
+        context=context,
+        evaluator=evaluator,
+        keys=keys,
+        encryptor=encryptor,
+        decryptor=decryptor,
+        register_default=False,
+    )
 
 
 @pytest.fixture(scope="session")

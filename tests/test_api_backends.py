@@ -1,0 +1,213 @@
+"""Backend-seam tests: functional vs cost-model parity.
+
+The acceptance property of the backend seam: the same ``CipherVector``
+program object runs unmodified on both
+:class:`~repro.api.backend.FunctionalBackend` and
+:class:`~repro.api.backend.CostModelBackend`, with identical level/scale
+trajectories, and the cost backend additionally accumulates a kernel
+ledger the GPU models can execute.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.backend import CostLedger, CostModelBackend, FunctionalBackend, as_backend
+from repro.api.vector import CipherVector
+from repro.apps.logistic_regression import EncryptedLogisticRegression
+from repro.apps.stats import EncryptedStatistics
+from repro.ckks.params import PARAMETER_SETS
+from tests.conftest import assert_close
+
+
+def polynomial_program(x, y, trace):
+    """A small polynomial-evaluation program, backend-agnostic.
+
+    ``trace`` collects every intermediate handle so the test can compare
+    the full level/scale trajectory, not just the final state.
+    """
+    product = x * y
+    trace.append(product)
+    doubled = 2.0 * product
+    trace.append(doubled)
+    shifted = doubled + 1.0
+    trace.append(shifted)
+    squared = shifted ** 2
+    trace.append(squared)
+    rotated = squared << 1
+    trace.append(rotated)
+    mixed = rotated + x.at_level(rotated.level)
+    trace.append(mixed)
+    masked = mixed * np.linspace(0.0, 1.0, x.slots)
+    trace.append(masked)
+    return masked
+
+
+class TestFunctionalCostParity:
+    def test_identical_level_scale_trajectories(self, session):
+        """The acceptance test: one program, two backends, same trajectory."""
+        functional = session.backend
+        costmodel = session.cost_backend()
+
+        rng = np.random.default_rng(42)
+        a = rng.uniform(-0.5, 0.5, 8)
+        b = rng.uniform(-0.5, 0.5, 8)
+
+        fn_trace, cm_trace = [], []
+        fn_result = polynomial_program(session.encrypt(a), session.encrypt(b), fn_trace)
+        cm_result = polynomial_program(
+            CipherVector(costmodel, costmodel.encrypt(a)),
+            CipherVector(costmodel, costmodel.encrypt(b)),
+            cm_trace,
+        )
+
+        assert len(fn_trace) == len(cm_trace)
+        for step, (fn, cm) in enumerate(zip(fn_trace, cm_trace)):
+            assert fn.level == cm.level, f"level diverged at step {step}"
+            assert fn.scale == pytest.approx(cm.scale, rel=1e-12), \
+                f"scale diverged at step {step}"
+        assert fn_result.level == cm_result.level
+        assert fn_result.scale == pytest.approx(cm_result.scale, rel=1e-12)
+
+        # The cost side really accumulated kernels while the functional
+        # side computed; the functional ledger does not exist at all.
+        assert costmodel.ledger.kernel_count > 0
+        assert costmodel.ledger.bytes_moved > 0
+        assert isinstance(functional, FunctionalBackend)
+
+    def test_functional_result_is_correct(self, session, rng):
+        a = rng.uniform(-0.5, 0.5, 8)
+        b = rng.uniform(-0.5, 0.5, 8)
+        result = polynomial_program(session.encrypt(a), session.encrypt(b), [])
+        mask = np.linspace(0.0, 1.0, session.slots)
+        expected = (np.roll((2 * a * b + 1) ** 2, -1) + a) * mask[:8]
+        assert_close(session.decrypt(result, 8).real, expected, 2e-2)
+
+    def test_error_paths_match(self, session):
+        """Both backends reject the same invalid programs the same way."""
+        functional = session.backend
+        costmodel = session.cost_backend()
+        fn_ct = session.encrypt([0.5]).at_level(0)
+        cm_ct = CipherVector(costmodel, costmodel.encrypt([0.5], level=0))
+
+        for vec in (fn_ct, cm_ct):
+            with pytest.raises(ValueError, match="level-0"):
+                vec * 2.0
+            with pytest.raises(ValueError, match="rescale a level-0"):
+                vec.rescale()
+            with pytest.raises(ValueError, match="higher level"):
+                vec.at_level(3)
+
+    def test_missing_rotation_keys_match(self, session):
+        costmodel = session.cost_backend()
+        cm_ct = CipherVector(costmodel, costmodel.encrypt([0.5]))
+        with pytest.raises(KeyError, match="available rotation steps"):
+            cm_ct << 7
+        # without key checking the same rotation is allowed
+        permissive = session.cost_backend(check_keys=False)
+        rotated = CipherVector(permissive, permissive.encrypt([0.5])) << 7
+        assert rotated.level == session.max_level
+
+
+class TestCostLedger:
+    def test_operation_counts_and_totals(self, session):
+        costmodel = session.cost_backend()
+        ct = CipherVector(costmodel, costmodel.encrypt())
+        other = CipherVector(costmodel, costmodel.encrypt())
+        _ = 2.0 * (ct * other) + 1.0
+        counts = costmodel.ledger.operation_counts()
+        assert counts["HMult"] == 1
+        assert counts["ScalarMult"] == 1
+        assert counts["ScalarAdd"] == 1
+        assert counts["Rescale"] == 2  # HMult rescale + ScalarMult rescale
+        total = costmodel.ledger.as_cost("program")
+        assert total.bytes_moved == pytest.approx(costmodel.ledger.bytes_moved)
+        assert total.int_ops == pytest.approx(costmodel.ledger.int_ops)
+        assert costmodel.ledger.kernel_count == total.kernel_count
+
+    def test_clear(self, session):
+        costmodel = session.cost_backend()
+        ct = CipherVector(costmodel, costmodel.encrypt())
+        _ = ct + 1.0
+        assert len(costmodel.ledger) == 1
+        costmodel.ledger.clear()
+        assert len(costmodel.ledger) == 0
+        assert costmodel.ledger.bytes_moved == 0
+
+    def test_hoisted_rotations_recorded_once(self, session):
+        costmodel = session.cost_backend()
+        ct = CipherVector(costmodel, costmodel.encrypt())
+        rotated = ct.rotate_many([1, 2, 4])
+        assert set(rotated) == {1, 2, 4}
+        counts = costmodel.ledger.operation_counts()
+        assert counts == {"HoistedRotate x3": 1}
+
+
+class TestPaperScaleCostModel:
+    """At paper-scale parameters only the ideal-ladder mode is feasible."""
+
+    def test_ideal_ladder_tracks_levels(self):
+        params = PARAMETER_SETS["paper-default"]
+        backend = CostModelBackend(params)
+        ct = CipherVector(backend, backend.encrypt())
+        result = (ct * ct) + 1.0
+        assert result.level == params.mult_depth - 1
+        assert result.scale == pytest.approx(params.scale)
+
+    def test_gpu_model_executes_ledger(self):
+        from repro.gpu.platforms import GPU_RTX_4090
+        from repro.perf.fideslib_model import FIDESlibModel
+
+        params = PARAMETER_SETS["paper-default"]
+        model = FIDESlibModel(GPU_RTX_4090, params, limb_batch=4)
+        backend = CostModelBackend.for_model(model)
+        ct = CipherVector(backend, backend.encrypt())
+        _ = 2.0 * (ct * ct) + 1.0
+        elapsed = model.execute(backend.ledger.as_cost()).total_time
+        assert elapsed > 0
+        # A single HMult at full level dominates; sanity-check magnitude.
+        hmult_alone = model.time_operation("HMult")
+        assert elapsed >= hmult_alone
+
+    def test_apps_run_symbolically(self):
+        """Whole applications run unmodified on the cost backend."""
+        params = PARAMETER_SETS["paper-lr"]
+        backend = CostModelBackend(params)
+
+        stats = EncryptedStatistics(backend)
+        sample = CipherVector(backend, backend.encrypt())
+        variance = stats.variance(sample, 8)
+        assert variance.level < params.mult_depth
+
+        lr_backend = CostModelBackend(params)
+        model = EncryptedLogisticRegression(backend=lr_backend, feature_count=4)
+        rng = np.random.default_rng(0)
+        columns, labels = model.encrypt_batch(
+            rng.uniform(-1, 1, (8, 4)), rng.integers(0, 2, 8).astype(float)
+        )
+        model.train_batch(columns, labels, batch_size=8)
+        counts = lr_backend.ledger.operation_counts()
+        assert counts.get("HMult", 0) >= 5
+        assert counts.get("HRotate", 0) >= 3
+
+
+class TestBackendProtocol:
+    def test_as_backend_accepts_sessions_and_backends(self, session):
+        assert as_backend(session) is session.backend
+        assert as_backend(session.backend) is session.backend
+
+    def test_as_backend_rejects_other_objects(self):
+        with pytest.raises(TypeError):
+            as_backend(object())
+
+    def test_functional_backend_without_encryptor(self, evaluator):
+        backend = FunctionalBackend(evaluator)
+        with pytest.raises(RuntimeError, match="no encryptor"):
+            backend.encrypt([1.0])
+
+    def test_describe(self, session):
+        fn = session.backend.describe()
+        cm = session.cost_backend().describe()
+        assert fn["backend"] == "functional"
+        assert cm["backend"] == "costmodel"
+        assert cm["mode"] == "context-exact"
+        assert CostModelBackend(session.params).describe()["mode"] == "ideal-ladder"

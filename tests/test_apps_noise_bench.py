@@ -70,34 +70,39 @@ class TestPlaintextLogisticRegression:
 
 
 class TestEncryptedLinearAlgebra:
-    def test_sum_slots(self, context, evaluator, encryptor, decryptor, rng):
+    def test_sum_slots(self, session, rng):
         values = rng.uniform(-1, 1, 8)
-        linalg = EncryptedLinearAlgebra(context, evaluator)
-        result = linalg.sum_slots(encryptor.encrypt_values(values), 8)
-        assert_close(decryptor.decrypt_values(result, 1).real, [values.sum()], 2e-3)
+        linalg = EncryptedLinearAlgebra(session)
+        result = linalg.sum_slots(session.encrypt(values), 8)
+        assert_close(session.decrypt(result, 1).real, [values.sum()], 2e-3)
 
-    def test_inner_product(self, context, evaluator, encryptor, decryptor, rng):
+    def test_inner_product(self, session, rng):
         a, b = rng.uniform(-1, 1, 8), rng.uniform(-1, 1, 8)
-        linalg = EncryptedLinearAlgebra(context, evaluator)
-        result = linalg.inner_product(
-            encryptor.encrypt_values(a), encryptor.encrypt_values(b), 8
-        )
-        assert_close(decryptor.decrypt_values(result, 1).real, [float(a @ b)], 5e-3)
+        linalg = EncryptedLinearAlgebra(session)
+        result = linalg.inner_product(session.encrypt(a), session.encrypt(b), 8)
+        assert_close(session.decrypt(result, 1).real, [float(a @ b)], 5e-3)
 
-    def test_weighted_sum(self, context, evaluator, encryptor, decryptor, rng):
+    def test_weighted_sum(self, session, rng):
         vectors = [rng.uniform(-1, 1, 4) for _ in range(3)]
         weights = [0.5, -1.0, 0.25]
-        linalg = EncryptedLinearAlgebra(context, evaluator)
-        result = linalg.weighted_sum([encryptor.encrypt_values(v) for v in vectors], weights)
+        linalg = EncryptedLinearAlgebra(session)
+        result = linalg.weighted_sum([session.encrypt(v) for v in vectors], weights)
         expected = sum(w * v for w, v in zip(weights, vectors))
-        assert_close(decryptor.decrypt_values(result, 4).real, expected, 2e-3)
+        assert_close(session.decrypt(result, 4).real, expected, 2e-3)
 
-    def test_matrix_vector(self, context, evaluator, encryptor, decryptor, rng):
+    def test_matrix_vector(self, session, rng):
         matrix = rng.uniform(-0.5, 0.5, (4, 4))
         vector = rng.uniform(-1, 1, 4)
-        linalg = EncryptedLinearAlgebra(context, evaluator)
-        result = linalg.matrix_vector(matrix, encryptor.encrypt_values(vector))
-        assert_close(decryptor.decrypt_values(result, 4).real, matrix @ vector, 5e-3)
+        linalg = EncryptedLinearAlgebra(session)
+        result = linalg.matrix_vector(matrix, session.encrypt(vector))
+        assert_close(session.decrypt(result, 4).real, matrix @ vector, 5e-3)
+
+    def test_accepts_raw_ciphertexts(self, session, encryptor, decryptor, rng):
+        """The app layer still accepts bare Ciphertext handles."""
+        values = rng.uniform(-1, 1, 8)
+        linalg = EncryptedLinearAlgebra(session.backend)
+        result = linalg.sum_slots(encryptor.encrypt_values(values), 8)
+        assert_close(decryptor.decrypt_values(result.handle, 1).real, [values.sum()], 2e-3)
 
     def test_rotation_steps_requires_power_of_two(self):
         with pytest.raises(ValueError):
@@ -105,48 +110,44 @@ class TestEncryptedLinearAlgebra:
 
 
 class TestEncryptedStatistics:
-    def test_mean_variance(self, context, evaluator, encryptor, decryptor, rng):
+    def test_mean_variance(self, session, rng):
         values = rng.uniform(-1, 1, 8)
-        stats = EncryptedStatistics(context, evaluator)
-        ct = encryptor.encrypt_values(values)
-        mean = decryptor.decrypt_values(stats.mean(ct, 8), 1).real[0]
-        variance = decryptor.decrypt_values(stats.variance(ct, 8), 1).real[0]
+        stats = EncryptedStatistics(session)
+        ct = session.encrypt(values)
+        mean = session.decrypt(stats.mean(ct, 8), 1).real[0]
+        variance = session.decrypt(stats.variance(ct, 8), 1).real[0]
         assert abs(mean - values.mean()) < 2e-3
         assert abs(variance - values.var()) < 5e-3
 
-    def test_covariance(self, context, evaluator, encryptor, decryptor, rng):
+    def test_covariance(self, session, rng):
         a, b = rng.uniform(-1, 1, 8), rng.uniform(-1, 1, 8)
-        stats = EncryptedStatistics(context, evaluator)
-        cov = decryptor.decrypt_values(
-            stats.covariance(encryptor.encrypt_values(a), encryptor.encrypt_values(b), 8), 1
+        stats = EncryptedStatistics(session)
+        cov = session.decrypt(
+            stats.covariance(session.encrypt(a), session.encrypt(b), 8), 1
         ).real[0]
         assert abs(cov - np.mean(a * b) + a.mean() * b.mean()) < 5e-3
 
 
 class TestEncryptedLogisticRegression:
-    def test_one_encrypted_step_matches_plaintext(self, context, evaluator, encryptor,
-                                                  decryptor, keys):
+    def test_one_encrypted_step_matches_plaintext(self, session):
         data = make_loan_dataset(samples=8, features=4, noise=0.1, seed=9)
         features, labels = data.features[:, :4], data.labels
         plain = PlaintextLogisticRegression(learning_rate=1.0)
         plain.fit_batch(features, labels)
 
         encrypted = EncryptedLogisticRegression(
-            context=context, evaluator=evaluator, encryptor=encryptor,
-            feature_count=4, learning_rate=1.0,
+            backend=session, feature_count=4, learning_rate=1.0
         )
         columns, label_ct = encrypted.encrypt_batch(features, labels)
         encrypted.train_batch(columns, label_ct, batch_size=8)
-        weights = encrypted.decrypt_weights(decryptor)
+        weights = encrypted.decrypt_weights(session)
         assert np.max(np.abs(weights - plain.weights)) < 5e-2
 
     def test_required_rotations(self):
         assert EncryptedLogisticRegression.required_rotations(8) == [1, 2, 4]
 
-    def test_encrypt_batch_validates_dimensions(self, context, evaluator, encryptor):
-        model = EncryptedLogisticRegression(
-            context=context, evaluator=evaluator, encryptor=encryptor, feature_count=4
-        )
+    def test_encrypt_batch_validates_dimensions(self, session):
+        model = EncryptedLogisticRegression(backend=session, feature_count=4)
         with pytest.raises(ValueError):
             model.encrypt_batch(np.zeros((8, 5)), np.zeros(8))
 

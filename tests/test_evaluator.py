@@ -172,6 +172,40 @@ class TestRescaleAndLevels:
         expected = sum(v * w for v, w in zip(vectors, weights))
         assert_close(decryptor.decrypt_values(result, 8).real, expected)
 
+    def test_dot_product_plain_empty_rejected(self, evaluator):
+        with pytest.raises(ValueError, match="at least one ciphertext/plaintext pair"):
+            evaluator.dot_product_plain([], [])
+
+    def test_dot_product_plain_length_mismatch_reported(self, evaluator, encryptor, rng):
+        ct = encryptor.encrypt_values(rng.uniform(-1, 1, 4))
+        pts = [evaluator.encode_for(ct, rng.uniform(-1, 1, 4)) for _ in range(2)]
+        with pytest.raises(ValueError, match="1 ciphertexts and 2 plaintexts"):
+            evaluator.dot_product_plain([ct], pts)
+
+    def test_multiply_scalar_level_zero_with_rescale_rejected(self, evaluator, ciphertexts):
+        bottom = evaluator.mod_reduce(ciphertexts[0], 1)
+        with pytest.raises(ValueError, match="level-0 ciphertext"):
+            evaluator.multiply_scalar(bottom, 2.0)
+
+    def test_multiply_scalar_level_zero_without_rescale_allowed(
+            self, evaluator, context, ciphertexts):
+        # rescale=False stays legal at level 0 and reports the true scale
+        # product (message recovery would need q_0 >> Δ², so no decrypt
+        # check at toy parameters -- the metadata is the contract here).
+        bottom = evaluator.adjust(ciphertexts[0], 0)
+        scaled = evaluator.multiply_scalar(bottom, 2.0, rescale=False)
+        assert scaled.level == 0
+        assert scaled.scale == pytest.approx(bottom.scale * context.scale, rel=1e-9)
+
+    def test_multiply_scalar_int_level_zero_preserves_scale(
+            self, evaluator, decryptor, context, ciphertexts, messages):
+        bottom = evaluator.adjust(ciphertexts[0], 0)
+        doubled = evaluator.multiply_scalar_int(bottom, 2)
+        assert doubled.level == 0
+        assert doubled.scale == bottom.scale
+        decoded = decryptor.decrypt_values(doubled, 16).real
+        assert np.max(np.abs(decoded - 2.0 * messages[0])) < 1e-2
+
 
 class TestRotations:
     @pytest.mark.parametrize("steps", [1, 2, 3, 4, 8])
