@@ -13,13 +13,36 @@ import numpy as np
 import pytest
 
 from repro.api import CKKSSession
-from repro.core.ntt import get_engine
+from repro.ckks.params import CKKSParameters
+from repro.core.ntt import get_engine, get_stacked_engine
+
+#: The limb-batch acceptance configuration: N = 2^13, the size used by the
+#: committed ``BENCH_limbstack.json`` speedup record.
+N13_PARAMS = CKKSParameters(
+    ring_degree=1 << 13,
+    mult_depth=6,
+    scale_bits=28,
+    dnum=3,
+    first_mod_bits=30,
+    label="micro-n13",
+)
 
 
 @pytest.fixture(scope="module")
 def functional_setup():
     session = CKKSSession.create(
         "toy", rotations=[1], seed=3, register_default=False
+    )
+    rng = np.random.default_rng(0)
+    ct_a = session.encrypt(rng.uniform(-1, 1, 16))
+    ct_b = session.encrypt(rng.uniform(-1, 1, 16))
+    return {"session": session, "ct_a": ct_a, "ct_b": ct_b}
+
+
+@pytest.fixture(scope="module")
+def n13_setup():
+    session = CKKSSession.create(
+        N13_PARAMS, rotations=[1], seed=3, register_default=False
     )
     rng = np.random.default_rng(0)
     ct_a = session.encrypt(rng.uniform(-1, 1, 16))
@@ -75,3 +98,22 @@ def test_micro_rescale(benchmark, functional_setup):
 def test_micro_rotation(benchmark, functional_setup):
     ct_a = functional_setup["ct_a"]
     benchmark(lambda: ct_a << 1)
+
+
+def test_micro_hmult_rescale_n13(benchmark, n13_setup):
+    """HMult + relinearize + rescale at N = 2^13 (the limb-batch headline).
+
+    The committed ``BENCH_limbstack.json`` records this exact operation
+    measured before and after the flat limb-stack refactor.
+    """
+    ct_a, ct_b = n13_setup["ct_a"], n13_setup["ct_b"]
+    benchmark(lambda: ct_a * ct_b)
+
+
+def test_micro_stacked_ntt_n13(benchmark, n13_setup):
+    """One stacked forward NTT over every limb of an N = 2^13 polynomial."""
+    session = n13_setup["session"]
+    context = session.context
+    engine = get_stacked_engine(context.ring_degree, tuple(context.moduli))
+    stack = n13_setup["ct_a"].handle.c0.stack.data
+    benchmark(engine.forward, stack)

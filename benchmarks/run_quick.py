@@ -1,0 +1,106 @@
+"""Quick benchmark runner: real timings of the hot-path kernels.
+
+Runs in seconds (toy-scale parameters) and emits a machine-readable
+``BENCH_quick.json`` artifact via :meth:`BenchmarkTable.to_json`.  CI runs
+this as a smoke test so every change leaves a benchmark trail; locally it
+is the fastest way to see whether a data-plane change moved the needle:
+
+    PYTHONPATH=src python benchmarks/run_quick.py --output BENCH_quick.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import time
+
+import numpy as np
+
+from repro.api import CKKSSession
+from repro.bench.reporting import BenchmarkTable
+from repro.ckks.params import CKKSParameters
+from repro.core.ntt import get_stacked_engine
+from repro.gpu.memory import measure_allocation_strategies
+
+
+def _time(fn, *, min_seconds: float = 0.2, repeats: int = 3) -> float:
+    """Return the best per-call time of ``fn`` over a few timed batches."""
+    fn()  # warm caches and twiddle tables
+    best = float("inf")
+    for _ in range(repeats):
+        count = 0
+        start = time.perf_counter()
+        while time.perf_counter() - start < min_seconds / repeats:
+            fn()
+            count += 1
+        best = min(best, (time.perf_counter() - start) / count)
+    return best
+
+
+def run(ring_log2: int = 12, depth: int = 6) -> BenchmarkTable:
+    """Measure the homomorphic hot path at a reduced parameter set."""
+    params = CKKSParameters(
+        ring_degree=1 << ring_log2,
+        mult_depth=depth,
+        scale_bits=28,
+        dnum=3,
+        first_mod_bits=30,
+        label=f"quick-{ring_log2}-{depth}",
+    )
+    session = CKKSSession.create(params, rotations=[1], seed=3, register_default=False)
+    rng = np.random.default_rng(0)
+    ct_a = session.encrypt(rng.uniform(-1, 1, 16))
+    ct_b = session.encrypt(rng.uniform(-1, 1, 16))
+    engine = get_stacked_engine(
+        params.ring_degree, tuple(session.context.moduli)
+    )
+    stack = ct_a.handle.c0.stack.data
+
+    table = BenchmarkTable(
+        f"Quick hot-path benchmarks [{params.describe()}]",
+        note="functional Python backend, limb-stack data plane",
+    )
+    cases = {
+        "HAdd": lambda: ct_a + ct_b,
+        "HMult+rescale": lambda: ct_a * ct_b,
+        "HRotate": lambda: ct_a << 1,
+        "stacked NTT (all limbs)": lambda: engine.forward(stack),
+        "stacked iNTT (all limbs)": lambda: engine.inverse(stack),
+    }
+    for name, fn in cases.items():
+        table.add_row(operation=name, seconds=round(_time(fn), 6))
+
+    layouts = measure_allocation_strategies(params)
+    for strategy in ("array-per-limb", "flattened"):
+        report = layouts[strategy]
+        table.add_row(
+            operation=f"poly footprint [{strategy}]",
+            bytes=report["bytes_in_use"],
+            allocations=report["allocations"],
+            fragmentation=round(report["internal_fragmentation"], 6),
+        )
+    return table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_quick.json",
+                        help="path of the JSON artifact to write")
+    parser.add_argument("--ring-log2", type=int, default=12)
+    parser.add_argument("--depth", type=int, default=6)
+    args = parser.parse_args()
+
+    table = run(args.ring_log2, args.depth)
+    document = table.to_json(
+        python=platform.python_version(),
+        machine=platform.machine(),
+        numpy=np.__version__,
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(document + "\n")
+    print(table.to_text())
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -91,6 +92,23 @@ class BenchmarkTable:
         """Render as CSV."""
         cells = self._formatted()
         return "\n".join(",".join(row) for row in cells)
+
+    def to_json(self, **metadata) -> str:
+        """Render as a JSON document (machine-readable BENCH artifact).
+
+        Row values are emitted as-is (numbers stay numbers); ``metadata``
+        keyword arguments are merged into the top-level object, which is
+        how runners attach environment information to a committed BENCH
+        file.
+        """
+        payload = {
+            "title": self.title,
+            "note": self.note,
+            "columns": self.columns,
+            "rows": self.rows,
+        }
+        payload.update(metadata)
+        return json.dumps(payload, indent=2, default=str)
 
     def column_values(self, column: str) -> list:
         """Return the raw values of one column (missing entries skipped)."""

@@ -88,7 +88,8 @@ class Encryptor:
             ctx.ring_degree, moduli, self._keygen.sample_error(),
             fmt=LimbFormat.EVALUATION,
         )
-        message = plaintext.poly.to_evaluation()
+        message = plaintext.poly if plaintext.poly.fmt is LimbFormat.EVALUATION \
+            else plaintext.poly.to_evaluation()
         c0 = pk_b.multiply(v).add(e0).add(message)
         c1 = pk_a.multiply(v).add(e1)
         return Ciphertext(
@@ -126,7 +127,8 @@ class SymmetricEncryptor:
             fmt=LimbFormat.EVALUATION,
         )
         s = self.secret_key.restricted(limb_count)
-        message = plaintext.poly.to_evaluation()
+        message = plaintext.poly if plaintext.poly.fmt is LimbFormat.EVALUATION \
+            else plaintext.poly.to_evaluation()
         c0 = a.multiply(s).negate().add(e).add(message)
         return Ciphertext(
             c0=c0,
@@ -146,11 +148,19 @@ class Decryptor:
         self.secret_key = secret_key
 
     def decrypt(self, ciphertext: Ciphertext) -> Plaintext:
-        """Decrypt a ciphertext into an encoded plaintext."""
+        """Decrypt a ciphertext into an encoded plaintext.
+
+        Ciphertexts normally arrive in evaluation format already; the
+        conversion (one stacked NTT over the whole limb stack) only runs
+        when needed, and ``add``/``multiply`` never mutate their operands,
+        so no defensive copies are taken.
+        """
         limb_count = ciphertext.limb_count
         s = self.secret_key.restricted(limb_count)
-        c0 = ciphertext.c0.to_evaluation()
-        c1 = ciphertext.c1.to_evaluation()
+        c0 = ciphertext.c0 if ciphertext.c0.fmt is LimbFormat.EVALUATION \
+            else ciphertext.c0.to_evaluation()
+        c1 = ciphertext.c1 if ciphertext.c1.fmt is LimbFormat.EVALUATION \
+            else ciphertext.c1.to_evaluation()
         poly = c0.add(c1.multiply(s))
         return Plaintext(
             poly=poly,

@@ -43,15 +43,16 @@ class Evaluator:
     # ------------------------------------------------------------------
 
     def rescale(self, ct: Ciphertext) -> Ciphertext:
-        """Drop the last limb, dividing the message scale by its prime."""
+        """Drop the last limb, dividing the message scale by its prime.
+
+        Both ciphertext components go through one fused stacked rescale,
+        sharing the switch-modulus broadcast and NTT passes.
+        """
         if ct.limb_count < 2:
             raise ValueError("cannot rescale a level-0 ciphertext")
         q_last = ct.moduli[-1]
-        return ct.with_polys(
-            ct.c0.rescale_last(),
-            ct.c1.rescale_last(),
-            scale=ct.scale / q_last,
-        )
+        c0, c1 = RNSPoly.rescale_last_many([ct.c0, ct.c1])
+        return ct.with_polys(c0, c1, scale=ct.scale / q_last)
 
     def mod_reduce(self, ct: Ciphertext, limb_count: int) -> Ciphertext:
         """Drop limbs without rescaling (message and scale unchanged)."""
@@ -129,15 +130,28 @@ class Evaluator:
             raise ValueError(
                 f"plaintext scale {pt.scale:.6g} does not match ciphertext {ct.scale:.6g}"
             )
-        poly = pt.poly.to_evaluation().keep_limbs(ct.limb_count)
+        poly = self._plain_operand(ct, pt)
         return ct.with_polys(ct.c0.add(poly), ct.c1.copy())
 
     def sub_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
         """Plaintext subtraction."""
         if not _scales_match(ct.scale, pt.scale):
             raise ValueError("plaintext scale does not match ciphertext")
-        poly = pt.poly.to_evaluation().keep_limbs(ct.limb_count)
+        poly = self._plain_operand(ct, pt)
         return ct.with_polys(ct.c0.sub(poly), ct.c1.copy())
+
+    @staticmethod
+    def _plain_operand(ct: Ciphertext, pt: Plaintext) -> RNSPoly:
+        """Restrict a plaintext to the ciphertext basis, in evaluation format.
+
+        Limbs are dropped before the format conversion so the stacked NTT
+        only transforms the rows that survive (per-limb transforms are
+        independent, so the order does not change any residue).
+        """
+        poly = pt.poly.keep_limbs(ct.limb_count)
+        if poly.fmt is not LimbFormat.EVALUATION:
+            poly = poly.to_evaluation()
+        return poly
 
     def add_scalar(self, ct: Ciphertext, value: float) -> Ciphertext:
         """Constant addition (``ScalarAdd``): adds ``value`` to every slot."""
@@ -154,7 +168,7 @@ class Evaluator:
 
     def multiply_plain(self, ct: Ciphertext, pt: Plaintext, *, rescale: bool = True) -> Ciphertext:
         """Plaintext multiplication (``PtMult``)."""
-        poly = pt.poly.to_evaluation().keep_limbs(ct.limb_count)
+        poly = self._plain_operand(ct, pt)
         result = ct.with_polys(
             ct.c0.multiply(poly),
             ct.c1.multiply(poly),
@@ -209,7 +223,9 @@ class Evaluator:
         """Homomorphic multiplication (``HMult``) with relinearisation."""
         a, b = self._match_for_product(ct1, ct2)
         d0 = a.c0.multiply(b.c0)
-        d1 = a.c0.multiply(b.c1).add(a.c1.multiply(b.c0))
+        # Dot-product fusion (§III-F.5): one wide accumulation for the
+        # cross term instead of two reduced products plus a reduced add.
+        d1 = RNSPoly.multiply_accumulate([(a.c0, b.c1), (a.c1, b.c0)])
         d2 = a.c1.multiply(b.c1)
         result = self._relinearize(a, d0, d1, d2, a.scale * b.scale) if relinearize else \
             a.with_polys(d0, d1, scale=a.scale * b.scale)

@@ -23,7 +23,7 @@ import numpy as np
 from repro.ckks.context import Context
 from repro.core import modmath
 from repro.core.automorphism import conjugation_exponent, rotation_to_exponent
-from repro.core.limb import Limb, LimbFormat
+from repro.core.limb import LimbFormat
 from repro.core.rns_poly import RNSPoly
 
 
@@ -131,13 +131,15 @@ class KeyGenerator:
         return [int(round(v)) for v in self.rng.normal(0.0, std, size=n)]
 
     def sample_uniform_poly(self, moduli: list[int]) -> RNSPoly:
-        """Sample a uniformly random polynomial over ``moduli`` (evaluation format)."""
+        """Sample a uniformly random polynomial over ``moduli`` (evaluation format).
+
+        The per-limb draws go straight into the flat limb-stack layout (no
+        intermediate per-limb ``Limb`` objects); the draw sequence is
+        unchanged, so key material is reproducible across versions.
+        """
         n = self.context.ring_degree
-        limbs = []
-        for q in moduli:
-            values = [int(v) for v in self.rng.integers(0, q, size=n, dtype=np.int64)]
-            limbs.append(Limb(q, np.array(values, dtype=object), LimbFormat.EVALUATION, n))
-        return RNSPoly(n, moduli, limbs)
+        rows = [self.rng.integers(0, q, size=n, dtype=np.int64) for q in moduli]
+        return RNSPoly.from_limb_arrays(n, moduli, rows, LimbFormat.EVALUATION)
 
     # -- key generation -------------------------------------------------------
 

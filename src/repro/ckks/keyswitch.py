@@ -15,16 +15,25 @@ to ``s`` using the hybrid technique of Han-Ki [37]:
 
 The functions here operate on :class:`~repro.core.rns_poly.RNSPoly`
 objects in evaluation format and return deltas that the caller adds to the
-ciphertext components.
+ciphertext components.  Every step is batched over the flat
+:class:`~repro.core.limb_stack.LimbStack` data plane: digit rows are
+gathered and iNTT'd in one stacked call, the base conversion runs as one
+``convert_stack`` matrix expression, and the converted limbs re-enter the
+evaluation domain through one stacked NTT -- no per-limb Python loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.ckks.context import Context
 from repro.ckks.keys import KeySwitchingKey
-from repro.core.limb import Limb, LimbFormat
+from repro.core import modmath
+from repro.core.limb import LimbFormat
+from repro.core.limb_stack import LimbStack
+from repro.core.ntt import get_stacked_engine
 from repro.core.rns_poly import RNSPoly
 
 
@@ -51,27 +60,60 @@ def decompose_and_mod_up(context: Context, poly: RNSPoly) -> DecomposedPolynomia
     base conversion.
     """
     limb_count = poly.level_count
+    n = context.ring_degree
     target_moduli = context.moduli_at(limb_count) + context.special_moduli
-    digits_out: list[RNSPoly] = []
-    for digit_index in range(context.active_digits(limb_count)):
+    target_col = modmath.moduli_column(target_moduli)
+    num_digits = context.active_digits(limb_count)
+    # Digits partition the basis contiguously, so one stacked iNTT of the
+    # whole polynomial hands every digit its coefficient-domain rows.
+    poly_coeff = get_stacked_engine(n, tuple(poly.moduli)).inverse(poly.stack.data)
+    # Per-digit batched base conversions to the complementary basis ∪ P
+    # (each digit needs its own Equation-1 tables) ...
+    digit_indices_list: list[list[int]] = []
+    converted_blocks: list = []
+    fused_moduli: list[int] = []
+    for digit_index in range(num_digits):
         digit_indices = [
             i for i in context.digit_limb_indices(digit_index) if i < limb_count
         ]
-        digit_coeff_limbs = [poly.limbs[i].to_coefficient() for i in digit_indices]
+        digit_indices_list.append(digit_indices)
         converter = context.modup_converter(limb_count, digit_index)
-        converted = converter.convert([limb.data for limb in digit_coeff_limbs])
-        converted_moduli = list(converter.target.moduli)
-        converted_map = dict(zip(converted_moduli, converted))
-        limbs = []
-        for limb_idx, modulus in enumerate(target_moduli):
-            if limb_idx in digit_indices:
-                # Own limbs are exact copies, already in evaluation format.
-                limbs.append(poly.limbs[limb_idx].copy())
-            else:
-                coeff_limb = Limb(modulus, converted_map[modulus],
-                                  LimbFormat.COEFFICIENT, context.ring_degree)
-                limbs.append(coeff_limb.to_evaluation())
-        digits_out.append(RNSPoly(context.ring_degree, target_moduli, limbs))
+        converted_blocks.append(converter.convert_stack(poly_coeff[digit_indices]))
+        fused_moduli.extend(converter.target.moduli)
+    # ... then one fused stacked NTT returns every digit's converted rows
+    # to the evaluation domain in a single call (in place: the vstack is a
+    # fresh temporary).
+    fused_eval = get_stacked_engine(n, tuple(fused_moduli)).forward(
+        np.vstack([modmath.coerce_stack(b, target_col) for b in converted_blocks]),
+        consume=True,
+    )
+    digits_out: list[RNSPoly] = []
+    row_offset = 0
+    for digit_index in range(num_digits):
+        digit_indices = digit_indices_list[digit_index]
+        block_rows = len(converted_blocks[digit_index])
+        converted_eval = fused_eval[row_offset : row_offset + block_rows]
+        row_offset += block_rows
+        # Assemble the extended stack with two row scatters: own rows
+        # verbatim, converted rows in target order (the converter's target
+        # basis preserves it).
+        # Every row is scattered into below, so an uninitialized buffer
+        # (rather than a zero-filled one) is enough.
+        if modmath.stack_is_fast(target_col):
+            stack = np.empty((len(target_moduli), n), dtype=np.uint64)
+        else:
+            stack = np.empty((len(target_moduli), n), dtype=object)
+        non_digit = [i for i in range(len(target_moduli)) if i not in digit_indices]
+        stack[digit_indices] = modmath.coerce_stack(
+            poly.stack.data[digit_indices], target_col
+        )
+        stack[non_digit] = modmath.coerce_stack(converted_eval, target_col)
+        digits_out.append(
+            RNSPoly.from_stack(
+                LimbStack(target_moduli, stack, pool=poly.stack.buffer.pool),
+                LimbFormat.EVALUATION,
+            )
+        )
     return DecomposedPolynomial(extended_digits=digits_out, limb_count=limb_count)
 
 
@@ -79,23 +121,75 @@ def mod_down(context: Context, poly: RNSPoly) -> RNSPoly:
     """Divide an extended-basis polynomial by ``P`` and drop the special limbs.
 
     Computes ``P^{-1} * (x_i - Conv_{P->Q_l}(x_P))`` per ciphertext limb,
-    the sequence FIDESlib fuses into its NTT kernels (ModDown fusion).
+    the sequence FIDESlib fuses into its NTT kernels (ModDown fusion), as
+    three batched stack expressions plus two stacked (i)NTT calls.
     """
-    limb_count = poly.level_count - len(context.special_moduli)
+    return mod_down_many(context, [poly])[0]
+
+
+def mod_down_many(context: Context, polys: list[RNSPoly]) -> list[RNSPoly]:
+    """ModDown several same-basis polynomials with fused stacked kernels.
+
+    The two key-switching accumulators (and any wider fused batch) share
+    their iNTT, base-conversion and NTT passes by concatenating rows into
+    single stacked calls; the per-row math is exactly :func:`mod_down`.
+    """
+    if not polys:
+        return []
+    first = polys[0]
+    for poly in polys[1:]:
+        if poly.moduli != first.moduli or poly.fmt is not first.fmt:
+            raise ValueError("fused mod_down requires matching bases and formats")
+    limb_count = first.level_count - len(context.special_moduli)
     if limb_count < 1:
         raise ValueError("polynomial does not carry special limbs to remove")
-    special_limbs = [limb.to_coefficient() for limb in poly.limbs[limb_count:]]
+    n = context.ring_degree
+    is_eval = first.fmt is LimbFormat.EVALUATION
+    special_moduli = tuple(first.moduli[limb_count:])
+    special_rows = np.vstack([p.stack.data[limb_count:] for p in polys])
+    if is_eval:
+        special_rows = get_stacked_engine(
+            n, special_moduli * len(polys)
+        ).inverse(special_rows, consume=True)
+    # The base conversion is elementwise per column, so the batch is fused
+    # along the column axis (one matrix expression for every polynomial).
     converter = context.moddown_converter(limb_count)
-    converted = converter.convert([limb.data for limb in special_limbs])
-    out_limbs = []
-    for i in range(limb_count):
-        q = context.moduli[i]
-        converted_limb = Limb(q, converted[i], LimbFormat.COEFFICIENT, context.ring_degree)
-        if poly.limbs[i].fmt is LimbFormat.EVALUATION:
-            converted_limb = converted_limb.to_evaluation()
-        diff = poly.limbs[i].sub(converted_limb)
-        out_limbs.append(diff.multiply_scalar(context.p_inv_mod_q[i]))
-    return RNSPoly(context.ring_degree, context.moduli_at(limb_count), out_limbs)
+    special_count = len(special_moduli)
+    converted = converter.convert_stack(
+        np.hstack(
+            [
+                special_rows[i * special_count : (i + 1) * special_count]
+                for i in range(len(polys))
+            ]
+        )
+    )
+    converted = np.vstack(np.split(converted, len(polys), axis=1))
+    target_moduli = context.moduli_at(limb_count)
+    target_col = modmath.moduli_column(target_moduli)
+    if is_eval:
+        converted = get_stacked_engine(
+            n, tuple(target_moduli) * len(polys)
+        ).forward(converted, consume=True)
+    fused_col = modmath.moduli_column(target_moduli * len(polys))
+    converted = modmath.coerce_stack(converted, fused_col)
+    heads = np.vstack(
+        [modmath.coerce_stack(p.stack.data[:limb_count], fused_col) for p in polys]
+    )
+    diff = modmath.stack_sub_mod(heads, converted, fused_col)
+    out = modmath.stack_scalar_mod(
+        diff, context.p_inv_mod_q[:limb_count] * len(polys), fused_col
+    )
+    return [
+        RNSPoly.from_stack(
+            LimbStack(
+                target_moduli,
+                out[i * limb_count : (i + 1) * limb_count],
+                pool=poly.stack.buffer.pool,
+            ),
+            poly.fmt,
+        )
+        for i, poly in enumerate(polys)
+    ]
 
 
 def apply_key(
@@ -118,20 +212,27 @@ def apply_key(
     active_indices = list(range(limb_count)) + [
         len(context.moduli) + i for i in range(len(context.special_moduli))
     ]
-    acc0: RNSPoly | None = None
-    acc1: RNSPoly | None = None
+    pairs0: list[tuple[RNSPoly, RNSPoly]] = []
+    pairs1: list[tuple[RNSPoly, RNSPoly]] = []
     for digit_index, digit_poly in enumerate(decomposed.extended_digits):
         if automorphism_exponent is not None:
             digit_poly = digit_poly.automorphism(automorphism_exponent)
         b_j, a_j = key.digits[digit_index]
-        b_j = b_j.select_limbs(active_indices)
-        a_j = a_j.select_limbs(active_indices)
-        term0 = digit_poly.multiply(b_j)
-        term1 = digit_poly.multiply(a_j)
-        acc0 = term0 if acc0 is None else acc0.add(term0)
-        acc1 = term1 if acc1 is None else acc1.add(term1)
-    assert acc0 is not None and acc1 is not None
-    return mod_down(context, acc0), mod_down(context, acc1)
+        if len(active_indices) != b_j.level_count:
+            # Below the top level only a subset of key limbs is active;
+            # at the top level the key polys are used as-is (multiply
+            # never mutates its operands, so no defensive copy is needed).
+            b_j = b_j.select_limbs(active_indices)
+            a_j = a_j.select_limbs(active_indices)
+        pairs0.append((digit_poly, b_j))
+        pairs1.append((digit_poly, a_j))
+    # Dot-product fusion (§III-F.5): each accumulator is one wide
+    # multiply-accumulate with a single reduction instead of a reduced
+    # product and a reduced add per digit.
+    acc0 = RNSPoly.multiply_accumulate(pairs0)
+    acc1 = RNSPoly.multiply_accumulate(pairs1)
+    delta0, delta1 = mod_down_many(context, [acc0, acc1])
+    return delta0, delta1
 
 
 def key_switch(
@@ -146,6 +247,7 @@ __all__ = [
     "DecomposedPolynomial",
     "decompose_and_mod_up",
     "mod_down",
+    "mod_down_many",
     "apply_key",
     "key_switch",
 ]

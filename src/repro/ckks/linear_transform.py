@@ -96,6 +96,10 @@ class LinearTransform:
                     continue
                 rotated = np.roll(diag, giant * self.baby_steps)
                 self._diagonals[(giant, baby)] = rotated
+        # Encoded diagonal plaintexts, cached per (key, limb_count, scale):
+        # bootstrapping applies the same transform to many ciphertexts at
+        # the same level, and each encode is a full limb-stack build.
+        self._plaintext_cache: dict[tuple, Plaintext] = {}
 
     # -- rotation-key requirements --------------------------------------------
 
@@ -131,7 +135,9 @@ class LinearTransform:
                 diag = self._diagonals.get((giant, baby))
                 if diag is None:
                     continue
-                pt = self._encode_diagonal(diag, ct.limb_count, plaintext_scale)
+                pt = self._cached_diagonal(
+                    (giant, baby), diag, ct.limb_count, plaintext_scale
+                )
                 term = evaluator.multiply_plain(baby_rotations[baby], pt, rescale=False)
                 inner = term if inner is None else evaluator.add(inner, term)
             if inner is None:
@@ -157,6 +163,15 @@ class LinearTransform:
         q = ct.moduli[-1]
         target = self.context.scale_at(ct.level - 1)
         return q * target / ct.scale
+
+    def _cached_diagonal(self, key: tuple[int, int], diagonal: np.ndarray,
+                         limb_count: int, scale: float) -> Plaintext:
+        cache_key = (key, limb_count, scale)
+        plaintext = self._plaintext_cache.get(cache_key)
+        if plaintext is None:
+            plaintext = self._encode_diagonal(diagonal, limb_count, scale)
+            self._plaintext_cache[cache_key] = plaintext
+        return plaintext
 
     def _encode_diagonal(self, diagonal: np.ndarray, limb_count: int,
                          scale: float) -> Plaintext:

@@ -12,8 +12,10 @@ negacyclic polynomials under word-sized prime moduli:
   hierarchical/2D formulation of Figure 3.
 * :mod:`repro.core.rns` -- residue number system bases, CRT recombination
   and the fast base conversion of Equation 1.
-* :mod:`repro.core.limb` / :mod:`repro.core.rns_poly` -- the
-  ``Limb`` / ``LimbPartition`` / ``RNSPoly`` containers of Figure 2.
+* :mod:`repro.core.limb` / :mod:`repro.core.limb_stack` /
+  :mod:`repro.core.rns_poly` -- the ``Limb`` / ``LimbStack`` /
+  ``RNSPoly`` containers of Figure 2, with the flat ``(L, N)`` limb-stack
+  storage of §III-D as the data plane.
 * :mod:`repro.core.memory` -- the stream-ordered memory-pool analogue of
   the ``VectorGPU`` RAII wrapper.
 """
@@ -29,10 +31,11 @@ from repro.core.modmath import (
     inv_mod,
 )
 from repro.core.primes import generate_ntt_primes, find_primitive_root
-from repro.core.ntt import NTTEngine
+from repro.core.ntt import NTTEngine, StackedNTTEngine
 from repro.core.rns import RNSBasis, BaseConverter
 from repro.core.rns_poly import RNSPoly
 from repro.core.limb import Limb, VectorGPU
+from repro.core.limb_stack import LimbStack
 
 __all__ = [
     "BarrettReducer",
@@ -46,9 +49,11 @@ __all__ = [
     "generate_ntt_primes",
     "find_primitive_root",
     "NTTEngine",
+    "StackedNTTEngine",
     "RNSBasis",
     "BaseConverter",
     "RNSPoly",
     "Limb",
     "VectorGPU",
+    "LimbStack",
 ]

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.core import modmath
 from repro.core.automorphism import apply_coeff_automorphism
-from repro.core.memory import MemoryPool, default_pool
+from repro.core.memory import STRATEGY_ARRAY_PER_LIMB, MemoryPool, default_pool
 from repro.core.ntt import get_engine
 
 
@@ -57,15 +57,17 @@ class VectorGPU:
         managed: bool = True,
         stream: int = 0,
         tag: str = "VectorGPU",
+        strategy: str = STRATEGY_ARRAY_PER_LIMB,
     ) -> None:
         self.element_count = element_count
         self.element_bytes = element_bytes
         self.managed = managed
         self.pool = pool if pool is not None else default_pool
+        self.strategy = strategy
         self._handle: int | None = None
         if managed:
             self._handle = self.pool.allocate(
-                element_count * element_bytes, tag=tag, stream=stream
+                element_count * element_bytes, tag=tag, stream=stream, strategy=strategy
             )
 
     @property
@@ -130,13 +132,53 @@ class Limb:
             buffer=buffer,
         )
 
+    @classmethod
+    def view_of(
+        cls,
+        modulus: int,
+        data: np.ndarray,
+        fmt: LimbFormat,
+        ring_degree: int,
+        buffer: VectorGPU | None = None,
+    ) -> "Limb":
+        """Build a zero-copy limb over already-canonical residue data.
+
+        Used for the per-limb views into a flattened
+        :class:`~repro.core.limb_stack.LimbStack` buffer (the second §III-D
+        allocation strategy): canonicalization is skipped so ``data`` stays
+        a live view into the stack row, and ``buffer`` is the unmanaged
+        :class:`VectorGPU` window over the owning allocation.
+        """
+        limb = object.__new__(cls)
+        limb.modulus = modulus
+        limb.data = data
+        limb.fmt = fmt
+        limb.ring_degree = ring_degree
+        limb.buffer = buffer
+        limb.aux_buffer = None
+        return limb
+
     def copy(self) -> "Limb":
-        """Return a deep copy sharing no data with this limb."""
+        """Return a deep copy sharing no data with this limb.
+
+        Copies of pool-charged limbs stay pool-charged: a fresh managed
+        buffer is allocated from the same pool the original was charged to,
+        so copied limbs cannot escape footprint accounting.
+        """
+        buffer = None
+        if self.buffer is not None:
+            buffer = VectorGPU(
+                self.ring_degree,
+                element_bytes=self.buffer.element_bytes,
+                pool=self.buffer.pool,
+                tag=f"limb[{self.modulus}]",
+            )
         return Limb(
             modulus=self.modulus,
             data=self.data.copy(),
             fmt=self.fmt,
             ring_degree=self.ring_degree,
+            buffer=buffer,
         )
 
     def release(self) -> None:

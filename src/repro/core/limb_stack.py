@@ -1,0 +1,233 @@
+"""``LimbStack``: flat ``(num_limbs, N)`` residue storage for one polynomial.
+
+This is the flattened allocation strategy of §III-D: instead of one device
+buffer per limb (stack-of-arrays), all limbs of a polynomial live in a
+single contiguous 2-D array backed by one pool-charged
+:class:`~repro.core.limb.VectorGPU`.  Cross-limb operations then run as
+single NumPy expressions that broadcast the ``(L, 1)`` moduli column over
+the stack (:mod:`repro.core.modmath`'s ``stack_*`` kernels), which is the
+Python analogue of the batched cross-limb kernels of §III-F -- no per-limb
+Python loop remains on the hot path.
+
+Per-limb access is preserved through zero-copy views:
+:meth:`LimbStack.limb_view` hands out a :class:`~repro.core.limb.Limb`
+whose ``data`` is a row view of the stack and whose buffer is an unmanaged
+:class:`~repro.core.limb.VectorGPU` window over the flat allocation, so
+the legacy ``poly.limbs[i]`` API keeps working without duplicating memory
+or double-charging the pool.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core import modmath
+from repro.core.automorphism import coeff_automorphism_map
+from repro.core.limb import Limb, LimbFormat, VectorGPU
+from repro.core.memory import STRATEGY_FLATTENED, MemoryPool
+
+
+class LimbStack:
+    """All limbs of one degree-``N`` polynomial in a flat ``(L, N)`` array.
+
+    Parameters
+    ----------
+    moduli:
+        One word-sized prime per row.
+    data:
+        Canonical ``(len(moduli), N)`` residue stack.  The dtype must match
+        the backend chosen by :func:`repro.core.modmath.moduli_column`
+        (uint64 when every modulus is fast, object otherwise); use
+        :meth:`from_rows` to canonicalize arbitrary input.
+    pool:
+        Memory pool charged for the single flattened allocation.
+    """
+
+    __slots__ = ("moduli", "data", "ring_degree", "buffer", "_col")
+
+    def __init__(
+        self,
+        moduli: Sequence[int],
+        data: np.ndarray,
+        *,
+        pool: MemoryPool | None = None,
+    ) -> None:
+        self.moduli = tuple(int(q) for q in moduli)
+        data = np.asarray(data)
+        if data.ndim != 2 or data.shape[0] != len(self.moduli):
+            raise ValueError(
+                f"stack data must be ({len(self.moduli)}, N), got {data.shape}"
+            )
+        self._col = modmath.moduli_column(self.moduli)
+        self.data = modmath.coerce_stack(data, self._col)
+        self.ring_degree = int(data.shape[1])
+        self.buffer = VectorGPU(
+            len(self.moduli) * self.ring_degree,
+            pool=pool,
+            tag=f"LimbStack[{len(self.moduli)}x{self.ring_degree}]",
+            strategy=STRATEGY_FLATTENED,
+        )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def zeros(
+        cls,
+        ring_degree: int,
+        moduli: Sequence[int],
+        *,
+        pool: MemoryPool | None = None,
+    ) -> "LimbStack":
+        """Return an all-zero stack charged to ``pool``."""
+        col = modmath.moduli_column(moduli)
+        data = modmath.stack_zeros(len(col), ring_degree, col)
+        return cls(moduli, data, pool=pool)
+
+    @classmethod
+    def from_rows(
+        cls,
+        moduli: Sequence[int],
+        rows: Sequence[np.ndarray],
+        *,
+        pool: MemoryPool | None = None,
+    ) -> "LimbStack":
+        """Canonicalize per-limb residue rows into a fresh stack."""
+        return cls(moduli, modmath.as_residue_stack(rows, moduli), pool=pool)
+
+    def copy(self) -> "LimbStack":
+        """Deep copy, charged to the same pool as this stack's buffer."""
+        return LimbStack(self.moduli, self.data.copy(), pool=self.buffer.pool)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def num_limbs(self) -> int:
+        """Number of limb rows currently in the stack."""
+        return len(self.moduli)
+
+    @property
+    def moduli_col(self) -> np.ndarray:
+        """The broadcastable ``(L, 1)`` moduli column."""
+        return self._col
+
+    @property
+    def is_fast(self) -> bool:
+        """True when the stack runs on the fast uint64 backend."""
+        return modmath.stack_is_fast(self._col)
+
+    def footprint_bytes(self, element_bytes: int = 8) -> int:
+        """Device-memory footprint of the flat allocation."""
+        return self.num_limbs * self.ring_degree * element_bytes
+
+    def limb_view(self, index: int, fmt: LimbFormat) -> Limb:
+        """Return a zero-copy :class:`Limb` over row ``index``.
+
+        The limb's buffer is an unmanaged window into this stack's flat
+        allocation, so releasing the view never touches pool accounting.
+        """
+        window = VectorGPU(
+            self.ring_degree,
+            element_bytes=self.buffer.element_bytes,
+            pool=self.buffer.pool,
+            managed=False,
+            tag="limb-view",
+        )
+        return Limb.view_of(
+            self.moduli[index], self.data[index], fmt, self.ring_degree, window
+        )
+
+    def rows(self) -> list[np.ndarray]:
+        """Return zero-copy row views of every limb's residues."""
+        return [self.data[i] for i in range(self.num_limbs)]
+
+    def release(self) -> None:
+        """Free the flat buffer (views handed out become dangling)."""
+        self.buffer.free()
+
+    # -- elementwise arithmetic (batched across limbs) -----------------------
+
+    def _check_compatible(self, other: "LimbStack") -> None:
+        if self.moduli != other.moduli:
+            raise ValueError("limb-stack moduli differ")
+        if self.ring_degree != other.ring_degree:
+            raise ValueError("limb-stack ring degrees differ")
+
+    def _wrap(self, data: np.ndarray) -> "LimbStack":
+        return LimbStack(self.moduli, data, pool=self.buffer.pool)
+
+    def add(self, other: "LimbStack") -> "LimbStack":
+        """Elementwise modular sum of two stacks (one broadcast expression)."""
+        self._check_compatible(other)
+        return self._wrap(modmath.stack_add_mod(self.data, other.data, self._col))
+
+    def sub(self, other: "LimbStack") -> "LimbStack":
+        """Elementwise modular difference."""
+        self._check_compatible(other)
+        return self._wrap(modmath.stack_sub_mod(self.data, other.data, self._col))
+
+    def negate(self) -> "LimbStack":
+        """Elementwise modular negation."""
+        return self._wrap(modmath.stack_neg_mod(self.data, self._col))
+
+    def multiply(self, other: "LimbStack") -> "LimbStack":
+        """Elementwise modular product (caller enforces evaluation format)."""
+        self._check_compatible(other)
+        return self._wrap(modmath.stack_mul_mod(self.data, other.data, self._col))
+
+    def multiply_scalars(self, scalars: Sequence[int]) -> "LimbStack":
+        """Multiply each row by its own integer constant."""
+        return self._wrap(modmath.stack_scalar_mod(self.data, scalars, self._col))
+
+    def add_scalars_broadcast(self, scalars: Sequence[int]) -> "LimbStack":
+        """Add one constant per row to every element (evaluation-format add)."""
+        return self._wrap(modmath.stack_add_scalar_mod(self.data, scalars, self._col))
+
+    def add_scalars_at(self, scalars: Sequence[int], index: int = 0) -> "LimbStack":
+        """Add one constant per row to a single coefficient column.
+
+        The coefficient-format scalar add: a constant polynomial only
+        touches the degree-``index`` coefficient of every limb.
+        """
+        data = self.data.copy()
+        col = modmath.scalar_column(scalars, self._col).ravel()
+        qs = self._col.ravel()
+        s = data[:, index] + col
+        if self.is_fast:
+            data[:, index] = np.where(s >= qs, s - qs, s)
+        else:
+            data[:, index] = s % qs
+        return self._wrap(data)
+
+    def automorphism_coeff(self, exponent: int) -> "LimbStack":
+        """Apply ``X -> X^exponent`` to every row (coefficient representation).
+
+        One gather plus one sign-fix expression for the whole stack -- the
+        batched form of the GPU ``Automorph`` kernel.
+        """
+        source, sign = coeff_automorphism_map(self.ring_degree, exponent)
+        gathered = self.data[:, source]
+        negated = modmath.stack_neg_mod(gathered, self._col)
+        return self._wrap(np.where(sign == 1, gathered, negated))
+
+    # -- row management ------------------------------------------------------
+
+    def take(self, indices: Sequence[int]) -> "LimbStack":
+        """Return a new stack holding copies of the rows at ``indices``."""
+        indices = list(indices)
+        moduli = [self.moduli[i] for i in indices]
+        # Fancy indexing already materializes a fresh array.
+        return LimbStack(moduli, self.data[indices], pool=self.buffer.pool)
+
+    def head(self, count: int) -> "LimbStack":
+        """Return a new stack with copies of the first ``count`` rows."""
+        return LimbStack(
+            self.moduli[:count], self.data[:count].copy(), pool=self.buffer.pool
+        )
+
+    def __len__(self) -> int:
+        return self.num_limbs
+
+
+__all__ = ["LimbStack"]

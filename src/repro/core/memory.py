@@ -4,19 +4,25 @@ FIDESlib manages GPU buffers through ``VectorGPU`` objects that allocate
 asynchronously from CUDA's stream-ordered memory pool at construction and
 free at destruction (RAII).  There is no physical device here, but the
 allocation discipline still matters: the performance model charges
-allocation traffic, and the tests assert that the stack-of-arrays layout
-produces the expected footprint and that no buffers leak.
+allocation traffic, and the tests assert that both allocation strategies
+of §III-D -- one buffer per limb ("array per limb") versus a single
+flattened ``(L, N)`` buffer per polynomial ("flattened") -- produce the
+expected footprints and that no buffers leak.
 
-:class:`MemoryPool` tracks live allocations, bytes in use, peak usage and a
-simple internal-fragmentation statistic comparing the stack-of-arrays
-layout with a flattened 2-D allocation (the trade-off discussed in
-§III-D of the paper).
+:class:`MemoryPool` tracks live allocations, bytes in use, peak usage and
+the exact internal fragmentation (granularity rounding waste), broken down
+per allocation strategy so the §III-D comparison is measured rather than
+modeled.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+
+#: The two §III-D allocation strategies a record can be charged under.
+STRATEGY_ARRAY_PER_LIMB = "array-per-limb"
+STRATEGY_FLATTENED = "flattened"
 
 
 class OutOfDeviceMemory(RuntimeError):
@@ -29,8 +35,10 @@ class AllocationRecord:
 
     handle: int
     nbytes: int
+    requested: int
     tag: str
     stream: int
+    strategy: str = STRATEGY_ARRAY_PER_LIMB
 
 
 @dataclass
@@ -57,7 +65,14 @@ class MemoryPool:
     _live: dict[int, AllocationRecord] = field(default_factory=dict)
     _handles: itertools.count = field(default_factory=itertools.count)
 
-    def allocate(self, nbytes: int, *, tag: str = "", stream: int = 0) -> int:
+    def allocate(
+        self,
+        nbytes: int,
+        *,
+        tag: str = "",
+        stream: int = 0,
+        strategy: str = STRATEGY_ARRAY_PER_LIMB,
+    ) -> int:
         """Allocate ``nbytes`` and return an opaque handle."""
         if nbytes < 0:
             raise ValueError("allocation size must be non-negative")
@@ -68,7 +83,7 @@ class MemoryPool:
                 f"({self.bytes_in_use}/{self.capacity_bytes} in use)"
             )
         handle = next(self._handles)
-        self._live[handle] = AllocationRecord(handle, rounded, tag, stream)
+        self._live[handle] = AllocationRecord(handle, rounded, nbytes, tag, stream, strategy)
         self.bytes_in_use += rounded
         self.requested_bytes += nbytes
         self.peak_bytes = max(self.peak_bytes, self.bytes_in_use)
@@ -88,23 +103,42 @@ class MemoryPool:
         return list(self._live.values())
 
     def internal_fragmentation(self) -> float:
-        """Return the fraction of allocated bytes lost to granularity rounding."""
+        """Return the exact fraction of allocated bytes lost to rounding.
+
+        Every :class:`AllocationRecord` remembers the bytes the caller
+        requested, so the waste is ``allocated - requested`` rather than the
+        granularity worst-case bound.
+        """
         allocated = sum(r.nbytes for r in self._live.values())
         if allocated == 0:
             return 0.0
-        requested = sum(
-            min(r.nbytes, r.nbytes - (r.nbytes - self._round_down(r.nbytes)))
-            for r in self._live.values()
-        )
-        # Requested bytes are not tracked per record once rounded; derive the
-        # bound from the granularity instead.
-        waste_bound = len(self._live) * (self.granularity - 1)
-        return min(1.0, waste_bound / allocated) if allocated else 0.0
+        requested = sum(r.requested for r in self._live.values())
+        return (allocated - requested) / allocated
+
+    def bytes_by_strategy(self) -> dict[str, int]:
+        """Return live allocated bytes grouped by §III-D allocation strategy."""
+        totals: dict[str, int] = {}
+        for record in self._live.values():
+            totals[record.strategy] = totals.get(record.strategy, 0) + record.nbytes
+        return totals
+
+    def fragmentation_by_strategy(self) -> dict[str, float]:
+        """Return the exact internal fragmentation of each allocation strategy."""
+        allocated: dict[str, int] = {}
+        requested: dict[str, int] = {}
+        for record in self._live.values():
+            allocated[record.strategy] = allocated.get(record.strategy, 0) + record.nbytes
+            requested[record.strategy] = requested.get(record.strategy, 0) + record.requested
+        return {
+            strategy: (allocated[strategy] - requested[strategy]) / allocated[strategy]
+            for strategy in allocated
+            if allocated[strategy] > 0
+        }
 
     def reset_statistics(self) -> None:
         """Reset counters without touching live allocations."""
         self.peak_bytes = self.bytes_in_use
-        self.requested_bytes = 0
+        self.requested_bytes = sum(r.requested for r in self._live.values())
         self.allocation_count = len(self._live)
         self.free_count = 0
 
@@ -112,13 +146,16 @@ class MemoryPool:
         g = self.granularity
         return ((nbytes + g - 1) // g) * g
 
-    def _round_down(self, nbytes: int) -> int:
-        g = self.granularity
-        return (nbytes // g) * g
-
 
 #: Default process-wide pool, mirroring the default ``cudaMemPool_t``.
 default_pool = MemoryPool()
 
 
-__all__ = ["MemoryPool", "AllocationRecord", "OutOfDeviceMemory", "default_pool"]
+__all__ = [
+    "MemoryPool",
+    "AllocationRecord",
+    "OutOfDeviceMemory",
+    "default_pool",
+    "STRATEGY_ARRAY_PER_LIMB",
+    "STRATEGY_FLATTENED",
+]

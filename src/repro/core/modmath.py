@@ -33,6 +33,7 @@ vector routines accept either representation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -363,6 +364,265 @@ def vec_switch_modulus(a: np.ndarray, q_from: int, q_to: int) -> np.ndarray:
     return as_residue_array(out, q_to)
 
 
+# ---------------------------------------------------------------------------
+# Batched limb-stack routines
+# ---------------------------------------------------------------------------
+#
+# The kernels below operate on a flat ``(num_limbs, N)`` residue stack -- the
+# flattened allocation strategy of §III-D -- with the per-limb moduli held in
+# an ``(L, 1)`` column that NumPy broadcasts across every row.  One call
+# replaces a Python loop over per-limb vector routines, which is the batching
+# the paper's §III-F kernels perform across limbs on the GPU.  The fast
+# (uint64) backend is used only when *every* modulus in the stack is below
+# :data:`FAST_MODULUS_LIMIT`; otherwise the stack falls back to exact Python
+# integers in an object array.
+
+#: Elementwise ``int()`` over an array; the safe way to turn a uint64 array
+#: into Python-integer objects (``astype(object)`` would keep ``np.uint64``
+#: elements whose arithmetic silently wraps or degrades to float).
+_to_object_ints = np.frompyfunc(int, 1, 1)
+
+
+def all_fast_moduli(moduli) -> bool:
+    """Return True when every modulus can use the fast uint64 backend."""
+    return all(is_fast_modulus(int(q)) for q in moduli)
+
+
+def moduli_column(moduli) -> np.ndarray:
+    """Return the ``(L, 1)`` broadcastable column of stack moduli.
+
+    The column dtype selects the backend for the whole stack: ``uint64``
+    when every modulus is fast, ``object`` (exact Python integers)
+    otherwise.  Columns are cached per moduli tuple -- every polynomial at
+    the same level shares one (hot-path constructor cost).
+    """
+    return _moduli_column_cached(tuple(int(q) for q in moduli))
+
+
+@lru_cache(maxsize=None)
+def _moduli_column_cached(moduli: tuple) -> np.ndarray:
+    dtype = np.uint64 if all_fast_moduli(moduli) else np.object_
+    column = np.array(moduli, dtype=dtype).reshape(-1, 1)
+    # The column is shared by every stack and engine built over this
+    # basis; freeze it so an accidental in-place write fails loudly
+    # instead of corrupting the cache.
+    column.flags.writeable = False
+    return column
+
+
+def stack_is_fast(moduli_col: np.ndarray) -> bool:
+    """Return True when a moduli column selects the fast uint64 backend."""
+    return moduli_col.dtype != np.object_
+
+
+def object_row(values) -> np.ndarray:
+    """Return a 1-D object array of Python ints (exact arithmetic)."""
+    arr = np.asarray(values)
+    if arr.dtype == np.object_:
+        return arr
+    return _to_object_ints(arr)
+
+
+def coerce_stack(data: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
+    """Coerce a canonical stack into the backend dtype of ``moduli_col``.
+
+    A no-op when the dtypes already agree.  Needed at regime boundaries:
+    a sub-basis of a mixed chain (digit decomposition, rescale targets) can
+    be all-fast while the parent stack is exact-object, or vice versa.
+    Values must already be canonical residues, so the conversion is exact.
+    """
+    data = np.asarray(data)
+    if stack_is_fast(moduli_col):
+        if data.dtype == np.object_:
+            return data.astype(np.uint64)
+        return data
+    if data.dtype != np.object_:
+        return _to_object_ints(data)
+    return data
+
+
+def as_residue_stack(rows, moduli) -> np.ndarray:
+    """Canonicalize per-limb residue rows into one ``(L, N)`` stack array."""
+    moduli = [int(q) for q in moduli]
+    if len(rows) != len(moduli):
+        raise ValueError("row count does not match modulus count")
+    canonical = [as_residue_array(np.asarray(row), q) for row, q in zip(rows, moduli)]
+    if all_fast_moduli(moduli):
+        return np.stack(canonical)
+    return np.stack([object_row(c) for c in canonical])
+
+
+def stack_zeros(num_limbs: int, n: int, moduli_col: np.ndarray) -> np.ndarray:
+    """Return an all-zero ``(num_limbs, n)`` stack in the backend's dtype."""
+    if stack_is_fast(moduli_col):
+        return np.zeros((num_limbs, n), dtype=np.uint64)
+    return np.full((num_limbs, n), 0, dtype=object)
+
+
+def scalar_column(scalars, moduli_col: np.ndarray) -> np.ndarray:
+    """Canonicalize one integer constant per limb into an ``(L, 1)`` column."""
+    moduli = [int(q) for q in moduli_col.ravel()]
+    if len(scalars) != len(moduli):
+        raise ValueError("need one scalar per limb")
+    values = [int(s) % q for s, q in zip(scalars, moduli)]
+    dtype = np.uint64 if stack_is_fast(moduli_col) else np.object_
+    return np.array(values, dtype=dtype).reshape(-1, 1)
+
+
+#: Shift of the Shoup constant-operand multiplication on the fast backend:
+#: with residues below 2**31 and ``w' = floor(w * 2**32 / q)``, every
+#: intermediate fits a uint64 lane and the pre-reduction result lies in
+#: ``[0, 2q)`` (Table III's one-wide-two-low-multiplications scheme).
+STACK_SHOUP_SHIFT = np.uint64(32)
+
+
+def _fast_reduce_once(s: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
+    """Map ``s`` in ``[0, 2q)`` to ``[0, q)`` without a branch or division.
+
+    When ``s < q`` the uint64 subtraction ``s - q`` wraps far above ``2q``,
+    so the elementwise minimum selects the already-reduced value; when
+    ``s >= q`` it selects ``s - q``.  One subtract and one min replace the
+    compare/where/subtract triple.
+    """
+    return np.minimum(s, s - moduli_col)
+
+
+def shoup_column(constants: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
+    """Precompute ``floor(c * 2**32 / q)`` companions for fast constants."""
+    return (constants << STACK_SHOUP_SHIFT) // moduli_col
+
+
+def stack_shoup_mul(
+    a: np.ndarray,
+    constants: np.ndarray,
+    shoup: np.ndarray,
+    moduli_col: np.ndarray,
+    *,
+    lazy: bool = False,
+) -> np.ndarray:
+    """Elementwise ``(a * constants) mod q`` via Shoup multiplication.
+
+    ``constants``/``shoup`` broadcast against ``a``; all inputs uint64 with
+    residues below 2**31 (the operand ``a`` may be a lazy representative up
+    to ``2q < 2**32``).  Replaces the hardware division of ``%`` with two
+    multiplications and a shift -- the same trade the GPU butterflies make
+    (Table III).  With ``lazy=True`` the result is left in ``[0, 2q)``,
+    saving the correction passes when the caller reduces later anyway.
+    """
+    quotient = a * shoup
+    quotient >>= STACK_SHOUP_SHIFT
+    np.multiply(quotient, moduli_col, out=quotient)
+    r = a * constants
+    r -= quotient
+    if lazy:
+        return r
+    np.subtract(r, moduli_col, out=quotient)
+    np.minimum(r, quotient, out=r)
+    return r
+
+
+def stack_add_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
+    """Row-broadcast elementwise ``(a + b) mod q_i`` over a limb stack."""
+    if stack_is_fast(moduli_col):
+        return _fast_reduce_once(a + b, moduli_col)
+    return (a + b) % moduli_col
+
+
+def stack_sub_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
+    """Row-broadcast elementwise ``(a - b) mod q_i`` over a limb stack."""
+    if stack_is_fast(moduli_col):
+        return _fast_reduce_once(a + moduli_col - b, moduli_col)
+    return (a - b) % moduli_col
+
+
+def stack_neg_mod(a: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
+    """Row-broadcast elementwise ``(-a) mod q_i`` over a limb stack."""
+    if stack_is_fast(moduli_col):
+        return np.where(a == 0, a, moduli_col - a)
+    return (-a) % moduli_col
+
+
+def stack_mul_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
+    """Row-broadcast elementwise ``(a * b) mod q_i`` over a limb stack.
+
+    Exact on the fast backend because residues are below ``2**31``, so a
+    product fits in a uint64 lane.  Both operands are variable, so this is
+    the one batched kernel that keeps a hardware division (Barrett-style
+    constant tricks need a fixed operand).
+    """
+    return (a * b) % moduli_col
+
+
+def stack_dot_mod(pairs, moduli_col: np.ndarray) -> np.ndarray:
+    """Fused ``(Σ x_i * y_i) mod q`` over canonical stacks (§III-F.5).
+
+    The dot-product fusion of the paper's key-switching inner loop: on the
+    fast backend raw uint64 products are accumulated and reduced once per
+    four terms -- ``4·(q-1)² < 2**64`` for ``q < 2**31``, so the wide
+    accumulator cannot overflow -- instead of reducing after every
+    multiply-add.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        raise ValueError("stack_dot_mod needs at least one product")
+    if stack_is_fast(moduli_col):
+        acc = None
+        pending = 0
+        for x, y in pairs:
+            product = x * y
+            if acc is None:
+                acc = product
+            else:
+                acc += product
+            pending += 1
+            if pending == 4:
+                acc %= moduli_col
+                pending = 0
+        return acc % moduli_col
+    acc = None
+    for x, y in pairs:
+        product = (x * y) % moduli_col
+        acc = product if acc is None else (acc + product) % moduli_col
+    return acc
+
+
+def stack_scalar_mod(a: np.ndarray, scalars, moduli_col: np.ndarray) -> np.ndarray:
+    """Multiply every row by its own integer constant modulo its prime."""
+    col = scalar_column(scalars, moduli_col)
+    if stack_is_fast(moduli_col):
+        return stack_shoup_mul(a, col, shoup_column(col, moduli_col), moduli_col)
+    return (a * col) % moduli_col
+
+
+def stack_add_scalar_mod(a: np.ndarray, scalars, moduli_col: np.ndarray) -> np.ndarray:
+    """Add one integer constant per row (broadcast to every element)."""
+    col = scalar_column(scalars, moduli_col)
+    if stack_is_fast(moduli_col):
+        return _fast_reduce_once(a + col, moduli_col)
+    return (a + col) % moduli_col
+
+
+def stack_switch_modulus(row: np.ndarray, q_from: int, moduli_col: np.ndarray) -> np.ndarray:
+    """Re-reduce one residue row (mod ``q_from``) into every stack modulus.
+
+    The batched form of :func:`vec_switch_modulus`: residues are interpreted
+    in the centred interval ``(-q_from/2, q_from/2]`` and reduced against
+    each row modulus at once, producing an ``(L, N)`` stack.
+    """
+    half = q_from >> 1
+    if stack_is_fast(moduli_col) and is_fast_modulus(q_from):
+        v = np.asarray(row).astype(np.int64)
+        centred = np.where(v > half, v - q_from, v)
+        out = centred[None, :] % moduli_col.astype(np.int64)
+        return out.astype(np.uint64)
+    values = object_row(np.asarray(row).ravel())
+    centred = np.where(values > half, values - q_from, values)
+    out = centred[None, :] % np.array(
+        [int(q) for q in moduli_col.ravel()], dtype=object
+    ).reshape(-1, 1)
+    return coerce_stack(out, moduli_col)
+
+
 __all__ = [
     "FAST_MODULUS_LIMIT",
     "WORD_BITS",
@@ -385,7 +645,25 @@ __all__ = [
     "vec_neg_mod",
     "vec_mul_mod",
     "vec_mul_scalar_mod",
-    "vec_mul_scalar_mod",
     "vec_to_int_list",
     "vec_switch_modulus",
+    "all_fast_moduli",
+    "moduli_column",
+    "stack_is_fast",
+    "object_row",
+    "coerce_stack",
+    "as_residue_stack",
+    "stack_zeros",
+    "scalar_column",
+    "STACK_SHOUP_SHIFT",
+    "shoup_column",
+    "stack_shoup_mul",
+    "stack_add_mod",
+    "stack_sub_mod",
+    "stack_neg_mod",
+    "stack_mul_mod",
+    "stack_dot_mod",
+    "stack_scalar_mod",
+    "stack_add_scalar_mod",
+    "stack_switch_modulus",
 ]

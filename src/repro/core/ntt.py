@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import Sequence
 
 import numpy as np
 
@@ -351,10 +352,373 @@ def get_engine(ring_degree: int, modulus: int, psi: int | None = None) -> NTTEng
     return NTTEngine(ring_degree=ring_degree, modulus=modulus, psi=psi)
 
 
+#: Contiguous block size (elements) below which radix-2 stages run in a
+#: transposed layout.  Stages with butterfly half-width ``t < BLOCK/2``
+#: touch tiny strided slices that defeat vectorization; transposing the
+#: ``(blocks, BLOCK)`` grid once turns their inner axis into long
+#: contiguous runs -- the same locality argument as the paper's four-step
+#: NTT (§III-F.4, Figure 3), applied to the CPU cache hierarchy.
+_TRANSPOSED_BLOCK = 16
+
+#: Rows processed together by one pass of the stacked stage pipeline --
+#: the CPU analogue of the paper's ``limb_batch`` parameter (§III-F.1,
+#: Figure 7): batches must be wide enough to amortize kernel overhead but
+#: small enough that the working set (data plus scratch) stays resident in
+#: the private cache, or throughput degrades exactly as Figure 7 shows for
+#: small-L2 GPUs.
+_NTT_LIMB_BATCH = 3
+
+_scratch_cache: dict = {}
+
+
+def _scratch(key: str, shape: tuple[int, ...]) -> np.ndarray:
+    """Return a cached uint64 scratch buffer (single-threaded reuse)."""
+    size = 1
+    for dim in shape:
+        size *= dim
+    buf = _scratch_cache.get(key)
+    if buf is None or buf.size < size:
+        buf = np.empty(size, dtype=np.uint64)
+        _scratch_cache[key] = buf
+    return buf[:size].reshape(shape)
+
+
+class StackedNTTEngine:
+    """Batched negacyclic NTT/iNTT over a flat ``(num_limbs, N)`` limb stack.
+
+    The per-limb radix-2 transforms of :class:`NTTEngine` share their
+    butterfly schedule across limbs -- only the twiddle values differ.
+    Stacking the per-modulus twiddle tables into ``(L, N)`` matrices
+    therefore lets one pass of ``log2 N`` broadcast expressions transform
+    every limb of a polynomial at once, which is the limb-batched NTT of
+    §III-F: the Python-loop-per-limb overhead disappears and each stage is
+    a single vectorized butterfly over the whole stack.
+
+    The last ``log2(BLOCK)`` stages only move data within contiguous
+    ``BLOCK``-sized runs, so they execute on a transposed ``(L, BLOCK,
+    N/BLOCK)`` grid where the vectorized inner axis stays long (the
+    four-step locality idea of §III-F.4).
+
+    Results are bit-identical to running :class:`NTTEngine` limb by limb:
+    the same butterflies execute in the same order on the same residues,
+    merely staged through a different memory layout.
+    """
+
+    def __init__(self, ring_degree: int, moduli: Sequence[int]) -> None:
+        self.ring_degree = ring_degree
+        self.moduli = tuple(int(q) for q in moduli)
+        engines = [get_engine(ring_degree, q) for q in self.moduli]
+        col = modmath.moduli_column(self.moduli)
+        self.fast = modmath.stack_is_fast(col)
+        self._col3 = col.reshape(-1, 1, 1)
+        self._col4 = col.reshape(-1, 1, 1, 1)
+        self._col = col
+        self._psi_bitrev = self._stack_tables([e._psi_bitrev for e in engines])
+        self._psi_inv_bitrev = self._stack_tables([e._psi_inv_bitrev for e in engines])
+        self._n_inv = [e.n_inverse for e in engines]
+        if self.fast:
+            # Shoup companions of both twiddle tables (Table III): the
+            # butterflies then run with two multiplies and a shift instead
+            # of a hardware division per element.
+            self._psi_shoup = modmath.shoup_column(self._psi_bitrev, self._col)
+            self._psi_inv_shoup = modmath.shoup_column(self._psi_inv_bitrev, self._col)
+            # 2q columns for the lazy [0, 2q) butterfly representatives.
+            self._two3 = self._col3 * np.uint64(2)
+            self._two4 = self._col4 * np.uint64(2)
+        # Precompute the per-stage transposed twiddle grids (fast path only;
+        # the exact object path keeps the simple standard-layout stages).
+        self._block = _TRANSPOSED_BLOCK
+        self._grid = self.ring_degree // self._block if self.ring_degree > self._block else 0
+        if self.fast and self._grid >= 2:
+            self._fw_trans = self._transposed_tables(self._psi_bitrev, self._psi_shoup)
+            self._inv_trans = self._transposed_tables(
+                self._psi_inv_bitrev, self._psi_inv_shoup
+            )
+        else:
+            self._grid = 0
+
+    def _stack_tables(self, rows: list[np.ndarray]) -> np.ndarray:
+        if self.fast:
+            return np.stack(rows)
+        return np.stack([modmath.object_row(r) for r in rows])
+
+    def _transposed_tables(self, table: np.ndarray, shoup: np.ndarray | None):
+        """Twiddles of the block-local stages, reshaped for the transposed grid.
+
+        For a stage with ``m`` groups (``m >= grid``), group ``g`` splits
+        into block ``b = g // (m/grid)`` and in-block subgroup
+        ``s = g % (m/grid)``; on the transposed ``(L, BLOCK, grid)`` layout
+        the stage's twiddles become an ``(L, m/grid, 1, grid)`` grid.
+        """
+        num_limbs = len(self.moduli)
+        grid = self._grid
+        tables = []
+        m = grid
+        while m < self.ring_degree:
+            sub = m // grid
+            tw = (
+                table[:, m : 2 * m]
+                .reshape(num_limbs, grid, sub)
+                .transpose(0, 2, 1)[:, :, None, :]
+                .copy()
+            )
+            sh = (
+                shoup[:, m : 2 * m]
+                .reshape(num_limbs, grid, sub)
+                .transpose(0, 2, 1)[:, :, None, :]
+                .copy()
+                if shoup is not None
+                else None
+            )
+            tables.append((tw, sh))
+            m *= 2
+        return tables
+
+    def _working_copy(self, stack: np.ndarray, consume: bool) -> np.ndarray:
+        a = modmath.coerce_stack(np.asarray(stack), self._col)
+        if consume and a.flags.c_contiguous and a.flags.writeable:
+            # The caller relinquished ownership (and any dtype coercion
+            # already produced a fresh array), so transform in place.
+            return a
+        return a.copy()
+
+    def forward(self, stack: np.ndarray, *, consume: bool = False) -> np.ndarray:
+        """Forward NTT of every row (normal-order input, bit-reversed output).
+
+        ``consume=True`` lets the engine transform a caller-owned temporary
+        in place instead of taking a defensive copy.
+        """
+        a = self._working_copy(stack, consume)
+        if not self.fast:
+            return self._forward_object(a)
+        num_limbs = len(self.moduli)
+        for r0 in range(0, num_limbs, _NTT_LIMB_BATCH):
+            r1 = min(r0 + _NTT_LIMB_BATCH, num_limbs)
+            self._forward_rows_fast(a[r0:r1], r0, r1)
+        return a
+
+    def inverse(self, stack: np.ndarray, *, consume: bool = False) -> np.ndarray:
+        """Inverse NTT of every row (bit-reversed input, normal-order output)."""
+        a = self._working_copy(stack, consume)
+        if not self.fast:
+            return self._inverse_object(a)
+        num_limbs = len(self.moduli)
+        for r0 in range(0, num_limbs, _NTT_LIMB_BATCH):
+            r1 = min(r0 + _NTT_LIMB_BATCH, num_limbs)
+            self._inverse_rows_fast(a[r0:r1], r0, r1)
+        # The rows carry lazy [0, 2q) representatives here; the fused
+        # N^-1 scaling (Shoup) canonicalizes them.
+        return modmath.stack_scalar_mod(a, self._n_inv, self._col)
+
+    # -- fast (uint64) path ---------------------------------------------------
+    #
+    # One batch of rows runs through the whole stage pipeline while its
+    # working set (data + scratch) is cache-resident.  All intermediates
+    # live in preallocated scratch buffers (no allocator traffic on the hot
+    # path), and values travel as lazy [0, 2q) representatives -- Shoup
+    # products and one conditional subtraction against 2q per butterfly --
+    # with a single canonicalization at the end, which leaves the output
+    # bit-identical to the canonical per-stage computation.
+
+    def _forward_rows_fast(self, a: np.ndarray, r0: int, r1: int) -> None:
+        n = self.ring_degree
+        rows = r1 - r0
+        q3 = self._col3[r0:r1]
+        tq3 = self._two3[r0:r1]
+        half = n // 2
+        buf_v = _scratch("ntt-v", (rows, half))
+        buf_q = _scratch("ntt-q", (rows, half))
+        buf_lo = _scratch("ntt-lo", (rows, half))
+        buf_hi = _scratch("ntt-hi", (rows, half))
+        grid = self._grid
+        switch = grid if grid else n
+        t = n
+        m = 1
+        while m < switch:
+            t //= 2
+            view = a.reshape(rows, m, 2 * t)
+            tw = self._psi_bitrev[r0:r1, m : 2 * m].reshape(rows, m, 1)
+            sh = self._psi_shoup[r0:r1, m : 2 * m].reshape(rows, m, 1)
+            self._lazy_butterflies(
+                view[:, :, :t], view[:, :, t:], tw, sh, q3, tq3,
+                buf_v.reshape(rows, m, t), buf_q.reshape(rows, m, t),
+                buf_lo.reshape(rows, m, t), buf_hi.reshape(rows, m, t),
+            )
+            m *= 2
+        if grid:
+            block = self._block
+            gbuf = _scratch("ntt-grid", (rows, block, grid))
+            np.copyto(gbuf, a.reshape(rows, grid, block).transpose(0, 2, 1))
+            q4 = self._col4[r0:r1]
+            tq4 = self._two4[r0:r1]
+            t = block
+            for tw_full, sh_full in self._fw_trans:
+                t //= 2
+                sub = tw_full.shape[1]
+                view = gbuf.reshape(rows, sub, 2 * t, grid)
+                shape = (rows, sub, t, grid)
+                self._lazy_butterflies(
+                    view[:, :, :t, :], view[:, :, t:, :],
+                    tw_full[r0:r1], sh_full[r0:r1], q4, tq4,
+                    buf_v.reshape(shape), buf_q.reshape(shape),
+                    buf_lo.reshape(shape), buf_hi.reshape(shape),
+                )
+            np.copyto(a.reshape(rows, grid, block), gbuf.transpose(0, 2, 1))
+        # Canonicalize the lazy representatives once.
+        work = _scratch("ntt-w", (rows, n))
+        np.subtract(a, self._col[r0:r1], out=work)
+        np.minimum(a, work, out=a)
+
+    @staticmethod
+    def _lazy_butterflies(u, x, tw, sh, q, two_q, buf_v, buf_q, buf_lo, buf_hi):
+        """One forward stage on lazy representatives, entirely in scratch.
+
+        ``v = (x * tw) mod-ish q`` lands in ``[0, 2q)`` (Shoup, no final
+        correction); ``low = u + v`` and ``high = u + 2q - v`` are folded
+        back below ``2q`` with one subtract+minimum each (the uint64
+        wraparound of the min-trick).
+        """
+        np.multiply(x, sh, out=buf_q)
+        buf_q >>= modmath.STACK_SHOUP_SHIFT
+        buf_q *= q
+        np.multiply(x, tw, out=buf_v)
+        buf_v -= buf_q
+        np.add(u, two_q, out=buf_hi)
+        buf_hi -= buf_v
+        np.add(u, buf_v, out=buf_lo)
+        # u and x are no longer read; the final minimums write straight
+        # into the data views, saving two copy passes.
+        np.subtract(buf_lo, two_q, out=buf_q)
+        np.minimum(buf_lo, buf_q, out=u)
+        np.subtract(buf_hi, two_q, out=buf_q)
+        np.minimum(buf_hi, buf_q, out=x)
+
+    @staticmethod
+    def _lazy_gs_butterflies(u, v, tw, sh, q, two_q, buf_v, buf_q, buf_lo, buf_hi):
+        """One inverse (Gentleman-Sande) stage on lazy representatives."""
+        np.add(u, v, out=buf_lo)
+        np.add(u, two_q, out=buf_hi)
+        buf_hi -= v
+        # u and v are no longer read as inputs from here on.
+        np.subtract(buf_lo, two_q, out=buf_q)
+        np.minimum(buf_lo, buf_q, out=u)
+        np.subtract(buf_hi, two_q, out=buf_q)
+        np.minimum(buf_hi, buf_q, out=buf_hi)
+        np.multiply(buf_hi, sh, out=buf_q)
+        buf_q >>= modmath.STACK_SHOUP_SHIFT
+        buf_q *= q
+        np.multiply(buf_hi, tw, out=buf_v)
+        np.subtract(buf_v, buf_q, out=v)
+
+    def _inverse_rows_fast(self, a: np.ndarray, r0: int, r1: int) -> None:
+        n = self.ring_degree
+        rows = r1 - r0
+        q3 = self._col3[r0:r1]
+        tq3 = self._two3[r0:r1]
+        half = n // 2
+        buf_v = _scratch("ntt-v", (rows, half))
+        buf_q = _scratch("ntt-q", (rows, half))
+        buf_lo = _scratch("ntt-lo", (rows, half))
+        buf_hi = _scratch("ntt-hi", (rows, half))
+        grid = self._grid
+        t = 1
+        m = n
+        if grid:
+            block = self._block
+            gbuf = _scratch("ntt-grid", (rows, block, grid))
+            np.copyto(gbuf, a.reshape(rows, grid, block).transpose(0, 2, 1))
+            q4 = self._col4[r0:r1]
+            tq4 = self._two4[r0:r1]
+            for tw_full, sh_full in reversed(self._inv_trans):
+                sub = tw_full.shape[1]
+                view = gbuf.reshape(rows, sub, 2 * t, grid)
+                shape = (rows, sub, t, grid)
+                self._lazy_gs_butterflies(
+                    view[:, :, :t, :], view[:, :, t:, :],
+                    tw_full[r0:r1], sh_full[r0:r1], q4, tq4,
+                    buf_v.reshape(shape), buf_q.reshape(shape),
+                    buf_lo.reshape(shape), buf_hi.reshape(shape),
+                )
+                t *= 2
+                m //= 2
+            np.copyto(a.reshape(rows, grid, block), gbuf.transpose(0, 2, 1))
+        while m > 1:
+            h = m // 2
+            view = a.reshape(rows, h, 2 * t)
+            tw = self._psi_inv_bitrev[r0:r1, h : 2 * h].reshape(rows, h, 1)
+            sh = self._psi_inv_shoup[r0:r1, h : 2 * h].reshape(rows, h, 1)
+            self._lazy_gs_butterflies(
+                view[:, :, :t], view[:, :, t:], tw, sh, q3, tq3,
+                buf_v.reshape(rows, h, t), buf_q.reshape(rows, h, t),
+                buf_lo.reshape(rows, h, t), buf_hi.reshape(rows, h, t),
+            )
+            t *= 2
+            m = h
+        # Rows are left lazy (< 2q); the caller's fused N^-1 Shoup scaling
+        # canonicalizes them.
+
+    # -- exact (object) path --------------------------------------------------
+
+    def _forward_object(self, a: np.ndarray) -> np.ndarray:
+        n = self.ring_degree
+        num_limbs = len(self.moduli)
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            view = a.reshape(num_limbs, m, 2 * t)
+            twiddles = self._psi_bitrev[:, m : 2 * m].reshape(num_limbs, m, 1)
+            u = view[:, :, :t]
+            v = (view[:, :, t:] * twiddles) % self._col3
+            low = (u + v) % self._col3
+            high = (u - v) % self._col3
+            view[:, :, :t] = low
+            view[:, :, t:] = high
+            a = view.reshape(num_limbs, n)
+            m *= 2
+        return a
+
+    def _inverse_object(self, a: np.ndarray) -> np.ndarray:
+        n = self.ring_degree
+        num_limbs = len(self.moduli)
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            view = a.reshape(num_limbs, h, 2 * t)
+            twiddles = self._psi_inv_bitrev[:, h : 2 * h].reshape(num_limbs, h, 1)
+            u = view[:, :, :t]
+            v = view[:, :, t:]
+            view_sum = (u + v) % self._col3
+            view_diff = ((u - v) * twiddles) % self._col3
+            view[:, :, :t] = view_sum
+            view[:, :, t:] = view_diff
+            a = view.reshape(num_limbs, n)
+            t *= 2
+            m = h
+        return modmath.stack_scalar_mod(a, self._n_inv, self._col)
+
+
+@lru_cache(maxsize=128)
+def get_stacked_engine(ring_degree: int, moduli: tuple[int, ...]) -> StackedNTTEngine:
+    """Return a cached :class:`StackedNTTEngine` for a moduli tuple.
+
+    Each CKKS level (and key-switching sub-basis, and the fused
+    concatenated tuples of the batched rescale/ModDown paths) reuses its
+    stacked twiddle matrices across every polynomial, like the per-modulus
+    :func:`get_engine` cache.  The cache is bounded because each entry
+    holds several ``(L, N)`` tables; evicted engines rebuild cheaply from
+    the per-modulus tables, which stay cached.
+    """
+    return StackedNTTEngine(ring_degree, moduli)
+
+
 __all__ = [
     "NTTEngine",
     "HierarchicalNTT",
+    "StackedNTTEngine",
     "bit_reverse_indices",
     "is_power_of_two",
     "get_engine",
+    "get_stacked_engine",
 ]

@@ -96,20 +96,23 @@ class RNSBasis:
         """Recombine per-limb residue arrays into integer coefficients.
 
         With ``centered=True`` the result is mapped to ``(-Q/2, Q/2]``,
-        which is the signed convention CKKS decoding expects.
+        which is the signed convention CKKS decoding expects.  The CRT sum
+        is evaluated as vectorized object-array expressions across all
+        coefficients at once (no per-coefficient Python loop).
         """
         if len(limbs) != len(self.moduli):
             raise ValueError("limb count does not match basis size")
         length = len(limbs[0])
         big_q = self.modulus
         half = big_q >> 1
-        out = []
-        for idx in range(length):
-            value = self.crt_reconstruct([limbs[i][idx] for i in range(len(limbs))])
-            if centered and value > half:
-                value -= big_q
-            out.append(value)
-        return out
+        total = np.zeros(length, dtype=object)
+        for row, q, q_hat, q_hat_inv in zip(limbs, self.moduli, self.q_hat, self.q_hat_inv):
+            residues = modmath.object_row(np.asarray(row).ravel())
+            total = total + q_hat * ((residues * q_hat_inv) % q)
+        total = total % big_q
+        if centered:
+            total = np.where(total > half, total - big_q, total)
+        return [int(v) for v in total]
 
 
 class BaseConverter:
@@ -138,6 +141,23 @@ class BaseConverter:
         self.q_hat_inv = list(source.q_hat_inv)
         # Q mod p_k, used by the exact (flooring) variant.
         self.source_modulus_mod_target = [source.modulus % p for p in target.moduli]
+        # Stacked tables for the batched (limb-stack) conversion path.
+        self._source_col = modmath.moduli_column(source.moduli)
+        self._target_col = modmath.moduli_column(target.moduli)
+        fast = self._all_fast()
+        table_dtype = np.uint64 if fast else np.object_
+        #: (|target|, |source|) matrix of [q̂_i]_{p_k} from Equation 1.
+        self._q_hat_matrix = np.array(self.q_hat_mod_target, dtype=table_dtype)
+        self._q_hat_inv_col = np.array(
+            [inv % q for inv, q in zip(self.q_hat_inv, source.moduli)],
+            dtype=table_dtype,
+        ).reshape(-1, 1)
+        if fast:
+            # Shoup companion of the scaling constants, so the limb-wise
+            # scaling step needs no hardware division.
+            self._q_hat_inv_shoup = modmath.shoup_column(
+                self._q_hat_inv_col, self._source_col
+            )
 
     def _all_fast(self) -> bool:
         return all(
@@ -165,28 +185,50 @@ class BaseConverter:
             raise ValueError(
                 f"expected {len(self.source)} source limbs, got {len(limbs)}"
             )
-        length = len(limbs[0])
+        stack = modmath.as_residue_stack(limbs, self.source.moduli)
+        converted = self.convert_stack(stack)
+        return [converted[k] for k in range(len(self.target))]
+
+    def convert_stack(self, stack: np.ndarray) -> np.ndarray:
+        """Batched base conversion of a canonical ``(|source|, N)`` stack.
+
+        The whole Equation-1 computation -- limb-wise scaling followed by
+        the ``[q̂_i]_{p_k}`` matrix accumulation -- runs as broadcast NumPy
+        expressions with no per-limb Python loop on the fast backend.  The
+        accumulation is the wide accumulator of §III-F.3 via
+        :func:`repro.core.modmath.stack_dot_mod`: raw 64-bit products sum
+        across source limbs with an intermediate fold every four terms
+        (``4·(q-1)² < 2**64`` for fast moduli) and one final reduction per
+        output element.
+        """
         fast = self._all_fast()
-        # Limb-wise scaling x_i * q̂_i^{-1} mod q_i; the accumulation below
-        # mimics the wide (128-bit) accumulator of §III-F.3 with a single
-        # reduction per output element.
-        scaled = self._scaled_limbs(limbs, fast)
+        if fast:
+            stack = modmath.coerce_stack(np.asarray(stack), self._source_col)
+            scaled = modmath.stack_shoup_mul(
+                stack, self._q_hat_inv_col, self._q_hat_inv_shoup, self._source_col
+            )
+            return modmath.stack_dot_mod(
+                [
+                    (scaled[i][None, :], self._q_hat_matrix[:, i : i + 1])
+                    for i in range(len(self.source))
+                ],
+                self._target_col,
+            )
+        scaled = [
+            modmath.object_row(row) * inv % q
+            for row, inv, q in zip(stack, self.q_hat_inv, self.source.moduli)
+        ]
         outputs = []
+        length = stack.shape[1]
         for k, p in enumerate(self.target.moduli):
             row = self.q_hat_mod_target[k]
-            if fast:
-                acc = np.zeros(length, dtype=np.uint64)
-                for i in range(len(self.source)):
-                    # Reduce each partial product so the running sum stays
-                    # far below 2**64 for any realistic limb count.
-                    acc += (scaled[i] * np.uint64(row[i])) % np.uint64(p)
-                outputs.append(acc % np.uint64(p))
-            else:
-                acc = np.zeros(length, dtype=object)
-                for i in range(len(self.source)):
-                    acc = acc + scaled[i] * row[i]
-                outputs.append(modmath.as_residue_array(acc % p, p))
-        return outputs
+            acc = np.zeros(length, dtype=object)
+            for i in range(len(self.source)):
+                acc = acc + scaled[i] * row[i]
+            outputs.append(modmath.as_residue_array(acc % p, p))
+        return np.stack(
+            [modmath.object_row(out) for out in outputs]
+        ) if not modmath.all_fast_moduli(self.target.moduli) else np.stack(outputs)
 
     def convert_exact(self, limbs: Sequence[np.ndarray]) -> list[np.ndarray]:
         """Exact base conversion removing the ``α·Q`` overshoot.

@@ -1,29 +1,42 @@
 """``RNSPoly`` and ``LimbPartition``: the polynomial containers of Figure 2.
 
 An :class:`RNSPoly` is a degree-``N`` polynomial decomposed over an RNS
-basis ``B = {q_0, ..., q_l}``; it owns one or more
-:class:`LimbPartition` objects, each representing the portion of the
-polynomial stored on one device.  The current FIDESlib release is
-single-GPU, so every poly has exactly one partition -- the class structure
-keeps the multi-GPU extension point the paper describes.
+basis ``B = {q_0, ..., q_l}``.  Since the limb-batching refactor its data
+plane is a single :class:`~repro.core.limb_stack.LimbStack` -- one flat
+``(num_limbs, N)`` device buffer (the §III-D flattened allocation
+strategy) -- and every cross-limb operation (element-wise arithmetic,
+rescaling, limb dropping, base-extension glue, CRT recomposition, NTT)
+executes as vectorized broadcast expressions with no per-limb Python loop,
+matching the batched kernels of §III-F.
 
-The heavy lifting (NTT, element-wise modular arithmetic, automorphisms,
-modulus switching) is delegated to :class:`~repro.core.limb.Limb`; this
-module provides the cross-limb operations CKKS needs: rescaling, limb
-dropping, base extension glue and CRT recomposition.
+The legacy per-limb surface is preserved: ``poly.limbs[i]`` returns a
+zero-copy :class:`~repro.core.limb.Limb` view into the stack row, and
+:class:`LimbPartition` still models the portion of the polynomial stored
+on one device (the multi-GPU extension point the paper describes; the
+current release is single-GPU, so every poly has exactly one partition).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from functools import lru_cache
+from typing import Sequence
 
 import numpy as np
 
 from repro.core import modmath
 from repro.core.limb import Limb, LimbFormat
+from repro.core.limb_stack import LimbStack
 from repro.core.memory import MemoryPool
+from repro.core.ntt import get_engine, get_stacked_engine
 from repro.core.rns import RNSBasis
+
+
+@lru_cache(maxsize=None)
+def _rescale_inverses(moduli: tuple[int, ...]) -> tuple[int, ...]:
+    """``(q_l^{-1} mod q_i)`` for every limb kept by a rescale (cached)."""
+    q_last = moduli[-1]
+    return tuple(modmath.inv_mod(q_last % q, q) for q in moduli[:-1])
 
 
 @dataclass
@@ -49,7 +62,7 @@ class LimbPartition:
 
 
 class RNSPoly:
-    """A polynomial in ``Z_Q[X]/(X^N + 1)`` stored limb-by-limb.
+    """A polynomial in ``Z_Q[X]/(X^N + 1)`` stored as a flat limb stack.
 
     Parameters
     ----------
@@ -59,7 +72,9 @@ class RNSPoly:
         The RNS basis primes ``q_0 ... q_l`` currently attached to the
         polynomial (shrinks as levels are consumed).
     limbs:
-        Optional initial limbs; zero limbs are created when omitted.
+        Optional initial limbs; zero limbs are created when omitted.  All
+        limbs must share one representation (format is tracked per
+        polynomial, which is what lets every cross-limb kernel batch).
     device_id:
         Device the single partition is assigned to.
     """
@@ -76,8 +91,10 @@ class RNSPoly:
     ) -> None:
         self.ring_degree = ring_degree
         self.moduli = list(int(q) for q in moduli)
+        self.device_id = device_id
         if limbs is None:
-            limbs = [Limb.zero(ring_degree, q, fmt, pool=pool) for q in self.moduli]
+            self._fmt = fmt
+            self._stack = LimbStack.zeros(ring_degree, self.moduli, pool=pool)
         else:
             limbs = list(limbs)
             if len(limbs) != len(self.moduli):
@@ -85,9 +102,28 @@ class RNSPoly:
             for limb, q in zip(limbs, self.moduli):
                 if limb.modulus != q:
                     raise ValueError("limb modulus does not match basis")
-        self.partition = LimbPartition(device_id=device_id, limbs=limbs)
+            formats = {limb.fmt for limb in limbs}
+            if len(formats) > 1:
+                raise ValueError("limbs are in mixed formats")
+            self._fmt = next(iter(formats)) if formats else fmt
+            self._stack = LimbStack.from_rows(
+                self.moduli, [limb.data for limb in limbs], pool=pool
+            )
 
     # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_stack(
+        cls, stack: LimbStack, fmt: LimbFormat, *, device_id: int = 0
+    ) -> "RNSPoly":
+        """Adopt an existing limb stack without copying (internal fast path)."""
+        poly = object.__new__(cls)
+        poly.ring_degree = stack.ring_degree
+        poly.moduli = list(stack.moduli)
+        poly.device_id = device_id
+        poly._fmt = fmt
+        poly._stack = stack
+        return poly
 
     @classmethod
     def from_int_coefficients(
@@ -99,17 +135,18 @@ class RNSPoly:
         fmt: LimbFormat = LimbFormat.COEFFICIENT,
     ) -> "RNSPoly":
         """Build a poly from signed integer coefficients (length ``<= N``)."""
-        coeffs = list(coefficients)
+        coeffs = [int(c) for c in coefficients]
         if len(coeffs) > ring_degree:
             raise ValueError("too many coefficients for the ring degree")
         coeffs = coeffs + [0] * (ring_degree - len(coeffs))
-        limbs = []
-        for q in moduli:
-            data = modmath.as_residue_array(
-                np.array([int(c) % q for c in coeffs], dtype=object), q
-            )
-            limbs.append(Limb(q, data, LimbFormat.COEFFICIENT, ring_degree))
-        poly = cls(ring_degree, moduli, limbs)
+        values = np.array(coeffs, dtype=object)
+        # One exact object-array reduction per limb replaces the old
+        # per-coefficient Python loop; the rows land canonical by
+        # construction, so the stack adopts them without re-validation.
+        rows = np.stack([values % int(q) for q in moduli])
+        if modmath.all_fast_moduli(moduli):
+            rows = rows.astype(np.uint64)
+        poly = cls.from_stack(LimbStack(moduli, rows), LimbFormat.COEFFICIENT)
         if fmt is LimbFormat.EVALUATION:
             poly = poly.to_evaluation()
         return poly
@@ -123,26 +160,35 @@ class RNSPoly:
         fmt: LimbFormat,
     ) -> "RNSPoly":
         """Build a poly from raw per-limb residue arrays."""
-        limbs = [
-            Limb(q, arr, fmt, ring_degree) for q, arr in zip(moduli, arrays, strict=True)
-        ]
-        return cls(ring_degree, moduli, limbs)
+        if len(arrays) != len(list(moduli)):
+            raise ValueError("array count does not match modulus count")
+        for arr in arrays:
+            if len(np.asarray(arr).ravel()) != ring_degree:
+                raise ValueError("limb data length does not match ring degree")
+        return cls.from_stack(LimbStack.from_rows(moduli, arrays), fmt)
 
     def copy(self) -> "RNSPoly":
-        """Return a deep copy."""
-        return RNSPoly(
-            self.ring_degree,
-            self.moduli,
-            [limb.copy() for limb in self.limbs],
-            device_id=self.partition.device_id,
-        )
+        """Return a deep copy (charged to the same memory pool)."""
+        return RNSPoly.from_stack(self._stack.copy(), self._fmt, device_id=self.device_id)
 
     # -- basic accessors -----------------------------------------------------
 
     @property
+    def stack(self) -> LimbStack:
+        """The flat ``(num_limbs, N)`` limb-stack storage."""
+        return self._stack
+
+    @property
     def limbs(self) -> list[Limb]:
-        """Return the limbs of the (single) partition."""
-        return self.partition.limbs
+        """Zero-copy per-limb views into the stack (legacy API)."""
+        return [
+            self._stack.limb_view(i, self._fmt) for i in range(len(self.moduli))
+        ]
+
+    @property
+    def partition(self) -> LimbPartition:
+        """The (single) device partition, wrapping the limb views."""
+        return LimbPartition(device_id=self.device_id, limbs=self.limbs)
 
     @property
     def level_count(self) -> int:
@@ -152,10 +198,7 @@ class RNSPoly:
     @property
     def fmt(self) -> LimbFormat:
         """Return the common representation of all limbs."""
-        formats = {limb.fmt for limb in self.limbs}
-        if len(formats) != 1:
-            raise RuntimeError("limbs are in mixed formats")
-        return next(iter(formats))
+        return self._fmt
 
     def basis(self) -> RNSBasis:
         """Return the :class:`RNSBasis` for the current moduli."""
@@ -163,24 +206,35 @@ class RNSPoly:
 
     def footprint_bytes(self, element_bytes: int = 8) -> int:
         """Return the memory footprint of the polynomial."""
-        return self.partition.footprint_bytes(element_bytes)
+        return self._stack.footprint_bytes(element_bytes)
 
     # -- representation ------------------------------------------------------
 
     def to_evaluation(self) -> "RNSPoly":
-        """Return the polynomial with every limb in evaluation format."""
-        return self._map(lambda limb: limb.to_evaluation())
+        """Return the polynomial with every limb in evaluation format.
+
+        All limbs are transformed in one stacked NTT call.
+        """
+        if self._fmt is LimbFormat.EVALUATION:
+            return self.copy()
+        engine = get_stacked_engine(self.ring_degree, tuple(self.moduli))
+        data = engine.forward(self._stack.data)
+        return RNSPoly.from_stack(
+            LimbStack(self.moduli, data, pool=self._stack.buffer.pool),
+            LimbFormat.EVALUATION,
+            device_id=self.device_id,
+        )
 
     def to_coefficient(self) -> "RNSPoly":
         """Return the polynomial with every limb in coefficient format."""
-        return self._map(lambda limb: limb.to_coefficient())
-
-    def _map(self, fn) -> "RNSPoly":
-        return RNSPoly(
-            self.ring_degree,
-            self.moduli,
-            [fn(limb) for limb in self.limbs],
-            device_id=self.partition.device_id,
+        if self._fmt is LimbFormat.COEFFICIENT:
+            return self.copy()
+        engine = get_stacked_engine(self.ring_degree, tuple(self.moduli))
+        data = engine.inverse(self._stack.data)
+        return RNSPoly.from_stack(
+            LimbStack(self.moduli, data, pool=self._stack.buffer.pool),
+            LimbFormat.COEFFICIENT,
+            device_id=self.device_id,
         )
 
     # -- arithmetic ----------------------------------------------------------
@@ -192,69 +246,95 @@ class RNSPoly:
             raise ValueError(
                 f"RNS bases differ ({len(self.moduli)} vs {len(other.moduli)} limbs)"
             )
+        if self._fmt != other._fmt:
+            raise ValueError(f"limb formats differ: {self._fmt} vs {other._fmt}")
+
+    def _wrap(self, stack: LimbStack, fmt: LimbFormat | None = None) -> "RNSPoly":
+        return RNSPoly.from_stack(
+            stack, self._fmt if fmt is None else fmt, device_id=self.device_id
+        )
 
     def add(self, other: "RNSPoly") -> "RNSPoly":
         """Return the element-wise sum (same basis and format required)."""
         self._check_compatible(other)
-        return RNSPoly(
-            self.ring_degree,
-            self.moduli,
-            [a.add(b) for a, b in zip(self.limbs, other.limbs)],
-        )
+        return self._wrap(self._stack.add(other._stack))
 
     def sub(self, other: "RNSPoly") -> "RNSPoly":
         """Return the element-wise difference."""
         self._check_compatible(other)
-        return RNSPoly(
-            self.ring_degree,
-            self.moduli,
-            [a.sub(b) for a, b in zip(self.limbs, other.limbs)],
-        )
+        return self._wrap(self._stack.sub(other._stack))
 
     def negate(self) -> "RNSPoly":
         """Return the negated polynomial."""
-        return self._map(lambda limb: limb.negate())
+        return self._wrap(self._stack.negate())
 
     def multiply(self, other: "RNSPoly") -> "RNSPoly":
         """Return the element-wise (evaluation-domain) product."""
         self._check_compatible(other)
-        return RNSPoly(
-            self.ring_degree,
-            self.moduli,
-            [a.multiply(b) for a, b in zip(self.limbs, other.limbs)],
+        if self._fmt is not LimbFormat.EVALUATION:
+            raise ValueError("element-wise limb products require evaluation format")
+        return self._wrap(self._stack.multiply(other._stack))
+
+    def _scalars_per_limb(self, scalar: int | Sequence[int]) -> list[int]:
+        if isinstance(scalar, (int, np.integer)):
+            return [int(scalar)] * len(self.moduli)
+        scalars = [int(s) for s in scalar]
+        if len(scalars) != len(self.moduli):
+            raise ValueError("need one scalar per limb")
+        return scalars
+
+    @staticmethod
+    def multiply_accumulate(pairs: Sequence[tuple["RNSPoly", "RNSPoly"]]) -> "RNSPoly":
+        """Fused ``Σ a_i ⊙ b_i`` over evaluation-format polynomials.
+
+        The dot-product fusion of §III-F.5: raw products accumulate in the
+        wide uint64 lane and reduce once, instead of a reduce per multiply
+        and per add.  All operands must share one basis and be in
+        evaluation format.
+        """
+        if not pairs:
+            raise ValueError("multiply_accumulate needs at least one pair")
+        first = pairs[0][0]
+        for a, b in pairs:
+            first._check_compatible(a)
+            first._check_compatible(b)
+        if first.fmt is not LimbFormat.EVALUATION:
+            raise ValueError("element-wise limb products require evaluation format")
+        data = modmath.stack_dot_mod(
+            [(a._stack.data, b._stack.data) for a, b in pairs],
+            first._stack.moduli_col,
+        )
+        return first._wrap(
+            LimbStack(first.moduli, data, pool=first._stack.buffer.pool)
         )
 
     def multiply_scalar(self, scalar: int | Sequence[int]) -> "RNSPoly":
         """Multiply by an integer constant, or by one constant per limb."""
-        if isinstance(scalar, (int, np.integer)):
-            scalars: Iterable[int] = [int(scalar)] * len(self.moduli)
-        else:
-            scalars = list(scalar)
-            if len(scalars) != len(self.moduli):
-                raise ValueError("need one scalar per limb")
-        return RNSPoly(
-            self.ring_degree,
-            self.moduli,
-            [limb.multiply_scalar(s) for limb, s in zip(self.limbs, scalars)],
-        )
+        return self._wrap(self._stack.multiply_scalars(self._scalars_per_limb(scalar)))
 
     def add_scalar(self, scalar: int | Sequence[int]) -> "RNSPoly":
-        """Add an integer constant (or one constant per limb)."""
-        if isinstance(scalar, (int, np.integer)):
-            scalars: Iterable[int] = [int(scalar)] * len(self.moduli)
-        else:
-            scalars = list(scalar)
-            if len(scalars) != len(self.moduli):
-                raise ValueError("need one scalar per limb")
-        return RNSPoly(
-            self.ring_degree,
-            self.moduli,
-            [limb.add_scalar(s) for limb, s in zip(self.limbs, scalars)],
-        )
+        """Add an integer constant (or one constant per limb).
+
+        In coefficient format the constant is added to the degree-0
+        coefficient; in evaluation format a constant polynomial evaluates
+        to the same value everywhere, so it is added to every element.
+        """
+        scalars = self._scalars_per_limb(scalar)
+        if self._fmt is LimbFormat.EVALUATION:
+            return self._wrap(self._stack.add_scalars_broadcast(scalars))
+        return self._wrap(self._stack.add_scalars_at(scalars, 0))
 
     def automorphism(self, exponent: int) -> "RNSPoly":
-        """Apply the Galois automorphism ``X -> X^exponent`` to every limb."""
-        return self._map(lambda limb: limb.automorphism(exponent))
+        """Apply the Galois automorphism ``X -> X^exponent`` to every limb.
+
+        The permutation is defined on the coefficient representation;
+        polynomials in evaluation format are routed through a stacked
+        iNTT/NTT round trip exactly like the GPU ``Automorph`` kernel path
+        used before key switching.
+        """
+        if self._fmt is LimbFormat.EVALUATION:
+            return self.to_coefficient().automorphism(exponent).to_evaluation()
+        return self._wrap(self._stack.automorphism_coeff(exponent))
 
     # -- level management ----------------------------------------------------
 
@@ -264,21 +344,13 @@ class RNSPoly:
             raise ValueError(f"cannot drop {count} of {len(self.moduli)} limbs")
         if count == 0:
             return self.copy()
-        return RNSPoly(
-            self.ring_degree,
-            self.moduli[:-count],
-            [limb.copy() for limb in self.limbs[:-count]],
-        )
+        return self._wrap(self._stack.head(len(self.moduli) - count))
 
     def keep_limbs(self, count: int) -> "RNSPoly":
         """Return the polynomial truncated to its first ``count`` limbs."""
         if not 1 <= count <= len(self.moduli):
             raise ValueError(f"cannot keep {count} of {len(self.moduli)} limbs")
-        return RNSPoly(
-            self.ring_degree,
-            self.moduli[:count],
-            [limb.copy() for limb in self.limbs[:count]],
-        )
+        return self._wrap(self._stack.head(count))
 
     def select_limbs(self, indices: Sequence[int]) -> "RNSPoly":
         """Return a polynomial containing copies of the limbs at ``indices``.
@@ -290,9 +362,7 @@ class RNSPoly:
         indices = list(indices)
         if not indices:
             raise ValueError("at least one limb index is required")
-        moduli = [self.moduli[i] for i in indices]
-        limbs = [self.limbs[i].copy() for i in indices]
-        return RNSPoly(self.ring_degree, moduli, limbs)
+        return self._wrap(self._stack.take(indices))
 
     def rescale_last(self) -> "RNSPoly":
         """Divide by the last prime ``q_l`` and drop its limb (RNS rescale).
@@ -300,30 +370,72 @@ class RNSPoly:
         For every remaining limb ``i``:
         ``c_i' = q_l^{-1} · (c_i - SwitchModulus(c_l)) mod q_i``.
         This is the computation FIDESlib fuses into its NTT kernels
-        ("Rescale fusion", §III-F.5); here it is applied limb by limb in
-        whatever format the polynomial is in, switching the last limb
-        through the coefficient domain as required.
+        ("Rescale fusion", §III-F.5).  Here the switched last limb is
+        broadcast into every remaining modulus, transformed with one
+        stacked NTT when needed, and folded in with batched subtract and
+        scalar-multiply kernels -- no per-limb loop.
         """
-        if len(self.moduli) < 2:
+        return RNSPoly.rescale_last_many([self])[0]
+
+    @staticmethod
+    def rescale_last_many(polys: Sequence["RNSPoly"]) -> list["RNSPoly"]:
+        """Rescale several same-basis polynomials in fused stacked kernels.
+
+        The two components of a ciphertext (and the many polys of a fused
+        pipeline stage) share every transform: their switched last limbs
+        and NTT passes are concatenated row-wise into single stacked calls,
+        cutting the per-call overhead without changing any residue -- the
+        per-row math is exactly :meth:`rescale_last`.
+        """
+        if not polys:
+            return []
+        first = polys[0]
+        for poly in polys[1:]:
+            if poly.moduli != first.moduli or poly.fmt is not first.fmt:
+                raise ValueError("fused rescale requires matching bases and formats")
+        if len(first.moduli) < 2:
             raise ValueError("cannot rescale a single-limb polynomial")
-        q_last = self.moduli[-1]
-        last_coeff = self.limbs[-1].to_coefficient()
-        out_limbs = []
-        target_fmt = self.fmt
-        for limb, q in zip(self.limbs[:-1], self.moduli[:-1]):
-            switched = last_coeff.switch_modulus(q)
-            if target_fmt is LimbFormat.EVALUATION:
-                switched = switched.to_evaluation()
-            diff = limb.sub(switched)
-            inv = modmath.inv_mod(q_last % q, q)
-            out_limbs.append(diff.multiply_scalar(inv))
-        return RNSPoly(self.ring_degree, self.moduli[:-1], out_limbs)
+        n = first.ring_degree
+        q_last = first.moduli[-1]
+        target_moduli = first.moduli[:-1]
+        keep = len(target_moduli)
+        target_col = modmath.moduli_column(target_moduli)
+        is_eval = first.fmt is LimbFormat.EVALUATION
+        last_rows = np.stack([np.asarray(p._stack.data[-1]) for p in polys])
+        if is_eval:
+            last_rows = get_stacked_engine(
+                n, (q_last,) * len(polys)
+            ).inverse(last_rows, consume=True)
+        switched = np.vstack(
+            [modmath.stack_switch_modulus(row, q_last, target_col) for row in last_rows]
+        )
+        if is_eval:
+            switched = get_stacked_engine(
+                n, tuple(target_moduli) * len(polys)
+            ).forward(switched, consume=True)
+        heads = np.vstack(
+            [modmath.coerce_stack(p._stack.data[:-1], target_col) for p in polys]
+        )
+        fused_col = modmath.moduli_column(list(target_moduli) * len(polys))
+        diff = modmath.stack_sub_mod(heads, switched, fused_col)
+        inverses = _rescale_inverses(tuple(first.moduli))
+        out = modmath.stack_scalar_mod(diff, inverses * len(polys), fused_col)
+        return [
+            poly._wrap(
+                LimbStack(
+                    target_moduli,
+                    out[i * keep : (i + 1) * keep],
+                    pool=poly._stack.buffer.pool,
+                )
+            )
+            for i, poly in enumerate(polys)
+        ]
 
     # -- conversions ---------------------------------------------------------
 
     def limb_arrays(self) -> list[np.ndarray]:
-        """Return the raw residue arrays of every limb."""
-        return [limb.data for limb in self.limbs]
+        """Return the raw residue arrays of every limb (zero-copy views)."""
+        return self._stack.rows()
 
     def to_int_coefficients(self, *, centered: bool = True) -> list[int]:
         """CRT-recombine the limbs into signed integer coefficients."""

@@ -1,0 +1,242 @@
+"""Tests for the flat limb-stack data plane and its pool accounting.
+
+Covers the §III-D allocation-strategy comparison (array-per-limb versus
+flattened), zero-copy limb views, exact internal fragmentation, the
+batched modmath kernels against their per-limb references, and the
+stacked NTT against the per-limb engines.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import BenchmarkTable
+from repro.core import modmath
+from repro.core.limb import Limb, LimbFormat, VectorGPU
+from repro.core.limb_stack import LimbStack
+from repro.core.memory import (
+    STRATEGY_ARRAY_PER_LIMB,
+    STRATEGY_FLATTENED,
+    MemoryPool,
+    OutOfDeviceMemory,
+)
+from repro.core.ntt import get_engine, get_stacked_engine
+from repro.core.primes import generate_ntt_primes
+from repro.core.rns_poly import RNSPoly
+
+N = 64
+PRIMES = generate_ntt_primes(3, 28, N)
+BIG_PRIMES = generate_ntt_primes(2, 40, N)  # exact (object) backend
+
+
+def random_stack(moduli, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = [rng.integers(0, q, N) for q in moduli]
+    return LimbStack.from_rows(moduli, rows)
+
+
+class TestBatchedKernels:
+    """The stack_* kernels must agree with the per-limb vec_* routines."""
+
+    @pytest.mark.parametrize("moduli", [PRIMES, BIG_PRIMES], ids=["fast", "exact"])
+    def test_elementwise_ops_match_per_limb(self, moduli):
+        a = random_stack(moduli, 1)
+        b = random_stack(moduli, 2)
+        col = a.moduli_col
+        checks = {
+            "add": (modmath.stack_add_mod(a.data, b.data, col), modmath.vec_add_mod),
+            "sub": (modmath.stack_sub_mod(a.data, b.data, col), modmath.vec_sub_mod),
+            "mul": (modmath.stack_mul_mod(a.data, b.data, col), modmath.vec_mul_mod),
+        }
+        for name, (result, reference) in checks.items():
+            for i, q in enumerate(moduli):
+                expected = reference(
+                    modmath.as_residue_array(a.data[i], q),
+                    modmath.as_residue_array(b.data[i], q),
+                    q,
+                )
+                assert [int(x) for x in result[i]] == [int(x) for x in expected], name
+
+    def test_scalar_and_neg_ops(self):
+        a = random_stack(PRIMES, 3)
+        col = a.moduli_col
+        scalars = [5, 7, 11]
+        scaled = modmath.stack_scalar_mod(a.data, scalars, col)
+        negated = modmath.stack_neg_mod(a.data, col)
+        for i, q in enumerate(PRIMES):
+            assert [int(x) for x in scaled[i]] == [
+                (int(x) * scalars[i]) % q for x in a.data[i]
+            ]
+            assert [int(x) for x in negated[i]] == [(-int(x)) % q for x in a.data[i]]
+
+    def test_dot_product_fusion_matches_sequential(self):
+        pairs = [(random_stack(PRIMES, s).data, random_stack(PRIMES, s + 10).data)
+                 for s in range(5)]  # > 4 terms exercises the overflow guard
+        col = modmath.moduli_column(PRIMES)
+        fused = modmath.stack_dot_mod(pairs, col)
+        expected = None
+        for x, y in pairs:
+            term = modmath.stack_mul_mod(x, y, col)
+            expected = term if expected is None else modmath.stack_add_mod(
+                expected, term, col)
+        assert np.array_equal(fused, expected)
+
+    def test_switch_modulus_matches_per_limb(self):
+        rng = np.random.default_rng(4)
+        q_from = PRIMES[-1]
+        row = modmath.as_residue_array(rng.integers(0, q_from, N), q_from)
+        col = modmath.moduli_column(PRIMES[:-1])
+        switched = modmath.stack_switch_modulus(row, q_from, col)
+        for i, q in enumerate(PRIMES[:-1]):
+            expected = modmath.vec_switch_modulus(row, q_from, q)
+            assert [int(x) for x in switched[i]] == [int(x) for x in expected]
+
+
+class TestStackedNTT:
+    @pytest.mark.parametrize("moduli", [PRIMES, BIG_PRIMES], ids=["fast", "exact"])
+    def test_matches_per_limb_engines(self, moduli):
+        stack = random_stack(moduli, 5)
+        engine = get_stacked_engine(N, tuple(moduli))
+        forward = engine.forward(stack.data)
+        roundtrip = engine.inverse(forward)
+        for i, q in enumerate(moduli):
+            reference = get_engine(N, q).forward(stack.data[i])
+            assert [int(x) for x in forward[i]] == [int(x) for x in reference]
+            assert [int(x) for x in roundtrip[i]] == [int(x) for x in stack.data[i]]
+
+    def test_poly_transform_is_loop_free_path(self):
+        poly, _ = _random_poly(6)
+        eval_poly = poly.to_evaluation()
+        back = eval_poly.to_coefficient()
+        assert back.to_int_coefficients() == poly.to_int_coefficients()
+        assert eval_poly.fmt is LimbFormat.EVALUATION
+
+
+def _random_poly(seed):
+    rng = np.random.default_rng(seed)
+    coeffs = [int(v) for v in rng.integers(-50, 50, N)]
+    return RNSPoly.from_int_coefficients(N, PRIMES, coeffs), coeffs
+
+
+class TestLimbStackStorage:
+    def test_limb_views_are_zero_copy(self):
+        poly, _ = _random_poly(7)
+        limbs = poly.limbs
+        for i, limb in enumerate(limbs):
+            assert limb.modulus == PRIMES[i]
+            assert np.shares_memory(limb.data, poly.stack.data)
+            assert limb.buffer is not None and not limb.buffer.managed
+
+    def test_fused_rescale_matches_single(self):
+        a, _ = _random_poly(8)
+        b, _ = _random_poly(9)
+        fused = RNSPoly.rescale_last_many([a, b])
+        assert fused[0].to_int_coefficients() == a.rescale_last().to_int_coefficients()
+        assert fused[1].to_int_coefficients() == b.rescale_last().to_int_coefficients()
+
+    def test_multiply_accumulate_matches_sequential(self):
+        a = _random_poly(10)[0].to_evaluation()
+        b = _random_poly(11)[0].to_evaluation()
+        c = _random_poly(12)[0].to_evaluation()
+        d = _random_poly(13)[0].to_evaluation()
+        fused = RNSPoly.multiply_accumulate([(a, b), (c, d)])
+        expected = a.multiply(b).add(c.multiply(d))
+        assert fused.to_int_coefficients() == expected.to_int_coefficients()
+
+    def test_mixed_format_limbs_rejected(self):
+        coeff = Limb(PRIMES[0], modmath.zeros(N, PRIMES[0]), LimbFormat.COEFFICIENT)
+        evald = Limb(PRIMES[1], modmath.zeros(N, PRIMES[1]), LimbFormat.EVALUATION)
+        with pytest.raises(ValueError):
+            RNSPoly(N, PRIMES[:2], [coeff, evald])
+
+
+class TestPoolAccountingUnderLimbStack:
+    """Satellite: pool accounting for the two §III-D allocation strategies."""
+
+    def test_flattened_vs_array_per_limb_footprints(self):
+        # A limb size that granularity rounding actually penalizes.
+        ring_degree = 72  # 576 bytes/limb -> rounds to 1024 per limb
+        pool_stack = MemoryPool(granularity=1024)
+        limbs = [Limb.zero(ring_degree, q, pool=pool_stack) for q in PRIMES]
+        pool_flat = MemoryPool(granularity=1024)
+        flat = LimbStack.zeros(ring_degree, PRIMES, pool=pool_flat)
+        # Three per-limb buffers round up three times (3 x 1024); the flat
+        # 1728-byte buffer rounds once (2048).
+        assert pool_stack.bytes_in_use == 3 * 1024
+        assert pool_flat.bytes_in_use == 2048
+        assert pool_flat.internal_fragmentation() < pool_stack.internal_fragmentation()
+        assert pool_flat.internal_fragmentation() == pytest.approx(320 / 2048)
+        assert pool_stack.internal_fragmentation() == pytest.approx(1344 / 3072)
+        assert pool_flat.bytes_by_strategy() == {STRATEGY_FLATTENED: 2048}
+        assert set(pool_stack.bytes_by_strategy()) == {STRATEGY_ARRAY_PER_LIMB}
+        del limbs, flat  # keep the RAII buffers alive until the asserts ran
+
+    def test_exact_internal_fragmentation(self):
+        pool = MemoryPool(granularity=256)
+        pool.allocate(1000)
+        assert pool.bytes_in_use == 1024
+        assert pool.internal_fragmentation() == pytest.approx(24 / 1024)
+        by_strategy = pool.fragmentation_by_strategy()
+        assert by_strategy[STRATEGY_ARRAY_PER_LIMB] == pytest.approx(24 / 1024)
+
+    def test_view_backed_limbs_release_leak_free(self):
+        pool = MemoryPool()
+        stack = LimbStack.zeros(N, PRIMES, pool=pool)
+        charged = pool.bytes_in_use
+        assert charged == stack.footprint_bytes()  # one flat allocation
+        views = [stack.limb_view(i, LimbFormat.COEFFICIENT) for i in range(3)]
+        assert pool.bytes_in_use == charged  # views charge nothing
+        for view in views:
+            view.release()
+        assert pool.bytes_in_use == charged  # releasing views frees nothing
+        stack.release()
+        assert pool.bytes_in_use == 0
+        assert pool.allocation_count == pool.free_count == 1
+
+    def test_out_of_device_memory_on_capacity_bound_pool(self):
+        pool = MemoryPool(capacity_bytes=2 * N * 8)
+        resident = LimbStack.zeros(N, PRIMES[:2], pool=pool)  # fills the device
+        with pytest.raises(OutOfDeviceMemory):
+            LimbStack.zeros(N, PRIMES[2:], pool=pool)
+        resident.release()
+        extra = LimbStack.zeros(N, PRIMES[2:], pool=pool)  # fits after release
+        assert extra.footprint_bytes() == N * 8
+
+    def test_limb_copy_stays_pool_charged(self):
+        # Satellite fix: copies of pool-charged limbs must not escape
+        # footprint accounting.
+        pool = MemoryPool()
+        limb = Limb.zero(N, PRIMES[0], pool=pool)
+        baseline = pool.bytes_in_use
+        copy = limb.copy()
+        assert copy.buffer is not None and copy.buffer.pool is pool
+        assert pool.bytes_in_use == 2 * baseline
+        copy.release()
+        assert pool.bytes_in_use == baseline
+
+    def test_limb_stack_copy_stays_pool_charged(self):
+        pool = MemoryPool()
+        stack = LimbStack.zeros(N, PRIMES, pool=pool)
+        baseline = pool.bytes_in_use
+        clone = stack.copy()
+        assert pool.bytes_in_use == 2 * baseline
+        clone.release()
+        assert pool.bytes_in_use == baseline
+
+    def test_unmanaged_vector_still_free(self):
+        pool = MemoryPool()
+        vector = VectorGPU(128, pool=pool, managed=False)
+        assert pool.bytes_in_use == 0
+        vector.free()  # no-op
+
+
+class TestBenchmarkTableJson:
+    def test_to_json_round_trips(self):
+        table = BenchmarkTable("t", note="n")
+        table.add_row(operation="HAdd", seconds=0.5)
+        payload = json.loads(table.to_json(machine="test"))
+        assert payload["title"] == "t"
+        assert payload["rows"] == [{"operation": "HAdd", "seconds": 0.5}]
+        assert payload["machine"] == "test"
+        assert payload["columns"] == ["operation", "seconds"]
