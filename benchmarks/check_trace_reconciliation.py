@@ -1,0 +1,82 @@
+"""CI gate: the recorded execution plane must match the hand-built cost model.
+
+Records an HMult+rescale kernel trace from the real data plane
+(:mod:`repro.core.dispatch`) and reconciles it against
+``CKKSOperationCosts.hmult(include_rescale=True)`` --- kernel counts and
+bytes per kernel kind.  Divergence beyond the tolerance means the
+analytical workload math has drifted from what :mod:`repro.core` actually
+executes, which would silently skew every figure/table benchmark; the
+script exits non-zero so CI fails loudly instead.
+
+    PYTHONPATH=src python benchmarks/check_trace_reconciliation.py
+
+Also asserts the §III-F.1 scheduling trend on the recorded trace:
+multi-stream makespan must not exceed the single-stream makespan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.api import CKKSSession
+from repro.core.dispatch import get_dispatcher
+from repro.gpu.platforms import GPU_RTX_4090
+from repro.perf.calibration import reconcile_trace
+from repro.perf.costmodel import CKKSOperationCosts
+from repro.perf.trace_model import TraceCostModel
+
+from run_quick import quick_params
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ring-log2", type=int, default=12)
+    parser.add_argument("--depth", type=int, default=6)
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="maximum relative kernel-count/bytes divergence")
+    args = parser.parse_args()
+
+    params = quick_params(args.ring_log2, args.depth)
+    session = CKKSSession.create(params, seed=3, register_default=False)
+    rng = np.random.default_rng(0)
+    ct_a = session.encrypt(rng.uniform(-1, 1, 16))
+    ct_b = session.encrypt(rng.uniform(-1, 1, 16))
+
+    with session.trace() as trace:
+        ct_a * ct_b  # HMult + rescale on the real data plane
+
+    limbs = ct_a.limb_count
+    costs = CKKSOperationCosts(params, limb_batch=None, fusion=True)
+    report = reconcile_trace(
+        trace, costs.hmult(limbs, include_rescale=True),
+        name=f"HMult+rescale @ N=2^{args.ring_log2}, {limbs} limbs",
+    )
+    print(report.describe())
+
+    pricer = TraceCostModel(GPU_RTX_4090)
+    single = pricer.price(trace, streams=1).makespan
+    multi = pricer.price(trace, streams=8).makespan
+    print(f"makespan: 1 stream {single * 1e6:.1f} us, 8 streams {multi * 1e6:.1f} us")
+
+    failed = False
+    if not report.within(kernel_tolerance=args.tolerance,
+                         bytes_tolerance=args.tolerance):
+        print(
+            f"FAIL: trace diverges from the cost model beyond "
+            f"{args.tolerance:.0%} (kernels {report.kernel_count_delta:.2%}, "
+            f"bytes {report.bytes_delta:.2%})"
+        )
+        failed = True
+    if multi > single + 1e-12:
+        print("FAIL: multi-stream makespan exceeds single-stream makespan")
+        failed = True
+    if not failed:
+        print("OK: execution plane and cost model reconcile")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import platform
+import subprocess
 import time
 
 import numpy as np
@@ -19,8 +20,26 @@ import numpy as np
 from repro.api import CKKSSession
 from repro.bench.reporting import BenchmarkTable
 from repro.ckks.params import CKKSParameters
+from repro.core.dispatch import get_dispatcher
 from repro.core.ntt import get_stacked_engine
 from repro.gpu.memory import measure_allocation_strategies
+from repro.gpu.platforms import GPU_RTX_4090
+from repro.perf.trace_model import TraceCostModel
+
+#: Version of the BENCH_quick.json schema.  Bump when rows/metadata change
+#: shape so the CI artifact trajectory stays self-describing.
+BENCH_SCHEMA_VERSION = 2
+
+
+def git_sha() -> str:
+    """The commit this artifact was produced from (``unknown`` off-repo)."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, check=True, timeout=10,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
 
 
 def _time(fn, *, min_seconds: float = 0.2, repeats: int = 3) -> float:
@@ -37,9 +56,9 @@ def _time(fn, *, min_seconds: float = 0.2, repeats: int = 3) -> float:
     return best
 
 
-def run(ring_log2: int = 12, depth: int = 6) -> BenchmarkTable:
-    """Measure the homomorphic hot path at a reduced parameter set."""
-    params = CKKSParameters(
+def quick_params(ring_log2: int = 12, depth: int = 6) -> CKKSParameters:
+    """The reduced parameter set the quick benchmarks run at."""
+    return CKKSParameters(
         ring_degree=1 << ring_log2,
         mult_depth=depth,
         scale_bits=28,
@@ -47,6 +66,11 @@ def run(ring_log2: int = 12, depth: int = 6) -> BenchmarkTable:
         first_mod_bits=30,
         label=f"quick-{ring_log2}-{depth}",
     )
+
+
+def run(ring_log2: int = 12, depth: int = 6) -> BenchmarkTable:
+    """Measure the homomorphic hot path at a reduced parameter set."""
+    params = quick_params(ring_log2, depth)
     session = CKKSSession.create(params, rotations=[1], seed=3, register_default=False)
     rng = np.random.default_rng(0)
     ct_a = session.encrypt(rng.uniform(-1, 1, 16))
@@ -79,6 +103,20 @@ def run(ring_log2: int = 12, depth: int = 6) -> BenchmarkTable:
             allocations=report["allocations"],
             fragmentation=round(report["internal_fragmentation"], 6),
         )
+
+    # Scheduler makespan of a trace recorded from the real execution plane
+    # (§III-F.1: multi-stream launch hiding vs the single-stream baseline).
+    with get_dispatcher().record() as trace:
+        ct_a * ct_b
+    pricer = TraceCostModel(GPU_RTX_4090)
+    for streams in (1, pricer.streams):
+        report = pricer.price(trace, streams=streams)
+        table.add_row(
+            operation=f"trace HMult+rescale makespan [{report.platform}, "
+                      f"{streams} stream{'s' if streams > 1 else ''}]",
+            seconds=round(report.makespan, 9),
+            kernels=report.kernel_count,
+        )
     return table
 
 
@@ -91,7 +129,14 @@ def main() -> None:
     args = parser.parse_args()
 
     table = run(args.ring_log2, args.depth)
+    params = quick_params(args.ring_log2, args.depth)
     document = table.to_json(
+        schema_version=BENCH_SCHEMA_VERSION,
+        git_sha=git_sha(),
+        parameter_set={
+            "label": params.label,
+            "logN_L_scale_dnum": params.describe(),
+        },
         python=platform.python_version(),
         machine=platform.machine(),
         numpy=np.__version__,

@@ -23,6 +23,7 @@ from repro.api.backend import (
     EvaluationBackend,
     FunctionalBackend,
     SymbolicCiphertext,
+    TracingBackend,
     as_backend,
 )
 from repro.api.session import CKKSSession, resolve_parameters, resolve_rotations
@@ -36,6 +37,7 @@ __all__ = [
     "CostModelBackend",
     "CostLedger",
     "SymbolicCiphertext",
+    "TracingBackend",
     "as_backend",
     "as_vector",
     "resolve_parameters",

@@ -34,6 +34,7 @@ from repro.ckks.encryption import Encryptor
 from repro.ckks.evaluator import Evaluator, scales_match
 from repro.ckks.keys import KeySet
 from repro.ckks.params import CKKSParameters
+from repro.core.dispatch import KernelTrace, get_dispatcher
 from repro.perf.costmodel import CKKSOperationCosts, OperationCost
 
 
@@ -561,11 +562,106 @@ class CostModelBackend:
         }
 
 
+# ----------------------------------------------------------------------
+# tracing backend
+# ----------------------------------------------------------------------
+
+
+class TracingBackend:
+    """Wraps a backend and records the kernel stream of every operation.
+
+    Each dispatched operation runs inside an execution-plane recording
+    region (:meth:`repro.core.dispatch.Dispatcher.record`), so the wrapped
+    backend executes unchanged -- handles, levels, scales and ciphertext
+    bits are identical with and without the wrapper -- while every batched
+    data-plane kernel it launches lands in :attr:`trace` with operation
+    scopes and dependency edges intact across calls.
+
+    Meaningful traces require a backend that drives the real data plane
+    (:class:`FunctionalBackend`); wrapping a :class:`CostModelBackend`
+    records nothing, since symbolic execution launches no kernels.
+    """
+
+    name = "tracing"
+
+    def __init__(self, inner, *, trace: KernelTrace | None = None) -> None:
+        self.inner = as_backend(inner)
+        self.params: CKKSParameters = self.inner.params
+        self.trace = trace if trace is not None else KernelTrace()
+
+    def _recorded(self, method: str, *args, **kwargs):
+        with get_dispatcher().record(self.trace):
+            return getattr(self.inner, method)(*args, **kwargs)
+
+    # -- delegated operation surface ----------------------------------------
+
+    def encrypt(self, values, *, scale: float | None = None, level: int | None = None):
+        return self._recorded("encrypt", values, scale=scale, level=level)
+
+    def add(self, a, b):
+        return self._recorded("add", a, b)
+
+    def sub(self, a, b):
+        return self._recorded("sub", a, b)
+
+    def negate(self, a):
+        return self._recorded("negate", a)
+
+    def add_plain(self, a, values):
+        return self._recorded("add_plain", a, values)
+
+    def sub_plain(self, a, values):
+        return self._recorded("sub_plain", a, values)
+
+    def add_scalar(self, a, value: float):
+        return self._recorded("add_scalar", a, value)
+
+    def multiply(self, a, b):
+        return self._recorded("multiply", a, b)
+
+    def square(self, a):
+        return self._recorded("square", a)
+
+    def multiply_plain(self, a, values, *, rescale: bool = True):
+        return self._recorded("multiply_plain", a, values, rescale=rescale)
+
+    def multiply_scalar(self, a, value: float):
+        return self._recorded("multiply_scalar", a, value)
+
+    def rotate(self, a, steps: int):
+        return self._recorded("rotate", a, steps)
+
+    def conjugate(self, a):
+        return self._recorded("conjugate", a)
+
+    def hoisted_rotations(self, a, steps: Sequence[int]) -> dict:
+        return self._recorded("hoisted_rotations", a, steps)
+
+    def rescale(self, a):
+        return self._recorded("rescale", a)
+
+    def at_level(self, a, level: int):
+        return self._recorded("at_level", a, level)
+
+    def dot_product_plain(self, handles: Sequence, value_rows: Sequence):
+        return self._recorded("dot_product_plain", handles, value_rows)
+
+    # -- reporting ----------------------------------------------------------
+
+    def describe(self) -> dict:
+        return {
+            "backend": self.name,
+            "inner": self.inner.describe(),
+            "kernels_recorded": self.trace.kernel_count,
+        }
+
+
 __all__ = [
     "EvaluationBackend",
     "FunctionalBackend",
     "CostModelBackend",
     "CostLedger",
     "SymbolicCiphertext",
+    "TracingBackend",
     "as_backend",
 ]

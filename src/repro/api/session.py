@@ -23,10 +23,14 @@ context manager restores the previous default on exit.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import Iterator
+
 import numpy as np
 
-from repro.api.backend import CostModelBackend, FunctionalBackend
+from repro.api.backend import CostModelBackend, FunctionalBackend, TracingBackend
 from repro.api.vector import CipherVector
+from repro.core.dispatch import KernelTrace, get_dispatcher
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.context import Context, set_default_context
 from repro.ckks.encryption import encode as encode_plaintext
@@ -293,6 +297,31 @@ class CKKSSession:
             self.context, costs=costs,
             key_inventory=self.keys if check_keys else None,
         )
+
+    @contextmanager
+    def trace(self, trace: KernelTrace | None = None) -> Iterator[KernelTrace]:
+        """Record the kernel stream of everything executed in the with-block.
+
+        Yields a :class:`~repro.core.dispatch.KernelTrace` that fills with
+        the kernels the data plane executes -- real shapes, operation
+        scopes and dependency edges -- regardless of which handles or
+        backends issue them::
+
+            with session.trace() as trace:
+                result = 2.0 * (ct * ct) + 1.0
+            report = TraceCostModel(GPU_RTX_4090).price(trace)
+
+        Execution is unchanged by recording (ciphertext outputs stay
+        bit-identical).  Pass an existing trace to append to it.  For
+        tracing scoped to a single backend rather than a code region, see
+        :class:`~repro.api.backend.TracingBackend`.
+        """
+        with get_dispatcher().record(trace) as active:
+            yield active
+
+    def tracing_backend(self, trace: KernelTrace | None = None) -> TracingBackend:
+        """A wrapper of this session's backend that records every operation."""
+        return TracingBackend(self.backend, trace=trace)
 
     # ------------------------------------------------------------------
     # lifecycle / default-context wiring

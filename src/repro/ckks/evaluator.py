@@ -24,8 +24,16 @@ from repro.ckks.encryption import encode
 from repro.ckks.keys import KeySet, KeySwitchingKey
 from repro.ckks.keyswitch import apply_key, decompose_and_mod_up, key_switch
 from repro.core.automorphism import conjugation_exponent, rotation_to_exponent
+from repro.core.dispatch import get_dispatcher
 from repro.core.limb import LimbFormat
 from repro.core.rns_poly import RNSPoly
+from repro.gpu.kernel import MODADD_OPS, MODMUL_OPS
+
+#: Execution-plane dispatcher: the evaluator tags operation scopes so a
+#: recorded trace segments into hmult/modup/moddown/rescale regions, and
+#: emits the fused kernels (tensor product, relinearisation add) at the
+#: granularity FIDESlib launches them.
+_DISPATCH = get_dispatcher()
 
 #: Relative scale mismatch tolerated before an addition is rejected.
 _SCALE_TOLERANCE = 1e-6
@@ -51,7 +59,8 @@ class Evaluator:
         if ct.limb_count < 2:
             raise ValueError("cannot rescale a level-0 ciphertext")
         q_last = ct.moduli[-1]
-        c0, c1 = RNSPoly.rescale_last_many([ct.c0, ct.c1])
+        with _DISPATCH.scope("rescale"):
+            c0, c1 = RNSPoly.rescale_last_many([ct.c0, ct.c1])
         return ct.with_polys(c0, c1, scale=ct.scale / q_last)
 
     def mod_reduce(self, ct: Ciphertext, limb_count: int) -> Ciphertext:
@@ -112,13 +121,15 @@ class Evaluator:
 
     def add(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
         """Homomorphic ciphertext addition (``HAdd``)."""
-        a, b = self._match(ct1, ct2)
-        return a.with_polys(a.c0.add(b.c0), a.c1.add(b.c1))
+        with _DISPATCH.scope("hadd"):
+            a, b = self._match(ct1, ct2)
+            return a.with_polys(a.c0.add(b.c0), a.c1.add(b.c1))
 
     def sub(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
         """Homomorphic ciphertext subtraction."""
-        a, b = self._match(ct1, ct2)
-        return a.with_polys(a.c0.sub(b.c0), a.c1.sub(b.c1))
+        with _DISPATCH.scope("hadd"):
+            a, b = self._match(ct1, ct2)
+            return a.with_polys(a.c0.sub(b.c0), a.c1.sub(b.c1))
 
     def negate(self, ct: Ciphertext) -> Ciphertext:
         """Homomorphic negation."""
@@ -130,15 +141,17 @@ class Evaluator:
             raise ValueError(
                 f"plaintext scale {pt.scale:.6g} does not match ciphertext {ct.scale:.6g}"
             )
-        poly = self._plain_operand(ct, pt)
-        return ct.with_polys(ct.c0.add(poly), ct.c1.copy())
+        with _DISPATCH.scope("ptadd"):
+            poly = self._plain_operand(ct, pt)
+            return ct.with_polys(ct.c0.add(poly), ct.c1.copy())
 
     def sub_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
         """Plaintext subtraction."""
         if not _scales_match(ct.scale, pt.scale):
             raise ValueError("plaintext scale does not match ciphertext")
-        poly = self._plain_operand(ct, pt)
-        return ct.with_polys(ct.c0.sub(poly), ct.c1.copy())
+        with _DISPATCH.scope("ptadd"):
+            poly = self._plain_operand(ct, pt)
+            return ct.with_polys(ct.c0.sub(poly), ct.c1.copy())
 
     @staticmethod
     def _plain_operand(ct: Ciphertext, pt: Plaintext) -> RNSPoly:
@@ -156,7 +169,8 @@ class Evaluator:
     def add_scalar(self, ct: Ciphertext, value: float) -> Ciphertext:
         """Constant addition (``ScalarAdd``): adds ``value`` to every slot."""
         integer = int(round(float(value) * ct.scale))
-        return ct.with_polys(ct.c0.add_scalar(integer), ct.c1.copy())
+        with _DISPATCH.scope("scalaradd"):
+            return ct.with_polys(ct.c0.add_scalar(integer), ct.c1.copy())
 
     def sub_scalar(self, ct: Ciphertext, value: float) -> Ciphertext:
         """Constant subtraction."""
@@ -168,13 +182,14 @@ class Evaluator:
 
     def multiply_plain(self, ct: Ciphertext, pt: Plaintext, *, rescale: bool = True) -> Ciphertext:
         """Plaintext multiplication (``PtMult``)."""
-        poly = self._plain_operand(ct, pt)
-        result = ct.with_polys(
-            ct.c0.multiply(poly),
-            ct.c1.multiply(poly),
-            scale=ct.scale * pt.scale,
-        )
-        return self.rescale(result) if rescale else result
+        with _DISPATCH.scope("ptmult"):
+            poly = self._plain_operand(ct, pt)
+            result = ct.with_polys(
+                ct.c0.multiply(poly),
+                ct.c1.multiply(poly),
+                scale=ct.scale * pt.scale,
+            )
+            return self.rescale(result) if rescale else result
 
     def multiply_scalar(self, ct: Ciphertext, value: float, *, rescale: bool = True,
                         scalar_scale: float | None = None) -> Ciphertext:
@@ -197,18 +212,19 @@ class Evaluator:
             else:
                 scalar_scale = self.context.scale
         integer = int(round(float(value) * scalar_scale))
-        result = ct.with_polys(
-            ct.c0.multiply_scalar(integer),
-            ct.c1.multiply_scalar(integer),
-            scale=ct.scale * scalar_scale,
-        )
-        if rescale:
-            result = self.rescale(result)
-            if ct.level >= 1:
-                result = result.with_polys(
-                    result.c0, result.c1,
-                    scale=self.context.scale_at(ct.level - 1) * 1.0,
-                )
+        with _DISPATCH.scope("scalarmult"):
+            result = ct.with_polys(
+                ct.c0.multiply_scalar(integer),
+                ct.c1.multiply_scalar(integer),
+                scale=ct.scale * scalar_scale,
+            )
+            if rescale:
+                result = self.rescale(result)
+                if ct.level >= 1:
+                    result = result.with_polys(
+                        result.c0, result.c1,
+                        scale=self.context.scale_at(ct.level - 1) * 1.0,
+                    )
         return result
 
     def multiply_scalar_int(self, ct: Ciphertext, value: int) -> Ciphertext:
@@ -221,24 +237,43 @@ class Evaluator:
     def multiply(self, ct1: Ciphertext, ct2: Ciphertext, *, rescale: bool = True,
                  relinearize: bool = True) -> Ciphertext:
         """Homomorphic multiplication (``HMult``) with relinearisation."""
-        a, b = self._match_for_product(ct1, ct2)
-        d0 = a.c0.multiply(b.c0)
-        # Dot-product fusion (§III-F.5): one wide accumulation for the
-        # cross term instead of two reduced products plus a reduced add.
-        d1 = RNSPoly.multiply_accumulate([(a.c0, b.c1), (a.c1, b.c0)])
-        d2 = a.c1.multiply(b.c1)
-        result = self._relinearize(a, d0, d1, d2, a.scale * b.scale) if relinearize else \
-            a.with_polys(d0, d1, scale=a.scale * b.scale)
-        return self.rescale(result) if rescale else result
+        with _DISPATCH.scope("hmult"):
+            a, b = self._match_for_product(ct1, ct2)
+            # The GPU launches the whole tensor product as one fused kernel
+            # (4 products + 2 additions per element); record it that way.
+            with _DISPATCH.suppressed():
+                d0 = a.c0.multiply(b.c0)
+                # Dot-product fusion (§III-F.5): one wide accumulation for the
+                # cross term instead of two reduced products plus a reduced add.
+                d1 = RNSPoly.multiply_accumulate([(a.c0, b.c1), (a.c1, b.c0)])
+                d2 = a.c1.multiply(b.c1)
+            _DISPATCH.elementwise(
+                "tensor",
+                reads=(a.c0.stack.data, a.c1.stack.data,
+                       b.c0.stack.data, b.c1.stack.data),
+                writes=(d0.stack.data, d1.stack.data, d2.stack.data),
+                ops_per_element=4.0 * MODMUL_OPS + 2.0 * MODADD_OPS,
+            )
+            result = self._relinearize(a, d0, d1, d2, a.scale * b.scale) if relinearize else \
+                a.with_polys(d0, d1, scale=a.scale * b.scale)
+            return self.rescale(result) if rescale else result
 
     def square(self, ct: Ciphertext, *, rescale: bool = True) -> Ciphertext:
         """Homomorphic squaring (``HSquare``), cheaper than a general HMult."""
-        d0 = ct.c0.multiply(ct.c0)
-        cross = ct.c0.multiply(ct.c1)
-        d1 = cross.add(cross)
-        d2 = ct.c1.multiply(ct.c1)
-        result = self._relinearize(ct, d0, d1, d2, ct.scale * ct.scale)
-        return self.rescale(result) if rescale else result
+        with _DISPATCH.scope("hsquare"):
+            with _DISPATCH.suppressed():
+                d0 = ct.c0.multiply(ct.c0)
+                cross = ct.c0.multiply(ct.c1)
+                d1 = cross.add(cross)
+                d2 = ct.c1.multiply(ct.c1)
+            _DISPATCH.elementwise(
+                "square-tensor",
+                reads=(ct.c0.stack.data, ct.c1.stack.data),
+                writes=(d0.stack.data, d1.stack.data, d2.stack.data),
+                ops_per_element=3.0 * MODMUL_OPS + MODADD_OPS,
+            )
+            result = self._relinearize(ct, d0, d1, d2, ct.scale * ct.scale)
+            return self.rescale(result) if rescale else result
 
     def _match_for_product(self, ct1: Ciphertext, ct2: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
         if ct1.level == ct2.level:
@@ -250,7 +285,18 @@ class Evaluator:
     def _relinearize(self, template: Ciphertext, d0: RNSPoly, d1: RNSPoly,
                      d2: RNSPoly, scale: float) -> Ciphertext:
         delta0, delta1 = key_switch(self.context, d2, self.keys.relinearization_key)
-        return template.with_polys(d0.add(delta0), d1.add(delta1), scale=scale)
+        # Both component additions are one fused GPU launch.
+        with _DISPATCH.suppressed():
+            c0 = d0.add(delta0)
+            c1 = d1.add(delta1)
+        _DISPATCH.elementwise(
+            "relin-add",
+            reads=(d0.stack.data, delta0.stack.data,
+                   d1.stack.data, delta1.stack.data),
+            writes=(c0.stack.data, c1.stack.data),
+            ops_per_element=2.0 * MODADD_OPS,
+        )
+        return template.with_polys(c0, c1, scale=scale)
 
     def multiply_by_monomial(self, ct: Ciphertext, power: int) -> Ciphertext:
         """Multiply by ``X^power`` (no scale change).
@@ -286,14 +332,16 @@ class Evaluator:
             return ct.copy()
         key = self.keys.rotation_key(steps)
         exponent = rotation_to_exponent(self.context.ring_degree, steps)
-        return self._apply_automorphism(ct, exponent, key)
+        with _DISPATCH.scope("hrotate"):
+            return self._apply_automorphism(ct, exponent, key)
 
     def conjugate(self, ct: Ciphertext) -> Ciphertext:
         """Conjugate the message vector (``HConjugate``)."""
         if self.keys.conjugation_key is None:
             raise KeyError("no conjugation key was generated")
         exponent = conjugation_exponent(self.context.ring_degree)
-        return self._apply_automorphism(ct, exponent, self.keys.conjugation_key)
+        with _DISPATCH.scope("hconjugate"):
+            return self._apply_automorphism(ct, exponent, self.keys.conjugation_key)
 
     def _apply_automorphism(self, ct: Ciphertext, exponent: int,
                             key: KeySwitchingKey) -> Ciphertext:
@@ -309,6 +357,10 @@ class Evaluator:
         (§III-F.6): the digit decomposition and base extension of ``c1``
         are computed once and reused for every rotation key.
         """
+        with _DISPATCH.scope("hoisted"):
+            return self._hoisted_rotations(ct, steps)
+
+    def _hoisted_rotations(self, ct: Ciphertext, steps: Sequence[int]) -> dict[int, Ciphertext]:
         decomposed = decompose_and_mod_up(self.context, ct.c1)
         results: dict[int, Ciphertext] = {}
         for step in steps:

@@ -31,10 +31,14 @@ import numpy as np
 from repro.ckks.context import Context
 from repro.ckks.keys import KeySwitchingKey
 from repro.core import modmath
+from repro.core.dispatch import get_dispatcher
 from repro.core.limb import LimbFormat
 from repro.core.limb_stack import LimbStack
 from repro.core.ntt import get_stacked_engine
 from repro.core.rns_poly import RNSPoly
+from repro.gpu.kernel import MODADD_OPS, MODMUL_OPS
+
+_DISPATCH = get_dispatcher()
 
 
 @dataclass
@@ -59,62 +63,75 @@ def decompose_and_mod_up(context: Context, poly: RNSPoly) -> DecomposedPolynomia
     verbatim (no conversion error), the remaining limbs come from the fast
     base conversion.
     """
-    limb_count = poly.level_count
-    n = context.ring_degree
-    target_moduli = context.moduli_at(limb_count) + context.special_moduli
-    target_col = modmath.moduli_column(target_moduli)
-    num_digits = context.active_digits(limb_count)
-    # Digits partition the basis contiguously, so one stacked iNTT of the
-    # whole polynomial hands every digit its coefficient-domain rows.
-    poly_coeff = get_stacked_engine(n, tuple(poly.moduli)).inverse(poly.stack.data)
-    # Per-digit batched base conversions to the complementary basis ∪ P
-    # (each digit needs its own Equation-1 tables) ...
-    digit_indices_list: list[list[int]] = []
-    converted_blocks: list = []
-    fused_moduli: list[int] = []
-    for digit_index in range(num_digits):
-        digit_indices = [
-            i for i in context.digit_limb_indices(digit_index) if i < limb_count
-        ]
-        digit_indices_list.append(digit_indices)
-        converter = context.modup_converter(limb_count, digit_index)
-        converted_blocks.append(converter.convert_stack(poly_coeff[digit_indices]))
-        fused_moduli.extend(converter.target.moduli)
-    # ... then one fused stacked NTT returns every digit's converted rows
-    # to the evaluation domain in a single call (in place: the vstack is a
-    # fresh temporary).
-    fused_eval = get_stacked_engine(n, tuple(fused_moduli)).forward(
-        np.vstack([modmath.coerce_stack(b, target_col) for b in converted_blocks]),
-        consume=True,
-    )
-    digits_out: list[RNSPoly] = []
-    row_offset = 0
-    for digit_index in range(num_digits):
-        digit_indices = digit_indices_list[digit_index]
-        block_rows = len(converted_blocks[digit_index])
-        converted_eval = fused_eval[row_offset : row_offset + block_rows]
-        row_offset += block_rows
-        # Assemble the extended stack with two row scatters: own rows
-        # verbatim, converted rows in target order (the converter's target
-        # basis preserves it).
-        # Every row is scattered into below, so an uninitialized buffer
-        # (rather than a zero-filled one) is enough.
-        if modmath.stack_is_fast(target_col):
-            stack = np.empty((len(target_moduli), n), dtype=np.uint64)
-        else:
-            stack = np.empty((len(target_moduli), n), dtype=object)
-        non_digit = [i for i in range(len(target_moduli)) if i not in digit_indices]
-        stack[digit_indices] = modmath.coerce_stack(
-            poly.stack.data[digit_indices], target_col
+    with _DISPATCH.scope("modup"):
+        limb_count = poly.level_count
+        n = context.ring_degree
+        target_moduli = context.moduli_at(limb_count) + context.special_moduli
+        target_col = modmath.moduli_column(target_moduli)
+        num_digits = context.active_digits(limb_count)
+        # Digits partition the basis contiguously, so one stacked iNTT of the
+        # whole polynomial hands every digit its coefficient-domain rows.
+        poly_coeff = get_stacked_engine(n, tuple(poly.moduli)).inverse(poly.stack.data)
+        # Per-digit batched base conversions to the complementary basis ∪ P
+        # (each digit needs its own Equation-1 tables) ...
+        digit_indices_list: list[list[int]] = []
+        converted_blocks: list = []
+        fused_moduli: list[int] = []
+        for digit_index in range(num_digits):
+            digit_indices = [
+                i for i in context.digit_limb_indices(digit_index) if i < limb_count
+            ]
+            digit_indices_list.append(digit_indices)
+            converter = context.modup_converter(limb_count, digit_index)
+            digit_rows = poly_coeff[digit_indices]
+            _DISPATCH.link((poly_coeff,), digit_rows)
+            converted_blocks.append(converter.convert_stack(digit_rows))
+            fused_moduli.extend(converter.target.moduli)
+        # ... then one fused stacked NTT returns every digit's converted rows
+        # to the evaluation domain in a single call (in place: the vstack is a
+        # fresh temporary); the trace records it at GPU launch granularity,
+        # one kernel per digit.
+        stacked = np.vstack([modmath.coerce_stack(b, target_col) for b in converted_blocks])
+        row = 0
+        for block in converted_blocks:
+            # Per-digit links: digit j's NTT rows descend from digit j's
+            # base conversion only, keeping the digit pipelines parallel.
+            _DISPATCH.link((block,), stacked[row : row + len(block)])
+            row += len(block)
+        fused_eval = get_stacked_engine(n, tuple(fused_moduli)).forward(
+            stacked,
+            consume=True,
+            segments=[len(block) for block in converted_blocks],
         )
-        stack[non_digit] = modmath.coerce_stack(converted_eval, target_col)
-        digits_out.append(
-            RNSPoly.from_stack(
-                LimbStack(target_moduli, stack, pool=poly.stack.buffer.pool),
-                LimbFormat.EVALUATION,
+        digits_out: list[RNSPoly] = []
+        row_offset = 0
+        for digit_index in range(num_digits):
+            digit_indices = digit_indices_list[digit_index]
+            block_rows = len(converted_blocks[digit_index])
+            converted_eval = fused_eval[row_offset : row_offset + block_rows]
+            row_offset += block_rows
+            # Assemble the extended stack with two row scatters: own rows
+            # verbatim, converted rows in target order (the converter's target
+            # basis preserves it).
+            # Every row is scattered into below, so an uninitialized buffer
+            # (rather than a zero-filled one) is enough.
+            if modmath.stack_is_fast(target_col):
+                stack = np.empty((len(target_moduli), n), dtype=np.uint64)
+            else:
+                stack = np.empty((len(target_moduli), n), dtype=object)
+            non_digit = [i for i in range(len(target_moduli)) if i not in digit_indices]
+            stack[digit_indices] = modmath.coerce_stack(
+                poly.stack.data[digit_indices], target_col
             )
-        )
-    return DecomposedPolynomial(extended_digits=digits_out, limb_count=limb_count)
+            stack[non_digit] = modmath.coerce_stack(converted_eval, target_col)
+            _DISPATCH.link((converted_eval, poly.stack.data), stack)
+            digits_out.append(
+                RNSPoly.from_stack(
+                    LimbStack(target_moduli, stack, pool=poly.stack.buffer.pool),
+                    LimbFormat.EVALUATION,
+                )
+            )
+        return DecomposedPolynomial(extended_digits=digits_out, limb_count=limb_count)
 
 
 def mod_down(context: Context, poly: RNSPoly) -> RNSPoly:
@@ -146,39 +163,86 @@ def mod_down_many(context: Context, polys: list[RNSPoly]) -> list[RNSPoly]:
     n = context.ring_degree
     is_eval = first.fmt is LimbFormat.EVALUATION
     special_moduli = tuple(first.moduli[limb_count:])
-    special_rows = np.vstack([p.stack.data[limb_count:] for p in polys])
-    if is_eval:
-        special_rows = get_stacked_engine(
-            n, special_moduli * len(polys)
-        ).inverse(special_rows, consume=True)
-    # The base conversion is elementwise per column, so the batch is fused
-    # along the column axis (one matrix expression for every polynomial).
-    converter = context.moddown_converter(limb_count)
     special_count = len(special_moduli)
-    converted = converter.convert_stack(
-        np.hstack(
-            [
-                special_rows[i * special_count : (i + 1) * special_count]
-                for i in range(len(polys))
-            ]
+    with _DISPATCH.scope("moddown"), _DISPATCH.suppressed():
+        special_rows = np.vstack([p.stack.data[limb_count:] for p in polys])
+        for i, p in enumerate(polys):
+            # Keep the dependency chain intact across the vstack copy (the
+            # coefficient-format path has no recorded iNTT to carry it).
+            _DISPATCH.link(
+                (p.stack.data[limb_count:],),
+                special_rows[i * special_count : (i + 1) * special_count],
+            )
+        if is_eval:
+            special_rows = get_stacked_engine(
+                n, special_moduli * len(polys)
+            ).inverse(special_rows, consume=True)
+        # The base conversion is elementwise per column, so the batch is fused
+        # along the column axis (one matrix expression for every polynomial).
+        converter = context.moddown_converter(limb_count)
+        converted = converter.convert_stack(
+            np.hstack(
+                [
+                    special_rows[i * special_count : (i + 1) * special_count]
+                    for i in range(len(polys))
+                ]
+            )
         )
-    )
-    converted = np.vstack(np.split(converted, len(polys), axis=1))
-    target_moduli = context.moduli_at(limb_count)
-    target_col = modmath.moduli_column(target_moduli)
-    if is_eval:
-        converted = get_stacked_engine(
-            n, tuple(target_moduli) * len(polys)
-        ).forward(converted, consume=True)
-    fused_col = modmath.moduli_column(target_moduli * len(polys))
-    converted = modmath.coerce_stack(converted, fused_col)
-    heads = np.vstack(
-        [modmath.coerce_stack(p.stack.data[:limb_count], fused_col) for p in polys]
-    )
-    diff = modmath.stack_sub_mod(heads, converted, fused_col)
-    out = modmath.stack_scalar_mod(
-        diff, context.p_inv_mod_q[:limb_count] * len(polys), fused_col
-    )
+        converted = np.vstack(np.split(converted, len(polys), axis=1))
+        target_moduli = context.moduli_at(limb_count)
+        target_col = modmath.moduli_column(target_moduli)
+        if is_eval:
+            converted = get_stacked_engine(
+                n, tuple(target_moduli) * len(polys)
+            ).forward(converted, consume=True)
+        fused_col = modmath.moduli_column(target_moduli * len(polys))
+        converted = modmath.coerce_stack(converted, fused_col)
+        heads = np.vstack(
+            [modmath.coerce_stack(p.stack.data[:limb_count], fused_col) for p in polys]
+        )
+        diff = modmath.stack_sub_mod(heads, converted, fused_col)
+        out = modmath.stack_scalar_mod(
+            diff, context.p_inv_mod_q[:limb_count] * len(polys), fused_col
+        )
+    # Execution-plane record, per component, at GPU launch granularity:
+    # iNTT of the special limbs, the P -> Q_l base conversion, and an NTT
+    # over the ciphertext limbs with the ``P^{-1}(x - Conv(x'))`` step
+    # fused in (the ModDown fusion, §III-F.5).
+    if _DISPATCH.recording:
+        with _DISPATCH.scope("moddown"):
+            # Per-component slices: the c0/c1 pipelines touch disjoint rows
+            # of the fused buffers, so they stay parallel in the DAG (the
+            # §III-F.1 overlap the stream scheduler exploits).
+            for i, poly in enumerate(polys):
+                component_out = out[i * limb_count : (i + 1) * limb_count]
+                component_special = special_rows[
+                    i * special_count : (i + 1) * special_count
+                ]
+                component_conv = converted[i * limb_count : (i + 1) * limb_count]
+                if is_eval:
+                    _DISPATCH.transform(
+                        "intt", special_count,
+                        reads=(poly.stack.data[limb_count:],),
+                        writes=(component_special,), cols=n,
+                    )
+                _DISPATCH.base_conversion(
+                    "baseconv", special_count, limb_count,
+                    reads=(component_special,), writes=(component_conv,), cols=n,
+                )
+                if is_eval:
+                    _DISPATCH.transform(
+                        "ntt", limb_count,
+                        reads=(component_conv, poly.stack.data[:limb_count]),
+                        writes=(component_out,), cols=n,
+                        fused_ops_per_element=MODMUL_OPS + MODADD_OPS,
+                    )
+                else:
+                    _DISPATCH.elementwise(
+                        "moddown-fused",
+                        reads=(component_conv, poly.stack.data[:limb_count]),
+                        writes=(component_out,),
+                        ops_per_element=MODMUL_OPS + MODADD_OPS,
+                    )
     return [
         RNSPoly.from_stack(
             LimbStack(
@@ -208,31 +272,43 @@ def apply_key(
 
     Returns the pair ``(delta_c0, delta_c1)`` over the ciphertext basis.
     """
-    limb_count = decomposed.limb_count
-    active_indices = list(range(limb_count)) + [
-        len(context.moduli) + i for i in range(len(context.special_moduli))
-    ]
-    pairs0: list[tuple[RNSPoly, RNSPoly]] = []
-    pairs1: list[tuple[RNSPoly, RNSPoly]] = []
-    for digit_index, digit_poly in enumerate(decomposed.extended_digits):
-        if automorphism_exponent is not None:
-            digit_poly = digit_poly.automorphism(automorphism_exponent)
-        b_j, a_j = key.digits[digit_index]
-        if len(active_indices) != b_j.level_count:
-            # Below the top level only a subset of key limbs is active;
-            # at the top level the key polys are used as-is (multiply
-            # never mutates its operands, so no defensive copy is needed).
-            b_j = b_j.select_limbs(active_indices)
-            a_j = a_j.select_limbs(active_indices)
-        pairs0.append((digit_poly, b_j))
-        pairs1.append((digit_poly, a_j))
-    # Dot-product fusion (§III-F.5): each accumulator is one wide
-    # multiply-accumulate with a single reduction instead of a reduced
-    # product and a reduced add per digit.
-    acc0 = RNSPoly.multiply_accumulate(pairs0)
-    acc1 = RNSPoly.multiply_accumulate(pairs1)
-    delta0, delta1 = mod_down_many(context, [acc0, acc1])
-    return delta0, delta1
+    with _DISPATCH.scope("keyswitch"):
+        limb_count = decomposed.limb_count
+        active_indices = list(range(limb_count)) + [
+            len(context.moduli) + i for i in range(len(context.special_moduli))
+        ]
+        pairs0: list[tuple[RNSPoly, RNSPoly]] = []
+        pairs1: list[tuple[RNSPoly, RNSPoly]] = []
+        for digit_index, digit_poly in enumerate(decomposed.extended_digits):
+            if automorphism_exponent is not None:
+                digit_poly = digit_poly.automorphism(automorphism_exponent)
+            b_j, a_j = key.digits[digit_index]
+            if len(active_indices) != b_j.level_count:
+                # Below the top level only a subset of key limbs is active;
+                # at the top level the key polys are used as-is (multiply
+                # never mutates its operands, so no defensive copy is needed).
+                b_j = b_j.select_limbs(active_indices)
+                a_j = a_j.select_limbs(active_indices)
+            pairs0.append((digit_poly, b_j))
+            pairs1.append((digit_poly, a_j))
+        # Dot-product fusion (§III-F.5): each accumulator is one wide
+        # multiply-accumulate with a single reduction instead of a reduced
+        # product and a reduced add per digit.  The GPU launches this as a
+        # single inner-product kernel producing both accumulators, which is
+        # how the execution plane records it.
+        with _DISPATCH.suppressed():
+            acc0 = RNSPoly.multiply_accumulate(pairs0)
+            acc1 = RNSPoly.multiply_accumulate(pairs1)
+        _DISPATCH.elementwise(
+            "ks-inner-product",
+            reads=tuple(digit.stack.data for digit, _ in pairs0)
+            + tuple(key_poly.stack.data for _, key_poly in pairs0)
+            + tuple(key_poly.stack.data for _, key_poly in pairs1),
+            writes=(acc0.stack.data, acc1.stack.data),
+            ops_per_element=len(pairs0) * 2.0 * (MODMUL_OPS + MODADD_OPS),
+        )
+        delta0, delta1 = mod_down_many(context, [acc0, acc1])
+        return delta0, delta1
 
 
 def key_switch(

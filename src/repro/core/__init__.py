@@ -20,6 +20,7 @@ negacyclic polynomials under word-sized prime moduli:
   the ``VectorGPU`` RAII wrapper.
 """
 
+from repro.core.dispatch import Dispatcher, KernelTrace, get_dispatcher
 from repro.core.modmath import (
     BarrettReducer,
     MontgomeryReducer,
@@ -38,6 +39,9 @@ from repro.core.limb import Limb, VectorGPU
 from repro.core.limb_stack import LimbStack
 
 __all__ = [
+    "Dispatcher",
+    "KernelTrace",
+    "get_dispatcher",
     "BarrettReducer",
     "MontgomeryReducer",
     "ShoupMultiplier",

@@ -1,0 +1,451 @@
+"""The execution plane: kernel-trace dispatch from the real data plane.
+
+Module map (data plane → dispatcher → trace → scheduler / cost model)
+---------------------------------------------------------------------
+
+::
+
+    repro.core.modmath ───┐  stack_* kernels auto-emit on execution
+    repro.core.limb_stack ┤  automorphism / copy kernels
+    repro.core.ntt ───────┤  StackedNTTEngine transforms (per limb batch)
+    repro.core.rns ───────┤  BaseConverter.convert_stack
+    repro.ckks.keyswitch ─┤  fused ModUp / inner-product / ModDown emits
+    repro.ckks.evaluator ─┘  operation scopes (hmult, rescale, ...)
+                │
+                ▼
+    repro.core.dispatch.Dispatcher      (this module)
+        eager execution as before; optionally records every batched
+        data-plane operation as a repro.gpu.kernel.Kernel descriptor
+        with real shapes, an operation-scope tag and data-dependency
+        edges (which limb-stack buffer each kernel reads/writes)
+                │
+                ▼
+    repro.core.dispatch.KernelTrace
+        the recorded kernel stream: Kernel descriptors + dependency DAG
+                │
+                ├──▶ repro.gpu.stream.StreamScheduler.schedule(...,
+                │        dependencies=trace.dependencies())
+                │    dependency-aware multi-stream event simulation
+                │
+                ├──▶ repro.perf.trace_model.TraceCostModel
+                │    prices the trace (roofline timing + scheduling)
+                │
+                └──▶ repro.perf.calibration.reconcile_trace
+                     cross-validates the trace against the hand-built
+                     repro.perf.costmodel.CKKSOperationCosts kernels
+
+Every batched data-plane operation routes through the module-level
+:class:`Dispatcher` singleton (:func:`get_dispatcher`).  Execution stays
+eager and bit-identical whether or not a trace is being recorded: the
+dispatcher only *observes*.  Recording is enabled with::
+
+    with get_dispatcher().record() as trace:
+        ct3 = evaluator.multiply(ct1, ct2)
+    trace.kernel_count            # kernels the GPU backend would launch
+    trace.dependencies()          # DAG edges for the stream scheduler
+
+Kernels are recorded at **GPU launch granularity**, not NumPy expression
+granularity: a stacked NTT is one kernel per limb batch even though it
+executes as ``log2 N`` broadcast expressions, and the fused key-switching
+routines emit the per-digit / per-component kernels a GPU backend would
+launch (with shapes taken from the live arrays).  Composite emitters wrap
+their internal computation in :meth:`Dispatcher.suppressed` so building
+blocks are not double-counted.
+
+Dependencies are derived from buffer identity at byte-interval
+granularity: views resolve to their owning allocation plus the byte range
+they cover, and each kernel's dependency set is the set of last writers
+of every range it touches.  Two kernels touching *disjoint* slices of one
+fused allocation (e.g. the per-component halves of a fused ModDown
+output) therefore stay independent in the DAG, while a kernel reading a
+row of a stack another kernel wrote is correctly ordered after it.
+Buffers are tracked through weak references, so recording never extends
+the lifetime of the arrays it observes.  :meth:`Dispatcher.link`
+propagates writer information across pure data movement (``vstack``
+copies, scatter assembly) that is not modelled as a kernel.
+"""
+
+from __future__ import annotations
+
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+try:  # NumPy >= 2.0
+    from numpy.lib.array_utils import byte_bounds as _byte_bounds
+except ImportError:  # pragma: no cover - NumPy 1.x
+    _byte_bounds = np.byte_bounds
+
+from repro.gpu.kernel import (
+    Kernel,
+    base_conversion_kernel,
+    elementwise_kernel,
+    ntt_kernel,
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded kernel launch with its provenance.
+
+    ``reads``/``writes`` are buffer tokens (indices into the trace's
+    buffer table); ``deps`` are indices of earlier events that must
+    complete before this kernel may execute (last-writer edges).
+    """
+
+    index: int
+    kernel: Kernel
+    scope: str
+    reads: tuple[int, ...]
+    writes: tuple[int, ...]
+    deps: tuple[int, ...]
+
+
+@dataclass
+class _BufferState:
+    """Last-writer records of one live allocation (byte intervals)."""
+
+    token: int
+    base_lo: int
+    #: ``[lo, hi, event_index]`` write records, relative byte intervals.
+    writes: list[list[int]] = field(default_factory=list)
+
+
+class KernelTrace:
+    """The kernel stream recorded from one or more data-plane executions.
+
+    A trace is append-only; buffer identity and last-writer state live on
+    the trace itself, so a single trace can accumulate several recorded
+    regions (e.g. every operation routed through a
+    :class:`repro.api.backend.TracingBackend`) with dependency edges intact
+    across them.  Buffers are held through weak references only: when the
+    data plane drops an array, its tracking state is discarded, so traced
+    workloads do not accumulate dead intermediates.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._buffers: dict[int, _BufferState] = {}
+        self._next_token: int = 0
+
+    # -- recording (called through the Dispatcher) ---------------------------
+
+    def _buffer(self, array: np.ndarray) -> tuple[_BufferState, tuple[int, int]]:
+        """Resolve an array to its allocation state and relative byte range."""
+        base = array
+        while isinstance(getattr(base, "base", None), np.ndarray):
+            base = base.base
+        key = id(base)
+        state = self._buffers.get(key)
+        if state is None:
+            base_lo, _ = _byte_bounds(base)
+            state = _BufferState(token=self._next_token, base_lo=base_lo)
+            self._next_token += 1
+            self._buffers[key] = state
+            # Drop the tracking state when the allocation dies, so a later
+            # allocation reusing the id cannot inherit stale writers (and
+            # the trace never pins data-plane memory).
+            weakref.finalize(base, self._buffers.pop, key, None)
+        lo, hi = _byte_bounds(np.asarray(array))
+        return state, (lo - state.base_lo, hi - state.base_lo)
+
+    @staticmethod
+    def _overlapping_writers(state: _BufferState, lo: int, hi: int) -> Iterator[int]:
+        for record in state.writes:
+            if record[0] < hi and lo < record[1]:
+                yield record[2]
+
+    def add(
+        self,
+        kernel: Kernel,
+        *,
+        scope: str = "",
+        reads: Sequence[np.ndarray] = (),
+        writes: Sequence[np.ndarray] = (),
+    ) -> TraceEvent:
+        """Append one kernel, deriving dependency edges from byte intervals."""
+        index = len(self.events)
+        deps: set[int] = set()
+        read_tokens: dict[int, None] = {}
+        write_spans: list[tuple[_BufferState, int, int]] = []
+        write_tokens: dict[int, None] = {}
+        for array in reads:
+            state, (lo, hi) = self._buffer(array)
+            read_tokens.setdefault(state.token)
+            deps.update(self._overlapping_writers(state, lo, hi))
+        for array in writes:
+            state, (lo, hi) = self._buffer(array)
+            write_tokens.setdefault(state.token)
+            deps.update(self._overlapping_writers(state, lo, hi))
+            write_spans.append((state, lo, hi))
+        for state, lo, hi in write_spans:
+            # The new record supersedes any it fully covers; partially
+            # overlapped older records stay (conservative).
+            state.writes = [
+                r for r in state.writes if not (lo <= r[0] and r[1] <= hi)
+            ]
+            state.writes.append([lo, hi, index])
+        deps.discard(index)
+        event = TraceEvent(
+            index=index,
+            kernel=kernel,
+            scope=scope,
+            reads=tuple(read_tokens),
+            writes=tuple(write_tokens),
+            deps=tuple(sorted(deps)),
+        )
+        self.events.append(event)
+        return event
+
+    def link(self, sources: Sequence[np.ndarray], destination: np.ndarray) -> None:
+        """Propagate writer provenance through unrecorded data movement.
+
+        Pure copies (``vstack``, fancy-indexed gathers, scatter assembly)
+        are memory layout changes the kernel model folds into the
+        neighbouring kernels; ``link`` keeps the dependency chain intact
+        across them by making ``destination`` inherit the newest writer of
+        ``sources``.
+        """
+        writers = []
+        for source in sources:
+            state, (lo, hi) = self._buffer(source)
+            writers.extend(self._overlapping_writers(state, lo, hi))
+        if not writers:
+            return
+        state, (lo, hi) = self._buffer(destination)
+        state.writes = [r for r in state.writes if not (lo <= r[0] and r[1] <= hi)]
+        state.writes.append([lo, hi, max(writers)])
+
+    # -- views ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def kernels(self) -> list[Kernel]:
+        """The recorded kernels in launch order."""
+        return [event.kernel for event in self.events]
+
+    def dependencies(self) -> list[tuple[int, ...]]:
+        """Per-kernel dependency edges (indices of earlier kernels)."""
+        return [event.deps for event in self.events]
+
+    @property
+    def kernel_count(self) -> int:
+        """Total kernel launches recorded."""
+        return int(round(sum(event.kernel.launches for event in self.events)))
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total bytes read plus written across the trace."""
+        return sum(event.kernel.bytes_moved for event in self.events)
+
+    @property
+    def int_ops(self) -> float:
+        """Total integer operations across the trace."""
+        return sum(event.kernel.int_ops for event in self.events)
+
+    def scopes(self) -> list[str]:
+        """Distinct scope paths in first-appearance order."""
+        seen: dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.scope, None)
+        return list(seen)
+
+    def events_in_scope(self, scope: str) -> list[TraceEvent]:
+        """Events whose scope path is ``scope`` or nested below it."""
+        prefix = scope + "/"
+        return [
+            e for e in self.events
+            if e.scope == scope or e.scope.startswith(prefix)
+        ]
+
+    def leaf_segments(self) -> dict[str, list[TraceEvent]]:
+        """Group events by the innermost scope component (hmult, modup, ...)."""
+        segments: dict[str, list[TraceEvent]] = {}
+        for event in self.events:
+            leaf = event.scope.rsplit("/", 1)[-1] if event.scope else ""
+            segments.setdefault(leaf, []).append(event)
+        return segments
+
+    def summary(self) -> dict:
+        """Aggregate totals plus per-leaf-scope kernel counts."""
+        return {
+            "kernel_count": self.kernel_count,
+            "bytes_moved": self.bytes_moved,
+            "int_ops": self.int_ops,
+            "scopes": {
+                leaf: len(events)
+                for leaf, events in self.leaf_segments().items()
+            },
+        }
+
+
+class Dispatcher:
+    """Routes batched data-plane operations, optionally recording a trace.
+
+    The data plane calls the typed emitters (:meth:`elementwise`,
+    :meth:`transform`, :meth:`base_conversion`, :meth:`copy`) at every
+    batched operation.  With no active trace they return immediately, so
+    the untraced hot path pays one attribute check per kernel.
+    """
+
+    def __init__(self) -> None:
+        self._trace: KernelTrace | None = None
+        self._scopes: list[str] = []
+        self._suppress: int = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def recording(self) -> bool:
+        """True when a trace is active and emission is not suppressed."""
+        return self._trace is not None and self._suppress == 0
+
+    @contextmanager
+    def record(self, trace: KernelTrace | None = None) -> Iterator[KernelTrace]:
+        """Record every dispatched kernel in the with-block into a trace.
+
+        Nested ``record`` blocks are allowed; the innermost trace wins.
+        Passing an existing trace appends to it (dependency state carries
+        across recorded regions).
+        """
+        previous = self._trace
+        active = trace if trace is not None else KernelTrace()
+        self._trace = active
+        try:
+            yield active
+        finally:
+            self._trace = previous
+
+    @contextmanager
+    def scope(self, name: str) -> Iterator[None]:
+        """Tag kernels emitted in the with-block with an operation scope."""
+        self._scopes.append(name)
+        try:
+            yield
+        finally:
+            self._scopes.pop()
+
+    @contextmanager
+    def suppressed(self) -> Iterator[None]:
+        """Silence emission inside a composite kernel's implementation."""
+        self._suppress += 1
+        try:
+            yield
+        finally:
+            self._suppress -= 1
+
+    def _scope_path(self) -> str:
+        return "/".join(self._scopes)
+
+    # -- emitters ------------------------------------------------------------
+
+    def emit(
+        self,
+        kernel: Kernel,
+        *,
+        reads: Sequence[np.ndarray] = (),
+        writes: Sequence[np.ndarray] = (),
+    ) -> None:
+        """Record a pre-built kernel descriptor."""
+        if not self.recording:
+            return
+        self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes)
+
+    def elementwise(
+        self,
+        tag: str,
+        *,
+        reads: Sequence[np.ndarray],
+        writes: Sequence[np.ndarray],
+        ops_per_element: float,
+        reuse: float = 1.0,
+    ) -> None:
+        """Record one element-wise kernel; shapes come from the live arrays."""
+        if not self.recording:
+            return
+        out = np.asarray(writes[0])
+        rows, cols = (out.shape if out.ndim == 2 else (1, out.shape[-1]))
+        elements = max(1, rows * cols)
+        # Poly-equivalents come from the live array sizes, so broadcast
+        # columns and row operands are charged their real (tiny) traffic.
+        kernel = elementwise_kernel(
+            tag,
+            rows,
+            cols,
+            polys_read=sum(np.asarray(a).size for a in reads) / elements,
+            polys_written=sum(np.asarray(a).size for a in writes) / elements,
+            ops_per_element=ops_per_element,
+            reuse=reuse,
+        )
+        self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes)
+
+    def transform(
+        self,
+        tag: str,
+        rows: int,
+        *,
+        reads: Sequence[np.ndarray],
+        writes: Sequence[np.ndarray],
+        cols: int | None = None,
+        fused_ops_per_element: float = 0.0,
+    ) -> None:
+        """Record one (i)NTT kernel over ``rows`` limbs."""
+        if not self.recording:
+            return
+        if cols is None:
+            cols = int(np.asarray(writes[0]).shape[-1])
+        kernel = ntt_kernel(tag, rows, cols, fused_ops_per_element=fused_ops_per_element)
+        self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes)
+
+    def base_conversion(
+        self,
+        tag: str,
+        source_limbs: int,
+        target_limbs: int,
+        *,
+        reads: Sequence[np.ndarray],
+        writes: Sequence[np.ndarray],
+        cols: int | None = None,
+    ) -> None:
+        """Record one fast-base-conversion kernel (Equation 1)."""
+        if not self.recording:
+            return
+        if cols is None:
+            cols = int(np.asarray(writes[0]).shape[-1])
+        kernel = base_conversion_kernel(tag, source_limbs, target_limbs, cols)
+        self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes)
+
+    def copy(
+        self,
+        *,
+        reads: Sequence[np.ndarray],
+        writes: Sequence[np.ndarray],
+        tag: str = "limb-copy",
+    ) -> None:
+        """Record a device-to-device copy (limb/stack duplication)."""
+        self.elementwise(tag, reads=reads, writes=writes, ops_per_element=0.0)
+
+    def link(self, sources: Sequence[np.ndarray], destination: np.ndarray) -> None:
+        """Forward provenance across unrecorded data movement (see trace)."""
+        if self._trace is None:
+            return
+        self._trace.link(sources, destination)
+
+
+#: Process-wide dispatcher every data-plane call site routes through.
+_DISPATCHER = Dispatcher()
+
+
+def get_dispatcher() -> Dispatcher:
+    """Return the process-wide execution-plane dispatcher."""
+    return _DISPATCHER
+
+
+__all__ = ["Dispatcher", "KernelTrace", "TraceEvent", "get_dispatcher"]

@@ -25,8 +25,12 @@ import numpy as np
 
 from repro.core import modmath
 from repro.core.automorphism import coeff_automorphism_map
+from repro.core.dispatch import get_dispatcher
 from repro.core.limb import Limb, LimbFormat, VectorGPU
 from repro.core.memory import STRATEGY_FLATTENED, MemoryPool
+from repro.gpu.kernel import MODADD_OPS
+
+_DISPATCH = get_dispatcher()
 
 
 class LimbStack:
@@ -98,7 +102,9 @@ class LimbStack:
 
     def copy(self) -> "LimbStack":
         """Deep copy, charged to the same pool as this stack's buffer."""
-        return LimbStack(self.moduli, self.data.copy(), pool=self.buffer.pool)
+        data = self.data.copy()
+        _DISPATCH.copy(reads=(self.data,), writes=(data,))
+        return LimbStack(self.moduli, data, pool=self.buffer.pool)
 
     # -- accessors -----------------------------------------------------------
 
@@ -198,6 +204,10 @@ class LimbStack:
             data[:, index] = np.where(s >= qs, s - qs, s)
         else:
             data[:, index] = s % qs
+        _DISPATCH.elementwise(
+            "stack-scalar-add", reads=(self.data, col), writes=(data,),
+            ops_per_element=MODADD_OPS,
+        )
         return self._wrap(data)
 
     def automorphism_coeff(self, exponent: int) -> "LimbStack":
@@ -207,9 +217,14 @@ class LimbStack:
         batched form of the GPU ``Automorph`` kernel.
         """
         source, sign = coeff_automorphism_map(self.ring_degree, exponent)
-        gathered = self.data[:, source]
-        negated = modmath.stack_neg_mod(gathered, self._col)
-        return self._wrap(np.where(sign == 1, gathered, negated))
+        with _DISPATCH.suppressed():
+            gathered = self.data[:, source]
+            negated = modmath.stack_neg_mod(gathered, self._col)
+            out = np.where(sign == 1, gathered, negated)
+        _DISPATCH.elementwise(
+            "automorph", reads=(self.data,), writes=(out,), ops_per_element=2.0
+        )
+        return self._wrap(out)
 
     # -- row management ------------------------------------------------------
 
@@ -218,13 +233,17 @@ class LimbStack:
         indices = list(indices)
         moduli = [self.moduli[i] for i in indices]
         # Fancy indexing already materializes a fresh array.
-        return LimbStack(moduli, self.data[indices], pool=self.buffer.pool)
+        data = self.data[indices]
+        _DISPATCH.copy(
+            reads=tuple(self.data[i : i + 1] for i in indices), writes=(data,)
+        )
+        return LimbStack(moduli, data, pool=self.buffer.pool)
 
     def head(self, count: int) -> "LimbStack":
         """Return a new stack with copies of the first ``count`` rows."""
-        return LimbStack(
-            self.moduli[:count], self.data[:count].copy(), pool=self.buffer.pool
-        )
+        data = self.data[:count].copy()
+        _DISPATCH.copy(reads=(self.data[:count],), writes=(data,))
+        return LimbStack(self.moduli[:count], data, pool=self.buffer.pool)
 
     def __len__(self) -> int:
         return self.num_limbs

@@ -37,6 +37,14 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.core.dispatch import get_dispatcher
+from repro.gpu import kernel as _kernelforms
+
+#: Execution-plane dispatcher; every batched stack kernel reports through
+#: it so recorded traces reflect what actually executed (a no-op unless a
+#: trace is being recorded).
+_DISPATCH = get_dispatcher()
+
 #: Largest modulus for which the fast uint64 NumPy backend is exact:
 #: residues are < 2**31, so products are < 2**62 and fit in a uint64 lane.
 FAST_MODULUS_LIMIT = 1 << 31
@@ -524,22 +532,37 @@ def stack_shoup_mul(
 def stack_add_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
     """Row-broadcast elementwise ``(a + b) mod q_i`` over a limb stack."""
     if stack_is_fast(moduli_col):
-        return _fast_reduce_once(a + b, moduli_col)
-    return (a + b) % moduli_col
+        out = _fast_reduce_once(a + b, moduli_col)
+    else:
+        out = (a + b) % moduli_col
+    _DISPATCH.elementwise(
+        "stack-add", reads=(a, b), writes=(out,),
+        ops_per_element=_kernelforms.MODADD_OPS,
+    )
+    return out
 
 
 def stack_sub_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
     """Row-broadcast elementwise ``(a - b) mod q_i`` over a limb stack."""
     if stack_is_fast(moduli_col):
-        return _fast_reduce_once(a + moduli_col - b, moduli_col)
-    return (a - b) % moduli_col
+        out = _fast_reduce_once(a + moduli_col - b, moduli_col)
+    else:
+        out = (a - b) % moduli_col
+    _DISPATCH.elementwise(
+        "stack-sub", reads=(a, b), writes=(out,),
+        ops_per_element=_kernelforms.MODADD_OPS,
+    )
+    return out
 
 
 def stack_neg_mod(a: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
     """Row-broadcast elementwise ``(-a) mod q_i`` over a limb stack."""
     if stack_is_fast(moduli_col):
-        return np.where(a == 0, a, moduli_col - a)
-    return (-a) % moduli_col
+        out = np.where(a == 0, a, moduli_col - a)
+    else:
+        out = (-a) % moduli_col
+    _DISPATCH.elementwise("stack-neg", reads=(a,), writes=(out,), ops_per_element=1.0)
+    return out
 
 
 def stack_mul_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
@@ -550,7 +573,12 @@ def stack_mul_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.nd
     the one batched kernel that keeps a hardware division (Barrett-style
     constant tricks need a fixed operand).
     """
-    return (a * b) % moduli_col
+    out = (a * b) % moduli_col
+    _DISPATCH.elementwise(
+        "stack-mul", reads=(a, b), writes=(out,),
+        ops_per_element=_kernelforms.MODMUL_OPS,
+    )
+    return out
 
 
 def stack_dot_mod(pairs, moduli_col: np.ndarray) -> np.ndarray:
@@ -578,11 +606,18 @@ def stack_dot_mod(pairs, moduli_col: np.ndarray) -> np.ndarray:
             if pending == 4:
                 acc %= moduli_col
                 pending = 0
-        return acc % moduli_col
-    acc = None
-    for x, y in pairs:
-        product = (x * y) % moduli_col
-        acc = product if acc is None else (acc + product) % moduli_col
+        acc = acc % moduli_col
+    else:
+        acc = None
+        for x, y in pairs:
+            product = (x * y) % moduli_col
+            acc = product if acc is None else (acc + product) % moduli_col
+    _DISPATCH.elementwise(
+        "stack-dot",
+        reads=tuple(operand for pair in pairs for operand in pair),
+        writes=(acc,),
+        ops_per_element=len(pairs) * (_kernelforms.MODMUL_OPS + _kernelforms.MODADD_OPS),
+    )
     return acc
 
 
@@ -590,16 +625,28 @@ def stack_scalar_mod(a: np.ndarray, scalars, moduli_col: np.ndarray) -> np.ndarr
     """Multiply every row by its own integer constant modulo its prime."""
     col = scalar_column(scalars, moduli_col)
     if stack_is_fast(moduli_col):
-        return stack_shoup_mul(a, col, shoup_column(col, moduli_col), moduli_col)
-    return (a * col) % moduli_col
+        out = stack_shoup_mul(a, col, shoup_column(col, moduli_col), moduli_col)
+    else:
+        out = (a * col) % moduli_col
+    _DISPATCH.elementwise(
+        "stack-scalar-mul", reads=(a, col), writes=(out,),
+        ops_per_element=_kernelforms.SHOUP_MUL_OPS,
+    )
+    return out
 
 
 def stack_add_scalar_mod(a: np.ndarray, scalars, moduli_col: np.ndarray) -> np.ndarray:
     """Add one integer constant per row (broadcast to every element)."""
     col = scalar_column(scalars, moduli_col)
     if stack_is_fast(moduli_col):
-        return _fast_reduce_once(a + col, moduli_col)
-    return (a + col) % moduli_col
+        out = _fast_reduce_once(a + col, moduli_col)
+    else:
+        out = (a + col) % moduli_col
+    _DISPATCH.elementwise(
+        "stack-scalar-add", reads=(a, col), writes=(out,),
+        ops_per_element=_kernelforms.MODADD_OPS,
+    )
+    return out
 
 
 def stack_switch_modulus(row: np.ndarray, q_from: int, moduli_col: np.ndarray) -> np.ndarray:
@@ -614,13 +661,19 @@ def stack_switch_modulus(row: np.ndarray, q_from: int, moduli_col: np.ndarray) -
         v = np.asarray(row).astype(np.int64)
         centred = np.where(v > half, v - q_from, v)
         out = centred[None, :] % moduli_col.astype(np.int64)
-        return out.astype(np.uint64)
-    values = object_row(np.asarray(row).ravel())
-    centred = np.where(values > half, values - q_from, values)
-    out = centred[None, :] % np.array(
-        [int(q) for q in moduli_col.ravel()], dtype=object
-    ).reshape(-1, 1)
-    return coerce_stack(out, moduli_col)
+        out = out.astype(np.uint64)
+    else:
+        values = object_row(np.asarray(row).ravel())
+        centred = np.where(values > half, values - q_from, values)
+        out = centred[None, :] % np.array(
+            [int(q) for q in moduli_col.ravel()], dtype=object
+        ).reshape(-1, 1)
+        out = coerce_stack(out, moduli_col)
+    _DISPATCH.elementwise(
+        "stack-switch-modulus", reads=(np.asarray(row),), writes=(out,),
+        ops_per_element=_kernelforms.MODADD_OPS,
+    )
+    return out
 
 
 __all__ = [

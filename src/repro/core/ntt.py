@@ -31,7 +31,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.core import modmath
+from repro.core.dispatch import get_dispatcher
 from repro.core.primes import find_root_of_unity
+from repro.gpu.kernel import SHOUP_MUL_OPS
+
+_DISPATCH = get_dispatcher()
 
 
 def bit_reverse_indices(n: int) -> np.ndarray:
@@ -482,33 +486,90 @@ class StackedNTTEngine:
             return a
         return a.copy()
 
-    def forward(self, stack: np.ndarray, *, consume: bool = False) -> np.ndarray:
+    def forward(
+        self,
+        stack: np.ndarray,
+        *,
+        consume: bool = False,
+        segments: Sequence[int] | None = None,
+    ) -> np.ndarray:
         """Forward NTT of every row (normal-order input, bit-reversed output).
 
         ``consume=True`` lets the engine transform a caller-owned temporary
-        in place instead of taking a defensive copy.
+        in place instead of taking a defensive copy.  ``segments``
+        describes how a fused call decomposes into logical GPU launches
+        (one row count per launch, e.g. one per key-switching digit); it
+        only affects trace recording, never the computation.
         """
-        a = self._working_copy(stack, consume)
-        if not self.fast:
-            return self._forward_object(a)
-        num_limbs = len(self.moduli)
-        for r0 in range(0, num_limbs, _NTT_LIMB_BATCH):
-            r1 = min(r0 + _NTT_LIMB_BATCH, num_limbs)
-            self._forward_rows_fast(a[r0:r1], r0, r1)
+        source = np.asarray(stack)
+        with _DISPATCH.suppressed():
+            a = self._working_copy(stack, consume)
+            if not self.fast:
+                a = self._forward_object(a)
+            else:
+                num_limbs = len(self.moduli)
+                for r0 in range(0, num_limbs, _NTT_LIMB_BATCH):
+                    r1 = min(r0 + _NTT_LIMB_BATCH, num_limbs)
+                    self._forward_rows_fast(a[r0:r1], r0, r1)
+        self._record_transform("ntt", source, a, segments)
         return a
 
-    def inverse(self, stack: np.ndarray, *, consume: bool = False) -> np.ndarray:
+    def inverse(
+        self,
+        stack: np.ndarray,
+        *,
+        consume: bool = False,
+        segments: Sequence[int] | None = None,
+    ) -> np.ndarray:
         """Inverse NTT of every row (bit-reversed input, normal-order output)."""
-        a = self._working_copy(stack, consume)
-        if not self.fast:
-            return self._inverse_object(a)
-        num_limbs = len(self.moduli)
-        for r0 in range(0, num_limbs, _NTT_LIMB_BATCH):
-            r1 = min(r0 + _NTT_LIMB_BATCH, num_limbs)
-            self._inverse_rows_fast(a[r0:r1], r0, r1)
-        # The rows carry lazy [0, 2q) representatives here; the fused
-        # N^-1 scaling (Shoup) canonicalizes them.
-        return modmath.stack_scalar_mod(a, self._n_inv, self._col)
+        source = np.asarray(stack)
+        with _DISPATCH.suppressed():
+            a = self._working_copy(stack, consume)
+            if not self.fast:
+                a = self._inverse_object(a)
+            else:
+                num_limbs = len(self.moduli)
+                for r0 in range(0, num_limbs, _NTT_LIMB_BATCH):
+                    r1 = min(r0 + _NTT_LIMB_BATCH, num_limbs)
+                    self._inverse_rows_fast(a[r0:r1], r0, r1)
+                # The rows carry lazy [0, 2q) representatives here; the
+                # fused N^-1 scaling (Shoup) canonicalizes them.
+                a = modmath.stack_scalar_mod(a, self._n_inv, self._col)
+        # The fused N^-1 scaling is one Shoup multiply per element.
+        self._record_transform(
+            "intt", source, a, segments, fused_ops_per_element=SHOUP_MUL_OPS
+        )
+        return a
+
+    def _record_transform(
+        self,
+        tag: str,
+        source: np.ndarray,
+        out: np.ndarray,
+        segments: Sequence[int] | None,
+        *,
+        fused_ops_per_element: float = 0.0,
+    ) -> None:
+        """Report the transform to the execution plane (GPU launch granularity)."""
+        if not _DISPATCH.recording:
+            return
+        rows = int(out.shape[0])
+        parts = [rows] if segments is None else [int(s) for s in segments]
+        if sum(parts) != rows:
+            raise ValueError(f"segments {parts} do not cover {rows} rows")
+        row = 0
+        for part in parts:
+            # Per-segment row slices keep fused launches independent in the
+            # dependency DAG (each digit/component touches its own rows).
+            _DISPATCH.transform(
+                tag,
+                part,
+                reads=(source[row : row + part],),
+                writes=(out[row : row + part],),
+                cols=self.ring_degree,
+                fused_ops_per_element=fused_ops_per_element,
+            )
+            row += part
 
     # -- fast (uint64) path ---------------------------------------------------
     #

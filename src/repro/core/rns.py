@@ -25,6 +25,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.core import modmath
+from repro.core.dispatch import get_dispatcher
+
+_DISPATCH = get_dispatcher()
 
 
 @dataclass(frozen=True)
@@ -201,34 +204,49 @@ class BaseConverter:
         (``4·(q-1)² < 2**64`` for fast moduli) and one final reduction per
         output element.
         """
-        fast = self._all_fast()
-        if fast:
-            stack = modmath.coerce_stack(np.asarray(stack), self._source_col)
-            scaled = modmath.stack_shoup_mul(
-                stack, self._q_hat_inv_col, self._q_hat_inv_shoup, self._source_col
-            )
-            return modmath.stack_dot_mod(
-                [
-                    (scaled[i][None, :], self._q_hat_matrix[:, i : i + 1])
-                    for i in range(len(self.source))
-                ],
-                self._target_col,
-            )
-        scaled = [
-            modmath.object_row(row) * inv % q
-            for row, inv, q in zip(stack, self.q_hat_inv, self.source.moduli)
-        ]
-        outputs = []
-        length = stack.shape[1]
-        for k, p in enumerate(self.target.moduli):
-            row = self.q_hat_mod_target[k]
-            acc = np.zeros(length, dtype=object)
-            for i in range(len(self.source)):
-                acc = acc + scaled[i] * row[i]
-            outputs.append(modmath.as_residue_array(acc % p, p))
-        return np.stack(
-            [modmath.object_row(out) for out in outputs]
-        ) if not modmath.all_fast_moduli(self.target.moduli) else np.stack(outputs)
+        source_stack = np.asarray(stack)
+        with _DISPATCH.suppressed():
+            fast = self._all_fast()
+            if fast:
+                stack = modmath.coerce_stack(source_stack, self._source_col)
+                converted = modmath.stack_dot_mod(
+                    [
+                        (scaled_row[None, :], self._q_hat_matrix[:, i : i + 1])
+                        for i, scaled_row in enumerate(
+                            modmath.stack_shoup_mul(
+                                stack,
+                                self._q_hat_inv_col,
+                                self._q_hat_inv_shoup,
+                                self._source_col,
+                            )
+                        )
+                    ],
+                    self._target_col,
+                )
+            else:
+                scaled = [
+                    modmath.object_row(row) * inv % q
+                    for row, inv, q in zip(stack, self.q_hat_inv, self.source.moduli)
+                ]
+                outputs = []
+                length = stack.shape[1]
+                for k, p in enumerate(self.target.moduli):
+                    row = self.q_hat_mod_target[k]
+                    acc = np.zeros(length, dtype=object)
+                    for i in range(len(self.source)):
+                        acc = acc + scaled[i] * row[i]
+                    outputs.append(modmath.as_residue_array(acc % p, p))
+                converted = np.stack(
+                    [modmath.object_row(out) for out in outputs]
+                ) if not modmath.all_fast_moduli(self.target.moduli) else np.stack(outputs)
+        _DISPATCH.base_conversion(
+            "baseconv",
+            len(self.source),
+            len(self.target),
+            reads=(source_stack,),
+            writes=(converted,),
+        )
+        return converted
 
     def convert_exact(self, limbs: Sequence[np.ndarray]) -> list[np.ndarray]:
         """Exact base conversion removing the ``α·Q`` overshoot.

@@ -25,11 +25,15 @@ from typing import Sequence
 import numpy as np
 
 from repro.core import modmath
+from repro.core.dispatch import get_dispatcher
 from repro.core.limb import Limb, LimbFormat
 from repro.core.limb_stack import LimbStack
 from repro.core.memory import MemoryPool
 from repro.core.ntt import get_engine, get_stacked_engine
 from repro.core.rns import RNSBasis
+from repro.gpu.kernel import MODADD_OPS, MODMUL_OPS
+
+_DISPATCH = get_dispatcher()
 
 
 @lru_cache(maxsize=None)
@@ -401,25 +405,54 @@ class RNSPoly:
         keep = len(target_moduli)
         target_col = modmath.moduli_column(target_moduli)
         is_eval = first.fmt is LimbFormat.EVALUATION
-        last_rows = np.stack([np.asarray(p._stack.data[-1]) for p in polys])
-        if is_eval:
-            last_rows = get_stacked_engine(
-                n, (q_last,) * len(polys)
-            ).inverse(last_rows, consume=True)
-        switched = np.vstack(
-            [modmath.stack_switch_modulus(row, q_last, target_col) for row in last_rows]
-        )
-        if is_eval:
-            switched = get_stacked_engine(
-                n, tuple(target_moduli) * len(polys)
-            ).forward(switched, consume=True)
-        heads = np.vstack(
-            [modmath.coerce_stack(p._stack.data[:-1], target_col) for p in polys]
-        )
-        fused_col = modmath.moduli_column(list(target_moduli) * len(polys))
-        diff = modmath.stack_sub_mod(heads, switched, fused_col)
-        inverses = _rescale_inverses(tuple(first.moduli))
-        out = modmath.stack_scalar_mod(diff, inverses * len(polys), fused_col)
+        with _DISPATCH.suppressed():
+            last_rows = np.stack([np.asarray(p._stack.data[-1]) for p in polys])
+            if is_eval:
+                last_rows = get_stacked_engine(
+                    n, (q_last,) * len(polys)
+                ).inverse(last_rows, consume=True)
+            switched = np.vstack(
+                [modmath.stack_switch_modulus(row, q_last, target_col) for row in last_rows]
+            )
+            if is_eval:
+                switched = get_stacked_engine(
+                    n, tuple(target_moduli) * len(polys)
+                ).forward(switched, consume=True)
+            heads = np.vstack(
+                [modmath.coerce_stack(p._stack.data[:-1], target_col) for p in polys]
+            )
+            fused_col = modmath.moduli_column(list(target_moduli) * len(polys))
+            diff = modmath.stack_sub_mod(heads, switched, fused_col)
+            inverses = _rescale_inverses(tuple(first.moduli))
+            out = modmath.stack_scalar_mod(diff, inverses * len(polys), fused_col)
+        # The execution plane sees the kernels a GPU backend launches per
+        # component: an iNTT of the dropped limb plus an NTT over the kept
+        # limbs with the switch/subtract/scale arithmetic fused in
+        # ("Rescale fusion", §III-F.5); in coefficient format only the
+        # fused element-wise kernel remains.
+        if _DISPATCH.recording:
+            # Per-polynomial slices keep the fused components parallel in
+            # the dependency DAG (disjoint rows of the shared buffers).
+            for i, poly in enumerate(polys):
+                kept = out[i * keep : (i + 1) * keep]
+                dropped = last_rows[i : i + 1]
+                if is_eval:
+                    _DISPATCH.transform(
+                        "intt", 1, reads=(poly._stack.data[-1:],),
+                        writes=(dropped,), cols=n,
+                        fused_ops_per_element=MODADD_OPS,
+                    )
+                    _DISPATCH.transform(
+                        "ntt", keep, reads=(dropped, poly._stack.data[:-1]),
+                        writes=(kept,), cols=n,
+                        fused_ops_per_element=MODMUL_OPS + MODADD_OPS,
+                    )
+                else:
+                    _DISPATCH.elementwise(
+                        "rescale-fused",
+                        reads=(dropped, poly._stack.data[:-1]),
+                        writes=(kept,), ops_per_element=MODMUL_OPS + MODADD_OPS,
+                    )
         return [
             poly._wrap(
                 LimbStack(

@@ -29,7 +29,7 @@ from repro.gpu.platforms import (
 )
 from repro.gpu.kernel import Kernel, KernelCostModel
 from repro.gpu.device import GPUDevice, ExecutionResult
-from repro.gpu.stream import StreamScheduler
+from repro.gpu.stream import ScheduledKernel, ScheduleResult, StreamScheduler
 
 __all__ = [
     "ComputePlatform",
@@ -45,4 +45,6 @@ __all__ = [
     "GPUDevice",
     "ExecutionResult",
     "StreamScheduler",
+    "ScheduleResult",
+    "ScheduledKernel",
 ]

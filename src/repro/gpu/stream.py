@@ -1,4 +1,4 @@
-"""CUDA-stream-style scheduling of kernel launches.
+"""Dependency-aware multi-stream scheduling of kernel launches.
 
 §III-F.1 of the paper: FIDESlib runs independent per-limb(-batch) kernels
 asynchronously in separate CUDA streams so that (a) small working sets
@@ -6,24 +6,72 @@ keep L2 locality and (b) the CPU-side kernel-launch overhead is hidden
 behind device execution.  With a single stream (the Phantom baseline) the
 launch overhead of every kernel sits on the critical path of fast GPUs.
 
-The scheduler models exactly that trade-off:
+The scheduler is an event-based simulation of exactly that trade-off:
 
 * the device can only execute one kernel's worth of *work* at a time
   (kernel times already assume whole-device utilisation), so the device
   busy time is the sum of kernel execution times;
-* the CPU issues launches serially, one every ``launch_overhead_us``;
-* with ``streams > 1`` the device never waits for a launch as long as
-  another stream has a ready kernel, so the makespan approaches
-  ``max(total_execution, total_launch)``; with one stream every kernel
-  pays its launch latency before executing.
+* the CPU issues launches serially, one every ``launch_overhead_us`` per
+  launch, and each stream holds at most one in-flight kernel: a launch
+  into a stream waits until that stream's previous kernel has completed
+  (with one stream the CPU therefore serialises launch → execute → launch,
+  which is the behaviour the paper attributes to the non-batched
+  baseline);
+* a greedy ready-kernel scheduler walks the dependency DAG (when one is
+  supplied, e.g. from a recorded
+  :class:`repro.core.dispatch.KernelTrace`): at every step the
+  lowest-index kernel whose dependencies have all been issued is launched
+  into the stream that lets it start earliest;
+* a dependency *within* a stream is enforced by the stream's FIFO order
+  for free, but a dependency on a kernel in a *different* stream requires
+  host-side synchronisation: the CPU cannot issue the launch until that
+  dependency has finished.  This is what makes the DAG bind: dependent
+  kernel chains pay their launch overhead on the critical path no matter
+  how many streams exist, while independent kernels (the per-limb batches
+  of §III-F.1) spread across streams and hide it -- exactly the paper's
+  claim that only *independent* kernels benefit from multi-stream
+  execution.  The scheduler therefore prefers placing a kernel on the
+  stream where its latest dependency ran.
+
+The timeline summary reduces to the previous closed-form numbers in the
+degenerate cases that pin the refactor:
+
+* ``streams == 1``: the makespan is exactly
+  ``total_launch + total_execution`` (every kernel pays its launch
+  latency on the critical path), so ``launch_hidden == 0``;
+* ``streams > 1`` with independent kernels and execution-bound work: the
+  makespan is exactly ``launch + total_execution`` -- the steady-state
+  pipeline bound ``max(execution, launch_time) + launch`` of the old
+  closed form -- and in the launch-bound regime it converges to
+  ``total_launch`` as before.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.gpu.kernel import KernelTiming
 from repro.gpu.platforms import ComputePlatform
+
+
+@dataclass(frozen=True)
+class ScheduledKernel:
+    """Per-kernel start/end times of one simulated launch."""
+
+    index: int
+    name: str
+    stream: int
+    launch_start: float
+    launch_end: float
+    start: float
+    end: float
+
+    @property
+    def execution_time(self) -> float:
+        """Device execution time of this kernel."""
+        return self.end - self.start
 
 
 @dataclass
@@ -35,11 +83,21 @@ class ScheduleResult:
     launch_time: float
     launch_hidden: float
     kernel_count: int
+    timeline: tuple[ScheduledKernel, ...] = field(default_factory=tuple)
 
     @property
     def launch_bound(self) -> bool:
         """True when kernel-launch overhead dominates the makespan."""
         return self.launch_time > self.execution_time
+
+    def stream_timelines(self) -> dict[int, list[ScheduledKernel]]:
+        """Per-stream execution timelines, each sorted by start time."""
+        streams: dict[int, list[ScheduledKernel]] = {}
+        for slot in self.timeline:
+            streams.setdefault(slot.stream, []).append(slot)
+        for slots in streams.values():
+            slots.sort(key=lambda slot: slot.start)
+        return streams
 
 
 class StreamScheduler:
@@ -51,34 +109,121 @@ class StreamScheduler:
         self.platform = platform
         self.streams = streams
 
-    def schedule(self, timings: list[KernelTiming]) -> ScheduleResult:
-        """Return the makespan of executing ``timings`` on this device."""
+    def schedule(
+        self,
+        timings: list[KernelTiming],
+        dependencies: Sequence[Sequence[int]] | None = None,
+    ) -> ScheduleResult:
+        """Simulate executing ``timings`` on this device.
+
+        ``dependencies`` optionally gives, per kernel, the indices of
+        earlier kernels that must finish before it may execute (the
+        dependency DAG of a recorded trace).  Without it every kernel is
+        treated as independent and issued in list order.
+        """
         launch = self.platform.launch_overhead_us * 1e-6
+        count = len(timings)
         execution = sum(t.execution_time for t in timings)
         launch_count = sum(t.kernel.launches for t in timings)
         total_launch = launch * launch_count
         if not timings:
             return ScheduleResult(0.0, 0.0, 0.0, 0.0, 0)
-        if self.streams == 1:
-            # Serial launches on a single stream: every kernel pays its
-            # launch latency before executing, so the overhead sits on the
-            # critical path (the behaviour the paper attributes to the
-            # non-batched baseline).
-            makespan = total_launch + execution
-        else:
-            # Multi-stream: launches overlap device execution as long as any
-            # stream has work queued; the makespan approaches whichever of
-            # the two serial resources (CPU launches, device execution) is
-            # larger, plus the pipeline fill of the first launch.
-            makespan = max(execution, total_launch) + launch
-        hidden_total = total_launch + execution - makespan + launch
+
+        deps: list[tuple[int, ...]] = (
+            [tuple(d) for d in dependencies]
+            if dependencies is not None
+            else [()] * count
+        )
+        if len(deps) != count:
+            raise ValueError(
+                f"dependency list length {len(deps)} does not match "
+                f"{count} kernels"
+            )
+        for index, kernel_deps in enumerate(deps):
+            if any(d >= index or d < 0 for d in kernel_deps):
+                raise ValueError(
+                    f"kernel {index} depends on {kernel_deps}; dependencies "
+                    f"must reference earlier kernels"
+                )
+
+        # Greedy ready-kernel scheduling over the DAG: lowest trace index
+        # among the kernels whose dependencies have all been issued.
+        dependents: list[list[int]] = [[] for _ in range(count)]
+        missing = [0] * count
+        for index, kernel_deps in enumerate(deps):
+            missing[index] = len(kernel_deps)
+            for d in kernel_deps:
+                dependents[d].append(index)
+        ready = [i for i in range(count) if missing[i] == 0]
+        heapq.heapify(ready)
+
+        cpu_free = 0.0
+        device_free = 0.0
+        stream_free = [0.0] * self.streams
+        finish = [0.0] * count
+        stream_of = [0] * count
+        timeline: list[ScheduledKernel] = []
+        issued = 0
+        while ready:
+            index = heapq.heappop(ready)
+            timing = timings[index]
+            # Pick the stream with the earliest possible launch: same-stream
+            # dependencies ride the stream FIFO, cross-stream dependencies
+            # stall the CPU until they finish (host-side synchronisation).
+            stream = 0
+            launch_start = float("inf")
+            for candidate in range(self.streams):
+                cross_wait = max(
+                    (
+                        finish[d]
+                        for d in deps[index]
+                        if stream_of[d] != candidate
+                    ),
+                    default=0.0,
+                )
+                candidate_start = max(cpu_free, stream_free[candidate], cross_wait)
+                if candidate_start < launch_start:
+                    stream = candidate
+                    launch_start = candidate_start
+            launch_end = launch_start + timing.kernel.launches * launch
+            cpu_free = launch_end
+            dep_ready = max((finish[d] for d in deps[index]), default=0.0)
+            start = max(launch_end, device_free, dep_ready)
+            end = start + timing.execution_time
+            stream_free[stream] = end
+            device_free = end
+            finish[index] = end
+            stream_of[index] = stream
+            timeline.append(
+                ScheduledKernel(
+                    index=index,
+                    name=timing.kernel.name,
+                    stream=stream,
+                    launch_start=launch_start,
+                    launch_end=launch_end,
+                    start=start,
+                    end=end,
+                )
+            )
+            issued += 1
+            for dependent in dependents[index]:
+                missing[dependent] -= 1
+                if missing[dependent] == 0:
+                    heapq.heappush(ready, dependent)
+        if issued != count:
+            raise ValueError("dependency graph contains a cycle")
+
+        makespan = max(slot.end for slot in timeline)
         return ScheduleResult(
             makespan=makespan,
             execution_time=execution,
             launch_time=total_launch,
-            launch_hidden=max(0.0, hidden_total),
+            # Launch overhead that did not extend the makespan (zero on a
+            # single stream, where nothing overlaps).
+            launch_hidden=max(0.0, total_launch + execution - makespan),
             kernel_count=int(round(launch_count)),
+            timeline=tuple(timeline),
         )
 
 
-__all__ = ["StreamScheduler", "ScheduleResult"]
+__all__ = ["StreamScheduler", "ScheduleResult", "ScheduledKernel"]

@@ -18,7 +18,9 @@ composition used by the table/figure benches lives in
 :mod:`repro.perf.workloads`.
 """
 
+from repro.perf.calibration import TraceReconciliation, reconcile_trace
 from repro.perf.costmodel import CKKSOperationCosts, OperationCost
+from repro.perf.trace_model import TraceCostModel, TraceReport
 from repro.perf.fideslib_model import FIDESlibModel
 from repro.perf.phantom_model import PhantomModel
 from repro.perf.openfhe_model import OpenFHEModel
@@ -27,6 +29,10 @@ from repro.perf.workloads import BootstrapWorkload, LogisticRegressionWorkload
 __all__ = [
     "CKKSOperationCosts",
     "OperationCost",
+    "TraceCostModel",
+    "TraceReport",
+    "TraceReconciliation",
+    "reconcile_trace",
     "FIDESlibModel",
     "PhantomModel",
     "OpenFHEModel",

@@ -24,10 +24,14 @@ import math
 from dataclasses import dataclass, field
 
 from repro.ckks.params import CKKSParameters
-from repro.gpu.kernel import Kernel
+from repro.gpu.kernel import (
+    ELEMENT_BYTES,
+    Kernel,
+    base_conversion_kernel,
+    elementwise_kernel,
+    ntt_kernel,
+)
 from repro.perf.calibration import ARITHMETIC, ArithmeticCosts
-
-ELEMENT_BYTES = 8
 
 
 @dataclass
@@ -124,18 +128,24 @@ class CKKSOperationCosts:
         ops_per_element: float,
         reuse: float = 1.0,
     ) -> list[Kernel]:
-        """Element-wise kernels over ``limbs`` limbs (split per limb batch)."""
+        """Element-wise kernels over ``limbs`` limbs (split per limb batch).
+
+        Built through the shared :func:`repro.gpu.kernel.elementwise_kernel`
+        formula, the same one the execution-plane dispatcher uses when it
+        records kernels from the live data plane.
+        """
         kernels = []
         for index, batch in enumerate(self._batches(limbs)):
-            elements = batch * self.n
             kernels.append(
-                Kernel(
-                    name=f"{tag}[{batch}]",
-                    bytes_read=polys_read * elements * ELEMENT_BYTES,
-                    bytes_written=polys_written * elements * ELEMENT_BYTES,
-                    int_ops=ops_per_element * elements,
+                elementwise_kernel(
+                    tag,
+                    batch,
+                    self.n,
+                    polys_read=polys_read,
+                    polys_written=polys_written,
+                    ops_per_element=ops_per_element,
+                    reuse=reuse,
                     working_set_bytes=self._working_set(batch, polys_read + polys_written),
-                    reuse=max(reuse, 1.5),
                     stream=index,
                 )
             )
@@ -160,31 +170,30 @@ class CKKSOperationCosts:
         the same processing is charged as separate element-wise kernels.
         """
         kernels = []
-        butterflies_per_limb = (self.n / 2) * math.log2(self.n)
         for index, batch in enumerate(self._batches(limbs)):
             elements = batch * self.n
-            int_ops = (
-                batch * butterflies_per_limb * self.arith.butterfly_ops * self.ntt_compute_factor
-            )
             extra_bytes = 0.0
             if self.ntt_twiddle_traffic:
                 # Streaming the precomputed twiddle vectors from memory
                 # instead of recomputing them on the fly (§III-F.4).
                 extra_bytes += elements * ELEMENT_BYTES
+            fused_ops = 0.0
             if self.fusion:
-                int_ops += fused_ops_per_element * elements
+                fused_ops = fused_ops_per_element
             elif fused_elementwise_polys:
                 extra_bytes += (
                     fused_elementwise_polys * elements * ELEMENT_BYTES * self.fusion_penalty
                 )
             kernels.append(
-                Kernel(
-                    name=f"{tag}[{batch}]",
-                    bytes_read=2.0 * elements * ELEMENT_BYTES + extra_bytes,
-                    bytes_written=2.0 * elements * ELEMENT_BYTES,
-                    int_ops=int_ops,
+                ntt_kernel(
+                    tag,
+                    batch,
+                    self.n,
+                    butterfly_ops=self.arith.butterfly_ops,
+                    compute_factor=self.ntt_compute_factor,
+                    fused_ops_per_element=fused_ops,
+                    extra_bytes_read=extra_bytes,
                     working_set_bytes=self._working_set(batch),
-                    reuse=2.0,
                     stream=index,
                 )
             )
@@ -196,15 +205,13 @@ class CKKSOperationCosts:
         """Fast base conversion (Equation 1): the compute-bound kernel of §III-F.3."""
         if source_limbs <= 0 or target_limbs <= 0:
             return []
-        elements = self.n
         return [
-            Kernel(
-                name=f"{tag}[{source_limbs}->{target_limbs}]",
-                bytes_read=source_limbs * elements * ELEMENT_BYTES,
-                bytes_written=target_limbs * elements * ELEMENT_BYTES,
-                int_ops=source_limbs * target_limbs * elements * self.arith.baseconv_mac_ops,
-                working_set_bytes=(source_limbs + target_limbs) * self._limb_bytes(),
-                reuse=float(max(2, target_limbs)),
+            base_conversion_kernel(
+                tag,
+                source_limbs,
+                target_limbs,
+                self.n,
+                mac_ops=self.arith.baseconv_mac_ops,
             )
         ]
 

@@ -1,0 +1,149 @@
+"""Trace-driven performance backend: price recorded kernel streams.
+
+The hand-built models in :mod:`repro.perf.costmodel` answer "what would
+this operation cost"; :class:`TraceCostModel` answers "what would the
+kernel stream *the data plane actually executed* cost".  It consumes a
+:class:`repro.core.dispatch.KernelTrace` recorded from the real execution
+plane, prices every kernel with the roofline
+:class:`repro.gpu.kernel.KernelCostModel`, and schedules the stream on the
+dependency-aware multi-stream simulator of :mod:`repro.gpu.stream` --
+launch-overhead hiding across streams (§III-F.1) included.
+
+Because the evaluator and key-switching layers tag operation scopes, the
+resulting :class:`TraceReport` also segments the timeline into
+hmult/modup/moddown/rescale regions, which is how the Fig./Table
+benchmarks consume measured-from-execution traces instead of duplicating
+workload math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.kernel import KernelCostModel
+from repro.gpu.platforms import ComputePlatform
+from repro.gpu.stream import ScheduleResult, StreamScheduler
+from repro.perf.calibration import GPU_CALIBRATION
+
+
+@dataclass
+class ScopeCost:
+    """Aggregate cost of one operation scope inside a trace."""
+
+    scope: str
+    kernel_count: int = 0
+    bytes_moved: float = 0.0
+    int_ops: float = 0.0
+    execution_time: float = 0.0
+
+
+@dataclass
+class TraceReport:
+    """Priced and scheduled view of one recorded kernel trace."""
+
+    platform: str
+    streams: int
+    schedule: ScheduleResult
+    segments: dict[str, ScopeCost] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """End-to-end simulated time of the trace (seconds)."""
+        return self.schedule.makespan
+
+    @property
+    def execution_time(self) -> float:
+        """Device busy time (sum of kernel execution times)."""
+        return self.schedule.execution_time
+
+    @property
+    def launch_time(self) -> float:
+        """Total CPU-side launch overhead."""
+        return self.schedule.launch_time
+
+    @property
+    def kernel_count(self) -> int:
+        """Number of kernel launches in the trace."""
+        return self.schedule.kernel_count
+
+    def summary(self) -> dict:
+        """Machine-readable summary (used by the benchmark artifacts)."""
+        return {
+            "platform": self.platform,
+            "streams": self.streams,
+            "makespan_s": self.makespan,
+            "execution_s": self.execution_time,
+            "launch_s": self.launch_time,
+            "launch_hidden_s": self.schedule.launch_hidden,
+            "kernel_count": self.kernel_count,
+            "segments": {
+                name: {
+                    "kernels": segment.kernel_count,
+                    "bytes": segment.bytes_moved,
+                    "execution_s": segment.execution_time,
+                }
+                for name, segment in self.segments.items()
+            },
+        }
+
+
+class TraceCostModel:
+    """Prices a recorded :class:`~repro.core.dispatch.KernelTrace`.
+
+    Calibration defaults match the FIDESlib GPU model
+    (:data:`repro.perf.calibration.GPU_CALIBRATION`), so a priced trace is
+    directly comparable with :class:`repro.perf.fideslib_model.FIDESlibModel`
+    numbers for the same operation.
+    """
+
+    def __init__(
+        self,
+        platform: ComputePlatform,
+        *,
+        streams: int | None = None,
+        compute_efficiency: float | None = None,
+        bandwidth_efficiency: float | None = None,
+    ) -> None:
+        self.platform = platform
+        self.streams = streams if streams is not None else GPU_CALIBRATION.fideslib_streams
+        self.cost_model = KernelCostModel(
+            platform,
+            compute_efficiency=(
+                compute_efficiency
+                if compute_efficiency is not None
+                else GPU_CALIBRATION.compute_efficiency
+            ),
+            bandwidth_efficiency=(
+                bandwidth_efficiency
+                if bandwidth_efficiency is not None
+                else GPU_CALIBRATION.bandwidth_efficiency
+            ),
+        )
+
+    def price(self, trace, *, streams: int | None = None) -> TraceReport:
+        """Time, schedule and segment a recorded trace."""
+        streams = streams if streams is not None else self.streams
+        timings = self.cost_model.time_kernels(trace.kernels())
+        scheduler = StreamScheduler(self.platform, streams=streams)
+        schedule = scheduler.schedule(timings, dependencies=trace.dependencies())
+        segments: dict[str, ScopeCost] = {}
+        for event, timing in zip(trace, timings):
+            leaf = event.scope.rsplit("/", 1)[-1] if event.scope else ""
+            segment = segments.setdefault(leaf, ScopeCost(scope=leaf))
+            segment.kernel_count += int(round(event.kernel.launches))
+            segment.bytes_moved += event.kernel.bytes_moved
+            segment.int_ops += event.kernel.int_ops
+            segment.execution_time += timing.execution_time
+        return TraceReport(
+            platform=self.platform.name,
+            streams=streams,
+            schedule=schedule,
+            segments=segments,
+        )
+
+    def makespan(self, trace, *, streams: int | None = None) -> float:
+        """Shortcut: the simulated end-to-end time of a trace (seconds)."""
+        return self.price(trace, streams=streams).makespan
+
+
+__all__ = ["TraceCostModel", "TraceReport", "ScopeCost"]

@@ -132,6 +132,93 @@ class TestStreamScheduler:
         with pytest.raises(ValueError):
             StreamScheduler(GPU_RTX_4090, streams=0)
 
+    def test_single_stream_hides_nothing(self):
+        # Regression: nothing overlaps on one stream, so no launch overhead
+        # is hidden and the makespan is exactly launches + execution.
+        timings = self._timings(32)
+        result = StreamScheduler(GPU_RTX_4090, streams=1).schedule(timings)
+        assert result.launch_hidden == 0.0
+        assert result.makespan == pytest.approx(
+            result.launch_time + result.execution_time
+        )
+
+    def test_zero_launch_overhead_makes_makespan_execution(self):
+        import dataclasses
+
+        platform = dataclasses.replace(GPU_RTX_4090, launch_overhead_us=0.0)
+        timings = self._timings(16)
+        for streams in (1, 4):
+            result = StreamScheduler(platform, streams=streams).schedule(timings)
+            assert result.makespan == pytest.approx(result.execution_time)
+            assert result.launch_time == 0.0
+
+    def test_makespan_monotone_in_streams(self):
+        timings = self._timings(48, execution=2e-6)
+        makespans = [
+            StreamScheduler(GPU_RTX_4090, streams=s).schedule(timings).makespan
+            for s in (1, 2, 4, 8, 16)
+        ]
+        assert all(a >= b - 1e-15 for a, b in zip(makespans, makespans[1:]))
+
+    def test_timeline_streams_do_not_overlap(self):
+        timings = self._timings(40, execution=3e-6)
+        result = StreamScheduler(GPU_RTX_4090, streams=4).schedule(timings)
+        assert len(result.timeline) == 40
+        for slots in result.stream_timelines().values():
+            for earlier, later in zip(slots, slots[1:]):
+                assert later.start >= earlier.end - 1e-15
+        assert result.makespan == max(slot.end for slot in result.timeline)
+
+    def test_dependency_chain_forces_order(self):
+        timings = self._timings(8)
+        chain = [tuple(range(i)) for i in range(8)]  # k depends on all before
+        result = StreamScheduler(GPU_RTX_4090, streams=4).schedule(
+            timings, dependencies=chain
+        )
+        by_index = sorted(result.timeline, key=lambda slot: slot.index)
+        for earlier, later in zip(by_index, by_index[1:]):
+            assert later.start >= earlier.end - 1e-15
+
+    def test_dependency_chain_cannot_hide_launch_overhead(self):
+        # A fully dependent chain on many streams behaves like a single
+        # stream (launch overhead on the critical path), while the same
+        # kernels without dependencies overlap launches with execution:
+        # only independent kernels benefit from multi-stream (§III-F.1).
+        timings = self._timings(16, execution=2e-6)
+        chain = [(i - 1,) if i else () for i in range(16)]
+        multi = StreamScheduler(GPU_RTX_4090, streams=8)
+        single = StreamScheduler(GPU_RTX_4090, streams=1)
+        chained = multi.schedule(timings, dependencies=chain)
+        independent = multi.schedule(timings)
+        assert chained.makespan > independent.makespan
+        assert chained.makespan == pytest.approx(
+            single.schedule(timings, dependencies=chain).makespan
+        )
+        assert chained.launch_hidden == pytest.approx(0.0)
+
+    def test_parallel_branches_still_overlap_under_dependencies(self):
+        # Two independent chains interleaved: the scheduler can overlap one
+        # chain's launches with the other's execution.
+        timings = self._timings(16, execution=2e-6)
+        deps = [(i - 2,) if i >= 2 else () for i in range(16)]  # two chains
+        scheduler = StreamScheduler(GPU_RTX_4090, streams=8)
+        two_chains = scheduler.schedule(timings, dependencies=deps)
+        one_chain = scheduler.schedule(
+            timings, dependencies=[(i - 1,) if i else () for i in range(16)]
+        )
+        assert two_chains.makespan < one_chain.makespan
+
+    def test_dependencies_must_reference_earlier_kernels(self):
+        timings = self._timings(2)
+        with pytest.raises(ValueError):
+            StreamScheduler(GPU_RTX_4090, streams=2).schedule(
+                timings, dependencies=[(1,), ()]
+            )
+        with pytest.raises(ValueError):
+            StreamScheduler(GPU_RTX_4090, streams=2).schedule(
+                timings, dependencies=[()]
+            )
+
 
 class TestDevice:
     def test_execution_result_fields(self):
