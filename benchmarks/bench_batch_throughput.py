@@ -1,0 +1,142 @@
+"""Throughput plane: batched vs sequential HMult+rescale, interleaved protocol.
+
+The deeper companion of the ``run_quick.py`` batched-throughput rows: for
+each batch size ``B`` it measures a serving-style workload -- ``B``
+independent HMult+rescale requests -- three ways:
+
+* **sequential loop** on the per-ciphertext evaluator (the baseline every
+  serving deployment starts from);
+* **batched** through :class:`repro.ckks.batch.BatchEvaluator`'s fused
+  ``(B·L, N)`` kernels, asserting the outputs stay bit-identical to the
+  sequential loop;
+* **modeled GPU** makespans of both recorded kernel traces
+  (:class:`repro.perf.trace_model.TraceCostModel`), which is where the
+  §III-F.1 launch-overhead amortisation shows: the sequential loop
+  launches ``B×`` the kernels over the same bytes.
+
+Wall-clock timing uses the interleaved A/B protocol of the PR-2 limb-stack
+benchmarks: sequential and batched timings alternate within each
+repetition so drift (thermal, allocator state) hits both sides equally,
+and the best-of-``repeats`` per side is reported.
+
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import time
+
+import numpy as np
+
+from repro.api import CKKSSession
+from repro.bench.reporting import BenchmarkTable
+from repro.gpu.platforms import GPU_RTX_4090
+from repro.perf.trace_model import TraceCostModel
+
+from run_quick import BENCH_SCHEMA_VERSION, git_sha, quick_params
+
+
+def measure_batch(session, batch_size: int, *, repeats: int = 5):
+    """Interleaved sequential/batched timing plus recorded traces."""
+    rng = np.random.default_rng(batch_size)
+    vectors_a = [session.encrypt(rng.uniform(-1, 1, 16)) for _ in range(batch_size)]
+    vectors_b = [session.encrypt(rng.uniform(-1, 1, 16)) for _ in range(batch_size)]
+    batch_a = session.batch(vectors_a)
+    batch_b = session.batch(vectors_b)
+
+    def sequential():
+        return [a * b for a, b in zip(vectors_a, vectors_b)]
+
+    def batched():
+        return batch_a * batch_b
+
+    # Bit-identity gate: the batched members must equal the loop's outputs.
+    reference = sequential()
+    for member, ref in zip(batched().split(), reference):
+        if not (
+            np.array_equal(member.handle.c0.stack.data, ref.handle.c0.stack.data)
+            and np.array_equal(member.handle.c1.stack.data, ref.handle.c1.stack.data)
+        ):
+            raise AssertionError(
+                f"batched output diverged from the sequential loop at B={batch_size}"
+            )
+
+    best_seq = best_bat = float("inf")
+    for _ in range(repeats):  # interleaved A/B: drift hits both sides
+        start = time.perf_counter()
+        sequential()
+        best_seq = min(best_seq, time.perf_counter() - start)
+        start = time.perf_counter()
+        batched()
+        best_bat = min(best_bat, time.perf_counter() - start)
+
+    with session.trace() as trace_seq:
+        sequential()
+    with session.trace() as trace_bat:
+        batched()
+    return best_seq, best_bat, trace_seq, trace_bat
+
+
+def run(ring_log2: int = 13, depth: int = 6, batch_sizes=(1, 2, 4, 8),
+        repeats: int = 5) -> BenchmarkTable:
+    """Build the batched-throughput comparison table."""
+    params = quick_params(ring_log2, depth)
+    session = CKKSSession.create(params, seed=3, register_default=False)
+    pricer = TraceCostModel(GPU_RTX_4090)
+    table = BenchmarkTable(
+        f"Batched HMult+rescale throughput [{params.describe()}]",
+        note="interleaved A/B protocol; batched outputs bit-identical to the "
+             "sequential loop; modeled rows price the recorded kernel traces",
+    )
+    for batch_size in batch_sizes:
+        seq_s, bat_s, trace_seq, trace_bat = measure_batch(
+            session, batch_size, repeats=repeats
+        )
+        seq_model = pricer.price(trace_seq, streams=1)
+        bat_model = pricer.price(trace_bat, streams=1)
+        table.add_row(
+            batch=batch_size,
+            seq_python_s=round(seq_s, 6),
+            batch_python_s=round(bat_s, 6),
+            python_speedup=round(seq_s / bat_s, 4),
+            seq_model_us=round(seq_model.makespan * 1e6, 3),
+            batch_model_us=round(bat_model.makespan * 1e6, 3),
+            model_speedup=round(seq_model.makespan / bat_model.makespan, 4),
+            seq_kernels=seq_model.kernel_count,
+            batch_kernels=bat_model.kernel_count,
+            batch_model_ops_per_sec=round(batch_size / bat_model.makespan, 1),
+        )
+    return table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None,
+                        help="optional JSON artifact path")
+    parser.add_argument("--ring-log2", type=int, default=13)
+    parser.add_argument("--depth", type=int, default=6)
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args()
+
+    table = run(args.ring_log2, args.depth, repeats=args.repeats)
+    print(table.to_text())
+    if args.output:
+        params = quick_params(args.ring_log2, args.depth)
+        document = table.to_json(
+            schema_version=BENCH_SCHEMA_VERSION,
+            git_sha=git_sha(),
+            parameter_set={"label": params.label,
+                           "logN_L_scale_dnum": params.describe()},
+            python=platform.python_version(),
+            machine=platform.machine(),
+            numpy=np.__version__,
+        )
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+        print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

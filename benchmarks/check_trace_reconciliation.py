@@ -10,8 +10,12 @@ script exits non-zero so CI fails loudly instead.
 
     PYTHONPATH=src python benchmarks/check_trace_reconciliation.py
 
-Also asserts the §III-F.1 scheduling trend on the recorded trace:
-multi-stream makespan must not exceed the single-stream makespan.
+Also asserts the §III-F.1 scheduling trend on the recorded trace
+(multi-stream makespan must not exceed the single-stream makespan) and
+reconciles the throughput plane: a batched HMult+rescale trace at ``B``
+ciphertexts must move ``B×`` the bytes of the single-ciphertext cost
+model per kernel kind while launching the *same* number of kernels --
+the fused ``(B·L, N)`` contract of :mod:`repro.ckks.batch`.
 """
 
 from __future__ import annotations
@@ -37,6 +41,8 @@ def main() -> int:
     parser.add_argument("--depth", type=int, default=6)
     parser.add_argument("--tolerance", type=float, default=0.05,
                         help="maximum relative kernel-count/bytes divergence")
+    parser.add_argument("--batch-size", type=int, default=8,
+                        help="batch width of the throughput-plane check")
     args = parser.parse_args()
 
     params = quick_params(args.ring_log2, args.depth)
@@ -73,6 +79,47 @@ def main() -> int:
     if multi > single + 1e-12:
         print("FAIL: multi-stream makespan exceeds single-stream makespan")
         failed = True
+
+    # -- throughput plane: batched trace vs B x the single-ciphertext model --
+    batch_size = args.batch_size
+    batch_a = session.batch([session.wrap(ct_a.handle.copy()) for _ in range(batch_size)])
+    batch_b = session.batch([session.wrap(ct_b.handle.copy()) for _ in range(batch_size)])
+    with session.trace() as batch_trace:
+        batch_a * batch_b  # batched HMult + rescale, fused kernels
+    hmult_cost = costs.hmult(limbs, include_rescale=True)
+    scaled = [k.scaled(batch_size) for k in hmult_cost.kernels]
+    bytes_report = reconcile_trace(
+        batch_trace, scaled,
+        name=f"batched HMult+rescale, B={batch_size} vs {batch_size}x model bytes",
+    )
+    print(bytes_report.describe())
+    launch_report = reconcile_trace(
+        batch_trace, hmult_cost,
+        name=f"batched HMult+rescale, B={batch_size} vs 1x model launches",
+    )
+    if bytes_report.bytes_delta > args.tolerance:
+        print(
+            f"FAIL: batched trace bytes diverge from {batch_size}x the "
+            f"single-ciphertext model by {bytes_report.bytes_delta:.2%} "
+            f"(> {args.tolerance:.0%})"
+        )
+        failed = True
+    if launch_report.kernel_count_delta > args.tolerance:
+        print(
+            f"FAIL: batched trace launches {launch_report.kernel_count_trace:.0f} "
+            f"kernels vs {launch_report.kernel_count_model:.0f} for one "
+            f"sequential op (delta {launch_report.kernel_count_delta:.2%} > "
+            f"{args.tolerance:.0%}); the throughput plane must launch once "
+            f"per op for the whole batch"
+        )
+        failed = True
+    else:
+        print(
+            f"batched launches {launch_report.kernel_count_trace:.0f} == "
+            f"single-op launches {launch_report.kernel_count_model:.0f} "
+            f"at {batch_size}x bytes (delta {bytes_report.bytes_delta:.2%})"
+        )
+
     if not failed:
         print("OK: execution plane and cost model reconcile")
     return 1 if failed else 0

@@ -28,7 +28,16 @@ from repro.perf.trace_model import TraceCostModel
 
 #: Version of the BENCH_quick.json schema.  Bump when rows/metadata change
 #: shape so the CI artifact trajectory stays self-describing.
-BENCH_SCHEMA_VERSION = 2
+#: v3: cross-ciphertext batched-throughput rows (B in {1, 8}) -- modeled GPU
+#: throughput from recorded traces (headline, CI-gated) plus the Python
+#: data-plane wall clock of the same workload for transparency.
+BENCH_SCHEMA_VERSION = 3
+
+#: Ring size of the batched-throughput headline (the acceptance pins 2^13).
+BATCH_RING_LOG2 = 13
+
+#: Batch sizes measured by the throughput rows.
+BATCH_SIZES = (1, 8)
 
 
 def git_sha() -> str:
@@ -120,15 +129,109 @@ def run(ring_log2: int = 12, depth: int = 6) -> BenchmarkTable:
     return table
 
 
+def run_batch_throughput(table: BenchmarkTable, *, ring_log2: int = BATCH_RING_LOG2,
+                         depth: int = 6, batch_sizes=BATCH_SIZES) -> dict[int, float]:
+    """Measure cross-ciphertext batched HMult+rescale vs a sequential loop.
+
+    Appends two row families per batch size ``B``:
+
+    * **modeled GPU throughput** (headline, CI-gated): the sequential-loop
+      trace launches ``B×`` the kernels of the batched trace over the same
+      bytes, so the :class:`TraceCostModel` makespan exposes the §III-F.1
+      launch-overhead amortisation the throughput plane exists for;
+    * **python data-plane wall clock**: the functional backend's real time
+      for the same work, measured with the interleaved A/B protocol (the
+      PR-2 precedent).  The Python plane is the bit-exact correctness
+      oracle, not a GPU -- its fused kernels match the sequential loop's
+      arithmetic element for element, so wall clock lands near parity
+      while the modeled launch overhead drops from ``O(B)`` to ``O(1)``.
+
+    Returns the modeled batched-vs-sequential speedup per batch size.
+    """
+    params = quick_params(ring_log2, depth)
+    session = CKKSSession.create(params, seed=3, register_default=False)
+    rng = np.random.default_rng(0)
+    pricer = TraceCostModel(GPU_RTX_4090)
+    speedups: dict[int, float] = {}
+    for batch_size in batch_sizes:
+        vectors_a = [session.encrypt(rng.uniform(-1, 1, 16)) for _ in range(batch_size)]
+        vectors_b = [session.encrypt(rng.uniform(-1, 1, 16)) for _ in range(batch_size)]
+        batch_a = session.batch(vectors_a)
+        batch_b = session.batch(vectors_b)
+
+        def sequential():
+            for a, b in zip(vectors_a, vectors_b):
+                a * b
+
+        def batched():
+            batch_a * batch_b
+
+        # Modeled GPU throughput from the recorded execution plane.
+        with session.trace() as trace_seq:
+            sequential()
+        with session.trace() as trace_bat:
+            batched()
+        seq_report = pricer.price(trace_seq, streams=1)
+        bat_report = pricer.price(trace_bat, streams=1)
+        speedup = seq_report.makespan / bat_report.makespan
+        speedups[batch_size] = speedup
+        table.add_row(
+            operation=f"sequential HMult+rescale loop [modeled {seq_report.platform}, "
+                      f"B={batch_size}, N=2^{ring_log2}]",
+            seconds=round(seq_report.makespan, 9),
+            ops_per_sec=round(batch_size / seq_report.makespan, 3),
+            kernels=seq_report.kernel_count,
+        )
+        table.add_row(
+            operation=f"batched HMult+rescale [modeled {bat_report.platform}, "
+                      f"B={batch_size}, N=2^{ring_log2}]",
+            seconds=round(bat_report.makespan, 9),
+            ops_per_sec=round(batch_size / bat_report.makespan, 3),
+            kernels=bat_report.kernel_count,
+            speedup_vs_sequential=round(speedup, 4),
+        )
+
+        # Python data-plane wall clock, interleaved A/B protocol.
+        sequential(); batched()  # warm engines and tiled keys
+        best_seq = best_bat = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            sequential()
+            best_seq = min(best_seq, time.perf_counter() - start)
+            start = time.perf_counter()
+            batched()
+            best_bat = min(best_bat, time.perf_counter() - start)
+        table.add_row(
+            operation=f"sequential HMult+rescale loop [python data plane, "
+                      f"B={batch_size}, N=2^{ring_log2}]",
+            seconds=round(best_seq, 6),
+            ops_per_sec=round(batch_size / best_seq, 3),
+        )
+        table.add_row(
+            operation=f"batched HMult+rescale [python data plane, "
+                      f"B={batch_size}, N=2^{ring_log2}]",
+            seconds=round(best_bat, 6),
+            ops_per_sec=round(batch_size / best_bat, 3),
+            speedup_vs_sequential=round(best_seq / best_bat, 4),
+        )
+    return speedups
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_quick.json",
                         help="path of the JSON artifact to write")
     parser.add_argument("--ring-log2", type=int, default=12)
     parser.add_argument("--depth", type=int, default=6)
+    parser.add_argument(
+        "--min-batch-speedup", type=float, default=None,
+        help="fail unless the modeled batched speedup at the largest batch "
+             "size reaches this factor (CI regression gate)",
+    )
     args = parser.parse_args()
 
     table = run(args.ring_log2, args.depth)
+    speedups = run_batch_throughput(table, depth=args.depth)
     params = quick_params(args.ring_log2, args.depth)
     document = table.to_json(
         schema_version=BENCH_SCHEMA_VERSION,
@@ -145,6 +248,19 @@ def main() -> None:
         handle.write(document + "\n")
     print(table.to_text())
     print(f"\nwrote {args.output}")
+
+    if args.min_batch_speedup is not None:
+        largest = max(speedups)
+        achieved = speedups[largest]
+        if achieved < args.min_batch_speedup:
+            raise SystemExit(
+                f"FAIL: modeled batched speedup at B={largest} is "
+                f"{achieved:.2f}x, below the {args.min_batch_speedup:.2f}x gate"
+            )
+        print(
+            f"OK: modeled batched speedup at B={largest} is {achieved:.2f}x "
+            f"(gate {args.min_batch_speedup:.2f}x)"
+        )
 
 
 if __name__ == "__main__":

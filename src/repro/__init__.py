@@ -5,7 +5,8 @@ OpenFHE clients.  This package rebuilds the complete system in Python:
 
 * :mod:`repro.api` -- the high-level entry point: :class:`CKKSSession`
   (one object bundling params, context, keys and evaluator),
-  :class:`CipherVector` (operator-overloaded ciphertext handles) and the
+  :class:`CipherVector` and :class:`CipherBatch` (operator-overloaded
+  handles over one ciphertext or a fused cross-ciphertext batch) and the
   pluggable :class:`EvaluationBackend` seam that runs the same program
   functionally or against the GPU cost model.
 * :mod:`repro.core` -- power-of-two polynomial ring arithmetic under
@@ -27,6 +28,7 @@ OpenFHE clients.  This package rebuilds the complete system in Python:
 
 from repro.api import (
     CKKSSession,
+    CipherBatch,
     CipherVector,
     CostLedger,
     CostModelBackend,
@@ -40,6 +42,7 @@ from repro.ckks.keys import KeySet, KeyGenerator
 
 __all__ = [
     "CKKSSession",
+    "CipherBatch",
     "CipherVector",
     "EvaluationBackend",
     "FunctionalBackend",

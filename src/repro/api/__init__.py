@@ -22,21 +22,25 @@ from repro.api.backend import (
     CostModelBackend,
     EvaluationBackend,
     FunctionalBackend,
+    SymbolicCipherBatch,
     SymbolicCiphertext,
     TracingBackend,
     as_backend,
 )
+from repro.api.batch import CipherBatch
 from repro.api.session import CKKSSession, resolve_parameters, resolve_rotations
 from repro.api.vector import CipherVector, as_vector
 
 __all__ = [
     "CKKSSession",
+    "CipherBatch",
     "CipherVector",
     "EvaluationBackend",
     "FunctionalBackend",
     "CostModelBackend",
     "CostLedger",
     "SymbolicCiphertext",
+    "SymbolicCipherBatch",
     "TracingBackend",
     "as_backend",
     "as_vector",

@@ -28,6 +28,7 @@ from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro.ckks.batch import BatchEvaluator, CiphertextBatch
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.context import Context
 from repro.ckks.encryption import Encryptor
@@ -35,6 +36,7 @@ from repro.ckks.evaluator import Evaluator, scales_match
 from repro.ckks.keys import KeySet
 from repro.ckks.params import CKKSParameters
 from repro.core.dispatch import KernelTrace, get_dispatcher
+from repro.gpu.kernel import Kernel
 from repro.perf.costmodel import CKKSOperationCosts, OperationCost
 
 
@@ -71,6 +73,28 @@ class EvaluationBackend(Protocol):
     def rescale(self, a): ...
     def at_level(self, a, level: int): ...
     def dot_product_plain(self, handles: Sequence, value_rows: Sequence): ...
+
+    # -- throughput plane (cross-ciphertext batching) -----------------------
+
+    def encrypt_batch(self, value_rows: Sequence, *, scale: float | None = None,
+                      level: int | None = None): ...
+    def batch_from(self, handles: Sequence): ...
+    def batch_split(self, batch) -> list: ...
+
+    def batch_add(self, a, b): ...
+    def batch_sub(self, a, b): ...
+    def batch_negate(self, a): ...
+    def batch_add_plain(self, a, values): ...
+    def batch_sub_plain(self, a, values): ...
+    def batch_add_scalar(self, a, value: float): ...
+    def batch_multiply(self, a, b): ...
+    def batch_square(self, a): ...
+    def batch_multiply_plain(self, a, values, *, rescale: bool = True): ...
+    def batch_multiply_scalar(self, a, value: float): ...
+    def batch_rescale(self, a): ...
+    def batch_rotate(self, a, steps: int): ...
+    def batch_conjugate(self, a): ...
+    def batch_hoisted_rotations(self, a, steps: Sequence[int]) -> dict: ...
 
     def describe(self) -> dict: ...
 
@@ -110,6 +134,7 @@ class FunctionalBackend:
         self.context: Context = evaluator.context
         self.params: CKKSParameters = self.context.params
         self.encryptor = encryptor
+        self._batch_evaluator: BatchEvaluator | None = None
 
     # -- ciphertext sources -------------------------------------------------
 
@@ -192,6 +217,84 @@ class FunctionalBackend:
         ]
         return self.evaluator.dot_product_plain(list(handles), plaintexts)
 
+    # -- throughput plane ---------------------------------------------------
+
+    @property
+    def batch_evaluator(self) -> BatchEvaluator:
+        """The fused-kernel evaluator behind every ``batch_*`` operation."""
+        if self._batch_evaluator is None:
+            self._batch_evaluator = BatchEvaluator(self.context, self.evaluator.keys)
+        return self._batch_evaluator
+
+    def encrypt_batch(self, value_rows: Sequence, *, scale: float | None = None,
+                      level: int | None = None) -> CiphertextBatch:
+        """Encrypt one vector per row and fuse them into a batch."""
+        cts = [self.encrypt(row, scale=scale, level=level) for row in value_rows]
+        return CiphertextBatch.from_ciphertexts(cts)
+
+    def batch_from(self, handles: Sequence[Ciphertext]) -> CiphertextBatch:
+        return CiphertextBatch.from_ciphertexts(list(handles))
+
+    def batch_split(self, batch: CiphertextBatch) -> list[Ciphertext]:
+        return batch.split()
+
+    def _batch_plaintext(self, batch: CiphertextBatch, values, *,
+                         for_multiplication: bool) -> Plaintext:
+        if isinstance(values, Plaintext):
+            return values
+        return self.batch_evaluator.encode_for(
+            batch, values, for_multiplication=for_multiplication
+        )
+
+    def batch_add(self, a: CiphertextBatch, b: CiphertextBatch) -> CiphertextBatch:
+        return self.batch_evaluator.add(a, b)
+
+    def batch_sub(self, a: CiphertextBatch, b: CiphertextBatch) -> CiphertextBatch:
+        return self.batch_evaluator.sub(a, b)
+
+    def batch_negate(self, a: CiphertextBatch) -> CiphertextBatch:
+        return self.batch_evaluator.negate(a)
+
+    def batch_add_plain(self, a: CiphertextBatch, values) -> CiphertextBatch:
+        return self.batch_evaluator.add_plain(
+            a, self._batch_plaintext(a, values, for_multiplication=False)
+        )
+
+    def batch_sub_plain(self, a: CiphertextBatch, values) -> CiphertextBatch:
+        return self.batch_evaluator.sub_plain(
+            a, self._batch_plaintext(a, values, for_multiplication=False)
+        )
+
+    def batch_add_scalar(self, a: CiphertextBatch, value: float) -> CiphertextBatch:
+        return self.batch_evaluator.add_scalar(a, value)
+
+    def batch_multiply(self, a: CiphertextBatch, b: CiphertextBatch) -> CiphertextBatch:
+        return self.batch_evaluator.multiply(a, b)
+
+    def batch_square(self, a: CiphertextBatch) -> CiphertextBatch:
+        return self.batch_evaluator.square(a)
+
+    def batch_multiply_plain(self, a: CiphertextBatch, values, *,
+                             rescale: bool = True) -> CiphertextBatch:
+        pt = self._batch_plaintext(a, values, for_multiplication=True)
+        return self.batch_evaluator.multiply_plain(a, pt, rescale=rescale)
+
+    def batch_multiply_scalar(self, a: CiphertextBatch, value: float) -> CiphertextBatch:
+        return self.batch_evaluator.multiply_scalar(a, value)
+
+    def batch_rescale(self, a: CiphertextBatch) -> CiphertextBatch:
+        return self.batch_evaluator.rescale(a)
+
+    def batch_rotate(self, a: CiphertextBatch, steps: int) -> CiphertextBatch:
+        return self.batch_evaluator.rotate(a, steps)
+
+    def batch_conjugate(self, a: CiphertextBatch) -> CiphertextBatch:
+        return self.batch_evaluator.conjugate(a)
+
+    def batch_hoisted_rotations(self, a: CiphertextBatch, steps: Sequence[int]
+                                ) -> dict[int, CiphertextBatch]:
+        return self.batch_evaluator.hoisted_rotations(a, steps)
+
     # -- reporting ----------------------------------------------------------
 
     def describe(self) -> dict:
@@ -224,6 +327,61 @@ class SymbolicCiphertext:
     def copy(self) -> "SymbolicCiphertext":
         """Return a copy (symbolic ciphertexts are treated as immutable)."""
         return SymbolicCiphertext(self.limb_count, self.scale, self.slots, self.encoded_length)
+
+
+@dataclass
+class SymbolicCipherBatch:
+    """A data-free ciphertext batch: shared level/scale metadata plus ``B``.
+
+    The cost-model twin of :class:`repro.ckks.batch.CiphertextBatch`: every
+    member shares one limb count and scale, and each batched operation is
+    priced as the fused kernel stream -- the single-ciphertext kernels with
+    ``B×`` the bytes and integer ops but an *unchanged* launch count, which
+    is exactly what the recorded execution plane shows.
+    """
+
+    batch_size: int
+    limb_count: int
+    scale: float
+    slots: int
+    encoded_lengths: list | None = None
+
+    @property
+    def level(self) -> int:
+        """Common remaining multiplicative depth of every member."""
+        return self.limb_count - 1
+
+    def copy(self) -> "SymbolicCipherBatch":
+        """Return a copy (symbolic handles are treated as immutable)."""
+        return SymbolicCipherBatch(
+            self.batch_size, self.limb_count, self.scale, self.slots,
+            list(self.encoded_lengths) if self.encoded_lengths is not None else None,
+        )
+
+
+def batched_cost(cost: OperationCost, batch_size: int) -> OperationCost:
+    """Scale an operation cost to a fused batch of ``batch_size`` members.
+
+    Bytes and integer operations grow ``B×`` (every kernel now covers
+    ``B·L`` rows); launch counts stay fixed -- the throughput-plane
+    contract that drops per-op launch overhead from ``O(B)`` to ``O(1)``.
+    """
+    scaled = OperationCost(name=f"{cost.name}[B={batch_size}]")
+    scaled.kernels = [
+        Kernel(
+            name=k.name,
+            bytes_read=k.bytes_read * batch_size,
+            bytes_written=k.bytes_written * batch_size,
+            int_ops=k.int_ops * batch_size,
+            working_set_bytes=k.working_set_bytes * batch_size,
+            reuse=k.reuse,
+            stream=k.stream,
+            fused=k.fused,
+            launches=k.launches,
+        )
+        for k in cost.kernels
+    ]
+    return scaled
 
 
 @dataclass
@@ -532,6 +690,195 @@ class CostModelBackend:
             )
         return results
 
+    # -- throughput plane ---------------------------------------------------
+
+    def encrypt_batch(self, value_rows: Sequence, *, scale: float | None = None,
+                      level: int | None = None) -> SymbolicCipherBatch:
+        """Return a fresh symbolic batch (client-side, hence cost-free)."""
+        members = [self.encrypt(row, scale=scale, level=level) for row in value_rows]
+        return self.batch_from(members)
+
+    def batch_from(self, handles: Sequence[SymbolicCiphertext]) -> SymbolicCipherBatch:
+        handles = list(handles)
+        if not handles:
+            raise ValueError("a ciphertext batch needs at least one member")
+        levels = sorted({h.level for h in handles})
+        if len(levels) > 1:
+            raise ValueError(
+                f"cannot batch ciphertexts at mixed levels {levels}: the fused "
+                f"(B*L, N) buffer needs one common shape; bring the members to "
+                f"one level first (e.g. Evaluator.adjust / CipherVector.at_level)"
+            )
+        first = handles[0]
+        for h in handles[1:]:
+            if not scales_match(h.scale, first.scale):
+                raise ValueError(
+                    f"cannot batch ciphertexts at mixed scales "
+                    f"({h.scale:.6g} vs {first.scale:.6g})"
+                )
+        return SymbolicCipherBatch(
+            len(handles), first.limb_count, first.scale, first.slots,
+            [h.encoded_length for h in handles],
+        )
+
+    def batch_split(self, batch: SymbolicCipherBatch) -> list[SymbolicCiphertext]:
+        lengths = batch.encoded_lengths or [None] * batch.batch_size
+        return [
+            SymbolicCiphertext(batch.limb_count, batch.scale, batch.slots, lengths[i])
+            for i in range(batch.batch_size)
+        ]
+
+    def _with_batch(self, batch: SymbolicCipherBatch, *, limb_count: int | None = None,
+                    scale: float | None = None) -> SymbolicCipherBatch:
+        return SymbolicCipherBatch(
+            batch.batch_size,
+            batch.limb_count if limb_count is None else limb_count,
+            batch.scale if scale is None else scale,
+            batch.slots,
+            batch.encoded_lengths,
+        )
+
+    def _record_batched(self, name: str, batch: SymbolicCipherBatch,
+                        cost: OperationCost) -> None:
+        self._record(f"{name}[B={batch.batch_size}]", batched_cost(cost, batch.batch_size))
+
+    @staticmethod
+    def _check_batch_pair(a: SymbolicCipherBatch, b: SymbolicCipherBatch) -> None:
+        if a.batch_size != b.batch_size:
+            raise ValueError(f"batch sizes differ ({a.batch_size} vs {b.batch_size})")
+        if a.level != b.level:
+            raise ValueError(
+                f"batched operands must share one level ({a.level} vs {b.level}); "
+                f"adjust members before fusing"
+            )
+
+    def batch_add(self, a: SymbolicCipherBatch, b: SymbolicCipherBatch) -> SymbolicCipherBatch:
+        self._check_batch_pair(a, b)
+        if not scales_match(a.scale, b.scale):
+            raise ValueError(
+                f"scale mismatch at equal level: {a.scale:.6g} vs {b.scale:.6g}"
+            )
+        self._record_batched("HAdd", a, self.costs.hadd(a.limb_count))
+        return a.copy()
+
+    def batch_sub(self, a: SymbolicCipherBatch, b: SymbolicCipherBatch) -> SymbolicCipherBatch:
+        self._check_batch_pair(a, b)
+        if not scales_match(a.scale, b.scale):
+            raise ValueError(
+                f"scale mismatch at equal level: {a.scale:.6g} vs {b.scale:.6g}"
+            )
+        self._record_batched("HSub", a, self.costs.hadd(a.limb_count))
+        return a.copy()
+
+    def batch_negate(self, a: SymbolicCipherBatch) -> SymbolicCipherBatch:
+        cost = OperationCost("Negate")
+        cost.kernels = self.costs.elementwise_kernels(
+            "negate", a.limb_count, polys_read=2.0, polys_written=2.0,
+            ops_per_element=1.0,
+        )
+        self._record_batched("Negate", a, cost)
+        return a.copy()
+
+    def batch_add_plain(self, a: SymbolicCipherBatch, values) -> SymbolicCipherBatch:
+        pt_scale = self._plain_scale(
+            SymbolicCiphertext(a.limb_count, a.scale, a.slots), values,
+            for_multiplication=False,
+        )
+        if not scales_match(a.scale, pt_scale):
+            raise ValueError(
+                f"plaintext scale {pt_scale:.6g} does not match ciphertext {a.scale:.6g}"
+            )
+        self._record_batched("PtAdd", a, self.costs.ptadd(a.limb_count))
+        return a.copy()
+
+    def batch_sub_plain(self, a: SymbolicCipherBatch, values) -> SymbolicCipherBatch:
+        pt_scale = self._plain_scale(
+            SymbolicCiphertext(a.limb_count, a.scale, a.slots), values,
+            for_multiplication=False,
+        )
+        if not scales_match(a.scale, pt_scale):
+            raise ValueError("plaintext scale does not match ciphertext")
+        self._record_batched("PtSub", a, self.costs.ptadd(a.limb_count))
+        return a.copy()
+
+    def batch_add_scalar(self, a: SymbolicCipherBatch, value: float) -> SymbolicCipherBatch:
+        self._record_batched("ScalarAdd", a, self.costs.scalar_add(a.limb_count))
+        return a.copy()
+
+    def batch_multiply(self, a: SymbolicCipherBatch, b: SymbolicCipherBatch) -> SymbolicCipherBatch:
+        self._check_batch_pair(a, b)
+        self._record_batched("HMult", a, self.costs.hmult(a.limb_count))
+        raw = self._with_batch(a, scale=a.scale * b.scale)
+        return self.batch_rescale(raw)
+
+    def batch_square(self, a: SymbolicCipherBatch) -> SymbolicCipherBatch:
+        self._record_batched("HSquare", a, self.costs.hsquare(a.limb_count))
+        raw = self._with_batch(a, scale=a.scale * a.scale)
+        return self.batch_rescale(raw)
+
+    def batch_multiply_plain(self, a: SymbolicCipherBatch, values, *,
+                             rescale: bool = True) -> SymbolicCipherBatch:
+        pt_scale = self._plain_scale(
+            SymbolicCiphertext(a.limb_count, a.scale, a.slots), values,
+            for_multiplication=True,
+        )
+        self._record_batched("PtMult", a, self.costs.ptmult(a.limb_count))
+        raw = self._with_batch(a, scale=a.scale * pt_scale)
+        return self.batch_rescale(raw) if rescale else raw
+
+    def batch_multiply_scalar(self, a: SymbolicCipherBatch, value: float) -> SymbolicCipherBatch:
+        if a.level == 0:
+            raise ValueError(
+                "multiply_scalar(..., rescale=True) on a level-0 ciphertext: there is "
+                "no limb left to drop, so the result scale cannot be restored to the "
+                "ladder; pass rescale=False (the result keeps scale * scalar_scale) "
+                "or bootstrap the ciphertext first"
+            )
+        self._record_batched("ScalarMult", a, self.costs.scalar_mult(a.limb_count))
+        self._record_batched("Rescale", a, self.costs.rescale(a.limb_count))
+        return self._with_batch(
+            a, limb_count=a.limb_count - 1, scale=self._scale_at(a.level - 1) * 1.0
+        )
+
+    def batch_rescale(self, a: SymbolicCipherBatch) -> SymbolicCipherBatch:
+        if a.limb_count < 2:
+            raise ValueError("cannot rescale a level-0 batch")
+        self._record_batched("Rescale", a, self.costs.rescale(a.limb_count))
+        return self._with_batch(
+            a, limb_count=a.limb_count - 1,
+            scale=a.scale / self._last_modulus(a.limb_count),
+        )
+
+    def batch_rotate(self, a: SymbolicCipherBatch, steps: int) -> SymbolicCipherBatch:
+        if steps % a.slots == 0:
+            return a.copy()
+        self._check_rotation_key(steps)
+        self._record_batched("HRotate", a, self.costs.hrotate(a.limb_count))
+        return a.copy()
+
+    def batch_conjugate(self, a: SymbolicCipherBatch) -> SymbolicCipherBatch:
+        if self.key_inventory is not None and self.key_inventory.conjugation_key is None:
+            raise KeyError("no conjugation key was generated")
+        self._record_batched("HConjugate", a, self.costs.hrotate(a.limb_count))
+        return a.copy()
+
+    def batch_hoisted_rotations(self, a: SymbolicCipherBatch, steps: Sequence[int]
+                                ) -> dict[int, SymbolicCipherBatch]:
+        results: dict[int, SymbolicCipherBatch] = {}
+        effective = []
+        for step in steps:
+            step = int(step)
+            results[step] = a.copy()
+            if step % a.slots != 0:
+                self._check_rotation_key(step)
+                effective.append(step)
+        if effective:
+            self._record_batched(
+                f"HoistedRotate x{len(effective)}", a,
+                self.costs.hoisted_rotations(a.limb_count, len(effective)),
+            )
+        return results
+
     # -- fusions ------------------------------------------------------------
 
     def dot_product_plain(self, handles: Sequence[SymbolicCiphertext],
@@ -646,6 +993,60 @@ class TracingBackend:
     def dot_product_plain(self, handles: Sequence, value_rows: Sequence):
         return self._recorded("dot_product_plain", handles, value_rows)
 
+    # -- throughput plane ---------------------------------------------------
+
+    def encrypt_batch(self, value_rows: Sequence, *, scale: float | None = None,
+                      level: int | None = None):
+        return self._recorded("encrypt_batch", value_rows, scale=scale, level=level)
+
+    def batch_from(self, handles: Sequence):
+        return self._recorded("batch_from", handles)
+
+    def batch_split(self, batch) -> list:
+        return self._recorded("batch_split", batch)
+
+    def batch_add(self, a, b):
+        return self._recorded("batch_add", a, b)
+
+    def batch_sub(self, a, b):
+        return self._recorded("batch_sub", a, b)
+
+    def batch_negate(self, a):
+        return self._recorded("batch_negate", a)
+
+    def batch_add_plain(self, a, values):
+        return self._recorded("batch_add_plain", a, values)
+
+    def batch_sub_plain(self, a, values):
+        return self._recorded("batch_sub_plain", a, values)
+
+    def batch_add_scalar(self, a, value: float):
+        return self._recorded("batch_add_scalar", a, value)
+
+    def batch_multiply(self, a, b):
+        return self._recorded("batch_multiply", a, b)
+
+    def batch_square(self, a):
+        return self._recorded("batch_square", a)
+
+    def batch_multiply_plain(self, a, values, *, rescale: bool = True):
+        return self._recorded("batch_multiply_plain", a, values, rescale=rescale)
+
+    def batch_multiply_scalar(self, a, value: float):
+        return self._recorded("batch_multiply_scalar", a, value)
+
+    def batch_rescale(self, a):
+        return self._recorded("batch_rescale", a)
+
+    def batch_rotate(self, a, steps: int):
+        return self._recorded("batch_rotate", a, steps)
+
+    def batch_conjugate(self, a):
+        return self._recorded("batch_conjugate", a)
+
+    def batch_hoisted_rotations(self, a, steps: Sequence[int]) -> dict:
+        return self._recorded("batch_hoisted_rotations", a, steps)
+
     # -- reporting ----------------------------------------------------------
 
     def describe(self) -> dict:
@@ -662,6 +1063,8 @@ __all__ = [
     "CostModelBackend",
     "CostLedger",
     "SymbolicCiphertext",
+    "SymbolicCipherBatch",
     "TracingBackend",
     "as_backend",
+    "batched_cost",
 ]

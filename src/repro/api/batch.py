@@ -1,0 +1,231 @@
+"""``CipherBatch``: an operator-overloaded handle over a ciphertext batch.
+
+The throughput-plane sibling of :class:`~repro.api.vector.CipherVector`:
+one handle stands for ``B`` independent encrypted vectors walking the same
+circuit, and every operator issues **one** batched backend operation
+(fused ``(B·L, N)`` kernels on the functional backend) instead of ``B``
+sequential ones::
+
+    batch = session.encrypt_batch([req_0, req_1, ..., req_7])
+    scored = 2.0 * (batch * batch) + 1.0      # one fused kernel stream
+    for vec in scored.split():                # back to per-request handles
+        ...
+
+Operands broadcast across the batch: another :class:`CipherBatch`
+(member-wise HAdd/HMult), a plaintext or raw value array (the same
+plaintext against every member) or a real scalar.  Like
+:class:`CipherVector`, the handle is backend-agnostic -- functional,
+cost-model and tracing backends all implement the batched operation
+surface of :class:`~repro.api.backend.EvaluationBackend`.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Sequence
+
+import numpy as np
+
+from repro.api.vector import CipherVector
+from repro.ckks.ciphertext import Plaintext
+
+_BATCH, _PLAIN, _SCALAR = "batch", "plaintext", "scalar"
+
+
+class CipherBatch:
+    """``B`` encrypted (or symbolic) vectors bound to one evaluation backend."""
+
+    __array_ufunc__ = None
+    __array_priority__ = 1000
+
+    __slots__ = ("backend", "handle")
+
+    def __init__(self, backend, handle) -> None:
+        self.backend = backend
+        self.handle = handle
+
+    # -- metadata -----------------------------------------------------------
+
+    @property
+    def batch_size(self) -> int:
+        """Number of member ciphertexts fused into this handle."""
+        return self.handle.batch_size
+
+    @property
+    def level(self) -> int:
+        """Common remaining multiplicative depth of every member."""
+        return self.handle.level
+
+    @property
+    def scale(self) -> float:
+        """Common scaling factor of every member."""
+        return self.handle.scale
+
+    @property
+    def slots(self) -> int:
+        """Number of message slots per member."""
+        return self.handle.slots
+
+    @property
+    def limb_count(self) -> int:
+        """Per-member RNS limb count."""
+        return self.handle.limb_count
+
+    def __len__(self) -> int:
+        return self.batch_size
+
+    def __repr__(self) -> str:
+        return (
+            f"CipherBatch(B={self.batch_size}, level={self.level}, "
+            f"scale={self.scale:.6g}, slots={self.slots}, "
+            f"backend={getattr(self.backend, 'name', '?')})"
+        )
+
+    # -- dispatch helpers ---------------------------------------------------
+
+    def _wrap(self, handle) -> "CipherBatch":
+        return CipherBatch(self.backend, handle)
+
+    def _classify(self, other):
+        if isinstance(other, CipherBatch):
+            if other.backend is not self.backend:
+                raise ValueError(
+                    "cannot combine CipherBatches from different backends; "
+                    "re-encrypt or re-wrap the operand on one backend first"
+                )
+            return _BATCH, other.handle
+        if isinstance(other, Plaintext):
+            return _PLAIN, other
+        if isinstance(other, bool):
+            return None
+        if isinstance(other, numbers.Real):
+            return _SCALAR, float(other)
+        if isinstance(other, (list, tuple, np.ndarray)):
+            return _PLAIN, np.asarray(other)
+        return None
+
+    # -- additions ----------------------------------------------------------
+
+    def __add__(self, other):
+        kind = self._classify(other)
+        if kind is None:
+            return NotImplemented
+        tag, value = kind
+        if tag == _BATCH:
+            return self._wrap(self.backend.batch_add(self.handle, value))
+        if tag == _PLAIN:
+            return self._wrap(self.backend.batch_add_plain(self.handle, value))
+        return self._wrap(self.backend.batch_add_scalar(self.handle, value))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        kind = self._classify(other)
+        if kind is None:
+            return NotImplemented
+        tag, value = kind
+        if tag == _BATCH:
+            return self._wrap(self.backend.batch_sub(self.handle, value))
+        if tag == _PLAIN:
+            return self._wrap(self.backend.batch_sub_plain(self.handle, value))
+        return self._wrap(self.backend.batch_add_scalar(self.handle, -value))
+
+    def __rsub__(self, other):
+        kind = self._classify(other)
+        if kind is None:
+            return NotImplemented
+        tag, value = kind
+        negated = self.backend.batch_negate(self.handle)
+        if tag == _BATCH:  # pragma: no cover - batch - batch resolves via __sub__
+            return self._wrap(self.backend.batch_add(negated, value))
+        if tag == _PLAIN:
+            return self._wrap(self.backend.batch_add_plain(negated, value))
+        return self._wrap(self.backend.batch_add_scalar(negated, value))
+
+    def __neg__(self):
+        return self._wrap(self.backend.batch_negate(self.handle))
+
+    # -- multiplications ----------------------------------------------------
+
+    def __mul__(self, other):
+        kind = self._classify(other)
+        if kind is None:
+            return NotImplemented
+        tag, value = kind
+        if tag == _BATCH:
+            return self._wrap(self.backend.batch_multiply(self.handle, value))
+        if tag == _PLAIN:
+            return self._wrap(self.backend.batch_multiply_plain(self.handle, value))
+        return self._wrap(self.backend.batch_multiply_scalar(self.handle, value))
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent):
+        if not isinstance(exponent, numbers.Integral) or exponent < 1:
+            raise ValueError(
+                f"only positive integer powers are supported, got {exponent!r}"
+            )
+        exponent = int(exponent)
+        if exponent == 1:
+            return self
+        result: CipherBatch | None = None
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = base if result is None else result * base
+            exponent >>= 1
+            if exponent:
+                base = base.square()
+        return result
+
+    def square(self) -> "CipherBatch":
+        """Batched ``HSquare`` of every member."""
+        return self._wrap(self.backend.batch_square(self.handle))
+
+    # -- rotations ----------------------------------------------------------
+
+    def __lshift__(self, steps):
+        if not isinstance(steps, numbers.Integral):
+            return NotImplemented
+        return self.rotate(int(steps))
+
+    def __rshift__(self, steps):
+        if not isinstance(steps, numbers.Integral):
+            return NotImplemented
+        return self.rotate(-int(steps))
+
+    def rotate(self, steps: int) -> "CipherBatch":
+        """Rotate every member left by ``steps`` slots (batched ``HRotate``)."""
+        return self._wrap(self.backend.batch_rotate(self.handle, steps))
+
+    def rotate_many(self, steps: Sequence[int]) -> dict[int, "CipherBatch"]:
+        """Rotate every member by many step counts, sharing one batched ModUp."""
+        rotated = self.backend.batch_hoisted_rotations(self.handle, steps)
+        return {step: self._wrap(handle) for step, handle in rotated.items()}
+
+    def conj(self) -> "CipherBatch":
+        """Conjugate every member's message vector (batched ``HConjugate``)."""
+        return self._wrap(self.backend.batch_conjugate(self.handle))
+
+    # -- level and scale management -----------------------------------------
+
+    def rescale(self) -> "CipherBatch":
+        """Drop every member's last limb in one fused pass."""
+        return self._wrap(self.backend.batch_rescale(self.handle))
+
+    # -- batch management ---------------------------------------------------
+
+    def split(self) -> list[CipherVector]:
+        """Unfuse into per-member :class:`CipherVector` handles.
+
+        On the functional backend the members are zero-copy views of the
+        fused buffers; they stay valid as long as this batch (or a copy of
+        the member) is alive.
+        """
+        return [
+            CipherVector(self.backend, handle)
+            for handle in self.backend.batch_split(self.handle)
+        ]
+
+
+__all__ = ["CipherBatch"]

@@ -29,6 +29,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.api.backend import CostModelBackend, FunctionalBackend, TracingBackend
+from repro.api.batch import CipherBatch
 from repro.api.vector import CipherVector
 from repro.core.dispatch import KernelTrace, get_dispatcher
 from repro.ckks.ciphertext import Ciphertext, Plaintext
@@ -223,6 +224,32 @@ class CKKSSession:
                 level: int | None = None) -> CipherVector:
         """Encode and encrypt values into an operator-ready handle."""
         return CipherVector(self.backend, self.backend.encrypt(values, scale=scale, level=level))
+
+    def encrypt_batch(self, value_rows, *, scale: float | None = None,
+                      level: int | None = None) -> CipherBatch:
+        """Encrypt one vector per row and fuse them into a throughput-plane batch.
+
+        The returned :class:`CipherBatch` evaluates all members with fused
+        ``(B·L, N)`` kernels -- one launch per operation for the whole
+        batch (see the README's throughput-plane section for when batching
+        pays off and its ``B·L·N``-byte memory trade-off).
+        """
+        return CipherBatch(
+            self.backend,
+            self.backend.encrypt_batch(value_rows, scale=scale, level=level),
+        )
+
+    def batch(self, vectors) -> CipherBatch:
+        """Fuse existing same-shape handles into a :class:`CipherBatch`.
+
+        Accepts :class:`CipherVector` handles (or raw backend handles) that
+        share one level, scale and shape; mixed-level input is rejected
+        with a descriptive error.
+        """
+        handles = [
+            v.handle if isinstance(v, CipherVector) else v for v in vectors
+        ]
+        return CipherBatch(self.backend, self.backend.batch_from(handles))
 
     def encode(self, values, *, like: CipherVector | Ciphertext | None = None,
                for_multiplication: bool = True, scale: float | None = None) -> Plaintext:

@@ -1,0 +1,916 @@
+"""Cross-ciphertext batched execution: the throughput plane.
+
+A serving workload is ``B`` independent requests, each a same-shape
+ciphertext walking the same circuit.  Evaluating them one at a time pays
+``B`` times the Python-dispatch and kernel-launch overhead the flat
+limb-stack data plane (§III-D) was built to amortize.  This module stacks
+the ``B`` ciphertexts' limb stacks into fused ``(B·L, N)`` buffers
+(:meth:`repro.core.limb_stack.LimbStack.fuse`) so every cross-limb kernel
+-- the ``stack_*`` modmath expressions, the
+:class:`~repro.core.ntt.StackedNTTEngine` transforms and
+:meth:`~repro.core.rns.BaseConverter.convert_stack` -- launches **once per
+operation for the whole batch** instead of once per ciphertext, the
+multi-ciphertext batching lever FIDESlib and OpenFHE expose (§III-F.1
+applied across requests rather than across limbs).
+
+Layout: fused buffers are member-major -- all ``L`` rows of member 0,
+then member 1, ... -- so the member polynomials are contiguous row ranges
+(:meth:`LimbStack.split` views) and the fused moduli column is the member
+column tiled ``B`` times.  Every ``stack_*`` kernel is row-wise with a
+broadcast ``(rows, 1)`` moduli column and every stacked NTT is row
+independent, so the batched math is **bit-identical** per member to the
+sequential :class:`~repro.ckks.evaluator.Evaluator` path (the test suite
+asserts this operation by operation).
+
+Execution-plane recording stays at GPU launch granularity with the *same
+kernel structure* as one sequential operation -- the same kinds and
+counts, with ``B`` times the rows/bytes -- so a batched trace reconciles
+against the single-ciphertext cost model at ``B×`` bytes and ``1×``
+launches, and :class:`~repro.perf.trace_model.TraceCostModel` shows the
+per-op launch overhead dropping from ``O(B)`` to ``O(1)``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.context import Context
+from repro.ckks.encryption import encode
+from repro.ckks.evaluator import scales_match
+from repro.ckks.keys import KeySet, KeySwitchingKey
+from repro.core import modmath
+from repro.core.automorphism import conjugation_exponent, rotation_to_exponent
+from repro.core.dispatch import get_dispatcher
+from repro.core.limb import LimbFormat
+from repro.core.limb_stack import LimbStack
+from repro.core.ntt import get_stacked_engine
+from repro.core.rns_poly import RNSPoly, _rescale_inverses
+from repro.gpu.kernel import MODADD_OPS, MODMUL_OPS
+
+_DISPATCH = get_dispatcher()
+
+
+class CiphertextBatch:
+    """``B`` same-shape ciphertexts fused into ``(B·L, N)`` component stacks.
+
+    ``c0``/``c1`` are :class:`RNSPoly` objects over the member moduli tiled
+    ``B`` times (member-major rows).  All members share one level, scale
+    and format -- the invariants that let every kernel batch.
+    """
+
+    __slots__ = ("c0", "c1", "batch_size", "scale", "slots", "noise_bits",
+                 "encoded_lengths")
+
+    def __init__(self, c0: RNSPoly, c1: RNSPoly, *, batch_size: int,
+                 scale: float, slots: int, noise_bits: float = 0.0,
+                 encoded_lengths: list[int | None] | None = None) -> None:
+        if c0.level_count != c1.level_count or c0.moduli != c1.moduli:
+            raise ValueError("batch components use different RNS bases")
+        if c0.level_count % batch_size:
+            raise ValueError(
+                f"{c0.level_count} fused rows do not divide into {batch_size} members"
+            )
+        self.c0 = c0
+        self.c1 = c1
+        self.batch_size = batch_size
+        self.scale = scale
+        self.slots = slots
+        self.noise_bits = noise_bits
+        self.encoded_lengths = (
+            encoded_lengths if encoded_lengths is not None else [None] * batch_size
+        )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_ciphertexts(cls, cts: Sequence[Ciphertext]) -> "CiphertextBatch":
+        """Fuse same-shape ciphertexts into one batch (two pool allocations).
+
+        All members must share the ring degree, RNS basis (hence level),
+        limb format, slot count and scale; a mixed-level batch is rejected
+        with a descriptive error because the fused moduli column -- and
+        with it every batched kernel -- requires one shape.
+        """
+        cts = list(cts)
+        if not cts:
+            raise ValueError("a ciphertext batch needs at least one member")
+        first = cts[0]
+        levels = sorted({ct.level for ct in cts})
+        if len(levels) > 1:
+            raise ValueError(
+                f"cannot batch ciphertexts at mixed levels {levels}: the fused "
+                f"(B*L, N) buffer needs one common shape; bring the members to "
+                f"one level first (e.g. Evaluator.adjust / CipherVector.at_level)"
+            )
+        for ct in cts[1:]:
+            if ct.ring_degree != first.ring_degree:
+                raise ValueError("batched ciphertexts must share one ring degree")
+            if ct.moduli != first.moduli:
+                raise ValueError("batched ciphertexts must share one RNS basis")
+            if ct.fmt is not first.fmt:
+                raise ValueError("batched ciphertexts must share one limb format")
+            if ct.slots != first.slots:
+                raise ValueError("batched ciphertexts must share one slot count")
+            if not scales_match(ct.scale, first.scale):
+                raise ValueError(
+                    f"cannot batch ciphertexts at mixed scales "
+                    f"({ct.scale:.6g} vs {first.scale:.6g})"
+                )
+        c0 = RNSPoly.from_stack(
+            LimbStack.fuse([ct.c0.stack for ct in cts]), first.fmt
+        )
+        c1 = RNSPoly.from_stack(
+            LimbStack.fuse([ct.c1.stack for ct in cts]), first.fmt
+        )
+        return cls(
+            c0, c1, batch_size=len(cts), scale=first.scale, slots=first.slots,
+            noise_bits=max(ct.noise_bits for ct in cts),
+            encoded_lengths=[ct.encoded_length for ct in cts],
+        )
+
+    def split(self) -> list[Ciphertext]:
+        """Return the member ciphertexts as zero-copy views of the batch.
+
+        Views share the fused buffers (no copy, no pool charge); use
+        ``.copy()`` on a member to detach it from the batch's lifetime.
+        """
+        fmt = self.c0.fmt
+        c0_views = self.c0.stack.split(self.batch_size)
+        c1_views = self.c1.stack.split(self.batch_size)
+        return [
+            Ciphertext(
+                RNSPoly.from_stack(v0, fmt),
+                RNSPoly.from_stack(v1, fmt),
+                self.scale,
+                self.slots,
+                self.noise_bits,
+                self.encoded_lengths[i],
+            )
+            for i, (v0, v1) in enumerate(zip(c0_views, c1_views))
+        ]
+
+    def copy(self) -> "CiphertextBatch":
+        """Deep copy of both fused components."""
+        return self._with(self.c0.copy(), self.c1.copy())
+
+    def _with(self, c0: RNSPoly, c1: RNSPoly, *, scale: float | None = None
+              ) -> "CiphertextBatch":
+        return CiphertextBatch(
+            c0, c1, batch_size=self.batch_size,
+            scale=self.scale if scale is None else scale,
+            slots=self.slots, noise_bits=self.noise_bits,
+            encoded_lengths=list(self.encoded_lengths),
+        )
+
+    # -- metadata ------------------------------------------------------------
+
+    @property
+    def limb_count(self) -> int:
+        """Per-member limb count ``L`` (the fused stacks hold ``B·L`` rows)."""
+        return self.c0.level_count // self.batch_size
+
+    @property
+    def level(self) -> int:
+        """Common remaining multiplicative depth of every member."""
+        return self.limb_count - 1
+
+    @property
+    def moduli(self) -> list[int]:
+        """The per-member RNS moduli."""
+        return list(self.c0.moduli[: self.limb_count])
+
+    @property
+    def ring_degree(self) -> int:
+        """Polynomial degree bound ``N``."""
+        return self.c0.ring_degree
+
+    @property
+    def fmt(self) -> LimbFormat:
+        """Common limb representation of the fused components."""
+        return self.c0.fmt
+
+    def footprint_bytes(self, element_bytes: int = 8) -> int:
+        """Device-memory footprint of the fused batch (``2·B·L·N`` elements)."""
+        return (self.c0.footprint_bytes(element_bytes)
+                + self.c1.footprint_bytes(element_bytes))
+
+    def __len__(self) -> int:
+        return self.batch_size
+
+
+@dataclass
+class DecomposedBatch:
+    """ModUp'd digits of a fused polynomial, shared across rotations.
+
+    The batched analogue of
+    :class:`~repro.ckks.keyswitch.DecomposedPolynomial`: each entry of
+    ``extended_digits`` is a fused ``(B·(L+K), N)`` polynomial, so hoisted
+    rotations (§III-F.6) pay the decompose + ModUp once per distinct input
+    batch and reuse it for every rotation key.
+    """
+
+    extended_digits: list[RNSPoly]
+    limb_count: int
+    batch_size: int
+
+
+class BatchEvaluator:
+    """Server-side evaluator over :class:`CiphertextBatch` handles.
+
+    Every operation mirrors the sequential
+    :class:`~repro.ckks.evaluator.Evaluator` member by member --
+    bit-identical residues, same scale-ladder bookkeeping -- while
+    executing one fused kernel stream for the whole batch.  Operands must
+    share one level and scale (the evaluator's implicit-adjust convenience
+    is deliberately absent: adjusting inside a fused batch would change
+    its shape mid-operation; align members first, then fuse).
+    """
+
+    #: Byte budget of the tiled key-switching-key cache (per evaluator).
+    #: Each entry holds two ``(B·(L+K), N)`` stacks, so a rotation-heavy
+    #: workload across levels and batch sizes would otherwise grow it
+    #: without bound; least recently used entries are evicted beyond this.
+    TILED_KEY_BUDGET_BYTES = 128 << 20
+
+    def __init__(self, context: Context, keys: KeySet) -> None:
+        self.context = context
+        self.keys = keys
+        #: Key-switching key stacks tiled to batch width, cached per
+        #: ``(key object, digit, limb_count, B)`` -- keys are long-lived
+        #: and shared by every batch of the same shape (LRU, byte-bounded).
+        self._tiled_keys: "OrderedDict[tuple, tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_pair(a: CiphertextBatch, b: CiphertextBatch) -> None:
+        if a.batch_size != b.batch_size:
+            raise ValueError(
+                f"batch sizes differ ({a.batch_size} vs {b.batch_size})"
+            )
+        if a.level != b.level:
+            raise ValueError(
+                f"batched operands must share one level ({a.level} vs "
+                f"{b.level}); adjust members before fusing"
+            )
+        if not scales_match(a.scale, b.scale):
+            raise ValueError(
+                f"scale mismatch at equal level: {a.scale:.6g} vs {b.scale:.6g}"
+            )
+
+    def _plain_operand(self, batch: CiphertextBatch, pt: Plaintext) -> RNSPoly:
+        """Tile a plaintext to batch width in evaluation format.
+
+        Mirrors ``Evaluator._plain_operand`` (truncate before the stacked
+        NTT) and then repeats the ``(L, N)`` rows ``B`` times so the fused
+        product is one kernel.
+        """
+        poly = pt.poly.keep_limbs(batch.limb_count)
+        if poly.fmt is not LimbFormat.EVALUATION:
+            poly = poly.to_evaluation()
+        with _DISPATCH.suppressed():
+            tiled = np.tile(poly.stack.data, (batch.batch_size, 1))
+        _DISPATCH.link((poly.stack.data,), tiled)
+        return RNSPoly.from_stack(
+            LimbStack(list(poly.moduli) * batch.batch_size, tiled,
+                      pool=poly.stack.buffer.pool),
+            LimbFormat.EVALUATION,
+        )
+
+    def encode_for(self, batch: CiphertextBatch, values, *,
+                   for_multiplication: bool = True) -> Plaintext:
+        """Encode values at the scale that composes with every member."""
+        if for_multiplication and batch.level >= 1:
+            q = batch.moduli[-1]
+            scale = q * self.context.scale_at(batch.level - 1) / batch.scale
+        else:
+            scale = batch.scale
+        return encode(self.context, values, scale=scale,
+                      limb_count=batch.limb_count)
+
+    def _as_plaintext(self, batch: CiphertextBatch, values, *,
+                      for_multiplication: bool) -> Plaintext:
+        if isinstance(values, Plaintext):
+            return values
+        return self.encode_for(batch, values, for_multiplication=for_multiplication)
+
+    def _scope(self, batch: CiphertextBatch, name: str):
+        return _DISPATCH.scope(f"batch{batch.batch_size}/{name}")
+
+    # ------------------------------------------------------------------
+    # additions
+    # ------------------------------------------------------------------
+
+    def add(self, a: CiphertextBatch, b: CiphertextBatch) -> CiphertextBatch:
+        """Batched ``HAdd``: two fused element-wise kernels for the batch."""
+        self._check_pair(a, b)
+        with self._scope(a, "hadd"):
+            return a._with(a.c0.add(b.c0), a.c1.add(b.c1))
+
+    def sub(self, a: CiphertextBatch, b: CiphertextBatch) -> CiphertextBatch:
+        """Batched ``HSub``."""
+        self._check_pair(a, b)
+        with self._scope(a, "hadd"):
+            return a._with(a.c0.sub(b.c0), a.c1.sub(b.c1))
+
+    def negate(self, a: CiphertextBatch) -> CiphertextBatch:
+        """Batched negation."""
+        return a._with(a.c0.negate(), a.c1.negate())
+
+    def add_plain(self, a: CiphertextBatch, pt: Plaintext) -> CiphertextBatch:
+        """Batched ``PtAdd`` (one plaintext broadcast to every member)."""
+        if not scales_match(a.scale, pt.scale):
+            raise ValueError(
+                f"plaintext scale {pt.scale:.6g} does not match batch {a.scale:.6g}"
+            )
+        with self._scope(a, "ptadd"):
+            poly = self._plain_operand(a, pt)
+            return a._with(a.c0.add(poly), a.c1.copy())
+
+    def sub_plain(self, a: CiphertextBatch, pt: Plaintext) -> CiphertextBatch:
+        """Batched plaintext subtraction."""
+        if not scales_match(a.scale, pt.scale):
+            raise ValueError("plaintext scale does not match batch")
+        with self._scope(a, "ptadd"):
+            poly = self._plain_operand(a, pt)
+            return a._with(a.c0.sub(poly), a.c1.copy())
+
+    def add_scalar(self, a: CiphertextBatch, value: float) -> CiphertextBatch:
+        """Batched ``ScalarAdd``."""
+        integer = int(round(float(value) * a.scale))
+        with self._scope(a, "scalaradd"):
+            return a._with(a.c0.add_scalar(integer), a.c1.copy())
+
+    def sub_scalar(self, a: CiphertextBatch, value: float) -> CiphertextBatch:
+        """Batched constant subtraction."""
+        return self.add_scalar(a, -float(value))
+
+    # ------------------------------------------------------------------
+    # multiplications
+    # ------------------------------------------------------------------
+
+    def multiply_plain(self, a: CiphertextBatch, pt: Plaintext, *,
+                       rescale: bool = True) -> CiphertextBatch:
+        """Batched ``PtMult``: one plaintext against every member."""
+        with self._scope(a, "ptmult"):
+            poly = self._plain_operand(a, pt)
+            result = a._with(
+                a.c0.multiply(poly), a.c1.multiply(poly),
+                scale=a.scale * pt.scale,
+            )
+        return self.rescale(result) if rescale else result
+
+    def multiply_scalar(self, a: CiphertextBatch, value: float, *,
+                        rescale: bool = True,
+                        scalar_scale: float | None = None) -> CiphertextBatch:
+        """Batched ``ScalarMult`` with the evaluator's ladder bookkeeping."""
+        if rescale and a.level == 0:
+            raise ValueError(
+                "multiply_scalar(..., rescale=True) on a level-0 batch: there "
+                "is no limb left to drop, so the result scale cannot be "
+                "restored to the ladder; pass rescale=False or bootstrap first"
+            )
+        if scalar_scale is None:
+            if rescale and a.level >= 1:
+                q = a.moduli[-1]
+                scalar_scale = q * self.context.scale_at(a.level - 1) / a.scale
+            else:
+                scalar_scale = self.context.scale
+        integer = int(round(float(value) * scalar_scale))
+        with self._scope(a, "scalarmult"):
+            result = a._with(
+                a.c0.multiply_scalar(integer),
+                a.c1.multiply_scalar(integer),
+                scale=a.scale * scalar_scale,
+            )
+        if rescale:
+            level = a.level
+            result = self.rescale(result)
+            if level >= 1:
+                result = result._with(
+                    result.c0, result.c1,
+                    scale=self.context.scale_at(level - 1) * 1.0,
+                )
+        return result
+
+    def multiply(self, a: CiphertextBatch, b: CiphertextBatch, *,
+                 rescale: bool = True, relinearize: bool = True) -> CiphertextBatch:
+        """Batched ``HMult``: tensor, key switch and rescale fused batch-wide."""
+        if a.batch_size != b.batch_size:
+            raise ValueError(
+                f"batch sizes differ ({a.batch_size} vs {b.batch_size})"
+            )
+        if a.level != b.level:
+            raise ValueError(
+                f"batched operands must share one level ({a.level} vs {b.level})"
+            )
+        with self._scope(a, "hmult"):
+            with _DISPATCH.suppressed():
+                d0 = a.c0.multiply(b.c0)
+                d1 = RNSPoly.multiply_accumulate([(a.c0, b.c1), (a.c1, b.c0)])
+                d2 = a.c1.multiply(b.c1)
+            _DISPATCH.elementwise(
+                "tensor",
+                reads=(a.c0.stack.data, a.c1.stack.data,
+                       b.c0.stack.data, b.c1.stack.data),
+                writes=(d0.stack.data, d1.stack.data, d2.stack.data),
+                ops_per_element=4.0 * MODMUL_OPS + 2.0 * MODADD_OPS,
+            )
+            scale = a.scale * b.scale
+            if relinearize:
+                result = self._relinearize(a, d0, d1, d2, scale)
+            else:
+                result = a._with(d0, d1, scale=scale)
+        return self.rescale(result) if rescale else result
+
+    def square(self, a: CiphertextBatch, *, rescale: bool = True) -> CiphertextBatch:
+        """Batched ``HSquare``."""
+        with self._scope(a, "hsquare"):
+            with _DISPATCH.suppressed():
+                d0 = a.c0.multiply(a.c0)
+                cross = a.c0.multiply(a.c1)
+                d1 = cross.add(cross)
+                d2 = a.c1.multiply(a.c1)
+            _DISPATCH.elementwise(
+                "square-tensor",
+                reads=(a.c0.stack.data, a.c1.stack.data),
+                writes=(d0.stack.data, d1.stack.data, d2.stack.data),
+                ops_per_element=3.0 * MODMUL_OPS + MODADD_OPS,
+            )
+            result = self._relinearize(a, d0, d1, d2, a.scale * a.scale)
+        return self.rescale(result) if rescale else result
+
+    def _relinearize(self, template: CiphertextBatch, d0: RNSPoly, d1: RNSPoly,
+                     d2: RNSPoly, scale: float) -> CiphertextBatch:
+        decomposed = self.decompose_and_mod_up(template, d2)
+        delta0, delta1 = self.apply_key(decomposed, self.keys.relinearization_key)
+        with _DISPATCH.suppressed():
+            c0 = d0.add(delta0)
+            c1 = d1.add(delta1)
+        _DISPATCH.elementwise(
+            "relin-add",
+            reads=(d0.stack.data, delta0.stack.data,
+                   d1.stack.data, delta1.stack.data),
+            writes=(c0.stack.data, c1.stack.data),
+            ops_per_element=2.0 * MODADD_OPS,
+        )
+        return template._with(c0, c1, scale=scale)
+
+    # ------------------------------------------------------------------
+    # batched hybrid key switching
+    # ------------------------------------------------------------------
+
+    def decompose_and_mod_up(self, batch: CiphertextBatch,
+                             poly: RNSPoly) -> DecomposedBatch:
+        """Digit-decompose and ModUp a fused polynomial for the whole batch.
+
+        One stacked iNTT covers every member; each digit's base conversion
+        fuses the batch along the column axis (the conversion is
+        element-wise per column); one fused stacked NTT returns all digits
+        of all members to the evaluation domain.  Kernel structure matches
+        the sequential :func:`~repro.ckks.keyswitch.decompose_and_mod_up`
+        with ``B×`` the rows per kernel.
+        """
+        context = self.context
+        bsz = batch.batch_size
+        limb_count = batch.limb_count
+        n = context.ring_degree
+        member_moduli = tuple(batch.moduli)
+        target_moduli = context.moduli_at(limb_count) + context.special_moduli
+        target_col = modmath.moduli_column(target_moduli)
+        extended = len(target_moduli)
+        num_digits = context.active_digits(limb_count)
+        with _DISPATCH.scope("modup"):
+            poly_coeff = get_stacked_engine(
+                n, member_moduli * bsz
+            ).inverse(poly.stack.data)
+            source = poly.stack.data.reshape(bsz, limb_count, n)
+            coeff3 = poly_coeff.reshape(bsz, limb_count, n)
+            digits_out: list[RNSPoly] = []
+            with _DISPATCH.suppressed():
+                blocks: list[np.ndarray] = []
+                fused_moduli: list[int] = []
+                segments: list[int] = []
+                digit_indices_list: list[list[int]] = []
+                for digit_index in range(num_digits):
+                    digit_indices = [
+                        i for i in context.digit_limb_indices(digit_index)
+                        if i < limb_count
+                    ]
+                    digit_indices_list.append(digit_indices)
+                    converter = context.modup_converter(limb_count, digit_index)
+                    # (B, d_j, N) -> (d_j, B*N): the conversion is columnwise,
+                    # so one matrix expression covers every member.
+                    digit_rows = (
+                        coeff3[:, digit_indices]
+                        .transpose(1, 0, 2)
+                        .reshape(len(digit_indices), bsz * n)
+                    )
+                    _DISPATCH.link((poly_coeff,), digit_rows)
+                    converted = converter.convert_stack(digit_rows)
+                    # (t_j, B*N) -> (t_j*B, N) is a free reshape; rows stay
+                    # limb-major (limb t of every member, then limb t+1).
+                    block = converted.reshape(-1, n)
+                    _DISPATCH.link((converted,), block)
+                    blocks.append(block)
+                    for q in converter.target.moduli:
+                        fused_moduli.extend([q] * bsz)
+                    segments.append(block.shape[0])
+                stacked = np.vstack([
+                    modmath.coerce_stack(b, target_col) for b in blocks
+                ])
+                row = 0
+                for block in blocks:
+                    _DISPATCH.link((block,), stacked[row : row + len(block)])
+                    row += len(block)
+            # Re-emit the suppressed per-digit kernels at launch granularity
+            # (one base conversion per digit over B*N columns).
+            if _DISPATCH.recording:
+                row = 0
+                for digit_index in range(num_digits):
+                    converter = context.modup_converter(limb_count, digit_index)
+                    _DISPATCH.base_conversion(
+                        "baseconv", len(digit_indices_list[digit_index]),
+                        len(converter.target.moduli),
+                        reads=(poly_coeff,),
+                        writes=(stacked[row : row + segments[digit_index]],),
+                        cols=bsz * n,
+                    )
+                    row += segments[digit_index]
+            fused_eval = get_stacked_engine(n, tuple(fused_moduli)).forward(
+                stacked, consume=True, segments=segments,
+            )
+            eval3 = fused_eval  # rows: digit-major, then limb, then member
+            row_offset = 0
+            for digit_index in range(num_digits):
+                digit_indices = digit_indices_list[digit_index]
+                block_rows = segments[digit_index]
+                converted_eval = eval3[row_offset : row_offset + block_rows]
+                row_offset += block_rows
+                with _DISPATCH.suppressed():
+                    if modmath.stack_is_fast(target_col):
+                        stack = np.empty((bsz, extended, n), dtype=np.uint64)
+                    else:
+                        stack = np.empty((bsz, extended, n), dtype=object)
+                    non_digit = [
+                        i for i in range(extended) if i not in digit_indices
+                    ]
+                    stack[:, digit_indices] = modmath.coerce_stack(
+                        source[:, digit_indices].reshape(-1, n), target_col
+                    ).reshape(bsz, len(digit_indices), n)
+                    # (t_j*B, N) limb-major -> (B, t_j, N) member-major.
+                    stack[:, non_digit] = modmath.coerce_stack(
+                        converted_eval, target_col
+                    ).reshape(len(non_digit), bsz, n).transpose(1, 0, 2)
+                    flat = stack.reshape(bsz * extended, n)
+                _DISPATCH.link((converted_eval, poly.stack.data), flat)
+                digits_out.append(
+                    RNSPoly.from_stack(
+                        LimbStack(list(target_moduli) * bsz, flat,
+                                  pool=poly.stack.buffer.pool),
+                        LimbFormat.EVALUATION,
+                    )
+                )
+        return DecomposedBatch(
+            extended_digits=digits_out, limb_count=limb_count, batch_size=bsz
+        )
+
+    def _tiled_key_digit(self, key: KeySwitchingKey, digit_index: int,
+                         limb_count: int, bsz: int
+                         ) -> tuple[np.ndarray, np.ndarray]:
+        """Key digit stacks restricted to the active basis, tiled ``B×``.
+
+        Cached per (key, digit, level, batch size): keys are shared by
+        every request, so the tiling cost is paid once per batch shape.
+        """
+        cache_key = (id(key), digit_index, limb_count, bsz)
+        tiled = self._tiled_keys.get(cache_key)
+        if tiled is None:
+            b_j, a_j = key.digits[digit_index]
+            active_indices = list(range(limb_count)) + [
+                len(self.context.moduli) + i
+                for i in range(len(self.context.special_moduli))
+            ]
+            if len(active_indices) != b_j.level_count:
+                b_j = b_j.select_limbs(active_indices)
+                a_j = a_j.select_limbs(active_indices)
+            tiled = (
+                np.tile(b_j.stack.data, (bsz, 1)),
+                np.tile(a_j.stack.data, (bsz, 1)),
+            )
+            self._tiled_keys[cache_key] = tiled
+            total = sum(
+                b.nbytes + a.nbytes for b, a in self._tiled_keys.values()
+            )
+            while total > self.TILED_KEY_BUDGET_BYTES and len(self._tiled_keys) > 1:
+                _, (old_b, old_a) = self._tiled_keys.popitem(last=False)
+                total -= old_b.nbytes + old_a.nbytes
+        else:
+            self._tiled_keys.move_to_end(cache_key)
+        return tiled
+
+    def apply_key(self, decomposed: DecomposedBatch, key: KeySwitchingKey, *,
+                  automorphism_exponent: int | None = None
+                  ) -> tuple[RNSPoly, RNSPoly]:
+        """Key-multiply ModUp'd digits and ModDown, fused across the batch.
+
+        With ``automorphism_exponent`` the hoisted-rotation path applies
+        the automorphism to every fused digit first (one gather for the
+        whole batch per digit).
+        """
+        context = self.context
+        bsz = decomposed.batch_size
+        limb_count = decomposed.limb_count
+        with _DISPATCH.scope("keyswitch"):
+            pairs0: list[tuple[np.ndarray, np.ndarray]] = []
+            pairs1: list[tuple[np.ndarray, np.ndarray]] = []
+            digit_reads: list[np.ndarray] = []
+            fused_col = None
+            for digit_index, digit_poly in enumerate(decomposed.extended_digits):
+                if automorphism_exponent is not None:
+                    digit_poly = digit_poly.automorphism(automorphism_exponent)
+                b_data, a_data = self._tiled_key_digit(
+                    key, digit_index, limb_count, bsz
+                )
+                fused_col = digit_poly.stack.moduli_col
+                digit_reads.append(digit_poly.stack.data)
+                pairs0.append((digit_poly.stack.data, b_data))
+                pairs1.append((digit_poly.stack.data, a_data))
+            with _DISPATCH.suppressed():
+                acc0 = modmath.stack_dot_mod(pairs0, fused_col)
+                acc1 = modmath.stack_dot_mod(pairs1, fused_col)
+            _DISPATCH.elementwise(
+                "ks-inner-product",
+                reads=tuple(digit_reads)
+                + tuple(k for _, k in pairs0)
+                + tuple(k for _, k in pairs1),
+                writes=(acc0, acc1),
+                ops_per_element=len(pairs0) * 2.0 * (MODMUL_OPS + MODADD_OPS),
+            )
+            pool = decomposed.extended_digits[0].stack.buffer.pool
+            delta0, delta1 = self._mod_down_pair(acc0, acc1, bsz, limb_count, pool)
+            return delta0, delta1
+
+    def _mod_down_pair(self, acc0: np.ndarray, acc1: np.ndarray, bsz: int,
+                       limb_count: int, pool) -> tuple[RNSPoly, RNSPoly]:
+        """Fused ModDown of both key-switching accumulators for the batch.
+
+        Mirrors :func:`~repro.ckks.keyswitch.mod_down_many` over ``2B``
+        member components: shared iNTT/NTT passes, one column-fused base
+        conversion, batched subtract and ``P^{-1}`` scaling.  Recording
+        stays per component (two pipelines), matching the sequential
+        kernel structure at ``B×`` rows.
+        """
+        context = self.context
+        n = context.ring_degree
+        special_moduli = tuple(context.special_moduli)
+        special_count = len(special_moduli)
+        extended = limb_count + special_count
+        target_moduli = context.moduli_at(limb_count)
+        target_col = modmath.moduli_column(target_moduli)
+        with _DISPATCH.scope("moddown"), _DISPATCH.suppressed():
+            # (2B*K, N): component-major, then member, then special limb.
+            special_rows = np.vstack([
+                acc.reshape(bsz, extended, n)[:, limb_count:].reshape(-1, n)
+                for acc in (acc0, acc1)
+            ])
+            for i, acc in enumerate((acc0, acc1)):
+                _DISPATCH.link(
+                    (acc,),
+                    special_rows[i * bsz * special_count : (i + 1) * bsz * special_count],
+                )
+            special_coeff = get_stacked_engine(
+                n, special_moduli * (2 * bsz)
+            ).inverse(special_rows, consume=True)
+            converter = context.moddown_converter(limb_count)
+            # Column-fuse all 2B components: (2B*K, N) -> (K, 2B*N).
+            converted = converter.convert_stack(
+                special_coeff.reshape(2 * bsz, special_count, n)
+                .transpose(1, 0, 2)
+                .reshape(special_count, 2 * bsz * n)
+            )
+            converted = (
+                converted.reshape(limb_count, 2 * bsz, n)
+                .transpose(1, 0, 2)
+                .reshape(2 * bsz * limb_count, n)
+            )
+            converted = get_stacked_engine(
+                n, tuple(target_moduli) * (2 * bsz)
+            ).forward(converted, consume=True)
+            fused_col = modmath.moduli_column(target_moduli * (2 * bsz))
+            converted = modmath.coerce_stack(converted, fused_col)
+            heads = np.vstack([
+                modmath.coerce_stack(
+                    acc.reshape(bsz, extended, n)[:, :limb_count].reshape(-1, n),
+                    fused_col,
+                )
+                for acc in (acc0, acc1)
+            ])
+            diff = modmath.stack_sub_mod(heads, converted, fused_col)
+            out = modmath.stack_scalar_mod(
+                diff, context.p_inv_mod_q[:limb_count] * (2 * bsz), fused_col
+            )
+        if _DISPATCH.recording:
+            with _DISPATCH.scope("moddown"):
+                rows = bsz * limb_count
+                for i, acc in enumerate((acc0, acc1)):
+                    comp_special = special_coeff[
+                        i * bsz * special_count : (i + 1) * bsz * special_count
+                    ]
+                    comp_conv = converted[i * rows : (i + 1) * rows]
+                    comp_out = out[i * rows : (i + 1) * rows]
+                    _DISPATCH.transform(
+                        "intt", bsz * special_count, reads=(acc,),
+                        writes=(comp_special,), cols=n,
+                    )
+                    _DISPATCH.base_conversion(
+                        "baseconv", special_count, limb_count,
+                        reads=(comp_special,), writes=(comp_conv,), cols=bsz * n,
+                    )
+                    _DISPATCH.transform(
+                        "ntt", bsz * limb_count, reads=(comp_conv, acc),
+                        writes=(comp_out,), cols=n,
+                        fused_ops_per_element=MODMUL_OPS + MODADD_OPS,
+                    )
+        rows = bsz * limb_count
+        tiled_target = list(target_moduli) * bsz
+        return (
+            RNSPoly.from_stack(
+                LimbStack(tiled_target, out[:rows], pool=pool),
+                LimbFormat.EVALUATION,
+            ),
+            RNSPoly.from_stack(
+                LimbStack(tiled_target, out[rows:], pool=pool),
+                LimbFormat.EVALUATION,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # rescaling
+    # ------------------------------------------------------------------
+
+    def rescale(self, batch: CiphertextBatch) -> CiphertextBatch:
+        """Batched RNS rescale: both components of every member in one pass.
+
+        Per-member math is exactly
+        :meth:`repro.core.rns_poly.RNSPoly.rescale_last_many`; the switched
+        last limbs and the (i)NTT passes of all ``2B`` component
+        polynomials fuse into single stacked calls.
+        """
+        if batch.limb_count < 2:
+            raise ValueError("cannot rescale a level-0 batch")
+        bsz = batch.batch_size
+        n = batch.ring_degree
+        member_moduli = tuple(batch.moduli)
+        q_last = member_moduli[-1]
+        keep = len(member_moduli) - 1
+        target_moduli = list(member_moduli[:-1])
+        target_col = modmath.moduli_column(target_moduli)
+        is_eval = batch.fmt is LimbFormat.EVALUATION
+        with _DISPATCH.scope(f"batch{bsz}/rescale"):
+            with _DISPATCH.suppressed():
+                comps = (batch.c0.stack.data, batch.c1.stack.data)
+                # (2B, N): last limb of each component of each member.
+                last_rows = np.vstack([
+                    comp.reshape(bsz, keep + 1, n)[:, -1] for comp in comps
+                ])
+                for i, comp in enumerate(comps):
+                    _DISPATCH.link((comp,), last_rows[i * bsz : (i + 1) * bsz])
+                if is_eval:
+                    last_rows = get_stacked_engine(
+                        n, (q_last,) * (2 * bsz)
+                    ).inverse(last_rows, consume=True)
+                switched = self._switch_modulus_rows(last_rows, q_last, target_col)
+                if is_eval:
+                    switched = get_stacked_engine(
+                        n, tuple(target_moduli) * (2 * bsz)
+                    ).forward(switched, consume=True)
+                fused_col = modmath.moduli_column(target_moduli * (2 * bsz))
+                heads = np.vstack([
+                    modmath.coerce_stack(
+                        comp.reshape(bsz, keep + 1, n)[:, :-1].reshape(-1, n),
+                        fused_col,
+                    )
+                    for comp in comps
+                ])
+                diff = modmath.stack_sub_mod(heads, switched, fused_col)
+                inverses = _rescale_inverses(member_moduli)
+                out = modmath.stack_scalar_mod(
+                    diff, inverses * (2 * bsz), fused_col
+                )
+            if _DISPATCH.recording:
+                for i, comp in enumerate(comps):
+                    comp_out = out[i * bsz * keep : (i + 1) * bsz * keep]
+                    dropped = last_rows[i * bsz : (i + 1) * bsz]
+                    if is_eval:
+                        _DISPATCH.transform(
+                            "intt", bsz, reads=(comp,), writes=(dropped,),
+                            cols=n, fused_ops_per_element=MODADD_OPS,
+                        )
+                        _DISPATCH.transform(
+                            "ntt", bsz * keep, reads=(dropped, comp),
+                            writes=(comp_out,), cols=n,
+                            fused_ops_per_element=MODMUL_OPS + MODADD_OPS,
+                        )
+                    else:
+                        _DISPATCH.elementwise(
+                            "rescale-fused", reads=(dropped, comp),
+                            writes=(comp_out,),
+                            ops_per_element=MODMUL_OPS + MODADD_OPS,
+                        )
+            pool = batch.c0.stack.buffer.pool
+            tiled_target = target_moduli * bsz
+            rows = bsz * keep
+            c0 = RNSPoly.from_stack(
+                LimbStack(tiled_target, out[:rows], pool=pool), batch.fmt
+            )
+            c1 = RNSPoly.from_stack(
+                LimbStack(tiled_target, out[rows:], pool=pool), batch.fmt
+            )
+        return batch._with(c0, c1, scale=batch.scale / q_last)
+
+    @staticmethod
+    def _switch_modulus_rows(rows: np.ndarray, q_from: int,
+                             target_col: np.ndarray) -> np.ndarray:
+        """Vectorized :func:`~repro.core.modmath.stack_switch_modulus` over
+        many rows at once: ``(M, N)`` last limbs become ``(M*keep, N)``
+        switched stacks (row-major per member), element-for-element
+        identical to the per-row call.
+        """
+        keep = target_col.shape[0]
+        if modmath.stack_is_fast(target_col) and modmath.is_fast_modulus(q_from):
+            half = q_from >> 1
+            v = rows.astype(np.int64)
+            centred = np.where(v > half, v - q_from, v)
+            out = centred[:, None, :] % target_col.astype(np.int64)[None, :, :]
+            return out.astype(np.uint64).reshape(-1, rows.shape[1])
+        return np.vstack([
+            modmath.stack_switch_modulus(row, q_from, target_col) for row in rows
+        ])
+
+    # ------------------------------------------------------------------
+    # rotations
+    # ------------------------------------------------------------------
+
+    def rotate(self, batch: CiphertextBatch, steps: int) -> CiphertextBatch:
+        """Batched ``HRotate``: one automorphism gather and one fused key
+        switch for every member."""
+        if steps % batch.slots == 0:
+            return batch.copy()
+        key = self.keys.rotation_key(steps)
+        exponent = rotation_to_exponent(self.context.ring_degree, steps)
+        with self._scope(batch, "hrotate"):
+            return self._apply_automorphism(batch, exponent, key)
+
+    def conjugate(self, batch: CiphertextBatch) -> CiphertextBatch:
+        """Batched ``HConjugate``."""
+        if self.keys.conjugation_key is None:
+            raise KeyError("no conjugation key was generated")
+        exponent = conjugation_exponent(self.context.ring_degree)
+        with self._scope(batch, "hconjugate"):
+            return self._apply_automorphism(batch, exponent, self.keys.conjugation_key)
+
+    def _apply_automorphism(self, batch: CiphertextBatch, exponent: int,
+                            key: KeySwitchingKey) -> CiphertextBatch:
+        rotated_c0 = batch.c0.automorphism(exponent)
+        rotated_c1 = batch.c1.automorphism(exponent)
+        decomposed = self.decompose_and_mod_up(batch, rotated_c1)
+        delta0, delta1 = self.apply_key(decomposed, key)
+        return batch._with(rotated_c0.add(delta0), delta1)
+
+    def hoisted_rotations(self, batch: CiphertextBatch, steps: Sequence[int]
+                          ) -> dict[int, CiphertextBatch]:
+        """Rotate every member by many step counts, sharing one ModUp.
+
+        The hoisting optimisation (§III-F.6) at batch granularity: the
+        digit decomposition and base extension of the fused ``c1`` run once
+        per distinct input batch and are reused for every rotation key.
+        """
+        with self._scope(batch, "hoisted"):
+            decomposed = self.decompose_and_mod_up(batch, batch.c1)
+            results: dict[int, CiphertextBatch] = {}
+            for step in steps:
+                step = int(step)
+                if step % batch.slots == 0:
+                    results[step] = batch.copy()
+                    continue
+                key = self.keys.rotation_key(step)
+                exponent = rotation_to_exponent(self.context.ring_degree, step)
+                delta0, delta1 = self.apply_key(
+                    decomposed, key, automorphism_exponent=exponent
+                )
+                rotated_c0 = batch.c0.automorphism(exponent)
+                results[step] = batch._with(rotated_c0.add(delta0), delta1)
+            return results
+
+
+__all__ = ["CiphertextBatch", "BatchEvaluator", "DecomposedBatch"]

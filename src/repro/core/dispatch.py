@@ -286,13 +286,63 @@ class KernelTrace:
         }
 
 
+class _NullContext:
+    """Shared reusable no-op context manager (the untraced hot path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class _ScopeGuard:
+    """Pushes/pops one scope name on the dispatcher (tracing only)."""
+
+    __slots__ = ("_dispatcher", "_name")
+
+    def __init__(self, dispatcher: "Dispatcher", name: str) -> None:
+        self._dispatcher = dispatcher
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._dispatcher._scopes.append(self._name)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._dispatcher._scopes.pop()
+        return False
+
+
+class _SuppressGuard:
+    """Increments/decrements the suppression depth (tracing only)."""
+
+    __slots__ = ("_dispatcher",)
+
+    def __init__(self, dispatcher: "Dispatcher") -> None:
+        self._dispatcher = dispatcher
+
+    def __enter__(self) -> None:
+        self._dispatcher._suppress += 1
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._dispatcher._suppress -= 1
+        return False
+
+
 class Dispatcher:
     """Routes batched data-plane operations, optionally recording a trace.
 
     The data plane calls the typed emitters (:meth:`elementwise`,
     :meth:`transform`, :meth:`base_conversion`, :meth:`copy`) at every
-    batched operation.  With no active trace they return immediately, so
-    the untraced hot path pays one attribute check per kernel.
+    batched operation.  With no active trace they return immediately, and
+    :meth:`scope`/:meth:`suppressed` hand out a shared no-op context, so
+    the untraced hot path pays one attribute check per kernel and
+    allocates nothing per operation.
     """
 
     def __init__(self) -> None:
@@ -323,23 +373,28 @@ class Dispatcher:
         finally:
             self._trace = previous
 
-    @contextmanager
-    def scope(self, name: str) -> Iterator[None]:
-        """Tag kernels emitted in the with-block with an operation scope."""
-        self._scopes.append(name)
-        try:
-            yield
-        finally:
-            self._scopes.pop()
+    def scope(self, name: str):
+        """Tag kernels emitted in the with-block with an operation scope.
 
-    @contextmanager
-    def suppressed(self) -> Iterator[None]:
-        """Silence emission inside a composite kernel's implementation."""
-        self._suppress += 1
-        try:
-            yield
-        finally:
-            self._suppress -= 1
+        With no active trace this is a zero-allocation no-op: scope names
+        only matter to recorded kernels, so a recording started *inside* an
+        already-open scope block does not see that outer name (recording
+        regions wrap whole operations in practice -- see
+        :class:`repro.api.backend.TracingBackend`).
+        """
+        if self._trace is None:
+            return _NULL_CONTEXT
+        return _ScopeGuard(self, name)
+
+    def suppressed(self):
+        """Silence emission inside a composite kernel's implementation.
+
+        Zero-allocation no-op when no trace is active (suppression only
+        gates emission, and emission is already off).
+        """
+        if self._trace is None:
+            return _NULL_CONTEXT
+        return _SuppressGuard(self)
 
     def _scope_path(self) -> str:
         return "/".join(self._scopes)
@@ -354,7 +409,7 @@ class Dispatcher:
         writes: Sequence[np.ndarray] = (),
     ) -> None:
         """Record a pre-built kernel descriptor."""
-        if not self.recording:
+        if self._trace is None or self._suppress:
             return
         self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes)
 
@@ -368,7 +423,7 @@ class Dispatcher:
         reuse: float = 1.0,
     ) -> None:
         """Record one element-wise kernel; shapes come from the live arrays."""
-        if not self.recording:
+        if self._trace is None or self._suppress:
             return
         out = np.asarray(writes[0])
         rows, cols = (out.shape if out.ndim == 2 else (1, out.shape[-1]))
@@ -397,7 +452,7 @@ class Dispatcher:
         fused_ops_per_element: float = 0.0,
     ) -> None:
         """Record one (i)NTT kernel over ``rows`` limbs."""
-        if not self.recording:
+        if self._trace is None or self._suppress:
             return
         if cols is None:
             cols = int(np.asarray(writes[0]).shape[-1])
@@ -415,7 +470,7 @@ class Dispatcher:
         cols: int | None = None,
     ) -> None:
         """Record one fast-base-conversion kernel (Equation 1)."""
-        if not self.recording:
+        if self._trace is None or self._suppress:
             return
         if cols is None:
             cols = int(np.asarray(writes[0]).shape[-1])

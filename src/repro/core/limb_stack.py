@@ -100,6 +100,82 @@ class LimbStack:
         """Canonicalize per-limb residue rows into a fresh stack."""
         return cls(moduli, modmath.as_residue_stack(rows, moduli), pool=pool)
 
+    @classmethod
+    def fuse(
+        cls,
+        stacks: Sequence["LimbStack"],
+        *,
+        pool: MemoryPool | None = None,
+    ) -> "LimbStack":
+        """Concatenate several stacks row-wise into one fused allocation.
+
+        The throughput plane's entry point: ``B`` same-shape stacks become a
+        single contiguous ``(B*L, N)`` buffer charged to the pool **once**,
+        so every cross-limb kernel downstream launches once for the whole
+        batch.  Member rows are laid out member-major (all rows of stack 0,
+        then stack 1, ...), the order :meth:`split` undoes.  The row copy is
+        pure data movement; provenance is forwarded so dependency edges stay
+        intact in a recorded trace.
+        """
+        stacks = list(stacks)
+        if not stacks:
+            raise ValueError("fuse needs at least one stack")
+        n = stacks[0].ring_degree
+        for stack in stacks[1:]:
+            if stack.ring_degree != n:
+                raise ValueError("fused stacks must share one ring degree")
+        moduli = [q for stack in stacks for q in stack.moduli]
+        col = modmath.moduli_column(moduli)
+        data = np.vstack([modmath.coerce_stack(s.data, col) for s in stacks])
+        fused = cls(moduli, data, pool=pool if pool is not None else stacks[0].buffer.pool)
+        _DISPATCH.link(tuple(s.data for s in stacks), fused.data)
+        return fused
+
+    @classmethod
+    def _view(cls, moduli: Sequence[int], data: np.ndarray, owner: VectorGPU) -> "LimbStack":
+        """Zero-copy stack over already-canonical rows of a fused buffer.
+
+        The buffer is an unmanaged window into ``owner``'s allocation, so
+        the view charges nothing to the pool and :meth:`release` on it never
+        touches accounting (mirrors :meth:`limb_view`).
+        """
+        stack = object.__new__(cls)
+        stack.moduli = tuple(int(q) for q in moduli)
+        stack._col = modmath.moduli_column(stack.moduli)
+        stack.data = data
+        stack.ring_degree = int(data.shape[1])
+        stack.buffer = VectorGPU(
+            len(stack.moduli) * stack.ring_degree,
+            element_bytes=owner.element_bytes,
+            pool=owner.pool,
+            managed=False,
+            tag="stack-view",
+        )
+        return stack
+
+    def split(self, parts: int) -> list["LimbStack"]:
+        """Split a fused stack back into ``parts`` equal zero-copy members.
+
+        The inverse of :meth:`fuse`: each returned stack is a row-range view
+        of this stack's flat allocation (no copy, no pool charge).  Views
+        dangle if the fused stack is released; copy them first to detach.
+        """
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        if self.num_limbs % parts:
+            raise ValueError(
+                f"cannot split {self.num_limbs} rows into {parts} equal members"
+            )
+        rows = self.num_limbs // parts
+        return [
+            LimbStack._view(
+                self.moduli[i * rows : (i + 1) * rows],
+                self.data[i * rows : (i + 1) * rows],
+                self.buffer,
+            )
+            for i in range(parts)
+        ]
+
     def copy(self) -> "LimbStack":
         """Deep copy, charged to the same pool as this stack's buffer."""
         data = self.data.copy()

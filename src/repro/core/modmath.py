@@ -32,6 +32,7 @@ vector routines accept either representation.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -484,15 +485,50 @@ def scalar_column(scalars, moduli_col: np.ndarray) -> np.ndarray:
 STACK_SHOUP_SHIFT = np.uint64(32)
 
 
+#: Byte budget of the shared kernel scratch pool (below).
+_SCRATCH_BUDGET_BYTES = 96 << 20
+
+#: Reusable uint64 temporaries for the stack kernels, keyed by (tag, shape)
+#: with LRU eviction.  Fused (B·L, N) batches make the per-kernel
+#: intermediates multi-megabyte; allocating them fresh per call costs a
+#: page-fault zero-fill pass that can exceed the arithmetic itself, so the
+#: kernels stage their *internal* temporaries here (results stay freshly
+#: allocated -- scratch never escapes a kernel).
+_scratch_buffers: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+
+
+def _scratch(tag: str, shape: tuple) -> np.ndarray:
+    """Return a reusable uint64 buffer of exactly ``shape`` (LRU-bounded)."""
+    key = (tag,) + tuple(int(d) for d in shape)
+    buf = _scratch_buffers.get(key)
+    if buf is None:
+        buf = np.empty(shape, dtype=np.uint64)
+        _scratch_buffers[key] = buf
+        total = sum(b.nbytes for b in _scratch_buffers.values())
+        while total > _SCRATCH_BUDGET_BYTES and len(_scratch_buffers) > 1:
+            oldest = next(iter(_scratch_buffers))
+            if oldest == key:
+                _scratch_buffers.move_to_end(oldest)
+                oldest = next(iter(_scratch_buffers))
+            total -= _scratch_buffers.pop(oldest).nbytes
+    else:
+        _scratch_buffers.move_to_end(key)
+    return buf
+
+
 def _fast_reduce_once(s: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
     """Map ``s`` in ``[0, 2q)`` to ``[0, q)`` without a branch or division.
 
     When ``s < q`` the uint64 subtraction ``s - q`` wraps far above ``2q``,
     so the elementwise minimum selects the already-reduced value; when
     ``s >= q`` it selects ``s - q``.  One subtract and one min replace the
-    compare/where/subtract triple.
+    compare/where/subtract triple.  ``s`` must be a kernel-owned temporary:
+    the reduction happens in place (the correction term lives in scratch).
     """
-    return np.minimum(s, s - moduli_col)
+    tmp = _scratch("reduce", s.shape)
+    np.subtract(s, moduli_col, out=tmp)
+    np.minimum(s, tmp, out=s)
+    return s
 
 
 def shoup_column(constants: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
@@ -507,6 +543,7 @@ def stack_shoup_mul(
     moduli_col: np.ndarray,
     *,
     lazy: bool = False,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Elementwise ``(a * constants) mod q`` via Shoup multiplication.
 
@@ -516,11 +553,18 @@ def stack_shoup_mul(
     multiplications and a shift -- the same trade the GPU butterflies make
     (Table III).  With ``lazy=True`` the result is left in ``[0, 2q)``,
     saving the correction passes when the caller reduces later anyway.
+    ``out`` may alias ``a`` (the quotient is read out of ``a`` first).
     """
-    quotient = a * shoup
+    shape = np.broadcast_shapes(a.shape, np.shape(shoup))
+    quotient = _scratch("shoup-q", shape)
+    np.multiply(a, shoup, out=quotient)
     quotient >>= STACK_SHOUP_SHIFT
     np.multiply(quotient, moduli_col, out=quotient)
-    r = a * constants
+    if out is None:
+        r = a * constants
+    else:
+        np.multiply(a, constants, out=out)
+        r = out
     r -= quotient
     if lazy:
         return r
@@ -545,7 +589,9 @@ def stack_add_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.nd
 def stack_sub_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
     """Row-broadcast elementwise ``(a - b) mod q_i`` over a limb stack."""
     if stack_is_fast(moduli_col):
-        out = _fast_reduce_once(a + moduli_col - b, moduli_col)
+        out = a + moduli_col
+        out -= b
+        out = _fast_reduce_once(out, moduli_col)
     else:
         out = (a - b) % moduli_col
     _DISPATCH.elementwise(
@@ -573,7 +619,8 @@ def stack_mul_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.nd
     the one batched kernel that keeps a hardware division (Barrett-style
     constant tricks need a fixed operand).
     """
-    out = (a * b) % moduli_col
+    out = a * b
+    out %= moduli_col
     _DISPATCH.elementwise(
         "stack-mul", reads=(a, b), writes=(out,),
         ops_per_element=_kernelforms.MODMUL_OPS,
@@ -595,18 +642,21 @@ def stack_dot_mod(pairs, moduli_col: np.ndarray) -> np.ndarray:
         raise ValueError("stack_dot_mod needs at least one product")
     if stack_is_fast(moduli_col):
         acc = None
+        product = None
         pending = 0
         for x, y in pairs:
-            product = x * y
             if acc is None:
-                acc = product
+                acc = x * y  # fresh: this array is the returned result
             else:
+                if product is None:
+                    product = _scratch("dot-prod", acc.shape)
+                np.multiply(x, y, out=product)
                 acc += product
             pending += 1
             if pending == 4:
                 acc %= moduli_col
                 pending = 0
-        acc = acc % moduli_col
+        acc %= moduli_col
     else:
         acc = None
         for x, y in pairs:
@@ -621,13 +671,24 @@ def stack_dot_mod(pairs, moduli_col: np.ndarray) -> np.ndarray:
     return acc
 
 
-def stack_scalar_mod(a: np.ndarray, scalars, moduli_col: np.ndarray) -> np.ndarray:
-    """Multiply every row by its own integer constant modulo its prime."""
+def stack_scalar_mod(a: np.ndarray, scalars, moduli_col: np.ndarray,
+                     *, out: np.ndarray | None = None) -> np.ndarray:
+    """Multiply every row by its own integer constant modulo its prime.
+
+    ``out`` (which may alias ``a``) lets owners of the input reuse its
+    storage -- e.g. the stacked iNTT's fused ``N^{-1}`` scaling writes
+    straight into the transform's working buffer.
+    """
     col = scalar_column(scalars, moduli_col)
     if stack_is_fast(moduli_col):
-        out = stack_shoup_mul(a, col, shoup_column(col, moduli_col), moduli_col)
+        out = stack_shoup_mul(a, col, shoup_column(col, moduli_col), moduli_col,
+                              out=out)
     else:
-        out = (a * col) % moduli_col
+        result = (a * col) % moduli_col
+        if out is None:
+            out = result
+        else:
+            out[...] = result
     _DISPATCH.elementwise(
         "stack-scalar-mul", reads=(a, col), writes=(out,),
         ops_per_element=_kernelforms.SHOUP_MUL_OPS,

@@ -24,6 +24,7 @@ The engines operate on NumPy arrays using the backend selected by
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Sequence
@@ -372,18 +373,61 @@ _TRANSPOSED_BLOCK = 16
 #: small-L2 GPUs.
 _NTT_LIMB_BATCH = 3
 
-_scratch_cache: dict = {}
+#: Byte budget of the NTT scratch-buffer cache.  Batched (B·L, N) transforms
+#: grow the per-key buffers to the largest shape seen; without a bound a
+#: one-off wide batch would pin its high-water scratch forever.  Least
+#: recently used buffers are evicted once the total exceeds the budget (the
+#: buffer serving the current call is never evicted, even if it alone
+#: exceeds the budget -- the transform cannot run without it).
+_SCRATCH_BUDGET_BYTES = 64 << 20
+
+_scratch_cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
+
+
+def set_scratch_budget(nbytes: int) -> int:
+    """Set the scratch-cache byte budget, returning the previous value.
+
+    Passing a smaller budget evicts immediately.  Mainly for tests and
+    memory-constrained deployments.
+    """
+    global _SCRATCH_BUDGET_BYTES
+    previous = _SCRATCH_BUDGET_BYTES
+    _SCRATCH_BUDGET_BYTES = int(nbytes)
+    _evict_scratch(keep=None)
+    return previous
+
+
+def scratch_cache_bytes() -> int:
+    """Total bytes currently held by the NTT scratch cache."""
+    return sum(buf.nbytes for buf in _scratch_cache.values())
+
+
+def _evict_scratch(keep: str | None) -> None:
+    """Evict least-recently-used scratch buffers beyond the byte budget."""
+    total = scratch_cache_bytes()
+    while total > _SCRATCH_BUDGET_BYTES and _scratch_cache:
+        key = next(iter(_scratch_cache))
+        if key == keep:
+            if len(_scratch_cache) == 1:
+                break
+            _scratch_cache.move_to_end(key)
+            key = next(iter(_scratch_cache))
+        total -= _scratch_cache.pop(key).nbytes
 
 
 def _scratch(key: str, shape: tuple[int, ...]) -> np.ndarray:
-    """Return a cached uint64 scratch buffer (single-threaded reuse)."""
+    """Return a cached uint64 scratch buffer (single-threaded reuse, LRU)."""
     size = 1
     for dim in shape:
         size *= dim
     buf = _scratch_cache.get(key)
     if buf is None or buf.size < size:
+        _scratch_cache.pop(key, None)
         buf = np.empty(size, dtype=np.uint64)
         _scratch_cache[key] = buf
+        _evict_scratch(keep=key)
+    else:
+        _scratch_cache.move_to_end(key)
     return buf[:size].reshape(shape)
 
 
@@ -406,26 +450,74 @@ class StackedNTTEngine:
     Results are bit-identical to running :class:`NTTEngine` limb by limb:
     the same butterflies execute in the same order on the same residues,
     merely staged through a different memory layout.
+
+    Fused cross-ciphertext calls (the throughput plane) transform stacks
+    whose moduli tuple is a *tiling* of a shorter base -- ``B`` members at
+    the same level repeat the same ``L`` primes.  The engine detects the
+    repeat period and materializes its twiddle/Shoup tables only for the
+    base period: a GPU keeps one twiddle table in constant memory no
+    matter how many ciphertexts a kernel covers, and duplicating the
+    tables ``B×`` on the CPU would just evict them from cache.  Tiled
+    stacks are processed per period (single-modulus tilings broadcast one
+    table row over the whole stack), which changes neither the butterfly
+    order nor any residue.
     """
 
     def __init__(self, ring_degree: int, moduli: Sequence[int]) -> None:
         self.ring_degree = ring_degree
         self.moduli = tuple(int(q) for q in moduli)
-        engines = [get_engine(ring_degree, q) for q in self.moduli]
         col = modmath.moduli_column(self.moduli)
         self.fast = modmath.stack_is_fast(col)
-        self._col3 = col.reshape(-1, 1, 1)
-        self._col4 = col.reshape(-1, 1, 1, 1)
         self._col = col
+        # Twiddle tables cover one table row per *distinct* chunk modulus:
+        # fused cross-ciphertext stacks repeat a short base either
+        # member-major (the tuple tiles with some period) or limb-major
+        # (runs of one modulus), and materializing the repeats would only
+        # evict the tables from cache.  The exact object path keeps
+        # full-length tables: it indexes them per stack row.
+        length = len(self.moduli)
+        base = self.moduli
+        self._chunks: list[tuple[int, int, int, int]] = []
+        if self.fast:
+            period = self._repeat_period(self.moduli)
+            runs = self._runs(self.moduli)
+            if period < length:
+                base = self.moduli[:period]
+                if period == 1:
+                    self._chunks = [(0, length, 0, 1)]
+                else:
+                    self._chunks = [
+                        (r0, r0 + period, 0, period)
+                        for r0 in range(0, length, period)
+                    ]
+            elif len(runs) < length:
+                base = tuple(q for q, _ in runs)
+                row = 0
+                for index, (_, count) in enumerate(runs):
+                    self._chunks.append((row, row + count, index, index + 1))
+                    row += count
+        if not self._chunks:
+            base = self.moduli
+            self._chunks = [
+                (r0, min(r0 + _NTT_LIMB_BATCH, length), r0,
+                 min(r0 + _NTT_LIMB_BATCH, length))
+                for r0 in range(0, length, _NTT_LIMB_BATCH)
+            ]
+        self._period = len(base)
+        engines = [get_engine(ring_degree, q) for q in base]
+        base_col = modmath.moduli_column(base)
+        self._col3 = base_col.reshape(-1, 1, 1)
+        self._col4 = base_col.reshape(-1, 1, 1, 1)
+        self._base_col = base_col
         self._psi_bitrev = self._stack_tables([e._psi_bitrev for e in engines])
         self._psi_inv_bitrev = self._stack_tables([e._psi_inv_bitrev for e in engines])
-        self._n_inv = [e.n_inverse for e in engines]
+        self._n_inv = [get_engine(ring_degree, q).n_inverse for q in self.moduli]
         if self.fast:
             # Shoup companions of both twiddle tables (Table III): the
             # butterflies then run with two multiplies and a shift instead
             # of a hardware division per element.
-            self._psi_shoup = modmath.shoup_column(self._psi_bitrev, self._col)
-            self._psi_inv_shoup = modmath.shoup_column(self._psi_inv_bitrev, self._col)
+            self._psi_shoup = modmath.shoup_column(self._psi_bitrev, base_col)
+            self._psi_inv_shoup = modmath.shoup_column(self._psi_inv_bitrev, base_col)
             # 2q columns for the lazy [0, 2q) butterfly representatives.
             self._two3 = self._col3 * np.uint64(2)
             self._two4 = self._col4 * np.uint64(2)
@@ -441,6 +533,41 @@ class StackedNTTEngine:
         else:
             self._grid = 0
 
+    @staticmethod
+    def _repeat_period(moduli: tuple[int, ...]) -> int:
+        """Smallest ``p`` with ``moduli == moduli[:p] * (len(moduli) // p)``."""
+        length = len(moduli)
+        for p in range(1, length):
+            if length % p == 0 and moduli == moduli[:p] * (length // p):
+                return p
+        return length
+
+    @staticmethod
+    def _runs(moduli: tuple[int, ...]) -> list[tuple[int, int]]:
+        """Collapse consecutive equal moduli into ``(modulus, count)`` runs."""
+        runs: list[tuple[int, int]] = []
+        for q in moduli:
+            if runs and runs[-1][0] == q:
+                runs[-1] = (q, runs[-1][1] + 1)
+            else:
+                runs.append((q, 1))
+        return runs
+
+    def _row_chunks(self, num_rows: int):
+        """``(row_lo, row_hi, table_lo, table_hi)`` processing chunks.
+
+        Non-repeating stacks walk :data:`_NTT_LIMB_BATCH`-row chunks with
+        matching table rows.  Member-major tilings walk one repeat period
+        per chunk; limb-major runs walk one run per chunk with its single
+        table row broadcast over the run's data rows.
+        """
+        if num_rows != len(self.moduli):  # pragma: no cover - defensive
+            raise ValueError(
+                f"stack has {num_rows} rows but the engine covers "
+                f"{len(self.moduli)} moduli"
+            )
+        return self._chunks
+
     def _stack_tables(self, rows: list[np.ndarray]) -> np.ndarray:
         if self.fast:
             return np.stack(rows)
@@ -454,7 +581,7 @@ class StackedNTTEngine:
         ``s = g % (m/grid)``; on the transposed ``(L, BLOCK, grid)`` layout
         the stage's twiddles become an ``(L, m/grid, 1, grid)`` grid.
         """
-        num_limbs = len(self.moduli)
+        num_limbs = self._period
         grid = self._grid
         tables = []
         m = grid
@@ -507,10 +634,8 @@ class StackedNTTEngine:
             if not self.fast:
                 a = self._forward_object(a)
             else:
-                num_limbs = len(self.moduli)
-                for r0 in range(0, num_limbs, _NTT_LIMB_BATCH):
-                    r1 = min(r0 + _NTT_LIMB_BATCH, num_limbs)
-                    self._forward_rows_fast(a[r0:r1], r0, r1)
+                for r0, r1, t0, t1 in self._row_chunks(len(self.moduli)):
+                    self._forward_rows_fast(a[r0:r1], t0, t1)
         self._record_transform("ntt", source, a, segments)
         return a
 
@@ -528,13 +653,11 @@ class StackedNTTEngine:
             if not self.fast:
                 a = self._inverse_object(a)
             else:
-                num_limbs = len(self.moduli)
-                for r0 in range(0, num_limbs, _NTT_LIMB_BATCH):
-                    r1 = min(r0 + _NTT_LIMB_BATCH, num_limbs)
-                    self._inverse_rows_fast(a[r0:r1], r0, r1)
+                for r0, r1, t0, t1 in self._row_chunks(len(self.moduli)):
+                    self._inverse_rows_fast(a[r0:r1], t0, t1)
                 # The rows carry lazy [0, 2q) representatives here; the
                 # fused N^-1 scaling (Shoup) canonicalizes them.
-                a = modmath.stack_scalar_mod(a, self._n_inv, self._col)
+                a = modmath.stack_scalar_mod(a, self._n_inv, self._col, out=a)
         # The fused N^-1 scaling is one Shoup multiply per element.
         self._record_transform(
             "intt", source, a, segments, fused_ops_per_element=SHOUP_MUL_OPS
@@ -582,8 +705,12 @@ class StackedNTTEngine:
     # bit-identical to the canonical per-stage computation.
 
     def _forward_rows_fast(self, a: np.ndarray, r0: int, r1: int) -> None:
+        # ``a`` holds the data rows of this chunk; ``r0:r1`` indexes the
+        # twiddle tables.  For tiled stacks the chunk is one repeat period
+        # (table rows == data rows); a period of one broadcasts a single
+        # table row over every data row of the stack.
         n = self.ring_degree
-        rows = r1 - r0
+        rows = int(a.shape[0])
         q3 = self._col3[r0:r1]
         tq3 = self._two3[r0:r1]
         half = n // 2
@@ -598,8 +725,8 @@ class StackedNTTEngine:
         while m < switch:
             t //= 2
             view = a.reshape(rows, m, 2 * t)
-            tw = self._psi_bitrev[r0:r1, m : 2 * m].reshape(rows, m, 1)
-            sh = self._psi_shoup[r0:r1, m : 2 * m].reshape(rows, m, 1)
+            tw = self._psi_bitrev[r0:r1, m : 2 * m].reshape(r1 - r0, m, 1)
+            sh = self._psi_shoup[r0:r1, m : 2 * m].reshape(r1 - r0, m, 1)
             self._lazy_butterflies(
                 view[:, :, :t], view[:, :, t:], tw, sh, q3, tq3,
                 buf_v.reshape(rows, m, t), buf_q.reshape(rows, m, t),
@@ -627,7 +754,7 @@ class StackedNTTEngine:
             np.copyto(a.reshape(rows, grid, block), gbuf.transpose(0, 2, 1))
         # Canonicalize the lazy representatives once.
         work = _scratch("ntt-w", (rows, n))
-        np.subtract(a, self._col[r0:r1], out=work)
+        np.subtract(a, self._base_col[r0:r1], out=work)
         np.minimum(a, work, out=a)
 
     @staticmethod
@@ -672,8 +799,10 @@ class StackedNTTEngine:
         np.subtract(buf_v, buf_q, out=v)
 
     def _inverse_rows_fast(self, a: np.ndarray, r0: int, r1: int) -> None:
+        # Same chunk contract as ``_forward_rows_fast``: ``r0:r1`` indexes
+        # the (period-sized) tables, ``a`` carries the chunk's data rows.
         n = self.ring_degree
-        rows = r1 - r0
+        rows = int(a.shape[0])
         q3 = self._col3[r0:r1]
         tq3 = self._two3[r0:r1]
         half = n // 2
@@ -706,8 +835,8 @@ class StackedNTTEngine:
         while m > 1:
             h = m // 2
             view = a.reshape(rows, h, 2 * t)
-            tw = self._psi_inv_bitrev[r0:r1, h : 2 * h].reshape(rows, h, 1)
-            sh = self._psi_inv_shoup[r0:r1, h : 2 * h].reshape(rows, h, 1)
+            tw = self._psi_inv_bitrev[r0:r1, h : 2 * h].reshape(r1 - r0, h, 1)
+            sh = self._psi_inv_shoup[r0:r1, h : 2 * h].reshape(r1 - r0, h, 1)
             self._lazy_gs_butterflies(
                 view[:, :, :t], view[:, :, t:], tw, sh, q3, tq3,
                 buf_v.reshape(rows, h, t), buf_q.reshape(rows, h, t),
@@ -782,4 +911,6 @@ __all__ = [
     "is_power_of_two",
     "get_engine",
     "get_stacked_engine",
+    "set_scratch_budget",
+    "scratch_cache_bytes",
 ]

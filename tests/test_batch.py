@@ -1,0 +1,349 @@
+"""Throughput plane: batched execution vs the sequential evaluator.
+
+The contract under test is the tentpole invariant of the batching layer:
+every :class:`~repro.ckks.batch.BatchEvaluator` operation is bit-identical
+per member to the sequential :class:`~repro.ckks.evaluator.Evaluator`
+(tracing on and off), ``fuse``/``split`` are zero-copy and pool-accounted
+exactly once, mixed-level batches are rejected with a descriptive error,
+and a batched trace keeps the single-op kernel structure at ``B×`` bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import CKKSSession, CostModelBackend, SymbolicCipherBatch
+from repro.ckks.batch import BatchEvaluator, CiphertextBatch
+from repro.ckks.evaluator import Evaluator
+from repro.core.dispatch import get_dispatcher
+from repro.core.limb_stack import LimbStack
+from repro.core.memory import MemoryPool
+
+
+BATCH = 3
+
+
+@pytest.fixture(scope="module")
+def batch_evaluator(context, keys) -> BatchEvaluator:
+    return BatchEvaluator(context, keys)
+
+
+@pytest.fixture(scope="module")
+def cts_a(context, encryptor):
+    rng = np.random.default_rng(11)
+    return [
+        encryptor.encrypt_values(rng.uniform(-1, 1, 8)) for _ in range(BATCH)
+    ]
+
+
+@pytest.fixture(scope="module")
+def cts_b(context, encryptor):
+    rng = np.random.default_rng(13)
+    return [
+        encryptor.encrypt_values(rng.uniform(-1, 1, 8)) for _ in range(BATCH)
+    ]
+
+
+def assert_members_identical(batch: CiphertextBatch, sequential, *,
+                             scale=True, label=""):
+    """Every member of ``batch`` matches its sequential twin bit for bit."""
+    members = batch.split()
+    assert len(members) == len(sequential), label
+    for member, reference in zip(members, sequential):
+        assert np.array_equal(member.c0.stack.data, reference.c0.stack.data), label
+        assert np.array_equal(member.c1.stack.data, reference.c1.stack.data), label
+        assert member.c0.moduli == reference.c0.moduli, label
+        if scale:
+            assert member.scale == pytest.approx(reference.scale, rel=1e-9), label
+
+
+def _ops(evaluator: Evaluator, batch_evaluator: BatchEvaluator, cts_a, cts_b):
+    """(name, batched thunk, sequential thunk) for every batched op."""
+    pt_mult = evaluator.encode_for(cts_a[0], [0.5] * 8, for_multiplication=True)
+    pt_add = evaluator.encode_for(cts_a[0], [0.25] * 8, for_multiplication=False)
+    ba = CiphertextBatch.from_ciphertexts(cts_a)
+    bb = CiphertextBatch.from_ciphertexts(cts_b)
+    raw = evaluator.multiply(cts_a[0], cts_b[0], rescale=False)
+    raw_batch = batch_evaluator.multiply(ba, bb, rescale=False)
+    return [
+        ("add", lambda: batch_evaluator.add(ba, bb),
+         lambda: [evaluator.add(a, b) for a, b in zip(cts_a, cts_b)]),
+        ("sub", lambda: batch_evaluator.sub(ba, bb),
+         lambda: [evaluator.sub(a, b) for a, b in zip(cts_a, cts_b)]),
+        ("negate", lambda: batch_evaluator.negate(ba),
+         lambda: [evaluator.negate(a) for a in cts_a]),
+        ("add_plain", lambda: batch_evaluator.add_plain(ba, pt_add),
+         lambda: [evaluator.add_plain(a, pt_add) for a in cts_a]),
+        ("sub_plain", lambda: batch_evaluator.sub_plain(ba, pt_add),
+         lambda: [evaluator.sub_plain(a, pt_add) for a in cts_a]),
+        ("add_scalar", lambda: batch_evaluator.add_scalar(ba, 0.375),
+         lambda: [evaluator.add_scalar(a, 0.375) for a in cts_a]),
+        ("multiply_plain", lambda: batch_evaluator.multiply_plain(ba, pt_mult),
+         lambda: [evaluator.multiply_plain(a, pt_mult) for a in cts_a]),
+        ("multiply_scalar", lambda: batch_evaluator.multiply_scalar(ba, 1.5),
+         lambda: [evaluator.multiply_scalar(a, 1.5) for a in cts_a]),
+        ("multiply", lambda: batch_evaluator.multiply(ba, bb),
+         lambda: [evaluator.multiply(a, b) for a, b in zip(cts_a, cts_b)]),
+        ("square", lambda: batch_evaluator.square(ba),
+         lambda: [evaluator.square(a) for a in cts_a]),
+        ("rescale", lambda: batch_evaluator.rescale(raw_batch),
+         lambda: [evaluator.rescale(
+             evaluator.multiply(a, b, rescale=False))
+             for a, b in zip(cts_a, cts_b)]),
+        ("rotate", lambda: batch_evaluator.rotate(ba, 2),
+         lambda: [evaluator.rotate(a, 2) for a in cts_a]),
+        ("conjugate", lambda: batch_evaluator.conjugate(ba),
+         lambda: [evaluator.conjugate(a) for a in cts_a]),
+    ]
+
+
+class TestBitIdenticalOutputs:
+    """Batched == sequential, residue for residue, for every operation."""
+
+    @pytest.mark.parametrize("tracing", [False, True], ids=["untraced", "traced"])
+    def test_every_op_matches_sequential(self, evaluator, batch_evaluator,
+                                         cts_a, cts_b, tracing):
+        for name, batched, sequential in _ops(evaluator, batch_evaluator,
+                                              cts_a, cts_b):
+            reference = sequential()
+            if tracing:
+                with get_dispatcher().record():
+                    result = batched()
+            else:
+                result = batched()
+            assert_members_identical(result, reference, label=name)
+
+    def test_hoisted_rotations_share_one_decomposition(self, evaluator,
+                                                       batch_evaluator, cts_a):
+        batch = CiphertextBatch.from_ciphertexts(cts_a)
+        batched = batch_evaluator.hoisted_rotations(batch, [1, 2, 0])
+        sequential = [evaluator.hoisted_rotations(a, [1, 2, 0]) for a in cts_a]
+        for step in (1, 2, 0):
+            assert_members_identical(
+                batched[step], [seq[step] for seq in sequential]
+            )
+
+    def test_decrypted_values_match_plain_compute(self, decryptor, batch_evaluator,
+                                                  cts_a, cts_b, encryptor):
+        rng = np.random.default_rng(11)
+        rows_a = [rng.uniform(-1, 1, 8) for _ in range(BATCH)]
+        rng = np.random.default_rng(13)
+        rows_b = [rng.uniform(-1, 1, 8) for _ in range(BATCH)]
+        batch = batch_evaluator.multiply(
+            CiphertextBatch.from_ciphertexts(cts_a),
+            CiphertextBatch.from_ciphertexts(cts_b),
+        )
+        for member, expect_a, expect_b in zip(batch.split(), rows_a, rows_b):
+            values = decryptor.decrypt_values(member, 8)
+            assert np.allclose(values, expect_a * expect_b, atol=1e-2)
+
+
+class TestFuseSplit:
+    """LimbStack.fuse/split: zero-copy members, single pool charge."""
+
+    def test_fuse_charges_pool_once_and_split_is_free(self):
+        pool = MemoryPool()
+        stacks = [
+            LimbStack.from_rows(
+                [97, 193], [np.arange(8) % 97 + i, np.arange(8) % 193 + i],
+                pool=pool,
+            )
+            for i in range(3)
+        ]
+        allocations_before = pool.allocation_count
+        fused = LimbStack.fuse(stacks, pool=pool)
+        assert pool.allocation_count == allocations_before + 1
+        assert fused.num_limbs == 6
+        assert fused.footprint_bytes() == sum(s.footprint_bytes() for s in stacks)
+        members = fused.split(3)
+        # Splitting allocates nothing: members are unmanaged views.
+        assert pool.allocation_count == allocations_before + 1
+        for member, original in zip(members, stacks):
+            assert np.array_equal(member.data, original.data)
+            assert member.data.base is fused.data  # zero-copy row view
+            assert not member.buffer.managed
+        bytes_before = pool.bytes_in_use
+        for member in members:
+            member.release()  # no-op for unmanaged views
+        assert pool.bytes_in_use == bytes_before
+
+    def test_split_view_sees_fused_writes(self):
+        stacks = [
+            LimbStack.from_rows([97], [np.arange(8) % 97]) for _ in range(2)
+        ]
+        fused = LimbStack.fuse(stacks)
+        view = fused.split(2)[1]
+        fused.data[1, 0] = 42
+        assert int(view.data[0, 0]) == 42
+
+    def test_split_rejects_uneven_partition(self):
+        fused = LimbStack.from_rows([97, 193, 389], [np.zeros(8)] * 3)
+        with pytest.raises(ValueError, match="equal members"):
+            fused.split(2)
+
+    def test_ciphertext_batch_split_members_are_views(self, cts_a):
+        batch = CiphertextBatch.from_ciphertexts(cts_a)
+        members = batch.split()
+        for member in members:
+            assert member.c0.stack.data.base is batch.c0.stack.data
+        # Mutating the fused buffer is visible through the view.
+        batch.c0.stack.data[0, 0] += 0
+        assert np.array_equal(members[0].c0.stack.data, batch.c0.stack.data[: members[0].c0.level_count])
+
+
+class TestBatchValidation:
+    """Mixed-shape batches are rejected with descriptive errors."""
+
+    def test_mixed_level_batch_rejected(self, evaluator, cts_a):
+        dropped = evaluator.mod_reduce(cts_a[1], cts_a[1].limb_count - 1)
+        with pytest.raises(ValueError, match="mixed levels"):
+            CiphertextBatch.from_ciphertexts([cts_a[0], dropped])
+
+    def test_mixed_level_symbolic_batch_rejected(self, toy_params):
+        backend = CostModelBackend(toy_params)
+        a = backend.encrypt([1.0])
+        b = backend.rescale(
+            backend.encrypt([1.0], scale=toy_params.scale ** 2)
+        )
+        with pytest.raises(ValueError, match="mixed levels"):
+            backend.batch_from([a, b])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one member"):
+            CiphertextBatch.from_ciphertexts([])
+
+    def test_mismatched_batch_sizes_rejected(self, batch_evaluator, cts_a, cts_b):
+        a = CiphertextBatch.from_ciphertexts(cts_a)
+        b = CiphertextBatch.from_ciphertexts(cts_b[:2])
+        with pytest.raises(ValueError, match="batch sizes differ"):
+            batch_evaluator.add(a, b)
+
+    def test_level_zero_batch_rescale_rejected(self, batch_evaluator, cts_a,
+                                               evaluator):
+        bottom = [evaluator.mod_reduce(ct, 1) for ct in cts_a]
+        batch = CiphertextBatch.from_ciphertexts(bottom)
+        with pytest.raises(ValueError, match="level-0"):
+            batch_evaluator.rescale(batch)
+
+
+class TestBatchTrace:
+    """Batched traces keep the single-op kernel structure at B x bytes."""
+
+    def test_kernel_counts_match_single_op(self, evaluator, batch_evaluator,
+                                           cts_a, cts_b):
+        with get_dispatcher().record() as single:
+            evaluator.multiply(cts_a[0], cts_b[0])
+        batch_a = CiphertextBatch.from_ciphertexts(cts_a)
+        batch_b = CiphertextBatch.from_ciphertexts(cts_b)
+        with get_dispatcher().record() as batched:
+            batch_evaluator.multiply(batch_a, batch_b)
+        assert batched.kernel_count == single.kernel_count
+        assert batched.bytes_moved == pytest.approx(
+            BATCH * single.bytes_moved, rel=1e-9
+        )
+        # Leaf segmentation stays comparable with the sequential scopes.
+        single_scopes = {k: len(v) for k, v in single.leaf_segments().items()}
+        batch_scopes = {k: len(v) for k, v in batched.leaf_segments().items()}
+        assert single_scopes == batch_scopes
+
+    def test_batch_scope_prefix_tags_provenance(self, batch_evaluator, cts_a, cts_b):
+        batch_a = CiphertextBatch.from_ciphertexts(cts_a)
+        batch_b = CiphertextBatch.from_ciphertexts(cts_b)
+        with get_dispatcher().record() as trace:
+            batch_evaluator.multiply(batch_a, batch_b)
+        assert any(s.startswith(f"batch{BATCH}/hmult") for s in trace.scopes())
+
+
+class TestApiSurface:
+    """CipherBatch handles across the three backends."""
+
+    @pytest.fixture(scope="class")
+    def session(self, context, evaluator, keys, encryptor, decryptor):
+        return CKKSSession(
+            context=context, evaluator=evaluator, keys=keys,
+            encryptor=encryptor, decryptor=decryptor, register_default=False,
+        )
+
+    def test_operator_circuit_matches_sequential(self, session):
+        rng = np.random.default_rng(7)
+        rows = [rng.uniform(-1, 1, 8) for _ in range(BATCH)]
+        vectors = [session.encrypt(row) for row in rows]
+        batch = session.batch(vectors)
+        batched = 2.0 * (batch * batch) + 1.0
+        sequential = [2.0 * (v * v) + 1.0 for v in vectors]
+        for member, reference in zip(batched.split(), sequential):
+            assert np.array_equal(
+                member.handle.c0.stack.data, reference.handle.c0.stack.data
+            )
+        for member, row in zip(batched.split(), rows):
+            assert np.allclose(
+                session.decrypt(member, 8), 2.0 * row * row + 1.0, atol=1e-2
+            )
+
+    def test_rsub_and_conj_match_vector_surface(self, session):
+        rng = np.random.default_rng(21)
+        rows = [rng.uniform(-1, 1, 8) for _ in range(BATCH)]
+        vectors = [session.encrypt(row) for row in rows]
+        batch = session.batch(vectors)
+        flipped = 1.0 - batch
+        for member, reference in zip(flipped.split(), [1.0 - v for v in vectors]):
+            assert np.array_equal(
+                member.handle.c0.stack.data, reference.handle.c0.stack.data
+            )
+        conjugated = batch.conj()
+        for member, reference in zip(conjugated.split(),
+                                     [v.conj() for v in vectors]):
+            assert np.array_equal(
+                member.handle.c0.stack.data, reference.handle.c0.stack.data
+            )
+        cost = session.cost_backend()
+        sym = cost.batch_conjugate(cost.encrypt_batch(rows))
+        assert sym.level == batch.level
+
+    def test_batch_of_existing_vectors_and_rotation(self, session):
+        rng = np.random.default_rng(9)
+        rows = [rng.uniform(-1, 1, 8) for _ in range(BATCH)]
+        batch = session.batch([session.encrypt(row) for row in rows])
+        rotated = batch << 1
+        for member, row in zip(rotated.split(), rows):
+            assert np.allclose(
+                session.decrypt(member, 8), np.roll(row, -1), atol=1e-2
+            )
+        many = batch.rotate_many([1, 2])
+        assert set(many) == {1, 2}
+
+    def test_cost_backend_batch_records_fused_launches(self, session):
+        backend = session.cost_backend()
+        rows = [[1.0]] * BATCH
+        batch = backend.encrypt_batch(rows)
+        single = backend.encrypt([1.0])
+        backend.batch_multiply(batch, batch)
+        batch_entries = list(backend.ledger.entries)
+        backend.ledger.clear()
+        backend.multiply(single, single)
+        single_entries = list(backend.ledger.entries)
+        batch_cost = sum((c.kernel_count for _, c in batch_entries))
+        single_cost = sum((c.kernel_count for _, c in single_entries))
+        assert batch_cost == single_cost  # launches do not scale with B
+        batch_bytes = sum(c.bytes_moved for _, c in batch_entries)
+        single_bytes = sum(c.bytes_moved for _, c in single_entries)
+        assert batch_bytes == pytest.approx(BATCH * single_bytes, rel=1e-9)
+        assert isinstance(batch, SymbolicCipherBatch)
+
+    def test_tracing_backend_batch_handles_match_inner(self, session):
+        rng = np.random.default_rng(5)
+        rows = [rng.uniform(-1, 1, 8) for _ in range(BATCH)]
+        cts = [session.encrypt(row).handle for row in rows]
+        tracing = session.tracing_backend()
+        batch = tracing.batch_from(cts)
+        result = tracing.batch_multiply(batch, batch)
+        assert tracing.trace.kernel_count > 0
+        plain = session.backend.batch_multiply(
+            session.backend.batch_from(cts),
+            session.backend.batch_from(cts),
+        )
+        for traced, untraced in zip(result.split(), plain.split()):
+            assert np.array_equal(
+                traced.c0.stack.data, untraced.c0.stack.data
+            )

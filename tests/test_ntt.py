@@ -156,3 +156,46 @@ def test_roundtrip_property(values):
     engine = get_engine(32, q)
     back = engine.inverse(engine.forward(values))
     assert [int(x) for x in back] == [v % q for v in values]
+
+
+class TestScratchCacheBudget:
+    """The NTT scratch-buffer cache stays within its LRU byte budget."""
+
+    def test_budget_bounds_cache_and_evicts_lru(self):
+        from repro.core import ntt as nttmod
+        from repro.core.ntt import scratch_cache_bytes, set_scratch_budget
+
+        previous = set_scratch_budget(1 << 20)  # 1 MiB
+        saved = dict(nttmod._scratch_cache)
+        nttmod._scratch_cache.clear()
+        try:
+            # Wide batched shapes would pin ~4 MiB without the bound.
+            for tag in ("a", "b", "c", "d"):
+                nttmod._scratch(tag, (128, 1024))  # 1 MiB each
+                assert scratch_cache_bytes() <= (1 << 20)
+            # The most recent key survives; the oldest were evicted.
+            assert "d" in nttmod._scratch_cache
+            assert "a" not in nttmod._scratch_cache
+            # A single buffer above the budget is still served (and kept).
+            buf = nttmod._scratch("big", (512, 1024))  # 4 MiB
+            assert buf.shape == (512, 1024)
+            assert "big" in nttmod._scratch_cache
+        finally:
+            set_scratch_budget(previous)
+            nttmod._scratch_cache.clear()
+            nttmod._scratch_cache.update(saved)
+
+    def test_transforms_unchanged_under_tiny_budget(self, toy_params=None):
+        from repro.core import ntt as nttmod
+        from repro.core.ntt import get_stacked_engine, set_scratch_budget
+
+        q = generate_ntt_primes(2, 26, 64)
+        engine = get_stacked_engine(64, tuple(q))
+        rng = np.random.default_rng(3)
+        stack = rng.integers(0, min(q), size=(2, 64)).astype(np.uint64)
+        reference = engine.forward(stack)
+        previous = set_scratch_budget(4096)
+        try:
+            assert np.array_equal(engine.forward(stack), reference)
+        finally:
+            set_scratch_budget(previous)
