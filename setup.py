@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Python reproduction of FIDESlib: a fully-fledged CKKS FHE library "
         "with a GPU execution-model backend (ISPASS 2025)"

@@ -20,6 +20,10 @@ OpenFHE clients.  This package rebuilds the complete system in Python:
   kernels, L2 cache, memory pools) standing in for physical CUDA hardware.
 * :mod:`repro.perf` -- execution plans mapping CKKS operations onto the GPU
   model for FIDESlib, Phantom and OpenFHE CPU baselines.
+* :mod:`repro.serve` -- the serving plane: a shape-bucketed request queue
+  with dynamic batching (:class:`~repro.serve.Server`, reachable as
+  ``session.server()``) that turns a live request stream into fused
+  ``(B·L, N)`` batches, bit-identical to sequential execution.
 * :mod:`repro.apps` -- realistic encrypted workloads (logistic regression,
   linear algebra, statistics) written once against the backend seam.
 * :mod:`repro.bench` -- Google-Benchmark-style reporting used by the
@@ -58,4 +62,4 @@ __all__ = [
     "__version__",
 ]
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

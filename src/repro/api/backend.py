@@ -92,6 +92,7 @@ class EvaluationBackend(Protocol):
     def batch_multiply_plain(self, a, values, *, rescale: bool = True): ...
     def batch_multiply_scalar(self, a, value: float): ...
     def batch_rescale(self, a): ...
+    def batch_at_level(self, a, level: int): ...
     def batch_rotate(self, a, steps: int): ...
     def batch_conjugate(self, a): ...
     def batch_hoisted_rotations(self, a, steps: Sequence[int]) -> dict: ...
@@ -284,6 +285,9 @@ class FunctionalBackend:
 
     def batch_rescale(self, a: CiphertextBatch) -> CiphertextBatch:
         return self.batch_evaluator.rescale(a)
+
+    def batch_at_level(self, a: CiphertextBatch, level: int) -> CiphertextBatch:
+        return self.batch_evaluator.adjust(a, level)
 
     def batch_rotate(self, a: CiphertextBatch, steps: int) -> CiphertextBatch:
         return self.batch_evaluator.rotate(a, steps)
@@ -849,6 +853,24 @@ class CostModelBackend:
             scale=a.scale / self._last_modulus(a.limb_count),
         )
 
+    def batch_at_level(self, a: SymbolicCipherBatch, level: int) -> SymbolicCipherBatch:
+        if level > a.level:
+            raise ValueError("cannot adjust to a higher level")
+        target_scale = self._scale_at(level)
+        if level == a.level:
+            if not scales_match(a.scale, target_scale):
+                raise ValueError(
+                    f"cannot change scale in place "
+                    f"({a.scale:.6g} vs {target_scale:.6g})"
+                )
+            return a.copy()
+        reduced_limbs = level + 2
+        cost = OperationCost("Adjust")
+        cost.extend(self.costs.scalar_mult(reduced_limbs))
+        cost.extend(self.costs.rescale(reduced_limbs))
+        self._record_batched("Adjust", a, cost)
+        return self._with_batch(a, limb_count=level + 1, scale=float(target_scale))
+
     def batch_rotate(self, a: SymbolicCipherBatch, steps: int) -> SymbolicCipherBatch:
         if steps % a.slots == 0:
             return a.copy()
@@ -1037,6 +1059,9 @@ class TracingBackend:
 
     def batch_rescale(self, a):
         return self._recorded("batch_rescale", a)
+
+    def batch_at_level(self, a, level: int):
+        return self._recorded("batch_at_level", a, level)
 
     def batch_rotate(self, a, steps: int):
         return self._recorded("batch_rotate", a, steps)

@@ -213,6 +213,15 @@ class CipherBatch:
         """Drop every member's last limb in one fused pass."""
         return self._wrap(self.backend.batch_rescale(self.handle))
 
+    def at_level(self, level: int) -> "CipherBatch":
+        """Return a copy with every member adjusted down to ``level``.
+
+        The batched twin of :meth:`CipherVector.at_level` (one fused
+        mod-reduce + scalar-mult + rescale for the whole batch), letting a
+        serving program align operand levels without unfusing.
+        """
+        return self._wrap(self.backend.batch_at_level(self.handle, level))
+
     # -- batch management ---------------------------------------------------
 
     def split(self) -> list[CipherVector]:

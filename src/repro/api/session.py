@@ -351,6 +351,41 @@ class CKKSSession:
         return TracingBackend(self.backend, trace=trace)
 
     # ------------------------------------------------------------------
+    # serving plane
+    # ------------------------------------------------------------------
+
+    def server(self, policy=None, *, backend=None, clock=None, metrics=None,
+               trace_costs=None):
+        """A dynamic-batching server over this session (the serving plane).
+
+        Returns a :class:`repro.serve.Server`: a shape-bucketed request
+        queue that fuses compatible requests into ``(B·L, N)`` batches
+        under a :class:`~repro.serve.policy.BatchingPolicy`, driven on a
+        deterministic simulated clock::
+
+            from repro.serve import BatchingPolicy, OpProgram
+
+            server = session.server(BatchingPolicy(max_batch_size=8,
+                                                   max_wait=2e-3))
+            score = OpProgram.polynomial([1.0, 0.0, 2.0])   # 1 + 2x^2
+            requests = [server.submit(score, session.encrypt(row))
+                        for row in inputs]
+            server.drain()                    # fuse + execute everything
+            values = [session.decrypt(r.result(), n) for r in requests]
+
+        ``backend`` overrides the session's functional backend (e.g.
+        ``session.cost_backend()`` serves symbolically); ``trace_costs``
+        (a :class:`~repro.perf.trace_model.TraceCostModel`) prices every
+        drained batch's recorded kernel stream into the server metrics.
+        """
+        from repro.serve import Server
+
+        return Server(
+            backend if backend is not None else self.backend,
+            policy, clock=clock, metrics=metrics, trace_costs=trace_costs,
+        )
+
+    # ------------------------------------------------------------------
     # lifecycle / default-context wiring
     # ------------------------------------------------------------------
 

@@ -22,7 +22,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.api.backend import as_backend
-from repro.api.vector import CipherVector
+from repro.api.vector import CipherVector, as_vector
+from repro.apps.dataset import _next_power_of_two
 from repro.apps.linear_algebra import EncryptedLinearAlgebra
 
 #: Degree-3 least-squares approximation of the sigmoid on [-6, 6]
@@ -165,9 +166,101 @@ class EncryptedLogisticRegression:
         return np.array([float(v[0].real) for v in values])
 
 
+@dataclass
+class EncryptedLRScorer:
+    """Encrypted inference with a plaintext model (the serving workload).
+
+    The scoring counterpart of :class:`EncryptedLogisticRegression`: the
+    server holds trained weights in the clear and scores *encrypted*
+    feature vectors -- each request one ciphertext with the features in
+    its leading slots.  The score ``sigmoid_poly(w·x)`` lands in slot 0.
+
+    The circuit is written once against the operator surface shared by
+    :class:`~repro.api.vector.CipherVector` and
+    :class:`~repro.api.batch.CipherBatch`, so :meth:`score` (one request,
+    sequential kernels) and :meth:`score_batch` (a fused inference batch,
+    one ``(B·L, N)`` kernel stream) issue the identical op sequence --
+    which is what makes the two paths bit-identical member by member.
+    Every step keeps operand levels aligned explicitly (batched operands
+    never adjust implicitly): the cubic sigmoid term is factored as
+    ``c3·x·(x² + c1/c3)``, whose two ciphertext factors sit at the same
+    level by construction.
+
+    Requires rotation keys for the powers of two below the padded feature
+    count (:meth:`required_rotations`).  Uses 3 multiplicative levels.
+    """
+
+    backend: object
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.backend = as_backend(self.backend)
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        if self.weights.ndim != 1 or self.weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D vector")
+        padded = _next_power_of_two(self.weights.size)
+        self._padded_count = padded
+        self._padded_weights = np.zeros(padded)
+        self._padded_weights[: self.weights.size] = self.weights
+
+    @property
+    def feature_count(self) -> int:
+        """Number of model features (unpadded)."""
+        return int(self.weights.size)
+
+    @staticmethod
+    def required_rotations(feature_count: int) -> list[int]:
+        """Rotation keys needed to score ``feature_count`` features."""
+        return EncryptedLinearAlgebra.rotation_steps_for_sum(
+            _next_power_of_two(feature_count)
+        )
+
+    # ------------------------------------------------------------------
+
+    def _score(self, x):
+        """The shared circuit: works on a CipherVector or a CipherBatch."""
+        c0, c1, _, c3 = SIGMOID_COEFFS
+        masked = x * self._padded_weights          # PtMult: w_j * x_j per slot
+        logits = masked
+        for step in EncryptedLinearAlgebra.rotation_steps_for_sum(self._padded_count):
+            logits = logits + (logits << step)     # rotate-and-add: slot0 = w.x
+        squared = logits.square()                  # z^2          (level l-1)
+        shifted = squared + (c1 / c3)              # z^2 + c1/c3  (level l-1)
+        scaled = logits * c3                       # c3 z         (level l-1)
+        cubic = shifted * scaled                   # c1 z + c3 z^3 (level l-2)
+        return cubic + c0
+
+    def score(self, vector: CipherVector) -> CipherVector:
+        """Score one encrypted feature vector (sequential evaluator path)."""
+        return self._score(as_vector(self.backend, vector))
+
+    def score_batch(self, batch):
+        """Score a fused inference batch: one kernel stream for all members.
+
+        ``batch`` is a :class:`~repro.api.batch.CipherBatch`; the returned
+        batch's members are bit-identical to :meth:`score` of each member.
+        """
+        return self._score(batch)
+
+    def program(self):
+        """This scorer as a serving-plane :class:`~repro.serve.OpProgram`.
+
+        The program key includes the exact model bytes, so two servers (or
+        two models on one server) never fuse each other's requests.
+        """
+        from repro.serve.request import OpProgram
+
+        return OpProgram(
+            f"lr-score[d={self.feature_count}]",
+            self._score,
+            key=("lr-score", self.feature_count, self.weights.tobytes()),
+        )
+
+
 __all__ = [
     "PlaintextLogisticRegression",
     "EncryptedLogisticRegression",
+    "EncryptedLRScorer",
     "SIGMOID_COEFFS",
     "sigmoid",
     "sigmoid_poly",

@@ -48,6 +48,7 @@ from repro.core.automorphism import conjugation_exponent, rotation_to_exponent
 from repro.core.dispatch import get_dispatcher
 from repro.core.limb import LimbFormat
 from repro.core.limb_stack import LimbStack
+from repro.core.memory import FusedFootprintError
 from repro.core.ntt import get_stacked_engine
 from repro.core.rns_poly import RNSPoly, _rescale_inverses
 from repro.gpu.kernel import MODADD_OPS, MODMUL_OPS
@@ -95,6 +96,12 @@ class CiphertextBatch:
         limb format, slot count and scale; a mixed-level batch is rejected
         with a descriptive error because the fused moduli column -- and
         with it every batched kernel -- requires one shape.
+
+        When the fused ``2·B·L·N`` footprint would exceed the members'
+        :class:`~repro.core.memory.MemoryPool` budget, the constructor
+        raises :class:`~repro.core.memory.FusedFootprintError` *before*
+        copying any rows (the serving plane's batching policy consumes
+        this to cap bucket drain sizes).
         """
         cts = list(cts)
         if not cts:
@@ -121,6 +128,21 @@ class CiphertextBatch:
                     f"cannot batch ciphertexts at mixed scales "
                     f"({ct.scale:.6g} vs {first.scale:.6g})"
                 )
+        pool = first.c0.stack.buffer.pool
+        component_bytes = (
+            len(cts) * first.limb_count * first.ring_degree
+            * first.c0.stack.buffer.element_bytes
+        )
+        if not pool.fits(component_bytes, component_bytes):
+            raise FusedFootprintError(
+                f"fusing B={len(cts)} ciphertexts at L={first.limb_count} "
+                f"limbs, N={first.ring_degree} needs two "
+                f"{component_bytes}-byte component allocations, but the pool "
+                f"budget is {pool.capacity_bytes} bytes with "
+                f"{pool.free_bytes()} free; drain fewer requests per fused "
+                f"batch (serve's BatchingPolicy.memory_budget_bytes) or raise "
+                f"the pool capacity"
+            )
         c0 = RNSPoly.from_stack(
             LimbStack.fuse([ct.c0.stack for ct in cts]), first.fmt
         )
@@ -753,6 +775,65 @@ class BatchEvaluator:
                 LimbFormat.EVALUATION,
             ),
         )
+
+    # ------------------------------------------------------------------
+    # level management
+    # ------------------------------------------------------------------
+
+    def mod_reduce(self, batch: CiphertextBatch, limb_count: int) -> CiphertextBatch:
+        """Drop limbs of every member without rescaling (batched mod-reduce).
+
+        The fused stacks are member-major, so the reduction selects the
+        first ``limb_count`` rows of each member block; per-member values
+        match :meth:`repro.ckks.evaluator.Evaluator.mod_reduce` exactly.
+        """
+        if limb_count > batch.limb_count:
+            raise ValueError("cannot mod-reduce to a larger limb count")
+        if limb_count == batch.limb_count:
+            return batch.copy()
+        full = batch.limb_count
+        indices = [
+            member * full + j
+            for member in range(batch.batch_size)
+            for j in range(limb_count)
+        ]
+        return batch._with(
+            batch.c0.select_limbs(indices), batch.c1.select_limbs(indices)
+        )
+
+    def adjust(self, batch: CiphertextBatch, target_level: int,
+               target_scale: float | None = None) -> CiphertextBatch:
+        """Bring every member to ``target_level`` at the requested scale.
+
+        The batched twin of :meth:`repro.ckks.evaluator.Evaluator.adjust`
+        -- mod-reduce, one integer scalar multiplication and one fused
+        rescale -- bit-identical member by member because all members share
+        one scale (so the correction weight is one integer for the whole
+        batch).  This is what lets serving programs align levels before a
+        batched multiplication without unfusing.
+        """
+        if target_scale is None:
+            target_scale = self.context.scale_at(target_level)
+        if target_level > batch.level:
+            raise ValueError("cannot adjust to a higher level")
+        if target_level == batch.level:
+            if not scales_match(batch.scale, target_scale):
+                raise ValueError(
+                    f"cannot change scale in place "
+                    f"({batch.scale:.6g} vs {target_scale:.6g})"
+                )
+            return batch.copy()
+        reduced = self.mod_reduce(batch, target_level + 2)
+        q = reduced.moduli[-1]
+        weight = max(1, int(round(q * target_scale / reduced.scale)))
+        with self._scope(batch, "adjust"):
+            adjusted = reduced._with(
+                reduced.c0.multiply_scalar(weight),
+                reduced.c1.multiply_scalar(weight),
+                scale=reduced.scale * weight,
+            )
+            rescaled = self.rescale(adjusted)
+        return rescaled._with(rescaled.c0, rescaled.c1, scale=float(target_scale))
 
     # ------------------------------------------------------------------
     # rescaling

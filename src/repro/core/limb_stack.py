@@ -27,7 +27,7 @@ from repro.core import modmath
 from repro.core.automorphism import coeff_automorphism_map
 from repro.core.dispatch import get_dispatcher
 from repro.core.limb import Limb, LimbFormat, VectorGPU
-from repro.core.memory import STRATEGY_FLATTENED, MemoryPool
+from repro.core.memory import STRATEGY_FLATTENED, FusedFootprintError, MemoryPool
 from repro.gpu.kernel import MODADD_OPS
 
 _DISPATCH = get_dispatcher()
@@ -124,10 +124,26 @@ class LimbStack:
         for stack in stacks[1:]:
             if stack.ring_degree != n:
                 raise ValueError("fused stacks must share one ring degree")
+        target_pool = pool if pool is not None else stacks[0].buffer.pool
+        total_rows = sum(s.num_limbs for s in stacks)
+        nbytes = total_rows * n * stacks[0].buffer.element_bytes
+        if not target_pool.fits(nbytes):
+            rows_each = sorted({s.num_limbs for s in stacks})
+            rows_text = (
+                f"L={rows_each[0]}" if len(rows_each) == 1 else f"L∈{rows_each}"
+            )
+            raise FusedFootprintError(
+                f"fusing B={len(stacks)} limb stacks ({rows_text} rows each, "
+                f"N={n}) needs one {nbytes}-byte allocation, but the pool "
+                f"budget is {target_pool.capacity_bytes} bytes with "
+                f"{target_pool.free_bytes()} free; drain fewer members per "
+                f"fused batch (e.g. serve's BatchingPolicy.memory_budget_bytes) "
+                f"or raise the pool capacity"
+            )
         moduli = [q for stack in stacks for q in stack.moduli]
         col = modmath.moduli_column(moduli)
         data = np.vstack([modmath.coerce_stack(s.data, col) for s in stacks])
-        fused = cls(moduli, data, pool=pool if pool is not None else stacks[0].buffer.pool)
+        fused = cls(moduli, data, pool=target_pool)
         _DISPATCH.link(tuple(s.data for s in stacks), fused.data)
         return fused
 

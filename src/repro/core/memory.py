@@ -29,6 +29,18 @@ class OutOfDeviceMemory(RuntimeError):
     """Raised when an allocation would exceed the configured device capacity."""
 
 
+class FusedFootprintError(OutOfDeviceMemory):
+    """A fused ``(B·L, N)`` allocation would not fit the pool budget.
+
+    Raised *before* any row copying starts (by
+    :meth:`repro.core.limb_stack.LimbStack.fuse` and
+    :meth:`repro.ckks.batch.CiphertextBatch.from_ciphertexts`) so callers
+    such as the serving plane's batching policy can react -- typically by
+    draining fewer requests per fused batch -- instead of dying on a bare
+    :class:`OutOfDeviceMemory` mid-copy.
+    """
+
+
 @dataclass
 class AllocationRecord:
     """A single live allocation inside a :class:`MemoryPool`."""
@@ -98,6 +110,25 @@ class MemoryPool:
         self.bytes_in_use -= record.nbytes
         self.free_count += 1
 
+    def free_bytes(self) -> int | None:
+        """Remaining capacity in bytes, or ``None`` for an unbounded pool."""
+        if self.capacity_bytes is None:
+            return None
+        return self.capacity_bytes - self.bytes_in_use
+
+    def fits(self, *sizes: int) -> bool:
+        """Whether allocations of ``sizes`` bytes would all fit right now.
+
+        Each size is rounded up to the pool granularity exactly as
+        :meth:`allocate` would round it, so a ``True`` answer means the
+        allocations cannot raise :class:`OutOfDeviceMemory` (absent
+        concurrent allocations).  Unbounded pools always fit.
+        """
+        if self.capacity_bytes is None:
+            return True
+        needed = sum(self._round_up(s) for s in sizes)
+        return self.bytes_in_use + needed <= self.capacity_bytes
+
     def live_allocations(self) -> list[AllocationRecord]:
         """Return records for every allocation that has not been freed."""
         return list(self._live.values())
@@ -155,6 +186,7 @@ __all__ = [
     "MemoryPool",
     "AllocationRecord",
     "OutOfDeviceMemory",
+    "FusedFootprintError",
     "default_pool",
     "STRATEGY_ARRAY_PER_LIMB",
     "STRATEGY_FLATTENED",

@@ -1,0 +1,64 @@
+"""``repro.serve`` -- the serving plane: dynamic batching over fused kernels.
+
+The throughput plane (PR 4) made ``B`` same-shape ciphertexts walk a
+circuit on fused ``(B·L, N)`` kernels, but nothing *produced* batches: every
+caller hand-assembled same-shape ciphertexts.  This package is the missing
+layer between ``encrypt_batch`` and live traffic -- a shape-bucketed
+request queue that turns an arbitrary arrival stream into fused batches:
+
+    submit --> bucket by (N, level, scale, program) --> policy drains
+          --> fuse --> one kernel stream per batch --> futures resolve
+
+Module map
+----------
+
+``request``
+    :class:`OpProgram` (a named circuit written once against the shared
+    ``CipherVector``/``CipherBatch`` operator surface),
+    :class:`Request`/:class:`Response` with future-style completion.
+``bucketing``
+    :class:`ShapeKey` ``(ring_degree, level, scale, op_program)`` and the
+    FIFO :class:`BucketQueue` -- only fuse-compatible requests share a
+    bucket, so drains always satisfy ``CiphertextBatch.from_ciphertexts``.
+``policy``
+    :class:`BatchingPolicy` (``max_batch_size`` / ``max_wait`` /
+    ``memory_budget_bytes`` -- the throughput, latency and capacity knobs)
+    and the deterministic :class:`SimulatedClock` every test and benchmark
+    runs on.
+``executor``
+    :class:`BatchExecutor` (fused drains through the backend's
+    ``batch_from`` seam; singleton drains on the sequential evaluator;
+    :class:`~repro.core.memory.FusedFootprintError` degrades to
+    sequential) and :class:`Server`, the front door
+    :meth:`~repro.api.session.CKKSSession.server` returns.
+``metrics``
+    :class:`ServeMetrics`: queue depth, fused-batch-size histogram,
+    deterministic p50/p95 latency, and modeled GPU throughput from priced
+    per-drain traces.
+
+Responses are **bit-identical to sequential execution**: fused drains
+inherit the throughput plane's member-by-member bit-identity contract, and
+singleton drains literally *are* the sequential path.  The server speaks
+only the :class:`~repro.api.backend.EvaluationBackend` surface, so the
+same serving loop runs functionally, symbolically (cost model) or traced.
+"""
+
+from repro.serve.bucketing import BucketQueue, ShapeKey, shape_key_of
+from repro.serve.executor import BatchExecutor, Server
+from repro.serve.metrics import ServeMetrics
+from repro.serve.policy import BatchingPolicy, SimulatedClock
+from repro.serve.request import OpProgram, Request, Response
+
+__all__ = [
+    "BatchExecutor",
+    "BatchingPolicy",
+    "BucketQueue",
+    "OpProgram",
+    "Request",
+    "Response",
+    "Server",
+    "ServeMetrics",
+    "ShapeKey",
+    "SimulatedClock",
+    "shape_key_of",
+]

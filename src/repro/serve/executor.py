@@ -1,0 +1,240 @@
+"""Bucket draining and fused execution: the serving plane's engine room.
+
+:class:`BatchExecutor` turns one drained bucket into ciphertext results:
+singleton drains run the program directly on the request's
+:class:`~repro.api.vector.CipherVector` (the sequential
+:class:`~repro.ckks.evaluator.Evaluator` path -- no fused allocation at
+all), while larger drains fuse the members through the backend's
+``batch_from`` seam into a :class:`~repro.api.batch.CipherBatch` and run
+the *same program once* over the fused ``(B·L, N)`` kernels.  Because the
+batched operations are bit-identical member by member to the sequential
+evaluator (the throughput-plane contract PR 4 established and the test
+suite asserts), every response is bit-identical to running that request
+alone -- batching is invisible to clients except in latency.
+
+:class:`Server` is the front door :meth:`repro.api.session.CKKSSession.server`
+returns: a shape-bucketed request queue (:mod:`repro.serve.bucketing`)
+driven by a dynamic-batching policy (:mod:`repro.serve.policy`) on a
+deterministic simulated clock, with metrics (:mod:`repro.serve.metrics`)
+and optional per-drain GPU pricing through a
+:class:`~repro.perf.trace_model.TraceCostModel`.  It works unchanged on
+all three backends -- functional, cost-model and tracing -- since it only
+speaks the :class:`~repro.api.backend.EvaluationBackend` surface.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.api.backend import as_backend
+from repro.api.batch import CipherBatch
+from repro.api.vector import CipherVector, as_vector
+from repro.core.dispatch import get_dispatcher
+from repro.core.memory import FusedFootprintError
+from repro.serve.bucketing import BucketQueue, ShapeKey, shape_key_of
+from repro.serve.metrics import ServeMetrics
+from repro.serve.policy import BatchingPolicy, SimulatedClock
+from repro.serve.request import OpProgram, Request
+
+
+class BatchExecutor:
+    """Runs one drained bucket, fused when possible, sequential when not."""
+
+    def __init__(self, backend) -> None:
+        self.backend = as_backend(backend)
+
+    def execute(self, program: OpProgram,
+                vectors: Sequence[CipherVector]) -> tuple[list[CipherVector], bool]:
+        """Evaluate ``program`` on all vectors; returns ``(results, fell_back)``.
+
+        A drain of one runs sequentially by design.  A fused drain that
+        still trips :class:`FusedFootprintError` (the pool filled up after
+        the policy sized the drain) degrades to the sequential path rather
+        than failing the requests -- correctness is identical either way.
+        """
+        vectors = list(vectors)
+        if len(vectors) == 1:
+            return [program(vectors[0])], False
+        try:
+            batch = CipherBatch(
+                self.backend, self.backend.batch_from([v.handle for v in vectors])
+            )
+            return program(batch).split(), False
+        except FusedFootprintError:
+            return [program(v) for v in vectors], True
+
+
+class Server:
+    """A shape-bucketed, dynamically-batched front end over one backend.
+
+    Lifecycle: clients :meth:`submit` requests (stamped on the simulated
+    clock) and hold the returned :class:`Request` as a future; the driver
+    advances the clock and calls :meth:`poll`, which drains every bucket
+    the policy deems ready -- full fused batches immediately, partial ones
+    when their oldest member's wait budget expires.  :meth:`drain` runs
+    that loop to completion, visiting each pending timeout exactly.
+
+    Pass ``trace_costs`` (a :class:`~repro.perf.trace_model.TraceCostModel`)
+    to record each drain's kernel stream from the execution plane and
+    accumulate its modeled GPU time in :attr:`metrics` -- only meaningful
+    on backends that drive the real data plane.
+    """
+
+    def __init__(self, backend, policy: BatchingPolicy | None = None, *,
+                 clock: SimulatedClock | None = None,
+                 metrics: ServeMetrics | None = None,
+                 trace_costs=None) -> None:
+        self.backend = as_backend(backend)
+        self.policy = policy if policy is not None else BatchingPolicy()
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.trace_costs = trace_costs
+        self.queue = BucketQueue()
+        self.executor = BatchExecutor(self.backend)
+
+    # -- intake --------------------------------------------------------------
+
+    def submit(self, program: OpProgram, vector, *,
+               deadline: float | None = None) -> Request:
+        """Queue one request; returns its future-style handle.
+
+        ``vector`` may be a :class:`CipherVector` bound to this server's
+        backend or a raw backend handle (it is wrapped).  ``deadline`` is
+        an absolute simulated time that tightens the policy's ``max_wait``
+        for this request only.
+        """
+        vector = as_vector(self.backend, vector)
+        now = self.clock.now()
+        request = Request(program, vector, arrival_time=now, deadline=deadline)
+        key = shape_key_of(
+            request, default_ring_degree=self.backend.params.ring_degree
+        )
+        self.queue.push(key, request)
+        self.metrics.submitted += 1
+        self.metrics.observe_queue_depth(now, self.queue.depth)
+        return request
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (not yet dispatched) requests."""
+        return self.queue.depth
+
+    def next_timeout(self) -> float | None:
+        """Earliest simulated time any queued request must dispatch by.
+
+        Considers every queued request, not just each bucket's oldest: a
+        per-request ``deadline`` can make a newer arrival the most urgent.
+        """
+        timeouts = [
+            self.policy.earliest_timeout(self.queue.requests(key))
+            for key in self.queue.keys()
+        ]
+        return min(timeouts) if timeouts else None
+
+    # -- drivers -------------------------------------------------------------
+
+    def poll(self) -> list[Request]:
+        """Drain every bucket the policy deems ready at the current time.
+
+        Returns the requests completed by this call (already resolved;
+        read them through ``request.result()`` / ``request.response()``).
+        """
+        now = self.clock.now()
+        completed: list[Request] = []
+        for key in self.queue.keys():
+            target = self.policy.drain_limit(key)
+            while True:
+                size = self.queue.size(key)
+                if size == 0 or not self.policy.ready(
+                    size=size, target=target, now=now,
+                    earliest_timeout=self.policy.earliest_timeout(
+                        self.queue.requests(key)
+                    ),
+                ):
+                    break
+                completed.extend(
+                    self._execute(key, self.queue.take(key, target), now)
+                )
+        if completed:
+            self.metrics.observe_queue_depth(now, self.queue.depth)
+        return completed
+
+    def flush(self) -> list[Request]:
+        """Drain everything immediately, ignoring readiness (still respecting
+        the policy's per-drain size and memory caps)."""
+        now = self.clock.now()
+        completed: list[Request] = []
+        for key in self.queue.keys():
+            target = self.policy.drain_limit(key)
+            while self.queue.size(key):
+                completed.extend(
+                    self._execute(key, self.queue.take(key, target), now)
+                )
+        if completed:
+            self.metrics.observe_queue_depth(now, self.queue.depth)
+        return completed
+
+    def drain(self) -> list[Request]:
+        """Advance the clock through every pending timeout until idle.
+
+        The canonical driver loop: poll now, then repeatedly jump the
+        simulated clock to the next bucket timeout and poll again, so no
+        request ever waits past its policy deadline.
+        """
+        completed = self.poll()
+        while self.queue.depth:
+            self.clock.advance_to(self.next_timeout())
+            completed.extend(self.poll())
+        return completed
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute(self, key: ShapeKey, requests: list[Request],
+                 now: float) -> list[Request]:
+        """Run one drained bucket, resolve its requests, update metrics."""
+        vectors = [request.vector for request in requests]
+        size = len(requests)
+        results: list[CipherVector] | None = None
+        fell_back = False
+        error: Exception | None = None
+        try:
+            if self.trace_costs is not None:
+                with get_dispatcher().record() as trace:
+                    results, fell_back = self.executor.execute(key.program, vectors)
+                report = self.trace_costs.price(trace, streams=1)
+                self.metrics.record_modeled(report.makespan, report.kernel_count)
+            else:
+                results, fell_back = self.executor.execute(key.program, vectors)
+        except Exception as exc:  # program errors fail the drain, not the server
+            error = exc
+        latencies = [now - request.arrival_time for request in requests]
+        if error is None:
+            for request, result in zip(requests, results):
+                request.resolve(result, batch_size=size, dispatch_time=now)
+            self.metrics.record_batch(size, latencies)
+        else:
+            for request in requests:
+                request.resolve(None, batch_size=size, dispatch_time=now, error=error)
+            self.metrics.record_batch(size, latencies, failed=True)
+        if fell_back:
+            self.metrics.footprint_fallbacks += 1
+        return requests
+
+    def describe(self) -> dict:
+        """Server configuration plus a metrics snapshot."""
+        return {
+            "backend": self.backend.describe(),
+            "policy": {
+                "max_batch_size": self.policy.max_batch_size,
+                "max_wait": self.policy.max_wait,
+                "memory_budget_bytes": self.policy.memory_budget_bytes,
+            },
+            "clock": self.clock.now(),
+            "pending": self.pending,
+            "metrics": self.metrics.summary(),
+        }
+
+
+__all__ = ["BatchExecutor", "Server"]

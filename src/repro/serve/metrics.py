@@ -1,0 +1,126 @@
+"""Serving-plane observability: queue depth, batch sizes, latency, GPU model.
+
+The metrics a dynamic-batching deployment is tuned by:
+
+* **queue depth** samples (taken at every submit and drain);
+* the **fused-batch-size histogram** -- the direct readout of how well the
+  policy converts offered load into launch amortisation;
+* **p50/p95 queueing latency** on the simulated clock (deterministic
+  nearest-rank percentiles, no wall-clock flakiness);
+* **modeled GPU throughput**: when the server is given a
+  :class:`~repro.perf.trace_model.TraceCostModel`, every drained batch's
+  recorded kernel stream is priced and accumulated here, so
+  ``completed / modeled_seconds`` is the requests-per-modeled-GPU-second
+  figure the serve benchmark gates on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ServeMetrics:
+    """Counters and samples accumulated by one :class:`~repro.serve.executor.Server`."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    footprint_fallbacks: int = 0
+    batch_sizes: list[int] = field(default_factory=list)
+    latencies: list[float] = field(default_factory=list)
+    queue_depth_samples: list[tuple[float, int]] = field(default_factory=list)
+    modeled_seconds: float = 0.0
+    modeled_kernels: int = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def observe_queue_depth(self, now: float, depth: int) -> None:
+        """Sample the total queue depth at a simulated timestamp."""
+        self.queue_depth_samples.append((float(now), int(depth)))
+
+    def record_batch(self, size: int, latencies: list[float], *,
+                     failed: bool = False) -> None:
+        """Record one drained batch and its members' queueing latencies."""
+        self.batch_sizes.append(int(size))
+        if failed:
+            self.failed += size
+        else:
+            self.completed += size
+        self.latencies.extend(float(v) for v in latencies)
+
+    def record_modeled(self, seconds: float, kernels: int) -> None:
+        """Accumulate one priced trace (modeled GPU time of a drain)."""
+        self.modeled_seconds += float(seconds)
+        self.modeled_kernels += int(kernels)
+
+    # -- readouts ------------------------------------------------------------
+
+    def batch_histogram(self) -> dict[int, int]:
+        """How many drains ran at each fused batch size."""
+        histogram: dict[int, int] = {}
+        for size in self.batch_sizes:
+            histogram[size] = histogram.get(size, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average fused batch size across all drains (0.0 before any)."""
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Deepest the queue ever got (0 before any sample)."""
+        if not self.queue_depth_samples:
+            return 0
+        return max(depth for _, depth in self.queue_depth_samples)
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile of the queueing latencies (deterministic)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = max(1, math.ceil(fraction * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def p50_latency(self) -> float:
+        """Median queueing latency (simulated seconds)."""
+        return self.latency_percentile(0.50)
+
+    @property
+    def p95_latency(self) -> float:
+        """95th-percentile queueing latency (simulated seconds)."""
+        return self.latency_percentile(0.95)
+
+    def modeled_throughput(self) -> float:
+        """Completed requests per modeled GPU second (0.0 without traces)."""
+        if self.modeled_seconds <= 0.0:
+            return 0.0
+        return self.completed / self.modeled_seconds
+
+    def summary(self) -> dict:
+        """Machine-readable snapshot (benchmark artifacts embed this)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "footprint_fallbacks": self.footprint_fallbacks,
+            "batches": len(self.batch_sizes),
+            "batch_histogram": self.batch_histogram(),
+            "mean_batch_size": self.mean_batch_size,
+            "max_queue_depth": self.max_queue_depth,
+            "p50_latency_s": self.p50_latency,
+            "p95_latency_s": self.p95_latency,
+            "modeled_seconds": self.modeled_seconds,
+            "modeled_kernels": self.modeled_kernels,
+            "modeled_requests_per_sec": self.modeled_throughput(),
+        }
+
+
+__all__ = ["ServeMetrics"]

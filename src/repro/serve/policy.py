@@ -1,0 +1,125 @@
+"""Dynamic-batching policies and the deterministic simulated clock.
+
+A serving deployment trades latency against launch-overhead amortisation:
+waiting longer fills bigger fused batches (fewer kernel launches per
+request, §III-F.1) but delays early arrivals.  :class:`BatchingPolicy`
+expresses that trade-off with three knobs --
+
+* ``max_batch_size``: drain as soon as a bucket can fill a full fused
+  batch (the throughput knob);
+* ``max_wait``: never hold a request longer than this before dispatch,
+  even in a partial batch (the latency knob);
+* ``memory_budget_bytes``: cap the fused ``2·B·L·N`` footprint so a drain
+  can never trip :class:`~repro.core.memory.FusedFootprintError`
+  (the capacity knob) -- the budget arithmetic here mirrors the pre-check
+  in :meth:`~repro.ckks.batch.CiphertextBatch.from_ciphertexts` exactly.
+
+All timing runs on :class:`SimulatedClock`, a deterministic virtual clock
+the caller advances explicitly, so policy behaviour -- and every serving
+test -- is reproducible with no wall-clock flakiness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.serve.bucketing import ShapeKey
+from repro.serve.request import Request
+
+#: Bytes per residue element in the fused stacks (the uint64 fast path).
+ELEMENT_BYTES = 8
+
+
+class SimulatedClock:
+    """A deterministic virtual clock (seconds, monotone, caller-driven)."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (negative steps are rejected)."""
+        if seconds < 0:
+            raise ValueError("the simulated clock cannot run backwards")
+        self._now += float(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to an absolute timestamp (no-op if in the past)."""
+        self._now = max(self._now, float(timestamp))
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(t={self._now:.6g})"
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """When to drain a bucket and how many requests one drain may fuse."""
+
+    max_batch_size: int = 8
+    max_wait: float = 1e-3
+    memory_budget_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if self.max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes < 1:
+            raise ValueError("memory_budget_bytes must be positive when set")
+
+    # -- capacity ------------------------------------------------------------
+
+    def drain_limit(self, key: ShapeKey) -> int:
+        """Most members one drain of this bucket may fuse.
+
+        The memory budget divides by the fused per-member footprint
+        (``2·L·N`` elements: both ciphertext components).  The limit never
+        drops below 1 -- a singleton drain bypasses fusing entirely (the
+        executor runs it on the sequential evaluator), so it needs no
+        fused allocation at all.
+        """
+        limit = self.max_batch_size
+        if self.memory_budget_bytes is not None:
+            member_bytes = 2 * (key.level + 1) * key.ring_degree * ELEMENT_BYTES
+            limit = min(limit, max(1, self.memory_budget_bytes // member_bytes))
+        return limit
+
+    # -- timing --------------------------------------------------------------
+
+    def timeout_of(self, request: Request) -> float:
+        """Latest simulated time this request may wait for more batching."""
+        timeout = request.arrival_time + self.max_wait
+        if request.deadline is not None:
+            timeout = min(timeout, request.deadline)
+        return timeout
+
+    def earliest_timeout(self, requests: Sequence[Request]) -> float:
+        """Soonest dispatch obligation across one bucket's queued requests.
+
+        Arrival order is FIFO but per-request ``deadline`` overrides can
+        make a *newer* request the most urgent, so the whole bucket is
+        consulted, not just its oldest member.
+        """
+        if not requests:
+            raise ValueError("a bucket timeout needs at least one request")
+        return min(self.timeout_of(request) for request in requests)
+
+    def ready(self, *, size: int, target: int, earliest_timeout: float,
+              now: float) -> bool:
+        """Whether a bucket should drain now.
+
+        Either the bucket can fill a full fused batch (``size >= target``)
+        or some member has exhausted its wait budget.
+        """
+        return size >= target or now >= earliest_timeout
+
+
+__all__ = ["BatchingPolicy", "SimulatedClock", "ELEMENT_BYTES"]

@@ -347,3 +347,93 @@ class TestApiSurface:
             assert np.array_equal(
                 traced.c0.stack.data, untraced.c0.stack.data
             )
+
+
+class TestBatchAdjust:
+    """Batched level adjustment: the serving plane's alignment primitive."""
+
+    def test_adjust_matches_sequential_member_by_member(
+            self, evaluator, batch_evaluator, cts_a):
+        batch = CiphertextBatch.from_ciphertexts(cts_a)
+        target = batch.level - 2
+        adjusted = batch_evaluator.adjust(batch, target)
+        sequential = [evaluator.adjust(ct, target) for ct in cts_a]
+        assert_members_identical(adjusted, sequential, label="adjust")
+        assert adjusted.level == target
+
+    def test_mod_reduce_matches_sequential(self, evaluator, batch_evaluator,
+                                           cts_a):
+        batch = CiphertextBatch.from_ciphertexts(cts_a)
+        keep = batch.limb_count - 2
+        reduced = batch_evaluator.mod_reduce(batch, keep)
+        sequential = [evaluator.mod_reduce(ct, keep) for ct in cts_a]
+        assert_members_identical(reduced, sequential, label="mod_reduce")
+
+    def test_adjust_rejects_higher_level(self, batch_evaluator, cts_a):
+        batch = CiphertextBatch.from_ciphertexts(cts_a)
+        lowered = batch_evaluator.adjust(batch, batch.level - 1)
+        with pytest.raises(ValueError, match="higher level"):
+            batch_evaluator.adjust(lowered, lowered.level + 1)
+
+    def test_api_at_level_on_all_three_backends(self, session):
+        rng = np.random.default_rng(23)
+        rows = [rng.uniform(-1, 1, 8) for _ in range(BATCH)]
+        vectors = [session.encrypt(row) for row in rows]
+        target = vectors[0].level - 2
+
+        fused = session.batch(vectors).at_level(target)
+        sequential = [v.at_level(target) for v in vectors]
+        for member, reference in zip(fused.split(), sequential):
+            assert np.array_equal(
+                member.handle.c0.stack.data, reference.handle.c0.stack.data
+            )
+        assert fused.level == target
+
+        cost = session.cost_backend()
+        symbolic = cost.batch_at_level(cost.encrypt_batch(rows), target)
+        assert symbolic.level == target
+        assert symbolic.scale == pytest.approx(fused.scale, rel=1e-9)
+        assert any("Adjust[B=" in name for name, _ in cost.ledger.entries)
+
+        tracing = session.tracing_backend()
+        traced = tracing.batch_at_level(
+            tracing.batch_from([v.handle for v in vectors]), target
+        )
+        for member, reference in zip(traced.split(), sequential):
+            assert np.array_equal(
+                member.c0.stack.data, reference.handle.c0.stack.data
+            )
+
+
+class TestFusedFootprintBudget:
+    """from_ciphertexts refuses over-budget batches before copying."""
+
+    def test_descriptive_error_names_shape_and_budget(self, context):
+        from repro.core.limb import LimbFormat
+        from repro.core.memory import FusedFootprintError, OutOfDeviceMemory
+        from repro.core.rns_poly import RNSPoly
+
+        n = context.ring_degree
+        moduli = context.moduli[:2]
+        # Budget holds the members plus one fused component, not both.
+        pool = MemoryPool(capacity_bytes=11 * n * 8, granularity=1)
+
+        def make_ct():
+            return_polys = [
+                RNSPoly.from_stack(
+                    LimbStack.zeros(n, moduli, pool=pool), LimbFormat.EVALUATION
+                )
+                for _ in range(2)
+            ]
+            from repro.ckks.ciphertext import Ciphertext
+            return Ciphertext(return_polys[0], return_polys[1], 2.0**28, n // 2)
+
+        cts = [make_ct(), make_ct()]  # 8 rows resident, 3 rows free
+        bytes_before = pool.bytes_in_use
+        with pytest.raises(FusedFootprintError) as info:
+            CiphertextBatch.from_ciphertexts(cts)
+        message = str(info.value)
+        assert "B=2" in message and "L=2" in message and f"N={n}" in message
+        assert str(pool.capacity_bytes) in message
+        assert pool.bytes_in_use == bytes_before  # nothing was copied
+        assert isinstance(info.value, OutOfDeviceMemory)

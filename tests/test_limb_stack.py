@@ -18,6 +18,7 @@ from repro.core.limb_stack import LimbStack
 from repro.core.memory import (
     STRATEGY_ARRAY_PER_LIMB,
     STRATEGY_FLATTENED,
+    FusedFootprintError,
     MemoryPool,
     OutOfDeviceMemory,
 )
@@ -202,6 +203,33 @@ class TestPoolAccountingUnderLimbStack:
         resident.release()
         extra = LimbStack.zeros(N, PRIMES[2:], pool=pool)  # fits after release
         assert extra.footprint_bytes() == N * 8
+
+    def test_fuse_over_budget_raises_descriptive_footprint_error(self):
+        # Room for the two members but not for the fused (B*L, N) buffer.
+        pool = MemoryPool(capacity_bytes=3 * N * 8, granularity=1)
+        stacks = [
+            LimbStack.zeros(N, PRIMES[:1], pool=pool),
+            LimbStack.zeros(N, PRIMES[1:2], pool=pool),
+        ]
+        allocations_before = pool.allocation_count
+        with pytest.raises(FusedFootprintError) as info:
+            LimbStack.fuse(stacks, pool=pool)
+        message = str(info.value)
+        assert "B=2" in message and "L=1" in message and f"N={N}" in message
+        assert str(pool.capacity_bytes) in message
+        # The pre-check fired before any allocation or row copying.
+        assert pool.allocation_count == allocations_before
+        # FusedFootprintError still is an OutOfDeviceMemory for old callers.
+        assert isinstance(info.value, OutOfDeviceMemory)
+
+    def test_fuse_fits_exactly_at_the_budget(self):
+        pool = MemoryPool(capacity_bytes=4 * N * 8, granularity=1)
+        stacks = [
+            LimbStack.zeros(N, PRIMES[:1], pool=pool),
+            LimbStack.zeros(N, PRIMES[1:2], pool=pool),
+        ]
+        fused = LimbStack.fuse(stacks, pool=pool)  # 2 + 2 rows == capacity
+        assert fused.num_limbs == 2
 
     def test_limb_copy_stays_pool_charged(self):
         # Satellite fix: copies of pool-charged limbs must not escape
