@@ -31,7 +31,12 @@ from repro.perf.trace_model import TraceCostModel
 #: v3: cross-ciphertext batched-throughput rows (B in {1, 8}) -- modeled GPU
 #: throughput from recorded traces (headline, CI-gated) plus the Python
 #: data-plane wall clock of the same workload for transparency.
-BENCH_SCHEMA_VERSION = 3
+#: v4: device-count rows -- the B=8 batched trace member-sharded across
+#: D in {1, 2, 4} modeled devices (the cluster plane), makespan per D.
+BENCH_SCHEMA_VERSION = 4
+
+#: Device counts of the member-shard rows (the cluster plane).
+DEVICE_COUNTS = (1, 2, 4)
 
 #: Ring size of the batched-throughput headline (the acceptance pins 2^13).
 BATCH_RING_LOG2 = 13
@@ -217,6 +222,51 @@ def run_batch_throughput(table: BenchmarkTable, *, ring_log2: int = BATCH_RING_L
     return speedups
 
 
+def run_cluster_rows(table: BenchmarkTable, *, ring_log2: int = BATCH_RING_LOG2,
+                     depth: int = 6, batch_size: int = 8,
+                     device_counts=DEVICE_COUNTS) -> dict[int, float]:
+    """Member-shard the B=8 batched trace across D modeled devices.
+
+    One row per device count: the fused HMult+rescale trace rewritten by
+    :class:`~repro.cluster.sharding.MemberShardPlan` over a PCIe box of
+    RTX 4090s and priced on the multi-device scheduler.  D=1 is the
+    single-device baseline the speedups are relative to.
+    """
+    from repro.cluster import MemberShardPlan, pcie_box, single_device
+
+    params = quick_params(ring_log2, depth)
+    session = CKKSSession.create(params, seed=3, register_default=False)
+    rng = np.random.default_rng(0)
+    vectors_a = [session.encrypt(rng.uniform(-1, 1, 16)) for _ in range(batch_size)]
+    vectors_b = [session.encrypt(rng.uniform(-1, 1, 16)) for _ in range(batch_size)]
+    batch_a = session.batch(vectors_a)
+    batch_b = session.batch(vectors_b)
+    with session.trace() as trace:
+        batch_a * batch_b
+    makespans: dict[int, float] = {}
+    for device_count in device_counts:
+        topology = (
+            single_device(GPU_RTX_4090) if device_count == 1
+            else pcie_box(device_count, platform=GPU_RTX_4090)
+        )
+        pricer = TraceCostModel(GPU_RTX_4090, topology=topology)
+        plan = MemberShardPlan(topology, batch_size)
+        report = pricer.price(plan.apply(trace), streams=1)
+        makespans[device_count] = report.makespan
+        table.add_row(
+            operation=f"member-sharded batched HMult+rescale [modeled "
+                      f"{report.platform}, B={batch_size}, D={device_count}, "
+                      f"N=2^{ring_log2}]",
+            seconds=round(report.makespan, 9),
+            ops_per_sec=round(batch_size / report.makespan, 3),
+            kernels=report.kernel_count,
+            speedup_vs_one_device=round(
+                makespans[device_counts[0]] / report.makespan, 4
+            ),
+        )
+    return makespans
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_quick.json",
@@ -232,6 +282,7 @@ def main() -> None:
 
     table = run(args.ring_log2, args.depth)
     speedups = run_batch_throughput(table, depth=args.depth)
+    run_cluster_rows(table, depth=args.depth)
     params = quick_params(args.ring_log2, args.depth)
     document = table.to_json(
         schema_version=BENCH_SCHEMA_VERSION,

@@ -355,7 +355,7 @@ class CKKSSession:
     # ------------------------------------------------------------------
 
     def server(self, policy=None, *, backend=None, clock=None, metrics=None,
-               trace_costs=None):
+               trace_costs=None, cluster=None, shard_drains=False):
         """A dynamic-batching server over this session (the serving plane).
 
         Returns a :class:`repro.serve.Server`: a shape-bucketed request
@@ -377,12 +377,18 @@ class CKKSSession:
         ``session.cost_backend()`` serves symbolically); ``trace_costs``
         (a :class:`~repro.perf.trace_model.TraceCostModel`) prices every
         drained batch's recorded kernel stream into the server metrics.
+        ``cluster`` (a :class:`~repro.cluster.topology.ClusterTopology`)
+        serves across a device cluster -- buckets are placed round-robin
+        on devices and metrics report per-device utilisation; add
+        ``shard_drains=True`` to member-shard every multi-request drain
+        across all devices (execution stays bit-identical).
         """
         from repro.serve import Server
 
         return Server(
             backend if backend is not None else self.backend,
             policy, clock=clock, metrics=metrics, trace_costs=trace_costs,
+            cluster=cluster, shard_drains=shard_drains,
         )
 
     # ------------------------------------------------------------------

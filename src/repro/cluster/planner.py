@@ -1,0 +1,121 @@
+"""Cost-model-driven shard planning: member-shard vs limb-shard crossover.
+
+The planner prices both :class:`~repro.cluster.sharding.ShardPlan`
+strategies for a recorded trace on a given
+:class:`~repro.cluster.topology.ClusterTopology` and picks the cheaper
+one.  The trade-off it quantifies:
+
+* **member-shard** has zero communication but needs ``B ≥ D`` members to
+  fill the cluster, and its per-device kernels shrink with ``1/D`` (worse
+  launch amortisation);
+* **limb-shard** parallelises even a single ciphertext, but pays an
+  all-gather over the interconnect at every base-conversion boundary --
+  a cost that scales with ``D·(D-1)`` transfers per boundary and inversely
+  with link bandwidth.
+
+Pricing both per batch size yields the **crossover**: the smallest batch
+at which member sharding beats limb sharding on this topology.  On a
+slow-link (PCIe) box the crossover is at ``B = 1`` or 2 -- member-shard
+nearly everywhere; on an NVLink box limb-shard holds on longer for small
+batches.  As link bandwidth tends to zero, limb-shard transfers dominate
+and member-shard wins at every batch size (the monotonicity the tests
+pin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.cluster.sharding import LimbShardPlan, MemberShardPlan, ShardPlan
+from repro.cluster.topology import ClusterTopology
+from repro.perf.trace_model import TraceCostModel, TraceReport
+
+
+@dataclass(frozen=True)
+class PlanComparison:
+    """Priced member-shard vs limb-shard makespans for one batch size."""
+
+    batch_size: int
+    member_makespan: float
+    limb_makespan: float
+
+    @property
+    def winner(self) -> str:
+        """The cheaper strategy (``"member"`` or ``"limb"``)."""
+        return "member" if self.member_makespan <= self.limb_makespan else "limb"
+
+    @property
+    def advantage(self) -> float:
+        """Makespan ratio of the losing plan over the winning one (≥ 1)."""
+        lo = min(self.member_makespan, self.limb_makespan)
+        hi = max(self.member_makespan, self.limb_makespan)
+        return hi / lo if lo > 0 else float("inf")
+
+    def summary(self) -> dict:
+        """Machine-readable row (benchmark crossover tables)."""
+        return {
+            "batch_size": self.batch_size,
+            "member_makespan_s": self.member_makespan,
+            "limb_makespan_s": self.limb_makespan,
+            "winner": self.winner,
+        }
+
+
+class ShardPlanner:
+    """Prices shard plans for a topology and predicts the crossover."""
+
+    def __init__(self, topology: ClusterTopology, *,
+                 streams: int | None = None) -> None:
+        self.topology = topology
+        self.cost_model = TraceCostModel(
+            topology.devices[0], streams=streams, topology=topology
+        )
+
+    def price(self, trace, plan: ShardPlan) -> TraceReport:
+        """Price one plan: shard the trace, then cost the multi-device DAG."""
+        return self.cost_model.price(plan.apply(trace))
+
+    def compare(self, trace, batch_size: int) -> PlanComparison:
+        """Price both strategies for one recorded trace of ``batch_size``."""
+        member = MemberShardPlan(self.topology, batch_size)
+        limb = LimbShardPlan(self.topology)
+        return PlanComparison(
+            batch_size=batch_size,
+            member_makespan=self.price(trace, member).makespan,
+            limb_makespan=self.price(trace, limb).makespan,
+        )
+
+    def crossover(self, traces: Mapping[int, object]) -> dict:
+        """Predict the member-vs-limb crossover from per-batch traces.
+
+        ``traces`` maps batch size ``B`` to a trace recorded at that batch
+        size.  Returns the per-B comparisons plus ``crossover_batch`` --
+        the smallest B where member sharding wins (``None`` when limb
+        sharding wins everywhere).
+        """
+        comparisons = [
+            self.compare(trace, batch)
+            for batch, trace in sorted(traces.items())
+        ]
+        crossover_batch = next(
+            (c.batch_size for c in comparisons if c.winner == "member"), None
+        )
+        return {
+            "topology": self.topology.describe(),
+            "comparisons": comparisons,
+            "crossover_batch": crossover_batch,
+        }
+
+    def place_buckets(self, buckets: Sequence[object]) -> dict[object, int]:
+        """Assign serving buckets to devices round-robin (deterministic).
+
+        Whole-bucket placement is the member-shard philosophy applied at
+        the serving layer: buckets are independent, so spreading them over
+        devices costs no communication.
+        """
+        count = self.topology.device_count
+        return {bucket: i % count for i, bucket in enumerate(buckets)}
+
+
+__all__ = ["ShardPlanner", "PlanComparison"]

@@ -1,0 +1,211 @@
+"""Shard plans: rewrite a single-device kernel trace for a device cluster.
+
+A :class:`ShardPlan` consumes a trace recorded from the real (single
+device) execution plane and produces a new multi-device
+:class:`~repro.core.dispatch.KernelTrace` whose kernels carry device tags
+and, where the plan requires communication, explicit
+:class:`~repro.gpu.kernel.TransferKernel` events with dependency edges.
+The two strategies mirror the two parallel axes the stack already has:
+
+**Member sharding** (:class:`MemberShardPlan`) splits the *batch*
+dimension of PR 4's fused ``(B·L, N)`` kernels: device ``d`` holds
+``members_d`` of the ``B`` ciphertexts and runs the same kernel sequence
+over its slice.  Every kernel is copied once per device with its byte/op
+volumes scaled by ``members_d / B``; dependency edges stay within each
+device and **no transfers exist** -- member sharding is embarrassingly
+parallel in steady state, its only cost is that per-device kernels shrink
+(losing launch amortisation and some cache efficiency).
+
+**Limb sharding** (:class:`LimbShardPlan`) splits the *RNS limb* rows of
+one ciphertext ``1/D`` per device.  Element-wise and NTT kernels are
+row-parallel and shard cleanly, but the fast-base-conversion kernels of
+ModUp / key-switching (Equation 1) read **every** source limb to produce
+each target limb, so ahead of every base-conversion kernel the plan
+inserts an all-gather: each device sends its ``1/D`` slice of the kernel's
+input to every other device over the interconnect, and the per-device
+conversion kernels read the full gathered input (full ``bytes_read``,
+``1/D`` of the outputs).  Those transfers are the communication cost the
+planner weighs against member sharding.
+
+Base-conversion events are identified structurally: they are the only
+kernels built by :func:`repro.gpu.kernel.base_conversion_kernel`, whose
+names carry the ``source->target`` limb signature (``"->"``).
+
+Both rewrites are deterministic: events are processed in trace order and
+devices in index order, so applying the same plan to the same trace twice
+yields identical event streams (a property the tests pin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.dispatch import KernelTrace
+from repro.gpu.kernel import Kernel, transfer_kernel
+from repro.cluster.topology import ClusterTopology
+
+
+def member_partition(total: int, device_count: int) -> list[int]:
+    """Partition ``total`` members over devices, contiguous and near-equal.
+
+    The first ``total % device_count`` devices get one extra member, so
+    e.g. 8 members over 3 devices → ``[3, 3, 2]``.  Deterministic; devices
+    past ``total`` get zero members.
+    """
+    if total < 0:
+        raise ValueError("cannot partition a negative member count")
+    if device_count < 1:
+        raise ValueError("at least one device is required")
+    base, extra = divmod(total, device_count)
+    return [base + (1 if d < extra else 0) for d in range(device_count)]
+
+
+def _fraction_of(kernel: Kernel, fraction: float, device: int,
+                 *, full_read: bool = False) -> Kernel:
+    """A per-device copy of ``kernel`` owning ``fraction`` of its rows.
+
+    ``full_read`` marks the base-conversion case where the device reads the
+    complete (gathered) input but produces -- and computes -- only its
+    share of the target limbs (Equation 1's MAC count scales with target
+    rows).  Launch counts are *not* scaled: each device issues its own
+    launches, which is exactly the launch-amortisation loss of sharding.
+    """
+    return replace(
+        kernel,
+        bytes_read=kernel.bytes_read * (1.0 if full_read else fraction),
+        bytes_written=kernel.bytes_written * fraction,
+        int_ops=kernel.int_ops * fraction,
+        working_set_bytes=kernel.working_set_bytes * fraction,
+        device=device,
+    )
+
+
+def _is_base_conversion(kernel: Kernel) -> bool:
+    """True for fast-base-conversion kernels (the all-gather boundaries)."""
+    return "->" in kernel.name
+
+
+def _transfer_scope(scope: str) -> str:
+    return f"{scope}/xfer" if scope else "xfer"
+
+
+class ShardPlan:
+    """Base class: a strategy for spreading one trace over a cluster."""
+
+    strategy = "none"
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self.topology = topology
+
+    @property
+    def device_count(self) -> int:
+        """Number of devices the plan shards over."""
+        return self.topology.device_count
+
+    def apply(self, trace: KernelTrace) -> KernelTrace:
+        """Rewrite a single-device trace into a sharded multi-device one."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """Machine-readable plan summary (benchmark artifacts)."""
+        return {"strategy": self.strategy, "topology": self.topology.describe()}
+
+
+class MemberShardPlan(ShardPlan):
+    """Partition the batch members of a fused trace across devices.
+
+    ``batch_size`` is the ``B`` of the recorded fused ``(B·L, N)`` trace;
+    device ``d`` receives ``member_partition(B, D)[d]`` members and runs
+    kernels scaled to its share.  No communication is inserted.
+    """
+
+    strategy = "member"
+
+    def __init__(self, topology: ClusterTopology, batch_size: int) -> None:
+        super().__init__(topology)
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        self.batch_size = batch_size
+        self.members = member_partition(batch_size, topology.device_count)
+
+    def apply(self, trace: KernelTrace) -> KernelTrace:
+        sharded = KernelTrace()
+        # new_index[i][d] -> index of event i's copy on device d
+        new_index: list[dict[int, int]] = []
+        active = [d for d, m in enumerate(self.members) if m > 0]
+        for event in trace:
+            copies: dict[int, int] = {}
+            for d in active:
+                fraction = self.members[d] / self.batch_size
+                kernel = _fraction_of(event.kernel, fraction, d)
+                deps = [new_index[j][d] for j in event.deps]
+                copies[d] = sharded.append(kernel, scope=event.scope, deps=deps).index
+            new_index.append(copies)
+        return sharded
+
+    def describe(self) -> dict:
+        summary = super().describe()
+        summary["batch_size"] = self.batch_size
+        summary["members_per_device"] = list(self.members)
+        return summary
+
+
+class LimbShardPlan(ShardPlan):
+    """Partition the RNS limb rows of a trace ``1/D`` per device.
+
+    Row-parallel kernels shard cleanly; every base-conversion kernel is
+    preceded by an all-gather of its input (one transfer per ordered device
+    pair, ``bytes_read / D`` each), after which the per-device conversion
+    kernels read the full gathered input and write their ``1/D`` of the
+    outputs.
+    """
+
+    strategy = "limb"
+
+    def apply(self, trace: KernelTrace) -> KernelTrace:
+        sharded = KernelTrace()
+        count = self.device_count
+        fraction = 1.0 / count
+        new_index: list[dict[int, int]] = []
+        for event in trace:
+            copies: dict[int, int] = {}
+            if count > 1 and _is_base_conversion(event.kernel):
+                # All-gather: each device broadcasts its slice of the
+                # kernel's input to every peer before converting.
+                payload = event.kernel.bytes_read * fraction
+                gathers: dict[int, list[int]] = {d: [] for d in range(count)}
+                for src in range(count):
+                    src_deps = [new_index[j][src] for j in event.deps]
+                    for dst in range(count):
+                        if dst == src:
+                            continue
+                        xfer = transfer_kernel("allgather", payload, src, dst)
+                        index = sharded.append(
+                            xfer,
+                            scope=_transfer_scope(event.scope),
+                            deps=src_deps,
+                        ).index
+                        gathers[dst].append(index)
+                for d in range(count):
+                    kernel = _fraction_of(event.kernel, fraction, d, full_read=True)
+                    deps = [new_index[j][d] for j in event.deps] + gathers[d]
+                    copies[d] = sharded.append(
+                        kernel, scope=event.scope, deps=deps
+                    ).index
+            else:
+                for d in range(count):
+                    kernel = _fraction_of(event.kernel, fraction, d)
+                    deps = [new_index[j][d] for j in event.deps]
+                    copies[d] = sharded.append(
+                        kernel, scope=event.scope, deps=deps
+                    ).index
+            new_index.append(copies)
+        return sharded
+
+
+__all__ = [
+    "ShardPlan",
+    "MemberShardPlan",
+    "LimbShardPlan",
+    "member_partition",
+]

@@ -1,0 +1,202 @@
+"""Cluster topologies: devices joined by interconnect links.
+
+A :class:`ClusterTopology` is N :class:`~repro.gpu.platforms.ComputePlatform`
+devices plus an :class:`InterconnectLink` descriptor (bandwidth GB/s +
+latency µs) per device pair.  Links are the serial resources the
+multi-device stream scheduler contends on: two transfers over the same
+``{a, b}`` pair never overlap, while transfers over disjoint pairs do.
+
+The two presets cover the deployments the paper's multi-GPU discussion
+contrasts: an NVLink box (the communication-friendly regime where
+limb-sharding a single ciphertext can pay off) and a PCIe box (where the
+all-gather at every key-switch boundary makes member-sharding win almost
+everywhere).  Both are parameterised by any Table IV GPU from
+:mod:`repro.gpu.platforms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.gpu.platforms import ComputePlatform, GPU_V100, GPU_RTX_4090
+
+
+@dataclass(frozen=True)
+class InterconnectLink:
+    """One device-to-device interconnect: bandwidth plus per-copy latency.
+
+    Attributes
+    ----------
+    name:
+        Interconnect generation label (``"NVLink"``, ``"PCIe 4.0 x16"``).
+    bandwidth_gbps:
+        Unidirectional bandwidth in GB/s.
+    latency_us:
+        Fixed per-transfer latency (copy-engine setup + hop latency).
+    """
+
+    name: str
+    bandwidth_gbps: float
+    latency_us: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.latency_us < 0:
+            raise ValueError("link latency cannot be negative")
+
+    @property
+    def bytes_per_s(self) -> float:
+        """Unidirectional link bandwidth in bytes per second."""
+        return self.bandwidth_gbps * 1e9
+
+    @property
+    def latency_s(self) -> float:
+        """Per-transfer latency in seconds."""
+        return self.latency_us * 1e-6
+
+    def transfer_time(self, payload_bytes: float) -> float:
+        """Seconds one transfer of ``payload_bytes`` occupies this link."""
+        if payload_bytes <= 0:
+            return 0.0
+        return self.latency_s + payload_bytes / self.bytes_per_s
+
+    def scaled(self, bandwidth_factor: float) -> "InterconnectLink":
+        """A copy with bandwidth scaled (for planner bandwidth sweeps)."""
+        return InterconnectLink(
+            name=f"{self.name} x{bandwidth_factor:g}",
+            bandwidth_gbps=self.bandwidth_gbps * bandwidth_factor,
+            latency_us=self.latency_us,
+        )
+
+
+#: NVLink 2.0-class point-to-point link (V100 SXM boxes).
+NVLINK = InterconnectLink("NVLink", bandwidth_gbps=300.0, latency_us=2.0)
+
+#: PCIe 4.0 x16 peer-to-peer (workstation multi-GPU, RTX-class boards).
+PCIE_4_X16 = InterconnectLink("PCIe 4.0 x16", bandwidth_gbps=32.0, latency_us=5.0)
+
+
+class ClusterTopology:
+    """N compute devices plus an interconnect link per device pair.
+
+    ``links`` maps unordered device-index pairs to
+    :class:`InterconnectLink` descriptors; pairs not named fall back to
+    ``default_link``.  A single-device topology needs no links at all and
+    makes every multi-device code path degenerate to the existing
+    single-GPU behaviour.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[ComputePlatform],
+        *,
+        default_link: InterconnectLink | None = None,
+        links: Mapping[tuple[int, int], InterconnectLink] | None = None,
+        name: str = "",
+    ) -> None:
+        self.devices: tuple[ComputePlatform, ...] = tuple(devices)
+        if not self.devices:
+            raise ValueError("a cluster topology needs at least one device")
+        self.default_link = default_link
+        self._links: dict[tuple[int, int], InterconnectLink] = {}
+        for pair, link in (links or {}).items():
+            a, b = int(pair[0]), int(pair[1])
+            if a == b:
+                raise ValueError(f"a device cannot link to itself ({a})")
+            self._links[(min(a, b), max(a, b))] = link
+        self.name = name or f"{self.device_count}x {self.devices[0].name}"
+
+    @property
+    def device_count(self) -> int:
+        """Number of devices in the cluster."""
+        return len(self.devices)
+
+    def device(self, index: int) -> ComputePlatform:
+        """The platform of one device (with a range-checked error)."""
+        if not 0 <= index < self.device_count:
+            raise IndexError(
+                f"device {index} does not exist; topology {self.name!r} has "
+                f"devices 0..{self.device_count - 1}"
+            )
+        return self.devices[index]
+
+    def link(self, a: int, b: int) -> InterconnectLink:
+        """The link joining devices ``a`` and ``b`` (order-insensitive)."""
+        self.device(a), self.device(b)
+        if a == b:
+            raise ValueError(
+                f"device {a} needs no link to itself; same-device transfers "
+                f"are no-ops"
+            )
+        pair = (min(a, b), max(a, b))
+        found = self._links.get(pair, self.default_link)
+        if found is None:
+            raise KeyError(
+                f"topology {self.name!r} has no link between devices {a} and "
+                f"{b} and no default link"
+            )
+        return found
+
+    def with_link(self, link: InterconnectLink) -> "ClusterTopology":
+        """A copy of this topology with every pair joined by ``link``."""
+        return ClusterTopology(
+            self.devices, default_link=link,
+            name=f"{self.device_count}x {self.devices[0].name} / {link.name}",
+        )
+
+    def describe(self) -> dict:
+        """Machine-readable topology summary (benchmark artifacts)."""
+        return {
+            "name": self.name,
+            "devices": [p.name for p in self.devices],
+            "default_link": (
+                {
+                    "name": self.default_link.name,
+                    "bandwidth_gbps": self.default_link.bandwidth_gbps,
+                    "latency_us": self.default_link.latency_us,
+                }
+                if self.default_link is not None
+                else None
+            ),
+        }
+
+    def __repr__(self) -> str:
+        return f"ClusterTopology({self.name!r}, devices={self.device_count})"
+
+
+def single_device(platform: ComputePlatform) -> ClusterTopology:
+    """A degenerate one-device topology (the existing single-GPU model)."""
+    return ClusterTopology([platform], name=f"1x {platform.name}")
+
+
+def nvlink_box(device_count: int = 4,
+               platform: ComputePlatform = GPU_V100,
+               link: InterconnectLink = NVLINK) -> ClusterTopology:
+    """An all-to-all NVLink box of identical Table IV GPUs."""
+    return ClusterTopology(
+        [platform] * device_count, default_link=link,
+        name=f"{device_count}x {platform.name} / {link.name}",
+    )
+
+
+def pcie_box(device_count: int = 4,
+             platform: ComputePlatform = GPU_RTX_4090,
+             link: InterconnectLink = PCIE_4_X16) -> ClusterTopology:
+    """A PCIe workstation box of identical Table IV GPUs."""
+    return ClusterTopology(
+        [platform] * device_count, default_link=link,
+        name=f"{device_count}x {platform.name} / {link.name}",
+    )
+
+
+__all__ = [
+    "InterconnectLink",
+    "ClusterTopology",
+    "NVLINK",
+    "PCIE_4_X16",
+    "single_device",
+    "nvlink_box",
+    "pcie_box",
+]

@@ -165,9 +165,16 @@ class KernelTrace:
         scope: str = "",
         reads: Sequence[np.ndarray] = (),
         writes: Sequence[np.ndarray] = (),
+        device: int = 0,
     ) -> TraceEvent:
-        """Append one kernel, deriving dependency edges from byte intervals."""
+        """Append one kernel, deriving dependency edges from byte intervals.
+
+        ``device`` stamps the kernel with the cluster device that launches
+        it (0 in the single-GPU model); per-device drains in the serving
+        plane record with the bucket's home device.
+        """
         index = len(self.events)
+        kernel.device = device
         deps: set[int] = set()
         read_tokens: dict[int, None] = {}
         write_spans: list[tuple[_BufferState, int, int]] = []
@@ -196,6 +203,38 @@ class KernelTrace:
             reads=tuple(read_tokens),
             writes=tuple(write_tokens),
             deps=tuple(sorted(deps)),
+        )
+        self.events.append(event)
+        return event
+
+    def append(
+        self,
+        kernel: Kernel,
+        *,
+        scope: str = "",
+        deps: Sequence[int] = (),
+    ) -> TraceEvent:
+        """Append one kernel with explicit dependency edges (no buffers).
+
+        This is the rewriting entry point used by
+        :class:`repro.cluster.sharding.ShardPlan`: a shard plan synthesises
+        per-device kernel copies and transfer kernels from an existing
+        trace, where dependencies are already known as event indices rather
+        than live arrays.  ``deps`` must reference earlier events.
+        """
+        index = len(self.events)
+        if any(d >= index or d < 0 for d in deps):
+            raise ValueError(
+                f"event {index} cannot depend on {tuple(deps)}; dependencies "
+                f"must reference earlier events"
+            )
+        event = TraceEvent(
+            index=index,
+            kernel=kernel,
+            scope=scope,
+            reads=(),
+            writes=(),
+            deps=tuple(sorted(set(deps))),
         )
         self.events.append(event)
         return event
@@ -334,6 +373,25 @@ class _SuppressGuard:
         return False
 
 
+class _DeviceGuard:
+    """Sets/restores the active device tag (tracing only)."""
+
+    __slots__ = ("_dispatcher", "_device", "_previous")
+
+    def __init__(self, dispatcher: "Dispatcher", device: int) -> None:
+        self._dispatcher = dispatcher
+        self._device = device
+        self._previous = 0
+
+    def __enter__(self) -> None:
+        self._previous = self._dispatcher._device
+        self._dispatcher._device = self._device
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._dispatcher._device = self._previous
+        return False
+
+
 class Dispatcher:
     """Routes batched data-plane operations, optionally recording a trace.
 
@@ -349,6 +407,7 @@ class Dispatcher:
         self._trace: KernelTrace | None = None
         self._scopes: list[str] = []
         self._suppress: int = 0
+        self._device: int = 0
 
     # -- state ---------------------------------------------------------------
 
@@ -396,6 +455,20 @@ class Dispatcher:
             return _NULL_CONTEXT
         return _SuppressGuard(self)
 
+    def on_device(self, device: int):
+        """Tag kernels emitted in the with-block with a cluster device.
+
+        The serving plane wraps each bucket drain in the bucket's home
+        device, so a recorded multi-bucket trace carries real placement.
+        Zero-allocation no-op when no trace is active (the device tag only
+        matters to recorded kernels).  Blocks nest; the innermost wins.
+        """
+        if self._trace is None:
+            return _NULL_CONTEXT
+        if device < 0:
+            raise ValueError(f"device index cannot be negative (got {device})")
+        return _DeviceGuard(self, device)
+
     def _scope_path(self) -> str:
         return "/".join(self._scopes)
 
@@ -411,7 +484,8 @@ class Dispatcher:
         """Record a pre-built kernel descriptor."""
         if self._trace is None or self._suppress:
             return
-        self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes)
+        self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes,
+                        device=self._device)
 
     def elementwise(
         self,
@@ -439,7 +513,8 @@ class Dispatcher:
             ops_per_element=ops_per_element,
             reuse=reuse,
         )
-        self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes)
+        self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes,
+                        device=self._device)
 
     def transform(
         self,
@@ -457,7 +532,8 @@ class Dispatcher:
         if cols is None:
             cols = int(np.asarray(writes[0]).shape[-1])
         kernel = ntt_kernel(tag, rows, cols, fused_ops_per_element=fused_ops_per_element)
-        self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes)
+        self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes,
+                        device=self._device)
 
     def base_conversion(
         self,
@@ -475,7 +551,8 @@ class Dispatcher:
         if cols is None:
             cols = int(np.asarray(writes[0]).shape[-1])
         kernel = base_conversion_kernel(tag, source_limbs, target_limbs, cols)
-        self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes)
+        self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes,
+                        device=self._device)
 
     def copy(
         self,

@@ -166,6 +166,21 @@ ALL_PLATFORMS = (CPU_RYZEN_9_7900,) + ALL_GPUS
 PLATFORMS_BY_NAME = {p.name: p for p in ALL_PLATFORMS}
 
 
+def platform(name: str) -> ComputePlatform:
+    """Look up a Table IV platform by its figure short name.
+
+    Raises a descriptive ``KeyError`` naming every available platform when
+    the name is unknown (a bare dict miss would only echo the bad key).
+    """
+    try:
+        return PLATFORMS_BY_NAME[name]
+    except KeyError:
+        available = ", ".join(sorted(PLATFORMS_BY_NAME))
+        raise KeyError(
+            f"unknown compute platform {name!r}; available platforms: {available}"
+        ) from None
+
+
 def platform_table() -> list[dict]:
     """Return Table IV as a list of row dictionaries (used by the bench)."""
     rows = []
@@ -195,5 +210,6 @@ __all__ = [
     "ALL_GPUS",
     "ALL_PLATFORMS",
     "PLATFORMS_BY_NAME",
+    "platform",
     "platform_table",
 ]

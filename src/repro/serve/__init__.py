@@ -41,6 +41,14 @@ inherit the throughput plane's member-by-member bit-identity contract, and
 singleton drains literally *are* the sequential path.  The server speaks
 only the :class:`~repro.api.backend.EvaluationBackend` surface, so the
 same serving loop runs functionally, symbolically (cost model) or traced.
+
+The cluster plane (:mod:`repro.cluster`) extends the server past one GPU:
+pass ``cluster=`` a :class:`~repro.cluster.topology.ClusterTopology` and
+buckets are placed round-robin across devices (drains record and are
+priced under their home device; :class:`ServeMetrics` reports per-device
+utilisation and a cluster-makespan throughput), or ``shard_drains=True``
+to member-shard each drain across all devices -- still bit-identical,
+since every shard runs the same fused execution on its member slice.
 """
 
 from repro.serve.bucketing import BucketQueue, ShapeKey, shape_key_of

@@ -24,6 +24,7 @@ speaks the :class:`~repro.api.backend.EvaluationBackend` surface.
 
 from __future__ import annotations
 
+import copy
 from typing import Sequence
 
 from repro.api.backend import as_backend
@@ -63,6 +64,44 @@ class BatchExecutor:
         except FusedFootprintError:
             return [program(v) for v in vectors], True
 
+    def execute_sharded(
+        self,
+        program: OpProgram,
+        vectors: Sequence[CipherVector],
+        device_count: int,
+    ) -> tuple[list[CipherVector], bool, tuple[int, ...]]:
+        """Member-shard one drain across ``device_count`` devices.
+
+        The members are partitioned contiguously
+        (:func:`~repro.cluster.sharding.member_partition`) and each shard
+        runs the normal fused/sequential path under the shard's device tag,
+        so a recorded trace carries real placement.  Results come back in
+        submission order; because every shard is the same bit-identical
+        batched execution, the concatenation is bit-identical to a
+        single-device drain.  Returns ``(results, fell_back, devices)``
+        with the devices that received members.
+        """
+        from repro.cluster.sharding import member_partition
+
+        vectors = list(vectors)
+        members = member_partition(len(vectors), device_count)
+        dispatcher = get_dispatcher()
+        results: list[CipherVector] = []
+        fell_back = False
+        devices: list[int] = []
+        offset = 0
+        for device, count in enumerate(members):
+            if count == 0:
+                continue
+            shard = vectors[offset:offset + count]
+            offset += count
+            devices.append(device)
+            with dispatcher.on_device(device):
+                shard_results, shard_fell_back = self.execute(program, shard)
+            results.extend(shard_results)
+            fell_back = fell_back or shard_fell_back
+        return results, fell_back, tuple(devices)
+
 
 class Server:
     """A shape-bucketed, dynamically-batched front end over one backend.
@@ -78,19 +117,46 @@ class Server:
     to record each drain's kernel stream from the execution plane and
     accumulate its modeled GPU time in :attr:`metrics` -- only meaningful
     on backends that drive the real data plane.
+
+    Pass ``cluster`` (a :class:`~repro.cluster.topology.ClusterTopology`)
+    to serve on a device cluster: buckets get home devices round-robin in
+    creation order (the planner's whole-bucket placement), drains record
+    under their bucket's device tag, modeled time is attributed per device
+    and :attr:`metrics` reports per-device utilisation.  With
+    ``shard_drains=True`` each multi-request drain is additionally
+    member-sharded across all devices (still bit-identical -- every shard
+    is the same fused execution over a slice of the members).
     """
 
     def __init__(self, backend, policy: BatchingPolicy | None = None, *,
                  clock: SimulatedClock | None = None,
                  metrics: ServeMetrics | None = None,
-                 trace_costs=None) -> None:
+                 trace_costs=None,
+                 cluster=None,
+                 shard_drains: bool = False) -> None:
         self.backend = as_backend(backend)
         self.policy = policy if policy is not None else BatchingPolicy()
         self.clock = clock if clock is not None else SimulatedClock()
         self.metrics = metrics if metrics is not None else ServeMetrics()
+        if (
+            cluster is not None
+            and trace_costs is not None
+            and getattr(trace_costs, "topology", None) is None
+        ):
+            # Pricing a multi-device serving trace needs the interconnect;
+            # shallow-copy so the caller's model keeps its configuration.
+            trace_costs = copy.copy(trace_costs)
+            trace_costs.topology = cluster
         self.trace_costs = trace_costs
+        self.cluster = cluster
+        self.shard_drains = shard_drains and (
+            cluster is not None and cluster.device_count > 1
+        )
         self.queue = BucketQueue()
         self.executor = BatchExecutor(self.backend)
+        #: Bucket home devices, assigned round-robin in bucket-creation
+        #: order (the planner's whole-bucket placement).
+        self.placements: dict[ShapeKey, int] = {}
 
     # -- intake --------------------------------------------------------------
 
@@ -109,6 +175,8 @@ class Server:
         key = shape_key_of(
             request, default_ring_degree=self.backend.params.ring_degree
         )
+        if self.cluster is not None and key not in self.placements:
+            self.placements[key] = len(self.placements) % self.cluster.device_count
         self.queue.push(key, request)
         self.metrics.submitted += 1
         self.metrics.observe_queue_depth(now, self.queue.depth)
@@ -191,22 +259,38 @@ class Server:
 
     # -- execution -----------------------------------------------------------
 
+    def _run(self, program: OpProgram, vectors: list[CipherVector],
+             home: int) -> tuple[list[CipherVector], bool, tuple[int, ...]]:
+        """Execute one drain on its home device (or member-sharded)."""
+        if self.shard_drains and len(vectors) > 1:
+            return self.executor.execute_sharded(
+                program, vectors, self.cluster.device_count
+            )
+        with get_dispatcher().on_device(home):
+            results, fell_back = self.executor.execute(program, vectors)
+        return results, fell_back, (home,)
+
     def _execute(self, key: ShapeKey, requests: list[Request],
                  now: float) -> list[Request]:
         """Run one drained bucket, resolve its requests, update metrics."""
         vectors = [request.vector for request in requests]
         size = len(requests)
+        home = self.placements.get(key, 0)
         results: list[CipherVector] | None = None
         fell_back = False
         error: Exception | None = None
         try:
             if self.trace_costs is not None:
                 with get_dispatcher().record() as trace:
-                    results, fell_back = self.executor.execute(key.program, vectors)
+                    results, fell_back, devices = self._run(
+                        key.program, vectors, home
+                    )
                 report = self.trace_costs.price(trace, streams=1)
-                self.metrics.record_modeled(report.makespan, report.kernel_count)
+                self.metrics.record_modeled(
+                    report.makespan, report.kernel_count, devices=devices
+                )
             else:
-                results, fell_back = self.executor.execute(key.program, vectors)
+                results, fell_back, _ = self._run(key.program, vectors, home)
         except Exception as exc:  # program errors fail the drain, not the server
             error = exc
         latencies = [now - request.arrival_time for request in requests]
@@ -233,6 +317,10 @@ class Server:
             },
             "clock": self.clock.now(),
             "pending": self.pending,
+            "cluster": (
+                self.cluster.describe() if self.cluster is not None else None
+            ),
+            "shard_drains": self.shard_drains,
             "metrics": self.metrics.summary(),
         }
 

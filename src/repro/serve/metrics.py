@@ -33,6 +33,9 @@ class ServeMetrics:
     queue_depth_samples: list[tuple[float, int]] = field(default_factory=list)
     modeled_seconds: float = 0.0
     modeled_kernels: int = 0
+    #: Modeled GPU seconds attributed to each cluster device ({0: total}
+    #: when serving single-device).
+    device_seconds: dict[int, float] = field(default_factory=dict)
 
     # -- recording -----------------------------------------------------------
 
@@ -50,10 +53,23 @@ class ServeMetrics:
             self.completed += size
         self.latencies.extend(float(v) for v in latencies)
 
-    def record_modeled(self, seconds: float, kernels: int) -> None:
-        """Accumulate one priced trace (modeled GPU time of a drain)."""
+    def record_modeled(self, seconds: float, kernels: int, *,
+                       devices: tuple[int, ...] = (0,)) -> None:
+        """Accumulate one priced trace (modeled GPU time of a drain).
+
+        ``devices`` are the cluster devices the drain occupied -- each is
+        charged the full drain time, since a sharded drain holds all of
+        its devices for its makespan.  With the default the metrics behave
+        exactly as before (everything on device 0).  Devices drain
+        concurrently, so the cluster-wide modeled makespan is the
+        *maximum* per-device total, not the sum.
+        """
         self.modeled_seconds += float(seconds)
         self.modeled_kernels += int(kernels)
+        for device in devices:
+            self.device_seconds[device] = (
+                self.device_seconds.get(device, 0.0) + float(seconds)
+            )
 
     # -- readouts ------------------------------------------------------------
 
@@ -98,11 +114,37 @@ class ServeMetrics:
         """95th-percentile queueing latency (simulated seconds)."""
         return self.latency_percentile(0.95)
 
+    @property
+    def modeled_makespan(self) -> float:
+        """Modeled wall time of all drains: max per-device total.
+
+        Buckets on different devices drain concurrently; equal to
+        :attr:`modeled_seconds` when everything ran on one device.
+        """
+        if not self.device_seconds:
+            return self.modeled_seconds
+        return max(self.device_seconds.values())
+
+    def device_utilization(self) -> dict[int, float]:
+        """Per-device busy fraction of the modeled cluster makespan."""
+        makespan = self.modeled_makespan
+        if makespan <= 0.0:
+            return {}
+        return {
+            device: seconds / makespan
+            for device, seconds in sorted(self.device_seconds.items())
+        }
+
     def modeled_throughput(self) -> float:
-        """Completed requests per modeled GPU second (0.0 without traces)."""
-        if self.modeled_seconds <= 0.0:
+        """Completed requests per modeled second of serving wall time.
+
+        Uses the cluster makespan (max per-device busy time), which for a
+        single device is exactly the old completed/modeled_seconds.
+        """
+        makespan = self.modeled_makespan
+        if makespan <= 0.0:
             return 0.0
-        return self.completed / self.modeled_seconds
+        return self.completed / makespan
 
     def summary(self) -> dict:
         """Machine-readable snapshot (benchmark artifacts embed this)."""
@@ -120,6 +162,15 @@ class ServeMetrics:
             "modeled_seconds": self.modeled_seconds,
             "modeled_kernels": self.modeled_kernels,
             "modeled_requests_per_sec": self.modeled_throughput(),
+            "modeled_makespan_s": self.modeled_makespan,
+            "device_seconds": {
+                str(device): seconds
+                for device, seconds in sorted(self.device_seconds.items())
+            },
+            "device_utilization": {
+                str(device): fraction
+                for device, fraction in self.device_utilization().items()
+            },
         }
 
 
