@@ -33,7 +33,10 @@ from repro.perf.trace_model import TraceCostModel
 #: data-plane wall clock of the same workload for transparency.
 #: v4: device-count rows -- the B=8 batched trace member-sharded across
 #: D in {1, 2, 4} modeled devices (the cluster plane), makespan per D.
-BENCH_SCHEMA_VERSION = 4
+#: v5: 59-bit double-word rows -- real timings of the paper-class 59-bit
+#: parameter set on the dword (hi/lo uint64) backend, so the vectorized
+#: wide-modulus path leaves a trail next to the 28-bit fast-path rows.
+BENCH_SCHEMA_VERSION = 5
 
 #: Device counts of the member-shard rows (the cluster plane).
 DEVICE_COUNTS = (1, 2, 4)
@@ -80,6 +83,58 @@ def quick_params(ring_log2: int = 12, depth: int = 6) -> CKKSParameters:
         first_mod_bits=30,
         label=f"quick-{ring_log2}-{depth}",
     )
+
+
+def paper_scale_params(ring_log2: int = 11, depth: int = 3) -> CKKSParameters:
+    """A reduced paper-class 59-bit parameter set (dword backend).
+
+    ``scale_bits=59`` / ``first_mod_bits=60`` put every modulus in the
+    double-word range (2^31, 2^62), matching the paper's production
+    parameter sets; the ring degree and depth are shrunk so the exact
+    object-backend oracle stays timeable in CI.
+    """
+    return CKKSParameters(
+        ring_degree=1 << ring_log2,
+        mult_depth=depth,
+        scale_bits=59,
+        dnum=2,
+        first_mod_bits=60,
+        secret_hamming_weight=16,
+        label=f"paper59-{ring_log2}-{depth}",
+    )
+
+
+def run_dword_rows(table: BenchmarkTable, *, ring_log2: int = 11,
+                   depth: int = 3) -> None:
+    """Time the hot path at the paper-class 59-bit set (dword backend).
+
+    These rows are real wall-clock timings of the same kernels as the
+    28-bit rows, but with every residue stored as (hi, lo) uint64 digit
+    planes and reduced with improved Barrett / 64-bit Shoup.  The
+    dword-vs-object speedup itself is gated in
+    ``benchmarks/bench_paper_scale.py``; these rows track the absolute
+    cost of the wide-modulus path release over release.
+    """
+    params = paper_scale_params(ring_log2, depth)
+    session = CKKSSession.create(params, rotations=[1], seed=3, register_default=False)
+    assert session.numeric_backend == "dword", session.numeric_backend
+    rng = np.random.default_rng(0)
+    ct_a = session.encrypt(rng.uniform(-1, 1, 16))
+    ct_b = session.encrypt(rng.uniform(-1, 1, 16))
+    engine = get_stacked_engine(
+        params.ring_degree, tuple(session.context.moduli)
+    )
+    stack = ct_a.handle.c0.stack.data
+    suffix = f"[59-bit dword, {params.describe()}]"
+    cases = {
+        f"HAdd {suffix}": lambda: ct_a + ct_b,
+        f"HMult+rescale {suffix}": lambda: ct_a * ct_b,
+        f"HRotate {suffix}": lambda: ct_a << 1,
+        f"stacked NTT (all limbs) {suffix}": lambda: engine.forward(stack),
+        f"stacked iNTT (all limbs) {suffix}": lambda: engine.inverse(stack),
+    }
+    for name, fn in cases.items():
+        table.add_row(operation=name, seconds=round(_time(fn), 6))
 
 
 def run(ring_log2: int = 12, depth: int = 6) -> BenchmarkTable:
@@ -281,6 +336,7 @@ def main() -> None:
     args = parser.parse_args()
 
     table = run(args.ring_log2, args.depth)
+    run_dword_rows(table)
     speedups = run_batch_throughput(table, depth=args.depth)
     run_cluster_rows(table, depth=args.depth)
     params = quick_params(args.ring_log2, args.depth)

@@ -125,6 +125,10 @@ class CKKSSession:
             client.decryptor if client is not None else None
         )
         self.backend = FunctionalBackend(evaluator, encryptor=self._encryptor)
+        #: Numeric stack backend the context's moduli select (``uint64``,
+        #: ``dword`` or ``object``) -- surfaced so deployments can assert
+        #: they stayed on a vectorized path.
+        self.numeric_backend = context.numeric_backend
         self._previous_default: Context | None = None
         self._active = False
         if register_default:

@@ -216,8 +216,12 @@ class CiphertextBatch:
         """Common limb representation of the fused components."""
         return self.c0.fmt
 
-    def footprint_bytes(self, element_bytes: int = 8) -> int:
-        """Device-memory footprint of the fused batch (``2·B·L·N`` elements)."""
+    def footprint_bytes(self, element_bytes: int | None = None) -> int:
+        """Device-memory footprint of the fused batch (``2·B·L·N`` elements).
+
+        Defaults to the fused buffers' own element width (16 bytes on the
+        double-word backend, 8 otherwise).
+        """
         return (self.c0.footprint_bytes(element_bytes)
                 + self.c1.footprint_bytes(element_bytes))
 
@@ -300,7 +304,8 @@ class BatchEvaluator:
         if poly.fmt is not LimbFormat.EVALUATION:
             poly = poly.to_evaluation()
         with _DISPATCH.suppressed():
-            tiled = np.tile(poly.stack.data, (batch.batch_size, 1))
+            reps = (batch.batch_size,) + (1,) * (poly.stack.data.ndim - 1)
+            tiled = np.tile(poly.stack.data, reps)
         _DISPATCH.link((poly.stack.data,), tiled)
         return RNSPoly.from_stack(
             LimbStack(list(poly.moduli) * batch.batch_size, tiled,
@@ -515,8 +520,11 @@ class BatchEvaluator:
             poly_coeff = get_stacked_engine(
                 n, member_moduli * bsz
             ).inverse(poly.stack.data)
-            source = poly.stack.data.reshape(bsz, limb_count, n)
-            coeff3 = poly_coeff.reshape(bsz, limb_count, n)
+            # Rows are (N,) flat or (2, N) digit planes; keep the trailing
+            # axes generic so the fused reshapes cover both backends.
+            tail = poly.stack.data.shape[1:]
+            source = poly.stack.data.reshape(bsz, limb_count, *tail)
+            coeff3 = poly_coeff.reshape(bsz, limb_count, *tail)
             digits_out: list[RNSPoly] = []
             with _DISPATCH.suppressed():
                 blocks: list[np.ndarray] = []
@@ -531,17 +539,31 @@ class BatchEvaluator:
                     digit_indices_list.append(digit_indices)
                     converter = context.modup_converter(limb_count, digit_index)
                     # (B, d_j, N) -> (d_j, B*N): the conversion is columnwise,
-                    # so one matrix expression covers every member.
-                    digit_rows = (
-                        coeff3[:, digit_indices]
-                        .transpose(1, 0, 2)
-                        .reshape(len(digit_indices), bsz * n)
-                    )
+                    # so one matrix expression covers every member.  Dword
+                    # stacks keep their (2, N) planes inside the fused column:
+                    # (B, d_j, 2, N) -> (d_j, 2, B*N).
+                    sel = coeff3[:, digit_indices]
+                    if sel.ndim == 4:
+                        digit_rows = sel.transpose(1, 2, 0, 3).reshape(
+                            len(digit_indices), 2, bsz * n
+                        )
+                    else:
+                        digit_rows = sel.transpose(1, 0, 2).reshape(
+                            len(digit_indices), bsz * n
+                        )
                     _DISPATCH.link((poly_coeff,), digit_rows)
                     converted = converter.convert_stack(digit_rows)
-                    # (t_j, B*N) -> (t_j*B, N) is a free reshape; rows stay
-                    # limb-major (limb t of every member, then limb t+1).
-                    block = converted.reshape(-1, n)
+                    # (t_j, B*N) -> (t_j*B, N): rows stay limb-major (limb t
+                    # of every member, then limb t+1).  On the dword backend
+                    # the member axis moves back outside the digit planes.
+                    if converted.ndim == 3:
+                        block = (
+                            converted.reshape(-1, 2, bsz, n)
+                            .transpose(0, 2, 1, 3)
+                            .reshape(-1, 2, n)
+                        )
+                    else:
+                        block = converted.reshape(-1, n)
                     _DISPATCH.link((converted,), block)
                     blocks.append(block)
                     for q in converter.target.moduli:
@@ -579,21 +601,25 @@ class BatchEvaluator:
                 converted_eval = eval3[row_offset : row_offset + block_rows]
                 row_offset += block_rows
                 with _DISPATCH.suppressed():
-                    if modmath.stack_is_fast(target_col):
+                    target_backend = modmath.stack_backend(target_col)
+                    if target_backend == modmath.BACKEND_DWORD:
+                        stack = np.empty((bsz, extended, 2, n), dtype=np.uint64)
+                    elif target_backend == modmath.BACKEND_UINT64:
                         stack = np.empty((bsz, extended, n), dtype=np.uint64)
                     else:
                         stack = np.empty((bsz, extended, n), dtype=object)
+                    tail_t = stack.shape[2:]
                     non_digit = [
                         i for i in range(extended) if i not in digit_indices
                     ]
                     stack[:, digit_indices] = modmath.coerce_stack(
-                        source[:, digit_indices].reshape(-1, n), target_col
-                    ).reshape(bsz, len(digit_indices), n)
+                        source[:, digit_indices].reshape(-1, *tail), target_col
+                    ).reshape(bsz, len(digit_indices), *tail_t)
                     # (t_j*B, N) limb-major -> (B, t_j, N) member-major.
                     stack[:, non_digit] = modmath.coerce_stack(
                         converted_eval, target_col
-                    ).reshape(len(non_digit), bsz, n).transpose(1, 0, 2)
-                    flat = stack.reshape(bsz * extended, n)
+                    ).reshape(len(non_digit), bsz, *tail_t).swapaxes(0, 1)
+                    flat = stack.reshape(bsz * extended, *tail_t)
                 _DISPATCH.link((converted_eval, poly.stack.data), flat)
                 digits_out.append(
                     RNSPoly.from_stack(
@@ -625,9 +651,10 @@ class BatchEvaluator:
             if len(active_indices) != b_j.level_count:
                 b_j = b_j.select_limbs(active_indices)
                 a_j = a_j.select_limbs(active_indices)
+            reps = (bsz,) + (1,) * (b_j.stack.data.ndim - 1)
             tiled = (
-                np.tile(b_j.stack.data, (bsz, 1)),
-                np.tile(a_j.stack.data, (bsz, 1)),
+                np.tile(b_j.stack.data, reps),
+                np.tile(a_j.stack.data, reps),
             )
             self._tiled_keys[cache_key] = tiled
             total = sum(
@@ -700,9 +727,11 @@ class BatchEvaluator:
         target_moduli = context.moduli_at(limb_count)
         target_col = modmath.moduli_column(target_moduli)
         with _DISPATCH.scope("moddown"), _DISPATCH.suppressed():
+            tail = acc0.shape[1:]
             # (2B*K, N): component-major, then member, then special limb.
             special_rows = np.vstack([
-                acc.reshape(bsz, extended, n)[:, limb_count:].reshape(-1, n)
+                acc.reshape(bsz, extended, *tail)[:, limb_count:]
+                .reshape(-1, *tail)
                 for acc in (acc0, acc1)
             ])
             for i, acc in enumerate((acc0, acc1)):
@@ -714,17 +743,32 @@ class BatchEvaluator:
                 n, special_moduli * (2 * bsz)
             ).inverse(special_rows, consume=True)
             converter = context.moddown_converter(limb_count)
-            # Column-fuse all 2B components: (2B*K, N) -> (K, 2B*N).
-            converted = converter.convert_stack(
-                special_coeff.reshape(2 * bsz, special_count, n)
-                .transpose(1, 0, 2)
-                .reshape(special_count, 2 * bsz * n)
+            # Column-fuse all 2B components: (2B*K, N) -> (K, 2B*N) (digit
+            # planes, when present, stay inside each fused row).
+            sc = special_coeff.reshape(
+                2 * bsz, special_count, *special_coeff.shape[1:]
             )
-            converted = (
-                converted.reshape(limb_count, 2 * bsz, n)
-                .transpose(1, 0, 2)
-                .reshape(2 * bsz * limb_count, n)
-            )
+            if sc.ndim == 4:
+                fused_special = sc.transpose(1, 2, 0, 3).reshape(
+                    special_count, 2, 2 * bsz * n
+                )
+            else:
+                fused_special = sc.transpose(1, 0, 2).reshape(
+                    special_count, 2 * bsz * n
+                )
+            converted = converter.convert_stack(fused_special)
+            if converted.ndim == 3:
+                converted = (
+                    converted.reshape(limb_count, 2, 2 * bsz, n)
+                    .transpose(2, 0, 1, 3)
+                    .reshape(2 * bsz * limb_count, 2, n)
+                )
+            else:
+                converted = (
+                    converted.reshape(limb_count, 2 * bsz, n)
+                    .transpose(1, 0, 2)
+                    .reshape(2 * bsz * limb_count, n)
+                )
             converted = get_stacked_engine(
                 n, tuple(target_moduli) * (2 * bsz)
             ).forward(converted, consume=True)
@@ -732,7 +776,8 @@ class BatchEvaluator:
             converted = modmath.coerce_stack(converted, fused_col)
             heads = np.vstack([
                 modmath.coerce_stack(
-                    acc.reshape(bsz, extended, n)[:, :limb_count].reshape(-1, n),
+                    acc.reshape(bsz, extended, *tail)[:, :limb_count]
+                    .reshape(-1, *tail),
                     fused_col,
                 )
                 for acc in (acc0, acc1)
@@ -860,9 +905,10 @@ class BatchEvaluator:
         with _DISPATCH.scope(f"batch{bsz}/rescale"):
             with _DISPATCH.suppressed():
                 comps = (batch.c0.stack.data, batch.c1.stack.data)
+                tail = comps[0].shape[1:]
                 # (2B, N): last limb of each component of each member.
                 last_rows = np.vstack([
-                    comp.reshape(bsz, keep + 1, n)[:, -1] for comp in comps
+                    comp.reshape(bsz, keep + 1, *tail)[:, -1] for comp in comps
                 ])
                 for i, comp in enumerate(comps):
                     _DISPATCH.link((comp,), last_rows[i * bsz : (i + 1) * bsz])
@@ -878,7 +924,8 @@ class BatchEvaluator:
                 fused_col = modmath.moduli_column(target_moduli * (2 * bsz))
                 heads = np.vstack([
                     modmath.coerce_stack(
-                        comp.reshape(bsz, keep + 1, n)[:, :-1].reshape(-1, n),
+                        comp.reshape(bsz, keep + 1, *tail)[:, :-1]
+                        .reshape(-1, *tail),
                         fused_col,
                     )
                     for comp in comps
@@ -928,12 +975,21 @@ class BatchEvaluator:
         identical to the per-row call.
         """
         keep = target_col.shape[0]
-        if modmath.stack_is_fast(target_col) and modmath.is_fast_modulus(q_from):
+        backend = modmath.stack_backend(target_col)
+        if (backend != modmath.BACKEND_OBJECT
+                and q_from < modmath.DWORD_MODULUS_LIMIT):
+            # Centred magnitudes stay below 2**61 and every target modulus
+            # fits int64, so exact int64 arithmetic covers both single-word
+            # and dword columns (same formula as stack_switch_modulus).
+            merged = modmath.dword_merge(rows) if rows.ndim == 3 else rows
             half = q_from >> 1
-            v = rows.astype(np.int64)
+            v = merged.astype(np.int64)
             centred = np.where(v > half, v - q_from, v)
             out = centred[:, None, :] % target_col.astype(np.int64)[None, :, :]
-            return out.astype(np.uint64).reshape(-1, rows.shape[1])
+            out = out.astype(np.uint64).reshape(-1, merged.shape[-1])
+            if backend == modmath.BACKEND_DWORD:
+                out = modmath.dword_split(out)
+            return out
         return np.vstack([
             modmath.stack_switch_modulus(row, q_from, target_col) for row in rows
         ])

@@ -87,7 +87,7 @@ class Ciphertext:
         """Common representation of the ciphertext limbs."""
         return self.c0.fmt
 
-    def footprint_bytes(self, element_bytes: int = 8) -> int:
+    def footprint_bytes(self, element_bytes: int | None = None) -> int:
         """Device-memory footprint of the ciphertext."""
         return self.c0.footprint_bytes(element_bytes) + self.c1.footprint_bytes(element_bytes)
 

@@ -19,6 +19,7 @@ allowing several contexts to coexist (e.g. in the unit tests).
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 from repro.ckks.encoding import CKKSEncoder
@@ -87,6 +88,23 @@ class Context:
             modmath.inv_mod(self.p_modulus % q, q) for q in self.moduli
         ]
         self.encoder = CKKSEncoder(n)
+
+        # --- numeric backend --------------------------------------------------
+        #: Which stack backend the full extended basis selects: ``uint64``
+        #: (single-word), ``dword`` (hi/lo digit planes) or ``object``
+        #: (exact Python integers, the slow oracle).
+        self.numeric_backend: str = modmath.backend_for_moduli(self.extended_moduli)
+        if self.numeric_backend == modmath.BACKEND_OBJECT:
+            widest = max(self.extended_moduli)
+            warnings.warn(
+                f"modulus {widest} ({widest.bit_length()} bits) exceeds the "
+                f"double-word limit (2**62), so this context falls back to "
+                f"the exact object backend -- orders of magnitude slower "
+                f"than the vectorized uint64/dword paths; choose moduli "
+                f"below 62 bits to stay on the fast path",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
         # --- caches -----------------------------------------------------------
         self._modup_converters: dict[tuple[int, int], BaseConverter] = {}

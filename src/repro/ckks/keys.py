@@ -60,7 +60,7 @@ class KeySwitchingKey:
         """Number of digits."""
         return len(self.digits)
 
-    def footprint_bytes(self, element_bytes: int = 8) -> int:
+    def footprint_bytes(self, element_bytes: int | None = None) -> int:
         """Device-memory footprint of the key (Figure 8 discussion)."""
         return sum(
             b.footprint_bytes(element_bytes) + a.footprint_bytes(element_bytes)

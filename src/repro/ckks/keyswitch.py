@@ -115,8 +115,11 @@ def decompose_and_mod_up(context: Context, poly: RNSPoly) -> DecomposedPolynomia
             # basis preserves it).
             # Every row is scattered into below, so an uninitialized buffer
             # (rather than a zero-filled one) is enough.
-            if modmath.stack_is_fast(target_col):
+            backend = modmath.stack_backend(target_col)
+            if backend == modmath.BACKEND_UINT64:
                 stack = np.empty((len(target_moduli), n), dtype=np.uint64)
+            elif backend == modmath.BACKEND_DWORD:
+                stack = np.empty((len(target_moduli), 2, n), dtype=np.uint64)
             else:
                 stack = np.empty((len(target_moduli), n), dtype=object)
             non_digit = [i for i in range(len(target_moduli)) if i not in digit_indices]
@@ -181,14 +184,15 @@ def mod_down_many(context: Context, polys: list[RNSPoly]) -> list[RNSPoly]:
         # along the column axis (one matrix expression for every polynomial).
         converter = context.moddown_converter(limb_count)
         converted = converter.convert_stack(
-            np.hstack(
+            np.concatenate(
                 [
                     special_rows[i * special_count : (i + 1) * special_count]
                     for i in range(len(polys))
-                ]
+                ],
+                axis=-1,
             )
         )
-        converted = np.vstack(np.split(converted, len(polys), axis=1))
+        converted = np.vstack(np.split(converted, len(polys), axis=-1))
         target_moduli = context.moduli_at(limb_count)
         target_col = modmath.moduli_column(target_moduli)
         if is_eval:

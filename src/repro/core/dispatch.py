@@ -80,11 +80,25 @@ except ImportError:  # pragma: no cover - NumPy 1.x
     _byte_bounds = np.byte_bounds
 
 from repro.gpu.kernel import (
+    ELEMENT_BYTES,
     Kernel,
     base_conversion_kernel,
     elementwise_kernel,
     ntt_kernel,
 )
+
+
+def _stack_element_bytes(out: np.ndarray) -> int:
+    """Bytes per logical residue of a stack write.
+
+    Double-word stacks carry ``(rows, 2, N)`` hi/lo digit planes, so every
+    residue moves two machine words (the 2x-bytes contract the trace cost
+    model reconciles against).  Duplicated inline instead of importing
+    :mod:`repro.core.modmath` (which imports this module).
+    """
+    if out.ndim == 3 and out.shape[-2] == 2 and out.dtype != np.object_:
+        return 2 * ELEMENT_BYTES
+    return ELEMENT_BYTES
 
 
 @dataclass(frozen=True)
@@ -500,7 +514,11 @@ class Dispatcher:
         if self._trace is None or self._suppress:
             return
         out = np.asarray(writes[0])
-        rows, cols = (out.shape if out.ndim == 2 else (1, out.shape[-1]))
+        # Stacks are (rows, N) flat or (rows, 2, N) dword digit planes; a
+        # 1-D write is a single row.  Elements count logical residues, so
+        # the digit planes surface as doubled polys (2x bytes) below.
+        rows = int(out.shape[0]) if out.ndim >= 2 else 1
+        cols = int(out.shape[-1])
         elements = max(1, rows * cols)
         # Poly-equivalents come from the live array sizes, so broadcast
         # columns and row operands are charged their real (tiny) traffic.
@@ -529,9 +547,14 @@ class Dispatcher:
         """Record one (i)NTT kernel over ``rows`` limbs."""
         if self._trace is None or self._suppress:
             return
+        out = np.asarray(writes[0])
         if cols is None:
-            cols = int(np.asarray(writes[0]).shape[-1])
-        kernel = ntt_kernel(tag, rows, cols, fused_ops_per_element=fused_ops_per_element)
+            cols = int(out.shape[-1])
+        kernel = ntt_kernel(
+            tag, rows, cols,
+            fused_ops_per_element=fused_ops_per_element,
+            element_bytes=_stack_element_bytes(out),
+        )
         self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes,
                         device=self._device)
 
@@ -548,9 +571,13 @@ class Dispatcher:
         """Record one fast-base-conversion kernel (Equation 1)."""
         if self._trace is None or self._suppress:
             return
+        out = np.asarray(writes[0])
         if cols is None:
-            cols = int(np.asarray(writes[0]).shape[-1])
-        kernel = base_conversion_kernel(tag, source_limbs, target_limbs, cols)
+            cols = int(out.shape[-1])
+        kernel = base_conversion_kernel(
+            tag, source_limbs, target_limbs, cols,
+            element_bytes=_stack_element_bytes(out),
+        )
         self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes,
                         device=self._device)
 

@@ -41,10 +41,11 @@ class LimbStack:
     moduli:
         One word-sized prime per row.
     data:
-        Canonical ``(len(moduli), N)`` residue stack.  The dtype must match
-        the backend chosen by :func:`repro.core.modmath.moduli_column`
-        (uint64 when every modulus is fast, object otherwise); use
-        :meth:`from_rows` to canonicalize arbitrary input.
+        Canonical ``(len(moduli), N)`` residue stack (or ``(len(moduli),
+        2, N)`` hi/lo digit planes on the double-word backend).  Arrays in
+        another backend's format are converted via
+        :func:`repro.core.modmath.coerce_stack`; use :meth:`from_rows` to
+        canonicalize arbitrary input.
     pool:
         Memory pool charged for the single flattened allocation.
     """
@@ -60,15 +61,20 @@ class LimbStack:
     ) -> None:
         self.moduli = tuple(int(q) for q in moduli)
         data = np.asarray(data)
-        if data.ndim != 2 or data.shape[0] != len(self.moduli):
+        if data.ndim not in (2, 3) or data.shape[0] != len(self.moduli):
             raise ValueError(
-                f"stack data must be ({len(self.moduli)}, N), got {data.shape}"
+                f"stack data must be ({len(self.moduli)}, N) or "
+                f"({len(self.moduli)}, 2, N), got {data.shape}"
             )
         self._col = modmath.moduli_column(self.moduli)
         self.data = modmath.coerce_stack(data, self._col)
-        self.ring_degree = int(data.shape[1])
+        self.ring_degree = int(self.data.shape[-1])
+        # Double-word rows store two uint64 digit planes per residue, so
+        # the pool is charged 16 bytes per element (2x bytes/limb).
+        element_bytes = 16 if modmath.is_dword_stack(self.data) else 8
         self.buffer = VectorGPU(
             len(self.moduli) * self.ring_degree,
+            element_bytes=element_bytes,
             pool=pool,
             tag=f"LimbStack[{len(self.moduli)}x{self.ring_degree}]",
             strategy=STRATEGY_FLATTENED,
@@ -126,7 +132,13 @@ class LimbStack:
                 raise ValueError("fused stacks must share one ring degree")
         target_pool = pool if pool is not None else stacks[0].buffer.pool
         total_rows = sum(s.num_limbs for s in stacks)
-        nbytes = total_rows * n * stacks[0].buffer.element_bytes
+        fused_moduli = [q for stack in stacks for q in stack.moduli]
+        fused_col = modmath.moduli_column(fused_moduli)
+        element_bytes = (
+            16 if modmath.stack_backend(fused_col) == modmath.BACKEND_DWORD
+            else stacks[0].buffer.element_bytes
+        )
+        nbytes = total_rows * n * element_bytes
         if not target_pool.fits(nbytes):
             rows_each = sorted({s.num_limbs for s in stacks})
             rows_text = (
@@ -140,10 +152,10 @@ class LimbStack:
                 f"fused batch (e.g. serve's BatchingPolicy.memory_budget_bytes) "
                 f"or raise the pool capacity"
             )
-        moduli = [q for stack in stacks for q in stack.moduli]
-        col = modmath.moduli_column(moduli)
-        data = np.vstack([modmath.coerce_stack(s.data, col) for s in stacks])
-        fused = cls(moduli, data, pool=target_pool)
+        data = np.concatenate(
+            [modmath.coerce_stack(s.data, fused_col) for s in stacks], axis=0
+        )
+        fused = cls(fused_moduli, data, pool=target_pool)
         _DISPATCH.link(tuple(s.data for s in stacks), fused.data)
         return fused
 
@@ -159,7 +171,7 @@ class LimbStack:
         stack.moduli = tuple(int(q) for q in moduli)
         stack._col = modmath.moduli_column(stack.moduli)
         stack.data = data
-        stack.ring_degree = int(data.shape[1])
+        stack.ring_degree = int(data.shape[-1])
         stack.buffer = VectorGPU(
             len(stack.moduli) * stack.ring_degree,
             element_bytes=owner.element_bytes,
@@ -215,15 +227,35 @@ class LimbStack:
         """True when the stack runs on the fast uint64 backend."""
         return modmath.stack_is_fast(self._col)
 
-    def footprint_bytes(self, element_bytes: int = 8) -> int:
-        """Device-memory footprint of the flat allocation."""
+    @property
+    def backend(self) -> str:
+        """Numeric backend of the stack (``uint64``/``dword``/``object``)."""
+        return modmath.stack_backend(self._col)
+
+    @property
+    def is_dword(self) -> bool:
+        """True when rows are stored as double-word hi/lo digit planes."""
+        return modmath.stack_backend(self._col) == modmath.BACKEND_DWORD
+
+    def footprint_bytes(self, element_bytes: int | None = None) -> int:
+        """Device-memory footprint of the flat allocation.
+
+        Defaults to the buffer's own element width (16 bytes/element on the
+        double-word backend, 8 otherwise).
+        """
+        if element_bytes is None:
+            element_bytes = self.buffer.element_bytes
         return self.num_limbs * self.ring_degree * element_bytes
 
     def limb_view(self, index: int, fmt: LimbFormat) -> Limb:
-        """Return a zero-copy :class:`Limb` over row ``index``.
+        """Return a :class:`Limb` over row ``index``.
 
-        The limb's buffer is an unmanaged window into this stack's flat
-        allocation, so releasing the view never touches pool accounting.
+        Zero-copy on the single-word backends: the limb's buffer is an
+        unmanaged window into this stack's flat allocation, so releasing
+        the view never touches pool accounting.  On the double-word backend
+        the digit planes are merged into an exact object-array *copy* (the
+        per-limb representation a >=2**31 modulus has always used) -- a
+        compatibility path, not the hot path.
         """
         window = VectorGPU(
             self.ring_degree,
@@ -232,12 +264,22 @@ class LimbStack:
             managed=False,
             tag="limb-view",
         )
+        row = self.data[index]
+        if self.data.ndim == 3:
+            row = modmath.object_row(modmath.dword_merge(row))
         return Limb.view_of(
-            self.moduli[index], self.data[index], fmt, self.ring_degree, window
+            self.moduli[index], row, fmt, self.ring_degree, window
         )
 
     def rows(self) -> list[np.ndarray]:
-        """Return zero-copy row views of every limb's residues."""
+        """Return per-limb residue rows.
+
+        Zero-copy views on the single-word backends; merged uint64 copies
+        (actual residue values, one lane each) on the double-word backend.
+        """
+        if self.data.ndim == 3:
+            merged = modmath.dword_merge(self.data)
+            return [merged[i] for i in range(self.num_limbs)]
         return [self.data[i] for i in range(self.num_limbs)]
 
     def release(self) -> None:
@@ -291,10 +333,20 @@ class LimbStack:
         data = self.data.copy()
         col = modmath.scalar_column(scalars, self._col).ravel()
         qs = self._col.ravel()
-        s = data[:, index] + col
-        if self.is_fast:
+        if data.ndim == 3:
+            # Merge the touched coefficient column (one lane per limb),
+            # add canonically, and split back into the digit planes.
+            shift = np.uint64(32)
+            merged = (data[:, 0, index] << shift) | data[:, 1, index]
+            s = merged + col
+            s = np.where(s >= qs, s - qs, s)
+            data[:, 0, index] = s >> shift
+            data[:, 1, index] = s & np.uint64(0xFFFFFFFF)
+        elif self.is_fast:
+            s = data[:, index] + col
             data[:, index] = np.where(s >= qs, s - qs, s)
         else:
+            s = data[:, index] + col
             data[:, index] = s % qs
         _DISPATCH.elementwise(
             "stack-scalar-add", reads=(self.data, col), writes=(data,),
@@ -310,7 +362,7 @@ class LimbStack:
         """
         source, sign = coeff_automorphism_map(self.ring_degree, exponent)
         with _DISPATCH.suppressed():
-            gathered = self.data[:, source]
+            gathered = self.data[..., source]
             negated = modmath.stack_neg_mod(gathered, self._col)
             out = np.where(sign == 1, gathered, negated)
         _DISPATCH.elementwise(

@@ -18,16 +18,28 @@ the paper:
 This module provides faithful scalar implementations of all three (used by
 the NTT engine and exercised directly by the unit tests and the Table III
 micro-benchmark) plus vectorised NumPy routines used by the bulk of the
-library.  Two array backends are supported:
+library.  Three array backends are supported for the batched limb-stack
+kernels:
 
-* a **fast backend** for moduli below 2**31, where a product of two
-  residues fits in an unsigned 64-bit lane and NumPy's native ``%`` is
-  exact; and
-* an **exact backend** backed by Python integers (``dtype=object``) for
-  word-sized moduli such as the paper's 59-bit primes.
+* a **fast backend** (``uint64``) for moduli below 2**31, where a product
+  of two residues fits in an unsigned 64-bit lane and NumPy's native ``%``
+  is exact;
+* a **double-word backend** (``dword``) for moduli in ``[2**31, 2**62)``
+  -- the regime of the paper's 59/60-bit primes -- where each residue is
+  stored as a pair of uint64 digit planes (``hi = r >> 32``,
+  ``lo = r & 0xFFFFFFFF`` on a trailing ``(L, 2, N)`` axis, 2x the bytes
+  per limb).  Kernels merge the planes into single uint64 lanes (values
+  below 2**63 always fit), emulate the 64x64 -> 128-bit products with four
+  32-bit digit multiplications, and reduce with improved Barrett
+  (variable x variable) or 64-bit Shoup companions (constant operands) --
+  entirely vectorized, no object arrays, no Python loops over ``N``; and
+* an **exact backend** backed by Python integers (``dtype=object``), kept
+  only as the exactness oracle for moduli at or above 2**62.
 
-The backend is chosen per modulus by :func:`dtype_for_modulus`; all public
-vector routines accept either representation.
+The stack backend is chosen per moduli column by :func:`stack_backend`;
+the per-limb ``vec_*`` routines keep the two-way choice of
+:func:`dtype_for_modulus` (they are the reference oracle the stack kernels
+are tested against).
 """
 
 from __future__ import annotations
@@ -49,6 +61,15 @@ _DISPATCH = get_dispatcher()
 #: Largest modulus for which the fast uint64 NumPy backend is exact:
 #: residues are < 2**31, so products are < 2**62 and fit in a uint64 lane.
 FAST_MODULUS_LIMIT = 1 << 31
+
+#: Largest modulus the double-word (hi/lo digit) backend supports.  The
+#: improved-Barrett remainder before correction lies in ``[0, 3q)``, which
+#: must fit a uint64 lane, and the lazy ``[0, 2q)`` representatives the
+#: NTT uses must leave headroom for one uncorrected butterfly sum
+#: (``< 4q``); both hold exactly when ``q < 2**62`` (the same 62-bit cap
+#: word-sized RNS libraries impose).  Paper-class 59/60-bit primes are
+#: comfortably inside.
+DWORD_MODULUS_LIMIT = 1 << 62
 
 #: Machine word size assumed by the Montgomery/Shoup precomputations.
 WORD_BITS = 64
@@ -381,10 +402,11 @@ def vec_switch_modulus(a: np.ndarray, q_from: int, q_to: int) -> np.ndarray:
 # flattened allocation strategy of §III-D -- with the per-limb moduli held in
 # an ``(L, 1)`` column that NumPy broadcasts across every row.  One call
 # replaces a Python loop over per-limb vector routines, which is the batching
-# the paper's §III-F kernels perform across limbs on the GPU.  The fast
-# (uint64) backend is used only when *every* modulus in the stack is below
-# :data:`FAST_MODULUS_LIMIT`; otherwise the stack falls back to exact Python
-# integers in an object array.
+# the paper's §III-F kernels perform across limbs on the GPU.  The backend is
+# chosen per moduli column (:func:`stack_backend`): single-word ``uint64``
+# below :data:`FAST_MODULUS_LIMIT`, double-word ``(L, 2, N)`` digit planes
+# below :data:`DWORD_MODULUS_LIMIT`, exact Python integers in an object
+# array beyond that.
 
 #: Elementwise ``int()`` over an array; the safe way to turn a uint64 array
 #: into Python-integer objects (``astype(object)`` would keep ``np.uint64``
@@ -397,20 +419,44 @@ def all_fast_moduli(moduli) -> bool:
     return all(is_fast_modulus(int(q)) for q in moduli)
 
 
+#: Stack-backend names, in increasing generality.
+BACKEND_UINT64 = "uint64"
+BACKEND_DWORD = "dword"
+BACKEND_OBJECT = "object"
+
+
+def backend_for_moduli(moduli) -> str:
+    """Return the stack backend a set of moduli selects.
+
+    ``uint64`` when every modulus is below 2**31, ``dword`` (hi/lo digit
+    planes) when every modulus is below 2**62, ``object`` (exact Python
+    integers) otherwise.  The backend is a pure function of the modulus
+    values, so any sub-basis of a chain classifies consistently.
+    """
+    largest = max(int(q) for q in moduli)
+    if largest < FAST_MODULUS_LIMIT:
+        return BACKEND_UINT64
+    if largest < DWORD_MODULUS_LIMIT:
+        return BACKEND_DWORD
+    return BACKEND_OBJECT
+
+
 def moduli_column(moduli) -> np.ndarray:
     """Return the ``(L, 1)`` broadcastable column of stack moduli.
 
-    The column dtype selects the backend for the whole stack: ``uint64``
-    when every modulus is fast, ``object`` (exact Python integers)
-    otherwise.  Columns are cached per moduli tuple -- every polynomial at
-    the same level shares one (hot-path constructor cost).
+    The column dtype and values select the backend for the whole stack:
+    ``uint64`` values below 2**62 (fast or double-word residues),
+    ``object`` (exact Python integers) otherwise.  Columns are cached per
+    moduli tuple -- every polynomial at the same level shares one
+    (hot-path constructor cost).
     """
     return _moduli_column_cached(tuple(int(q) for q in moduli))
 
 
 @lru_cache(maxsize=None)
 def _moduli_column_cached(moduli: tuple) -> np.ndarray:
-    dtype = np.uint64 if all_fast_moduli(moduli) else np.object_
+    backend = backend_for_moduli(moduli)
+    dtype = np.object_ if backend == BACKEND_OBJECT else np.uint64
     column = np.array(moduli, dtype=dtype).reshape(-1, 1)
     # The column is shared by every stack and engine built over this
     # basis; freeze it so an accidental in-place write fails loudly
@@ -419,9 +465,24 @@ def _moduli_column_cached(moduli: tuple) -> np.ndarray:
     return column
 
 
+def stack_backend(moduli_col: np.ndarray) -> str:
+    """Return the backend name a moduli column selects (see above)."""
+    col = np.asarray(moduli_col)
+    if col.dtype == np.object_:
+        return BACKEND_OBJECT
+    if int(col.max()) < FAST_MODULUS_LIMIT:
+        return BACKEND_UINT64
+    return BACKEND_DWORD
+
+
 def stack_is_fast(moduli_col: np.ndarray) -> bool:
-    """Return True when a moduli column selects the fast uint64 backend."""
-    return moduli_col.dtype != np.object_
+    """True when a moduli column selects the single-word uint64 backend."""
+    return stack_backend(moduli_col) == BACKEND_UINT64
+
+
+def stack_is_dword(moduli_col: np.ndarray) -> bool:
+    """True when a moduli column selects the double-word backend."""
+    return stack_backend(moduli_col) == BACKEND_DWORD
 
 
 def object_row(values) -> np.ndarray:
@@ -432,49 +493,127 @@ def object_row(values) -> np.ndarray:
     return _to_object_ints(arr)
 
 
-def coerce_stack(data: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
-    """Coerce a canonical stack into the backend dtype of ``moduli_col``.
+# -- double-word (hi/lo digit plane) representation -------------------------
+#
+# A dword stack stores residues on a ``(..., 2, N)`` trailing axis pair:
+# plane 0 holds the high 32-bit digit (``r >> 32``), plane 1 the low digit
+# (``r & 0xFFFFFFFF``), each in its own uint64 lane (2x the bytes of a
+# single-word stack).  Because every supported modulus is below 2**62, the
+# *merged* value -- and even a lazy ``[0, 2q)`` representative -- always
+# fits one uint64, so kernels merge at entry, compute on single lanes with
+# digit-product 128-bit emulation, and split at exit.
 
-    A no-op when the dtypes already agree.  Needed at regime boundaries:
-    a sub-basis of a mixed chain (digit decomposition, rescale targets) can
-    be all-fast while the parent stack is exact-object, or vice versa.
-    Values must already be canonical residues, so the conversion is exact.
+_M32 = np.uint64(0xFFFFFFFF)
+_SH32 = np.uint64(32)
+
+
+def dword_merge(data: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Merge ``(..., 2, N)`` hi/lo digit planes into ``(..., N)`` values."""
+    data = np.asarray(data)
+    hi = data[..., 0, :]
+    lo = data[..., 1, :]
+    if out is None:
+        out = np.empty(hi.shape, dtype=np.uint64)
+    np.left_shift(hi, _SH32, out=out)
+    np.bitwise_or(out, lo, out=out)
+    return out
+
+
+def dword_split(merged: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Split ``(..., N)`` uint64 values into ``(..., 2, N)`` digit planes."""
+    merged = np.asarray(merged)
+    shape = merged.shape[:-1] + (2, merged.shape[-1])
+    if out is None:
+        out = np.empty(shape, dtype=np.uint64)
+    np.right_shift(merged, _SH32, out=out[..., 0, :])
+    np.bitwise_and(merged, _M32, out=out[..., 1, :])
+    return out
+
+
+def is_dword_stack(data: np.ndarray) -> bool:
+    """True when an array is in dword digit-plane format.
+
+    Stacks are 2-D (``(rows, N)``) on the single-word backends and 3-D
+    (``(rows, 2, N)``) on the dword backend, so the rank is the format tag.
     """
     data = np.asarray(data)
-    if stack_is_fast(moduli_col):
+    return data.ndim == 3 and data.shape[-2] == 2 and data.dtype != np.object_
+
+
+def coerce_stack(data: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
+    """Coerce a canonical stack into the backend format of ``moduli_col``.
+
+    A no-op when the formats already agree.  Needed at regime boundaries:
+    a sub-basis of a mixed chain (digit decomposition, rescale targets) can
+    select a different backend than the parent stack.  Values must already
+    be canonical residues, so every conversion is exact (dword planes merge
+    into single lanes; single-word values below 2**62 split losslessly).
+    """
+    data = np.asarray(data)
+    backend = stack_backend(moduli_col)
+    dword = is_dword_stack(data)
+    if backend == BACKEND_UINT64:
+        if dword:
+            return dword_merge(data)
         if data.dtype == np.object_:
             return data.astype(np.uint64)
         return data
+    if backend == BACKEND_DWORD:
+        if dword:
+            return data
+        if data.dtype == np.object_:
+            return dword_split(data.astype(np.uint64))
+        return dword_split(data)
+    if dword:
+        return _to_object_ints(dword_merge(data))
     if data.dtype != np.object_:
         return _to_object_ints(data)
     return data
 
 
 def as_residue_stack(rows, moduli) -> np.ndarray:
-    """Canonicalize per-limb residue rows into one ``(L, N)`` stack array."""
+    """Canonicalize per-limb residue rows into one stack array.
+
+    Returns ``(L, N)`` on the single-word backends and ``(L, 2, N)`` digit
+    planes on the dword backend.
+    """
     moduli = [int(q) for q in moduli]
     if len(rows) != len(moduli):
         raise ValueError("row count does not match modulus count")
     canonical = [as_residue_array(np.asarray(row), q) for row, q in zip(rows, moduli)]
-    if all_fast_moduli(moduli):
+    backend = backend_for_moduli(moduli)
+    if backend == BACKEND_UINT64:
         return np.stack(canonical)
+    if backend == BACKEND_DWORD:
+        merged = np.stack([
+            row.astype(np.uint64) if row.dtype == np.object_ else row
+            for row in canonical
+        ])
+        return dword_split(merged)
     return np.stack([object_row(c) for c in canonical])
 
 
 def stack_zeros(num_limbs: int, n: int, moduli_col: np.ndarray) -> np.ndarray:
-    """Return an all-zero ``(num_limbs, n)`` stack in the backend's dtype."""
-    if stack_is_fast(moduli_col):
+    """Return an all-zero stack in the backend's dtype and shape."""
+    backend = stack_backend(moduli_col)
+    if backend == BACKEND_UINT64:
         return np.zeros((num_limbs, n), dtype=np.uint64)
+    if backend == BACKEND_DWORD:
+        return np.zeros((num_limbs, 2, n), dtype=np.uint64)
     return np.full((num_limbs, n), 0, dtype=object)
 
 
 def scalar_column(scalars, moduli_col: np.ndarray) -> np.ndarray:
-    """Canonicalize one integer constant per limb into an ``(L, 1)`` column."""
-    moduli = [int(q) for q in moduli_col.ravel()]
+    """Canonicalize one integer constant per limb into an ``(L, 1)`` column.
+
+    On the dword backend the column holds *merged* uint64 values (every
+    canonical residue below 2**62 fits one lane).
+    """
+    moduli = [int(q) for q in np.asarray(moduli_col).ravel()]
     if len(scalars) != len(moduli):
         raise ValueError("need one scalar per limb")
     values = [int(s) % q for s, q in zip(scalars, moduli)]
-    dtype = np.uint64 if stack_is_fast(moduli_col) else np.object_
+    dtype = np.object_ if stack_backend(moduli_col) == BACKEND_OBJECT else np.uint64
     return np.array(values, dtype=dtype).reshape(-1, 1)
 
 
@@ -488,21 +627,24 @@ STACK_SHOUP_SHIFT = np.uint64(32)
 #: Byte budget of the shared kernel scratch pool (below).
 _SCRATCH_BUDGET_BYTES = 96 << 20
 
-#: Reusable uint64 temporaries for the stack kernels, keyed by (tag, shape)
+#: Reusable temporaries for the stack kernels, keyed by (tag, dtype, shape)
 #: with LRU eviction.  Fused (B·L, N) batches make the per-kernel
 #: intermediates multi-megabyte; allocating them fresh per call costs a
 #: page-fault zero-fill pass that can exceed the arithmetic itself, so the
 #: kernels stage their *internal* temporaries here (results stay freshly
-#: allocated -- scratch never escapes a kernel).
+#: allocated -- scratch never escapes a kernel).  The dtype is part of the
+#: key so double-word temporaries cannot collide with single-word uint64
+#: buffers of the same (tag, shape).
 _scratch_buffers: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
 
 
-def _scratch(tag: str, shape: tuple) -> np.ndarray:
-    """Return a reusable uint64 buffer of exactly ``shape`` (LRU-bounded)."""
-    key = (tag,) + tuple(int(d) for d in shape)
+def _scratch(tag: str, shape: tuple, dtype=np.uint64) -> np.ndarray:
+    """Return a reusable buffer of exactly ``shape``/``dtype`` (LRU-bounded)."""
+    dtype = np.dtype(dtype)
+    key = (tag, dtype.str) + tuple(int(d) for d in shape)
     buf = _scratch_buffers.get(key)
     if buf is None:
-        buf = np.empty(shape, dtype=np.uint64)
+        buf = np.empty(shape, dtype=dtype)
         _scratch_buffers[key] = buf
         total = sum(b.nbytes for b in _scratch_buffers.values())
         while total > _SCRATCH_BUDGET_BYTES and len(_scratch_buffers) > 1:
@@ -536,6 +678,147 @@ def shoup_column(constants: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
     return (constants << STACK_SHOUP_SHIFT) // moduli_col
 
 
+# -- double-word kernel internals -------------------------------------------
+#
+# All helpers below operate on *merged* uint64 lanes (see dword_merge) with
+# per-row constants from :class:`_DWordTables`.  The 64x64 -> 128-bit
+# products a >= 2**31 modulus needs are emulated with four 32-bit digit
+# multiplications; variable x variable products reduce with the improved
+# Barrett of Shivdikar et al. (quotient estimate off by at most two, so two
+# branch-free min corrections), constant multiplies with 64-bit Shoup
+# companions (estimate off by at most one).
+
+
+@dataclass(frozen=True)
+class _DWordTables:
+    """Per-basis Barrett constants of the dword backend (broadcast columns).
+
+    With ``n = bitlen(q)`` and ``mu = floor(2**(2n) / q)`` (at most n+1
+    bits, so a uint64 for every supported modulus), the improved Barrett
+    quotient of a product ``x < q**2`` is
+    ``q_est = (floor(x / 2**(n-1)) * mu) >> (n+1)`` -- within 2 of the true
+    quotient, leaving a remainder in ``[0, 3q)`` that fits a lane for
+    ``q < 2**62``.
+    """
+
+    q: np.ndarray        # (L, 1) merged moduli
+    q2: np.ndarray       # (L, 1) doubled moduli (lazy-representative bound)
+    mu_hi: np.ndarray    # (L, 1) high/low 32-bit digits of mu
+    mu_lo: np.ndarray
+    s1: np.ndarray       # (L, 1) n-1   (t = x >> (n-1))
+    s1c: np.ndarray      # (L, 1) 65-n  (complementary shift of the hi word)
+    s2: np.ndarray       # (L, 1) n+1   (q_est = t*mu >> (n+1))
+    s2c: np.ndarray      # (L, 1) 63-n
+
+
+def _dword_tables(moduli_col: np.ndarray) -> _DWordTables:
+    """Return the (cached) Barrett tables of a dword moduli column."""
+    return _dword_tables_cached(
+        tuple(int(q) for q in np.asarray(moduli_col).ravel())
+    )
+
+
+@lru_cache(maxsize=None)
+def _dword_tables_cached(moduli: tuple) -> _DWordTables:
+    def column(values) -> np.ndarray:
+        arr = np.array(values, dtype=np.uint64).reshape(-1, 1)
+        arr.flags.writeable = False
+        return arr
+
+    qs = [int(q) for q in moduli]
+    if max(qs) >= DWORD_MODULUS_LIMIT:
+        raise ValueError(
+            f"modulus {max(qs)} (>= 2**62) exceeds the double-word backend"
+        )
+    bits = [q.bit_length() for q in qs]
+    mu = [(1 << (2 * n)) // q for q, n in zip(qs, bits)]
+    return _DWordTables(
+        q=column(qs),
+        q2=column([2 * q for q in qs]),
+        mu_hi=column([m >> 32 for m in mu]),
+        mu_lo=column([m & 0xFFFFFFFF for m in mu]),
+        s1=column([n - 1 for n in bits]),
+        s1c=column([65 - n for n in bits]),
+        s2=column([n + 1 for n in bits]),
+        s2c=column([63 - n for n in bits]),
+    )
+
+
+def dword_shoup_column(constants: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
+    """Precompute ``floor(c * 2**64 / q)`` companions for merged constants.
+
+    Exact object arithmetic (the quotients straddle 2**63); a setup-time
+    cost paid once per cached table, never on the kernel hot path.
+    """
+    qs = np.array(
+        [int(q) for q in np.asarray(moduli_col).ravel()], dtype=object
+    ).reshape(np.asarray(moduli_col).shape)
+    wide = _to_object_ints(np.asarray(constants)) << 64
+    return (wide // qs).astype(np.uint64)
+
+
+def _dword_mulhi(a: np.ndarray, b_hi: np.ndarray, b_lo: np.ndarray) -> np.ndarray:
+    """High 64 bits of ``a * b`` from the 32-bit digits of ``b``."""
+    a_lo = a & _M32
+    a_hi = a >> _SH32
+    lh = a_lo * b_hi
+    hl = a_hi * b_lo
+    cross = ((a_lo * b_lo) >> _SH32) + (lh & _M32) + (hl & _M32)
+    return a_hi * b_hi + (lh >> _SH32) + (hl >> _SH32) + (cross >> _SH32)
+
+
+def _dword_barrett(p_hi: np.ndarray, p_lo: np.ndarray,
+                   dw: _DWordTables) -> np.ndarray:
+    """Reduce 128-bit products ``p_hi:p_lo < q**2`` to canonical residues."""
+    t = (p_hi << dw.s1c) | (p_lo >> dw.s1)
+    tm_lo = t * (dw.mu_lo | (dw.mu_hi << _SH32))
+    tm_hi = _dword_mulhi(t, dw.mu_hi, dw.mu_lo)
+    q_est = (tm_hi << dw.s2c) | (tm_lo >> dw.s2)
+    r = p_lo - q_est * dw.q  # wraps mod 2**64; the true remainder is < 3q
+    np.minimum(r, r - dw.q2, out=r)
+    np.minimum(r, r - dw.q, out=r)
+    return r
+
+
+def _dword_mul_merged(am: np.ndarray, bm: np.ndarray,
+                      dw: _DWordTables) -> np.ndarray:
+    """Canonical ``(am * bm) mod q`` for merged canonical operands."""
+    a_lo = am & _M32
+    a_hi = am >> _SH32
+    b_lo = bm & _M32
+    b_hi = bm >> _SH32
+    ll = a_lo * b_lo
+    lh = a_lo * b_hi
+    hl = a_hi * b_lo
+    cross = (ll >> _SH32) + (lh & _M32) + (hl & _M32)
+    p_lo = ((cross & _M32) << _SH32) | (ll & _M32)
+    p_hi = a_hi * b_hi + (lh >> _SH32) + (hl >> _SH32) + (cross >> _SH32)
+    return _dword_barrett(p_hi, p_lo, dw)
+
+
+def _dword_shoup_mul_merged(
+    am: np.ndarray,
+    constants: np.ndarray,
+    shoup: np.ndarray,
+    dw: _DWordTables,
+    *,
+    lazy: bool = False,
+) -> np.ndarray:
+    """Merged ``(am * constants) mod q`` via 64-bit Shoup companions.
+
+    ``am`` may be any uint64 value (lazy ``[0, 2q)`` representatives
+    included); the quotient estimate ``mulhi64(am, shoup)`` is at most one
+    short of the true quotient, so the result lies in ``[0, 2q)`` --
+    returned as-is when ``lazy``, corrected once otherwise.
+    """
+    q_est = _dword_mulhi(am, shoup >> _SH32, shoup & _M32)
+    r = am * constants - q_est * dw.q  # both products wrap mod 2**64
+    if lazy:
+        return r
+    np.minimum(r, r - dw.q, out=r)
+    return r
+
+
 def stack_shoup_mul(
     a: np.ndarray,
     constants: np.ndarray,
@@ -554,7 +837,17 @@ def stack_shoup_mul(
     (Table III).  With ``lazy=True`` the result is left in ``[0, 2q)``,
     saving the correction passes when the caller reduces later anyway.
     ``out`` may alias ``a`` (the quotient is read out of ``a`` first).
+
+    On the dword backend ``a``/``out`` are digit-plane stacks while
+    ``constants``/``shoup`` are *merged* values with 64-bit companions
+    (:func:`dword_shoup_column`).
     """
+    if stack_is_dword(moduli_col):
+        dw = _dword_tables(moduli_col)
+        r = _dword_shoup_mul_merged(
+            dword_merge(a), constants, shoup, dw, lazy=lazy
+        )
+        return dword_split(r, out=out)
     shape = np.broadcast_shapes(a.shape, np.shape(shoup))
     quotient = _scratch("shoup-q", shape)
     np.multiply(a, shoup, out=quotient)
@@ -575,8 +868,15 @@ def stack_shoup_mul(
 
 def stack_add_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
     """Row-broadcast elementwise ``(a + b) mod q_i`` over a limb stack."""
-    if stack_is_fast(moduli_col):
+    backend = stack_backend(moduli_col)
+    if backend == BACKEND_UINT64:
         out = _fast_reduce_once(a + b, moduli_col)
+    elif backend == BACKEND_DWORD:
+        dw = _dword_tables(moduli_col)
+        s = dword_merge(a)
+        s += dword_merge(b, out=_scratch("dw-add", s.shape))
+        np.minimum(s, s - dw.q, out=s)
+        out = dword_split(s)
     else:
         out = (a + b) % moduli_col
     _DISPATCH.elementwise(
@@ -588,10 +888,18 @@ def stack_add_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.nd
 
 def stack_sub_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
     """Row-broadcast elementwise ``(a - b) mod q_i`` over a limb stack."""
-    if stack_is_fast(moduli_col):
+    backend = stack_backend(moduli_col)
+    if backend == BACKEND_UINT64:
         out = a + moduli_col
         out -= b
         out = _fast_reduce_once(out, moduli_col)
+    elif backend == BACKEND_DWORD:
+        dw = _dword_tables(moduli_col)
+        s = dword_merge(a)
+        s += dw.q
+        s -= dword_merge(b, out=_scratch("dw-sub", s.shape))
+        np.minimum(s, s - dw.q, out=s)
+        out = dword_split(s)
     else:
         out = (a - b) % moduli_col
     _DISPATCH.elementwise(
@@ -603,8 +911,13 @@ def stack_sub_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.nd
 
 def stack_neg_mod(a: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
     """Row-broadcast elementwise ``(-a) mod q_i`` over a limb stack."""
-    if stack_is_fast(moduli_col):
+    backend = stack_backend(moduli_col)
+    if backend == BACKEND_UINT64:
         out = np.where(a == 0, a, moduli_col - a)
+    elif backend == BACKEND_DWORD:
+        dw = _dword_tables(moduli_col)
+        m = dword_merge(a)
+        out = dword_split(np.where(m == 0, m, dw.q - m))
     else:
         out = (-a) % moduli_col
     _DISPATCH.elementwise("stack-neg", reads=(a,), writes=(out,), ops_per_element=1.0)
@@ -615,12 +928,19 @@ def stack_mul_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.nd
     """Row-broadcast elementwise ``(a * b) mod q_i`` over a limb stack.
 
     Exact on the fast backend because residues are below ``2**31``, so a
-    product fits in a uint64 lane.  Both operands are variable, so this is
-    the one batched kernel that keeps a hardware division (Barrett-style
-    constant tricks need a fixed operand).
+    product fits in a uint64 lane.  Both operands are variable, so the
+    fast backend keeps a hardware division (Barrett-style constant tricks
+    need a fixed operand) while the dword backend reduces the emulated
+    128-bit product with improved Barrett.
     """
-    out = a * b
-    out %= moduli_col
+    if stack_is_dword(moduli_col):
+        out = dword_split(
+            _dword_mul_merged(dword_merge(a), dword_merge(b),
+                              _dword_tables(moduli_col))
+        )
+    else:
+        out = a * b
+        out %= moduli_col
     _DISPATCH.elementwise(
         "stack-mul", reads=(a, b), writes=(out,),
         ops_per_element=_kernelforms.MODMUL_OPS,
@@ -640,7 +960,8 @@ def stack_dot_mod(pairs, moduli_col: np.ndarray) -> np.ndarray:
     pairs = list(pairs)
     if not pairs:
         raise ValueError("stack_dot_mod needs at least one product")
-    if stack_is_fast(moduli_col):
+    backend = stack_backend(moduli_col)
+    if backend == BACKEND_UINT64:
         acc = None
         product = None
         pending = 0
@@ -657,6 +978,20 @@ def stack_dot_mod(pairs, moduli_col: np.ndarray) -> np.ndarray:
                 acc %= moduli_col
                 pending = 0
         acc %= moduli_col
+    elif backend == BACKEND_DWORD:
+        # Near 2**62 even a 128-bit accumulator could overflow after a few
+        # terms, so each emulated product is Barrett-reduced and folded in
+        # with a canonical modular add (one extra min per term).
+        dw = _dword_tables(moduli_col)
+        acc = None
+        for x, y in pairs:
+            term = _dword_mul_merged(dword_merge(x), dword_merge(y), dw)
+            if acc is None:
+                acc = term
+            else:
+                acc += term
+                np.minimum(acc, acc - dw.q, out=acc)
+        acc = dword_split(acc)
     else:
         acc = None
         for x, y in pairs:
@@ -680,9 +1015,13 @@ def stack_scalar_mod(a: np.ndarray, scalars, moduli_col: np.ndarray,
     straight into the transform's working buffer.
     """
     col = scalar_column(scalars, moduli_col)
-    if stack_is_fast(moduli_col):
+    backend = stack_backend(moduli_col)
+    if backend == BACKEND_UINT64:
         out = stack_shoup_mul(a, col, shoup_column(col, moduli_col), moduli_col,
                               out=out)
+    elif backend == BACKEND_DWORD:
+        out = stack_shoup_mul(a, col, _dword_scalar_shoup(scalars, moduli_col),
+                              moduli_col, out=out)
     else:
         result = (a * col) % moduli_col
         if out is None:
@@ -696,11 +1035,36 @@ def stack_scalar_mod(a: np.ndarray, scalars, moduli_col: np.ndarray,
     return out
 
 
+def _dword_scalar_shoup(scalars, moduli_col: np.ndarray) -> np.ndarray:
+    """Cached 64-bit Shoup companions of a per-row scalar column."""
+    return _dword_scalar_shoup_cached(
+        tuple(int(s) for s in scalars),
+        tuple(int(q) for q in np.asarray(moduli_col).ravel()),
+    )
+
+
+@lru_cache(maxsize=512)
+def _dword_scalar_shoup_cached(scalars: tuple, moduli: tuple) -> np.ndarray:
+    values = [s % q for s, q in zip(scalars, moduli)]
+    out = np.array(
+        [(v << 64) // q for v, q in zip(values, moduli)], dtype=np.uint64
+    ).reshape(-1, 1)
+    out.flags.writeable = False
+    return out
+
+
 def stack_add_scalar_mod(a: np.ndarray, scalars, moduli_col: np.ndarray) -> np.ndarray:
     """Add one integer constant per row (broadcast to every element)."""
     col = scalar_column(scalars, moduli_col)
-    if stack_is_fast(moduli_col):
+    backend = stack_backend(moduli_col)
+    if backend == BACKEND_UINT64:
         out = _fast_reduce_once(a + col, moduli_col)
+    elif backend == BACKEND_DWORD:
+        dw = _dword_tables(moduli_col)
+        s = dword_merge(a)
+        s += col
+        np.minimum(s, s - dw.q, out=s)
+        out = dword_split(s)
     else:
         out = (a + col) % moduli_col
     _DISPATCH.elementwise(
@@ -715,23 +1079,43 @@ def stack_switch_modulus(row: np.ndarray, q_from: int, moduli_col: np.ndarray) -
 
     The batched form of :func:`vec_switch_modulus`: residues are interpreted
     in the centred interval ``(-q_from/2, q_from/2]`` and reduced against
-    each row modulus at once, producing an ``(L, N)`` stack.
+    each row modulus at once, producing an ``(L, N)`` stack (``(L, 2, N)``
+    digit planes on the dword backend; a dword ``row`` arrives as its
+    ``(2, N)`` planes).
+
+    Exact int64 arithmetic covers every modulus below 2**62: the centred
+    values have magnitude at most ``q_from/2 < 2**61`` and NumPy's ``%``
+    follows Python's floored semantics, so no object fallback is needed
+    until the exact backend itself.
     """
     half = q_from >> 1
-    if stack_is_fast(moduli_col) and is_fast_modulus(q_from):
-        v = np.asarray(row).astype(np.int64)
+    backend = stack_backend(moduli_col)
+    row = np.asarray(row)
+    # A single row is 1-D on the single-word backends and arrives as its
+    # (2, N) digit planes from a dword-format parent stack -- even when
+    # q_from itself is small (mixed chains store every row as planes).
+    row_is_dword = (
+        row.ndim == 2 and row.shape[0] == 2 and row.dtype != np.object_
+    )
+    if backend != BACKEND_OBJECT and q_from < DWORD_MODULUS_LIMIT:
+        merged = dword_merge(row) if row_is_dword else row
+        v = merged.astype(np.int64)
         centred = np.where(v > half, v - q_from, v)
-        out = centred[None, :] % moduli_col.astype(np.int64)
+        out = centred[None, :] % np.asarray(moduli_col).astype(np.int64)
         out = out.astype(np.uint64)
+        if backend == BACKEND_DWORD:
+            out = dword_split(out)
     else:
-        values = object_row(np.asarray(row).ravel())
+        values = object_row(
+            dword_merge(row).ravel() if row_is_dword else row.ravel()
+        )
         centred = np.where(values > half, values - q_from, values)
         out = centred[None, :] % np.array(
-            [int(q) for q in moduli_col.ravel()], dtype=object
+            [int(q) for q in np.asarray(moduli_col).ravel()], dtype=object
         ).reshape(-1, 1)
         out = coerce_stack(out, moduli_col)
     _DISPATCH.elementwise(
-        "stack-switch-modulus", reads=(np.asarray(row),), writes=(out,),
+        "stack-switch-modulus", reads=(row,), writes=(out,),
         ops_per_element=_kernelforms.MODADD_OPS,
     )
     return out
@@ -739,6 +1123,7 @@ def stack_switch_modulus(row: np.ndarray, q_from: int, moduli_col: np.ndarray) -
 
 __all__ = [
     "FAST_MODULUS_LIMIT",
+    "DWORD_MODULUS_LIMIT",
     "WORD_BITS",
     "BarrettReducer",
     "MontgomeryReducer",
@@ -762,8 +1147,18 @@ __all__ = [
     "vec_to_int_list",
     "vec_switch_modulus",
     "all_fast_moduli",
+    "backend_for_moduli",
+    "BACKEND_UINT64",
+    "BACKEND_DWORD",
+    "BACKEND_OBJECT",
     "moduli_column",
+    "stack_backend",
     "stack_is_fast",
+    "stack_is_dword",
+    "dword_merge",
+    "dword_split",
+    "is_dword_stack",
+    "dword_shoup_column",
     "object_row",
     "coerce_stack",
     "as_residue_stack",

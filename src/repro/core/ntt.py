@@ -467,7 +467,9 @@ class StackedNTTEngine:
         self.ring_degree = ring_degree
         self.moduli = tuple(int(q) for q in moduli)
         col = modmath.moduli_column(self.moduli)
-        self.fast = modmath.stack_is_fast(col)
+        self.backend = modmath.stack_backend(col)
+        self.fast = self.backend == modmath.BACKEND_UINT64
+        self.dword = self.backend == modmath.BACKEND_DWORD
         self._col = col
         # Twiddle tables cover one table row per *distinct* chunk modulus:
         # fused cross-ciphertext stacks repeat a short base either
@@ -478,7 +480,7 @@ class StackedNTTEngine:
         length = len(self.moduli)
         base = self.moduli
         self._chunks: list[tuple[int, int, int, int]] = []
-        if self.fast:
+        if self.backend != modmath.BACKEND_OBJECT:
             period = self._repeat_period(self.moduli)
             runs = self._runs(self.moduli)
             if period < length:
@@ -521,6 +523,21 @@ class StackedNTTEngine:
             # 2q columns for the lazy [0, 2q) butterfly representatives.
             self._two3 = self._col3 * np.uint64(2)
             self._two4 = self._col4 * np.uint64(2)
+        elif self.dword:
+            # 64-bit Shoup companions (floor(w * 2**64 / q)), stored as
+            # 32-bit digit halves so each butterfly's mulhi64 reads
+            # precomputed operands instead of re-splitting per stage.
+            shift = np.uint64(32)
+            mask = np.uint64(0xFFFFFFFF)
+            fw = modmath.dword_shoup_column(self._psi_bitrev, base_col)
+            inv = modmath.dword_shoup_column(self._psi_inv_bitrev, base_col)
+            self._psi_shoup_hi = fw >> shift
+            self._psi_shoup_lo = fw & mask
+            self._psi_inv_shoup_hi = inv >> shift
+            self._psi_inv_shoup_lo = inv & mask
+            # 2q < 2**63 for every dword modulus, so the lazy bound still
+            # fits a lane (sums stay below 4q < 2**64).
+            self._two3 = self._col3 * np.uint64(2)
         # Precompute the per-stage transposed twiddle grids (fast path only;
         # the exact object path keeps the simple standard-layout stages).
         self._block = _TRANSPOSED_BLOCK
@@ -571,6 +588,13 @@ class StackedNTTEngine:
     def _stack_tables(self, rows: list[np.ndarray]) -> np.ndarray:
         if self.fast:
             return np.stack(rows)
+        if self.dword:
+            # Per-limb tables of >=2**31 moduli are exact object rows;
+            # every canonical twiddle fits a merged uint64 lane.
+            return np.stack([
+                r.astype(np.uint64) if r.dtype == np.object_ else r
+                for r in rows
+            ])
         return np.stack([modmath.object_row(r) for r in rows])
 
     def _transposed_tables(self, table: np.ndarray, shoup: np.ndarray | None):
@@ -631,11 +655,14 @@ class StackedNTTEngine:
         source = np.asarray(stack)
         with _DISPATCH.suppressed():
             a = self._working_copy(stack, consume)
-            if not self.fast:
-                a = self._forward_object(a)
-            else:
+            if self.fast:
                 for r0, r1, t0, t1 in self._row_chunks(len(self.moduli)):
                     self._forward_rows_fast(a[r0:r1], t0, t1)
+            elif self.dword:
+                for r0, r1, t0, t1 in self._row_chunks(len(self.moduli)):
+                    self._forward_rows_dword(a[r0:r1], t0, t1)
+            else:
+                a = self._forward_object(a)
         self._record_transform("ntt", source, a, segments)
         return a
 
@@ -650,11 +677,15 @@ class StackedNTTEngine:
         source = np.asarray(stack)
         with _DISPATCH.suppressed():
             a = self._working_copy(stack, consume)
-            if not self.fast:
+            if self.backend == modmath.BACKEND_OBJECT:
                 a = self._inverse_object(a)
             else:
+                rows_fn = (
+                    self._inverse_rows_fast if self.fast
+                    else self._inverse_rows_dword
+                )
                 for r0, r1, t0, t1 in self._row_chunks(len(self.moduli)):
-                    self._inverse_rows_fast(a[r0:r1], t0, t1)
+                    rows_fn(a[r0:r1], t0, t1)
                 # The rows carry lazy [0, 2q) representatives here; the
                 # fused N^-1 scaling (Shoup) canonicalizes them.
                 a = modmath.stack_scalar_mod(a, self._n_inv, self._col, out=a)
@@ -846,6 +877,121 @@ class StackedNTTEngine:
             m = h
         # Rows are left lazy (< 2q); the caller's fused N^-1 Shoup scaling
         # canonicalizes them.
+
+    # -- double-word (dword) path ---------------------------------------------
+    #
+    # Moduli in (2**31, 2**62) arrive as (rows, 2, N) hi/lo digit planes.
+    # Every canonical residue (< 2**62) and lazy representative (< 2q <
+    # 2**63) fits one uint64 lane, so the chunk merges its planes into a
+    # single (rows, N) working buffer once, runs the same lazy [0, 2q)
+    # butterfly pipeline as the fast path -- with 64-bit Shoup companions
+    # whose quotient estimate needs an emulated mulhi64 -- and splits back
+    # at the end.  The transposed block stages are skipped (``_grid = 0``):
+    # the mulhi emulation already dominates, and the standard layout keeps
+    # the code identical to the per-limb schedule.
+
+    def _forward_rows_dword(self, a: np.ndarray, r0: int, r1: int) -> None:
+        n = self.ring_degree
+        rows = int(a.shape[0])
+        q3 = self._col3[r0:r1]
+        tq3 = self._two3[r0:r1]
+        half = n // 2
+        merged = _scratch("ntt-dw", (rows, n))
+        modmath.dword_merge(a, out=merged)
+        buf_v = _scratch("ntt-v", (rows, half))
+        buf_q = _scratch("ntt-q", (rows, half))
+        buf_lo = _scratch("ntt-lo", (rows, half))
+        buf_hi = _scratch("ntt-hi", (rows, half))
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            view = merged.reshape(rows, m, 2 * t)
+            tw = self._psi_bitrev[r0:r1, m : 2 * m].reshape(r1 - r0, m, 1)
+            sh_hi = self._psi_shoup_hi[r0:r1, m : 2 * m].reshape(r1 - r0, m, 1)
+            sh_lo = self._psi_shoup_lo[r0:r1, m : 2 * m].reshape(r1 - r0, m, 1)
+            self._lazy_dword_butterflies(
+                view[:, :, :t], view[:, :, t:], tw, sh_hi, sh_lo, q3, tq3,
+                buf_v.reshape(rows, m, t), buf_q.reshape(rows, m, t),
+                buf_lo.reshape(rows, m, t), buf_hi.reshape(rows, m, t),
+            )
+            m *= 2
+        # Canonicalize the lazy representatives once, then restore planes.
+        work = _scratch("ntt-w", (rows, n))
+        np.subtract(merged, self._base_col[r0:r1], out=work)
+        np.minimum(merged, work, out=merged)
+        modmath.dword_split(merged, out=a)
+
+    def _inverse_rows_dword(self, a: np.ndarray, r0: int, r1: int) -> None:
+        n = self.ring_degree
+        rows = int(a.shape[0])
+        q3 = self._col3[r0:r1]
+        tq3 = self._two3[r0:r1]
+        half = n // 2
+        merged = _scratch("ntt-dw", (rows, n))
+        modmath.dword_merge(a, out=merged)
+        buf_v = _scratch("ntt-v", (rows, half))
+        buf_q = _scratch("ntt-q", (rows, half))
+        buf_lo = _scratch("ntt-lo", (rows, half))
+        buf_hi = _scratch("ntt-hi", (rows, half))
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            view = merged.reshape(rows, h, 2 * t)
+            tw = self._psi_inv_bitrev[r0:r1, h : 2 * h].reshape(r1 - r0, h, 1)
+            sh_hi = self._psi_inv_shoup_hi[r0:r1, h : 2 * h].reshape(r1 - r0, h, 1)
+            sh_lo = self._psi_inv_shoup_lo[r0:r1, h : 2 * h].reshape(r1 - r0, h, 1)
+            self._lazy_dword_gs_butterflies(
+                view[:, :, :t], view[:, :, t:], tw, sh_hi, sh_lo, q3, tq3,
+                buf_v.reshape(rows, h, t), buf_q.reshape(rows, h, t),
+                buf_lo.reshape(rows, h, t), buf_hi.reshape(rows, h, t),
+            )
+            t *= 2
+            m = h
+        # Rows stay lazy (< 2q) through the split; the caller's fused N^-1
+        # Shoup scaling accepts any uint64 input and canonicalizes.
+        modmath.dword_split(merged, out=a)
+
+    @staticmethod
+    def _lazy_dword_butterflies(u, x, tw, sh_hi, sh_lo, q, two_q,
+                                buf_v, buf_q, buf_lo, buf_hi):
+        """One forward stage on merged lazy representatives (q < 2**62).
+
+        ``v = x * tw`` reduces with a 64-bit Shoup companion: the quotient
+        estimate ``mulhi64(x, shoup)`` is at most one short for *any*
+        uint64 ``x``, leaving ``v`` in ``[0, 2q)``; the add/sub halves fold
+        back below ``2q`` with the same min-trick as the fast path (sums
+        stay below ``4q < 2**64``).
+        """
+        q_est = modmath._dword_mulhi(x, sh_hi, sh_lo)
+        np.multiply(q_est, q, out=buf_q)
+        np.multiply(x, tw, out=buf_v)
+        buf_v -= buf_q
+        np.add(u, two_q, out=buf_hi)
+        buf_hi -= buf_v
+        np.add(u, buf_v, out=buf_lo)
+        np.subtract(buf_lo, two_q, out=buf_q)
+        np.minimum(buf_lo, buf_q, out=u)
+        np.subtract(buf_hi, two_q, out=buf_q)
+        np.minimum(buf_hi, buf_q, out=x)
+
+    @staticmethod
+    def _lazy_dword_gs_butterflies(u, v, tw, sh_hi, sh_lo, q, two_q,
+                                   buf_v, buf_q, buf_lo, buf_hi):
+        """One inverse (Gentleman-Sande) stage on merged representatives."""
+        np.add(u, v, out=buf_lo)
+        np.add(u, two_q, out=buf_hi)
+        buf_hi -= v
+        # u and v are no longer read as inputs from here on.
+        np.subtract(buf_lo, two_q, out=buf_q)
+        np.minimum(buf_lo, buf_q, out=u)
+        np.subtract(buf_hi, two_q, out=buf_q)
+        np.minimum(buf_hi, buf_q, out=buf_hi)
+        q_est = modmath._dword_mulhi(buf_hi, sh_hi, sh_lo)
+        np.multiply(q_est, q, out=buf_q)
+        np.multiply(buf_hi, tw, out=buf_v)
+        np.subtract(buf_v, buf_q, out=v)
 
     # -- exact (object) path --------------------------------------------------
 

@@ -147,8 +147,13 @@ class BaseConverter:
         # Stacked tables for the batched (limb-stack) conversion path.
         self._source_col = modmath.moduli_column(source.moduli)
         self._target_col = modmath.moduli_column(target.moduli)
+        self._source_backend = modmath.stack_backend(self._source_col)
+        self._target_backend = modmath.stack_backend(self._target_col)
+        exact = modmath.BACKEND_OBJECT in (
+            self._source_backend, self._target_backend
+        )
         fast = self._all_fast()
-        table_dtype = np.uint64 if fast else np.object_
+        table_dtype = np.object_ if exact else np.uint64
         #: (|target|, |source|) matrix of [q̂_i]_{p_k} from Equation 1.
         self._q_hat_matrix = np.array(self.q_hat_mod_target, dtype=table_dtype)
         self._q_hat_inv_col = np.array(
@@ -160,6 +165,23 @@ class BaseConverter:
             # scaling step needs no hardware division.
             self._q_hat_inv_shoup = modmath.shoup_column(
                 self._q_hat_inv_col, self._source_col
+            )
+        elif not exact:
+            # Double-word conversion path: the scaling companions match the
+            # source backend, and the matrix gets 64-bit Shoup companions
+            # under the *target* moduli -- the quotient estimate is valid
+            # for any uint64 operand, which is exactly what the scaled
+            # source rows (canonical mod q_i, not mod p_k) require.
+            if self._source_backend == modmath.BACKEND_UINT64:
+                self._q_hat_inv_shoup = modmath.shoup_column(
+                    self._q_hat_inv_col, self._source_col
+                )
+            else:
+                self._q_hat_inv_shoup = modmath.dword_shoup_column(
+                    self._q_hat_inv_col, self._source_col
+                )
+            self._q_hat_shoup_matrix = modmath.dword_shoup_column(
+                self._q_hat_matrix, self._target_col
             )
 
     def _all_fast(self) -> bool:
@@ -190,6 +212,8 @@ class BaseConverter:
             )
         stack = modmath.as_residue_stack(limbs, self.source.moduli)
         converted = self.convert_stack(stack)
+        if modmath.is_dword_stack(converted):
+            converted = modmath.dword_merge(converted)
         return [converted[k] for k in range(len(self.target))]
 
     def convert_stack(self, stack: np.ndarray) -> np.ndarray:
@@ -207,6 +231,9 @@ class BaseConverter:
         source_stack = np.asarray(stack)
         with _DISPATCH.suppressed():
             fast = self._all_fast()
+            exact = modmath.BACKEND_OBJECT in (
+                self._source_backend, self._target_backend
+            )
             if fast:
                 stack = modmath.coerce_stack(source_stack, self._source_col)
                 converted = modmath.stack_dot_mod(
@@ -222,6 +249,44 @@ class BaseConverter:
                         )
                     ],
                     self._target_col,
+                )
+            elif not exact:
+                # Double-word path.  The scaled source rows are canonical
+                # mod q_i but *not* mod p_k, so the accumulation cannot use
+                # the Barrett product (its quotient bound needs x < p_k**2);
+                # each term is instead a constant-operand Shoup multiply
+                # whose 64-bit companion is exact for any uint64 input,
+                # folded in with one canonical add per source limb.
+                stack = modmath.coerce_stack(source_stack, self._source_col)
+                scaled = modmath.stack_shoup_mul(
+                    stack,
+                    self._q_hat_inv_col,
+                    self._q_hat_inv_shoup,
+                    self._source_col,
+                )
+                merged = (
+                    modmath.dword_merge(scaled)
+                    if modmath.is_dword_stack(scaled)
+                    else scaled
+                )
+                dw = modmath._dword_tables(self._target_col)
+                acc = None
+                for i in range(len(self.source)):
+                    term = modmath._dword_shoup_mul_merged(
+                        merged[i][None, :],
+                        self._q_hat_matrix[:, i : i + 1],
+                        self._q_hat_shoup_matrix[:, i : i + 1],
+                        dw,
+                    )
+                    if acc is None:
+                        acc = term
+                    else:
+                        acc += term
+                        np.minimum(acc, acc - dw.q, out=acc)
+                converted = (
+                    modmath.dword_split(acc)
+                    if self._target_backend == modmath.BACKEND_DWORD
+                    else acc
                 )
             else:
                 scaled = [

@@ -60,8 +60,10 @@ class LimbPartition:
         """Add a limb to this partition."""
         self.limbs.append(limb)
 
-    def footprint_bytes(self, element_bytes: int = 8) -> int:
+    def footprint_bytes(self, element_bytes: int | None = None) -> int:
         """Return the device-memory footprint of this partition."""
+        if element_bytes is None:
+            element_bytes = 8
         return sum(limb.ring_degree * element_bytes for limb in self.limbs)
 
 
@@ -208,8 +210,12 @@ class RNSPoly:
         """Return the :class:`RNSBasis` for the current moduli."""
         return RNSBasis(self.moduli)
 
-    def footprint_bytes(self, element_bytes: int = 8) -> int:
-        """Return the memory footprint of the polynomial."""
+    def footprint_bytes(self, element_bytes: int | None = None) -> int:
+        """Return the memory footprint of the polynomial.
+
+        Defaults to the stack buffer's own element width (16 bytes on the
+        double-word backend, 8 otherwise).
+        """
         return self._stack.footprint_bytes(element_bytes)
 
     # -- representation ------------------------------------------------------

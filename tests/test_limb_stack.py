@@ -28,7 +28,8 @@ from repro.core.rns_poly import RNSPoly
 
 N = 64
 PRIMES = generate_ntt_primes(3, 28, N)
-BIG_PRIMES = generate_ntt_primes(2, 40, N)  # exact (object) backend
+BIG_PRIMES = generate_ntt_primes(2, 40, N)  # double-word (hi/lo) backend
+HUGE_PRIMES = generate_ntt_primes(2, 63, N)  # exact (object) backend
 
 
 def random_stack(moduli, seed=0):
@@ -37,27 +38,37 @@ def random_stack(moduli, seed=0):
     return LimbStack.from_rows(moduli, rows)
 
 
+def merged_rows(data):
+    """Per-limb residue rows of a stack, merging dword digit planes."""
+    return modmath.dword_merge(data) if modmath.is_dword_stack(data) else data
+
+
 class TestBatchedKernels:
     """The stack_* kernels must agree with the per-limb vec_* routines."""
 
-    @pytest.mark.parametrize("moduli", [PRIMES, BIG_PRIMES], ids=["fast", "exact"])
+    @pytest.mark.parametrize(
+        "moduli", [PRIMES, BIG_PRIMES, HUGE_PRIMES],
+        ids=["fast", "dword", "exact"],
+    )
     def test_elementwise_ops_match_per_limb(self, moduli):
         a = random_stack(moduli, 1)
         b = random_stack(moduli, 2)
         col = a.moduli_col
+        a_rows, b_rows = merged_rows(a.data), merged_rows(b.data)
         checks = {
             "add": (modmath.stack_add_mod(a.data, b.data, col), modmath.vec_add_mod),
             "sub": (modmath.stack_sub_mod(a.data, b.data, col), modmath.vec_sub_mod),
             "mul": (modmath.stack_mul_mod(a.data, b.data, col), modmath.vec_mul_mod),
         }
         for name, (result, reference) in checks.items():
+            rows = merged_rows(result)
             for i, q in enumerate(moduli):
                 expected = reference(
-                    modmath.as_residue_array(a.data[i], q),
-                    modmath.as_residue_array(b.data[i], q),
+                    modmath.as_residue_array(a_rows[i], q),
+                    modmath.as_residue_array(b_rows[i], q),
                     q,
                 )
-                assert [int(x) for x in result[i]] == [int(x) for x in expected], name
+                assert [int(x) for x in rows[i]] == [int(x) for x in expected], name
 
     def test_scalar_and_neg_ops(self):
         a = random_stack(PRIMES, 3)
@@ -95,16 +106,20 @@ class TestBatchedKernels:
 
 
 class TestStackedNTT:
-    @pytest.mark.parametrize("moduli", [PRIMES, BIG_PRIMES], ids=["fast", "exact"])
+    @pytest.mark.parametrize(
+        "moduli", [PRIMES, BIG_PRIMES, HUGE_PRIMES],
+        ids=["fast", "dword", "exact"],
+    )
     def test_matches_per_limb_engines(self, moduli):
         stack = random_stack(moduli, 5)
         engine = get_stacked_engine(N, tuple(moduli))
-        forward = engine.forward(stack.data)
-        roundtrip = engine.inverse(forward)
+        forward = merged_rows(engine.forward(stack.data))
+        roundtrip = merged_rows(engine.inverse(engine.forward(stack.data)))
+        source = merged_rows(stack.data)
         for i, q in enumerate(moduli):
-            reference = get_engine(N, q).forward(stack.data[i])
+            reference = get_engine(N, q).forward(source[i])
             assert [int(x) for x in forward[i]] == [int(x) for x in reference]
-            assert [int(x) for x in roundtrip[i]] == [int(x) for x in stack.data[i]]
+            assert [int(x) for x in roundtrip[i]] == [int(x) for x in source[i]]
 
     def test_poly_transform_is_loop_free_path(self):
         poly, _ = _random_poly(6)
@@ -268,3 +283,83 @@ class TestBenchmarkTableJson:
         assert payload["rows"] == [{"operation": "HAdd", "seconds": 0.5}]
         assert payload["machine"] == "test"
         assert payload["columns"] == ["operation", "seconds"]
+
+
+# ---------------------------------------------------------------------------
+# double-word (59-bit) end-to-end path
+# ---------------------------------------------------------------------------
+
+
+def _clear_backend_caches():
+    """Flush caches that bake in the backend decision (test-only)."""
+    modmath._moduli_column_cached.cache_clear()
+    get_stacked_engine.cache_clear()
+
+
+class TestDwordEndToEnd:
+    """Paper-class 59-bit chains: dword path vs the exact object oracle."""
+
+    @staticmethod
+    def _run_hmult_rescale():
+        """One seeded HMult (+relinearize +rescale) at 59-bit moduli.
+
+        A paper-default-class parameter set (Δ = 2**59, 60-bit q_0/P) at
+        reduced depth and ring degree so the functional backend can run it.
+        """
+        from repro.ckks.params import CKKSParameters
+        from repro.ckks.context import Context
+        from repro.ckks.keys import KeyGenerator
+        from repro.ckks.evaluator import Evaluator
+        from repro.ckks.encryption import Encryptor
+
+        params = CKKSParameters(
+            ring_degree=1 << 8, mult_depth=2, scale_bits=59, dnum=2,
+            first_mod_bits=60, secret_hamming_weight=16,
+            label="paper-59-reduced",
+        )
+        context = Context(params)
+        keys = KeyGenerator(context, seed=101).generate([])
+        evaluator = Evaluator(context, keys)
+        encryptor = Encryptor(context, keys.public_key, seed=55)
+        rng = np.random.default_rng(9)
+        a = encryptor.encrypt_values(rng.uniform(-1, 1, 8))
+        b = encryptor.encrypt_values(rng.uniform(-1, 1, 8))
+        return context, evaluator.multiply(a, b)
+
+    def test_dword_path_matches_object_oracle(self, monkeypatch):
+        context, fast = self._run_hmult_rescale()
+        assert context.numeric_backend == modmath.BACKEND_DWORD
+        # The hot path ran on uint64 digit planes, not Python integers.
+        for poly in (fast.c0, fast.c1):
+            assert modmath.is_dword_stack(poly.stack.data)
+            assert poly.stack.data.dtype == np.uint64
+        # Re-run the identical computation on the exact object oracle by
+        # forcing every modulus above 2**31 off the dword backend.
+        monkeypatch.setattr(
+            modmath, "DWORD_MODULUS_LIMIT", modmath.FAST_MODULUS_LIMIT
+        )
+        _clear_backend_caches()
+        try:
+            with pytest.warns(RuntimeWarning, match="object backend"):
+                oracle_context, exact = self._run_hmult_rescale()
+            assert oracle_context.numeric_backend == modmath.BACKEND_OBJECT
+            assert exact.c0.stack.data.dtype == np.object_
+            assert fast.scale == exact.scale
+            for fast_poly, exact_poly in (
+                (fast.c0, exact.c0), (fast.c1, exact.c1)
+            ):
+                merged = modmath.dword_merge(fast_poly.stack.data)
+                assert merged.tolist() == [
+                    [int(x) for x in row] for row in exact_poly.stack.data
+                ]
+        finally:
+            monkeypatch.undo()
+            _clear_backend_caches()
+
+    def test_59_bit_context_reports_dword_backend(self):
+        context, product = self._run_hmult_rescale()
+        assert context.numeric_backend == modmath.BACKEND_DWORD
+        assert product.c0.stack.buffer.element_bytes == 16
+        assert product.c0.footprint_bytes() == (
+            2 * product.c0.ring_degree * 16
+        )

@@ -199,3 +199,137 @@ def test_vector_add_neg_is_zero_property(values):
     arr = modmath.as_residue_array(np.array(values, dtype=object), q)
     total = modmath.vec_add_mod(arr, modmath.vec_neg_mod(arr, q), q)
     assert all(int(x) == 0 for x in total)
+
+
+# ---------------------------------------------------------------------------
+# double-word (hi/lo digit plane) stack kernels
+# ---------------------------------------------------------------------------
+
+#: Moduli straddling the dword regime: just above the single-word cutoff
+#: (2**31), at the paper's word size (59 bits) and just under the dword
+#: cap (2**62).
+DWORD_PRIME_SETS = {
+    "near-2^31": generate_ntt_primes(3, 32, 64),
+    "59-bit": generate_ntt_primes(3, 59, 64),
+    "near-2^62": generate_ntt_primes(3, 62, 64),
+}
+
+
+def test_backend_decision_boundaries():
+    assert modmath.backend_for_moduli([(1 << 31) - 1]) == modmath.BACKEND_UINT64
+    assert modmath.backend_for_moduli([1 << 31]) == modmath.BACKEND_DWORD
+    assert modmath.backend_for_moduli([(1 << 62) - 1]) == modmath.BACKEND_DWORD
+    assert modmath.backend_for_moduli([1 << 62]) == modmath.BACKEND_OBJECT
+    # Mixed chains classify on the widest modulus.
+    assert modmath.backend_for_moduli([17, 1 << 40]) == modmath.BACKEND_DWORD
+
+
+class TestDwordStackKernels:
+    """Dword ``stack_*`` kernels are bit-identical to the object oracle."""
+
+    N = 64
+
+    def _operands(self, name, seed):
+        moduli = DWORD_PRIME_SETS[name]
+        col = modmath.moduli_column(moduli)
+        assert modmath.stack_backend(col) == modmath.BACKEND_DWORD
+        obj_col = np.array([int(q) for q in moduli], dtype=object).reshape(-1, 1)
+        rng = np.random.default_rng(seed)
+        a_obj = np.array(
+            [[int(x) for x in rng.integers(0, q, self.N)] for q in moduli],
+            dtype=object,
+        )
+        b_obj = np.array(
+            [[int(x) for x in rng.integers(0, q, self.N)] for q in moduli],
+            dtype=object,
+        )
+        a = modmath.coerce_stack(a_obj, col)
+        b = modmath.coerce_stack(b_obj, col)
+        assert modmath.is_dword_stack(a) and modmath.is_dword_stack(b)
+        return moduli, col, obj_col, a_obj, b_obj, a, b
+
+    @staticmethod
+    def _assert_same(dword_out, obj_out):
+        assert modmath.is_dword_stack(dword_out)
+        merged = modmath.dword_merge(dword_out)
+        assert merged.tolist() == [[int(x) for x in row] for row in obj_out]
+
+    @pytest.mark.parametrize("name", sorted(DWORD_PRIME_SETS))
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_elementwise_matches_object(self, name, seed):
+        _, col, obj_col, a_obj, b_obj, a, b = self._operands(name, seed)
+        self._assert_same(
+            modmath.stack_add_mod(a, b, col), (a_obj + b_obj) % obj_col
+        )
+        self._assert_same(
+            modmath.stack_sub_mod(a, b, col), (a_obj - b_obj) % obj_col
+        )
+        self._assert_same(
+            modmath.stack_mul_mod(a, b, col), (a_obj * b_obj) % obj_col
+        )
+        self._assert_same(modmath.stack_neg_mod(a, col), (-a_obj) % obj_col)
+
+    @pytest.mark.parametrize("name", sorted(DWORD_PRIME_SETS))
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_constant_multiplies_match_object(self, name, seed):
+        moduli, col, obj_col, a_obj, _, a, _ = self._operands(name, seed)
+        rng = np.random.default_rng(seed + 1)
+        scalars = [int(rng.integers(0, q)) for q in moduli]
+        obj_scalars = np.array(scalars, dtype=object).reshape(-1, 1)
+        self._assert_same(
+            modmath.stack_scalar_mod(a, scalars, col),
+            (a_obj * obj_scalars) % obj_col,
+        )
+        constants = modmath.scalar_column(scalars, col)
+        shoup = modmath.dword_shoup_column(constants, col)
+        self._assert_same(
+            modmath.stack_shoup_mul(a, constants, shoup, col),
+            (a_obj * obj_scalars) % obj_col,
+        )
+
+    @pytest.mark.parametrize("name", sorted(DWORD_PRIME_SETS))
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_dot_product_matches_object(self, name, seed):
+        _, col, obj_col, *_ = self._operands(name, seed)
+        pairs, expected = [], None
+        for term in range(5):  # > 4 terms exercises accumulator handling
+            _, _, _, x_obj, y_obj, x, y = self._operands(name, seed + 7 * term)
+            pairs.append((x, y))
+            product = (x_obj * y_obj) % obj_col
+            expected = (
+                product if expected is None else (expected + product) % obj_col
+            )
+        self._assert_same(modmath.stack_dot_mod(pairs, col), expected)
+
+    @pytest.mark.parametrize("name", sorted(DWORD_PRIME_SETS))
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_switch_modulus_matches_object(self, name, seed):
+        moduli, _, _, a_obj, *_ = self._operands(name, seed)
+        q_from = moduli[-1]
+        target = moduli[:-1]
+        col = modmath.moduli_column(target)
+        row = modmath.coerce_stack(
+            a_obj[-1:].copy(), modmath.moduli_column([q_from])
+        )[0]
+        switched = modmath.stack_switch_modulus(row, q_from, col)
+        half = q_from >> 1
+        centred = [
+            int(v) - q_from if int(v) > half else int(v) for v in a_obj[-1]
+        ]
+        expected = np.array(
+            [[c % q for c in centred] for q in target], dtype=object
+        )
+        self._assert_same(switched, expected)
+
+    def test_merge_split_roundtrip(self):
+        rng = np.random.default_rng(0)
+        merged = rng.integers(0, 1 << 62, (4, 32), dtype=np.uint64)
+        planes = modmath.dword_split(merged)
+        assert planes.shape == (4, 2, 32)
+        assert int(planes[..., 0, :].max()) < (1 << 30)  # hi digit of < 2**62
+        assert int(planes[..., 1, :].max()) <= 0xFFFFFFFF
+        assert np.array_equal(modmath.dword_merge(planes), merged)
