@@ -23,6 +23,12 @@ planes) must move ``2×`` the bytes of the single-word cost model per
 kernel kind while launching the *same* number of kernels -- the dword
 backend widens every element to 16 bytes but never changes the kernel
 structure.
+
+The fusion plane is checked last: :func:`repro.core.fusion.fuse_trace`
+applied to a stage-granular HMult+rescale trace must conserve total
+``int_ops`` exactly and must never increase ``bytes_moved`` -- fusion is
+only allowed to delete global-memory round trips, not to invent or drop
+arithmetic.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ import numpy as np
 
 from repro.api import CKKSSession
 from repro.core.dispatch import get_dispatcher
+from repro.core.fusion import fuse_trace
 from repro.gpu.platforms import GPU_RTX_4090
 from repro.perf.calibration import reconcile_trace
 from repro.perf.costmodel import CKKSOperationCosts
@@ -187,6 +194,36 @@ def main() -> int:
             f"single-word launches "
             f"{dword_launch_report.kernel_count_model:.0f} at 2x bytes "
             f"(delta {dword_bytes_report.bytes_delta:.2%})"
+        )
+
+    # -- fusion plane: the fused trace must conserve work, never add bytes --
+    with session.trace(executable=True, stage_launches=True) as stage_trace:
+        ct_a * ct_b  # per-stage launches, every boundary canonical
+    fused_trace = fuse_trace(stage_trace).fused_trace
+    ops_delta = abs(fused_trace.int_ops - stage_trace.int_ops) / max(
+        stage_trace.int_ops, 1.0
+    )
+    if ops_delta > 1e-9:
+        print(
+            f"FAIL: fused trace int_ops {fused_trace.int_ops:.0f} diverge "
+            f"from the unfused stage trace {stage_trace.int_ops:.0f} "
+            f"(delta {ops_delta:.2e}); fusion must conserve arithmetic work"
+        )
+        failed = True
+    if fused_trace.bytes_moved > stage_trace.bytes_moved:
+        print(
+            f"FAIL: fused trace moves {fused_trace.bytes_moved:.0f} bytes, "
+            f"more than the unfused stage trace's "
+            f"{stage_trace.bytes_moved:.0f}; fusion must only remove "
+            f"round trips, never add them"
+        )
+        failed = True
+    if ops_delta <= 1e-9 and fused_trace.bytes_moved <= stage_trace.bytes_moved:
+        saved = stage_trace.bytes_moved - fused_trace.bytes_moved
+        print(
+            f"fusion conserves {stage_trace.int_ops:.0f} int_ops across "
+            f"{len(stage_trace.events)} -> {len(fused_trace.events)} "
+            f"launches, saving {saved / 2**20:.1f} MiB of traffic"
         )
 
     if not failed:

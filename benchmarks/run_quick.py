@@ -20,7 +20,8 @@ import numpy as np
 from repro.api import CKKSSession
 from repro.bench.reporting import BenchmarkTable
 from repro.ckks.params import CKKSParameters
-from repro.core.dispatch import get_dispatcher
+from repro.core.dispatch import TraceProgram, get_dispatcher
+from repro.core.fusion import fuse_trace
 from repro.core.ntt import get_stacked_engine
 from repro.gpu.memory import measure_allocation_strategies
 from repro.gpu.platforms import GPU_RTX_4090
@@ -36,7 +37,10 @@ from repro.perf.trace_model import TraceCostModel
 #: v5: 59-bit double-word rows -- real timings of the paper-class 59-bit
 #: parameter set on the dword (hi/lo uint64) backend, so the vectorized
 #: wide-modulus path leaves a trail next to the 28-bit fast-path rows.
-BENCH_SCHEMA_VERSION = 5
+#: v6: fused-execution rows -- measured python wall clock of the fused
+#: HMult+rescale program vs its per-stage-launch (unfused) trace replay,
+#: both verified bit-identical to eager execution before timing.
+BENCH_SCHEMA_VERSION = 6
 
 #: Device counts of the member-shard rows (the cluster plane).
 DEVICE_COUNTS = (1, 2, 4)
@@ -185,6 +189,28 @@ def run(ring_log2: int = 12, depth: int = 6) -> BenchmarkTable:
                       f"{streams} stream{'s' if streams > 1 else ''}]",
             seconds=round(report.makespan, 9),
             kernels=report.kernel_count,
+        )
+
+    # Fused execution (v6): the stage-granular trace replayed launch by
+    # launch vs the fusion pass's output, both bit-identical to eager
+    # execution.  bench_fusion.py carries the full comparison and the CI
+    # gate; these two rows keep the headline next to the hot-path numbers.
+    with get_dispatcher().record(executable=True, stage_launches=True) as trace:
+        ct_a * ct_b
+    program = TraceProgram(trace)
+    program.verify()
+    result = fuse_trace(trace)
+    fused = result.program()
+    fused.verify()
+    for label, runner, count in (
+        ("unfused", program.run, len(trace.events)),
+        ("fused", fused.run, len(result.fused_trace.events)),
+    ):
+        table.add_row(
+            operation=f"{label} HMult+rescale [python wall clock, "
+                      f"stage-granular trace]",
+            seconds=round(_time(runner), 6),
+            kernels=count,
         )
     return table
 

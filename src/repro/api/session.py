@@ -330,7 +330,9 @@ class CKKSSession:
         )
 
     @contextmanager
-    def trace(self, trace: KernelTrace | None = None) -> Iterator[KernelTrace]:
+    def trace(self, trace: KernelTrace | None = None, *,
+              executable: bool = False,
+              stage_launches: bool = False) -> Iterator[KernelTrace]:
         """Record the kernel stream of everything executed in the with-block.
 
         Yields a :class:`~repro.core.dispatch.KernelTrace` that fills with
@@ -343,11 +345,20 @@ class CKKSSession:
             report = TraceCostModel(GPU_RTX_4090).price(trace)
 
         Execution is unchanged by recording (ciphertext outputs stay
-        bit-identical).  Pass an existing trace to append to it.  For
-        tracing scoped to a single backend rather than a code region, see
+        bit-identical).  Pass an existing trace to append to it.  With
+        ``executable=True`` the trace captures replay thunks and buffer
+        views, so it can be re-run through
+        :class:`~repro.core.dispatch.TraceProgram` or optimized by
+        :func:`repro.core.fusion.fuse_trace`.  ``stage_launches=True``
+        additionally records transforms at per-stage launch granularity --
+        the unfused GPU baseline the fusion pass collapses back into
+        stage-fused mega-kernels.  For tracing scoped to a single backend
+        rather than a code region, see
         :class:`~repro.api.backend.TracingBackend`.
         """
-        with get_dispatcher().record(trace) as active:
+        with get_dispatcher().record(
+            trace, executable=executable, stage_launches=stage_launches,
+        ) as active:
             yield active
 
     def tracing_backend(self, trace: KernelTrace | None = None) -> TracingBackend:

@@ -445,13 +445,26 @@ class BatchEvaluator:
                 d0 = a.c0.multiply(b.c0)
                 d1 = RNSPoly.multiply_accumulate([(a.c0, b.c1), (a.c1, b.c0)])
                 d2 = a.c1.multiply(b.c1)
-            _DISPATCH.elementwise(
-                "tensor",
-                reads=(a.c0.stack.data, a.c1.stack.data,
-                       b.c0.stack.data, b.c1.stack.data),
-                writes=(d0.stack.data, d1.stack.data, d2.stack.data),
-                ops_per_element=4.0 * MODMUL_OPS + 2.0 * MODADD_OPS,
-            )
+            if _DISPATCH.recording:
+                replay = None
+                if _DISPATCH.executable_recording:
+
+                    def replay(reads, writes, _col=a.c0.stack.moduli_col):
+                        ac0, ac1, bc0, bc1 = reads
+                        modmath.stack_mul_mod(ac0, bc0, _col, out=writes[0])
+                        modmath.stack_dot_mod(
+                            [(ac0, bc1), (ac1, bc0)], _col, out=writes[1]
+                        )
+                        modmath.stack_mul_mod(ac1, bc1, _col, out=writes[2])
+
+                _DISPATCH.elementwise(
+                    "tensor",
+                    reads=(a.c0.stack.data, a.c1.stack.data,
+                           b.c0.stack.data, b.c1.stack.data),
+                    writes=(d0.stack.data, d1.stack.data, d2.stack.data),
+                    ops_per_element=4.0 * MODMUL_OPS + 2.0 * MODADD_OPS,
+                    replay=replay,
+                )
             scale = a.scale * b.scale
             if relinearize:
                 result = self._relinearize(a, d0, d1, d2, scale)
@@ -467,12 +480,24 @@ class BatchEvaluator:
                 cross = a.c0.multiply(a.c1)
                 d1 = cross.add(cross)
                 d2 = a.c1.multiply(a.c1)
-            _DISPATCH.elementwise(
-                "square-tensor",
-                reads=(a.c0.stack.data, a.c1.stack.data),
-                writes=(d0.stack.data, d1.stack.data, d2.stack.data),
-                ops_per_element=3.0 * MODMUL_OPS + MODADD_OPS,
-            )
+            if _DISPATCH.recording:
+                replay = None
+                if _DISPATCH.executable_recording:
+
+                    def replay(reads, writes, _col=a.c0.stack.moduli_col):
+                        c0, c1 = reads
+                        modmath.stack_mul_mod(c0, c0, _col, out=writes[0])
+                        cross = modmath.stack_mul_mod(c0, c1, _col)
+                        modmath.stack_add_mod(cross, cross, _col, out=writes[1])
+                        modmath.stack_mul_mod(c1, c1, _col, out=writes[2])
+
+                _DISPATCH.elementwise(
+                    "square-tensor",
+                    reads=(a.c0.stack.data, a.c1.stack.data),
+                    writes=(d0.stack.data, d1.stack.data, d2.stack.data),
+                    ops_per_element=3.0 * MODMUL_OPS + MODADD_OPS,
+                    replay=replay,
+                )
             result = self._relinearize(a, d0, d1, d2, a.scale * a.scale)
         return self.rescale(result) if rescale else result
 
@@ -483,13 +508,22 @@ class BatchEvaluator:
         with _DISPATCH.suppressed():
             c0 = d0.add(delta0)
             c1 = d1.add(delta1)
-        _DISPATCH.elementwise(
-            "relin-add",
-            reads=(d0.stack.data, delta0.stack.data,
-                   d1.stack.data, delta1.stack.data),
-            writes=(c0.stack.data, c1.stack.data),
-            ops_per_element=2.0 * MODADD_OPS,
-        )
+        if _DISPATCH.recording:
+            replay = None
+            if _DISPATCH.executable_recording:
+
+                def replay(reads, writes, _col=d0.stack.moduli_col):
+                    modmath.stack_add_mod(reads[0], reads[1], _col, out=writes[0])
+                    modmath.stack_add_mod(reads[2], reads[3], _col, out=writes[1])
+
+            _DISPATCH.elementwise(
+                "relin-add",
+                reads=(d0.stack.data, delta0.stack.data,
+                       d1.stack.data, delta1.stack.data),
+                writes=(c0.stack.data, c1.stack.data),
+                ops_per_element=2.0 * MODADD_OPS,
+                replay=replay,
+            )
         return template._with(c0, c1, scale=scale)
 
     # ------------------------------------------------------------------
@@ -579,15 +613,47 @@ class BatchEvaluator:
             # Re-emit the suppressed per-digit kernels at launch granularity
             # (one base conversion per digit over B*N columns).
             if _DISPATCH.recording:
+                executable = _DISPATCH.executable_recording
                 row = 0
                 for digit_index in range(num_digits):
                     converter = context.modup_converter(limb_count, digit_index)
+                    replay = None
+                    if executable:
+
+                        def replay(
+                            reads, writes, _conv=converter,
+                            _idx=list(digit_indices_list[digit_index]),
+                            _b=bsz, _lc=limb_count, _n=n, _tcol=target_col,
+                        ):
+                            src = reads[0]
+                            coeff3 = src.reshape(_b, _lc, *src.shape[1:])
+                            sel = coeff3[:, _idx]
+                            if sel.ndim == 4:
+                                digit_rows = sel.transpose(1, 2, 0, 3).reshape(
+                                    len(_idx), 2, _b * _n
+                                )
+                            else:
+                                digit_rows = sel.transpose(1, 0, 2).reshape(
+                                    len(_idx), _b * _n
+                                )
+                            conv = _conv.convert_stack(digit_rows)
+                            if conv.ndim == 3:
+                                block = (
+                                    conv.reshape(-1, 2, _b, _n)
+                                    .transpose(0, 2, 1, 3)
+                                    .reshape(-1, 2, _n)
+                                )
+                            else:
+                                block = conv.reshape(-1, _n)
+                            writes[0][...] = modmath.coerce_stack(block, _tcol)
+
                     _DISPATCH.base_conversion(
                         "baseconv", len(digit_indices_list[digit_index]),
                         len(converter.target.moduli),
                         reads=(poly_coeff,),
                         writes=(stacked[row : row + segments[digit_index]],),
                         cols=bsz * n,
+                        replay=replay,
                     )
                     row += segments[digit_index]
             fused_eval = get_stacked_engine(n, tuple(fused_moduli)).forward(
@@ -697,14 +763,30 @@ class BatchEvaluator:
             with _DISPATCH.suppressed():
                 acc0 = modmath.stack_dot_mod(pairs0, fused_col)
                 acc1 = modmath.stack_dot_mod(pairs1, fused_col)
-            _DISPATCH.elementwise(
-                "ks-inner-product",
-                reads=tuple(digit_reads)
-                + tuple(k for _, k in pairs0)
-                + tuple(k for _, k in pairs1),
-                writes=(acc0, acc1),
-                ops_per_element=len(pairs0) * 2.0 * (MODMUL_OPS + MODADD_OPS),
-            )
+            if _DISPATCH.recording:
+                replay = None
+                if _DISPATCH.executable_recording:
+
+                    def replay(reads, writes, _d=len(pairs0), _col=fused_col):
+                        digits = reads[:_d]
+                        keys0 = reads[_d : 2 * _d]
+                        keys1 = reads[2 * _d :]
+                        modmath.stack_dot_mod(
+                            list(zip(digits, keys0)), _col, out=writes[0]
+                        )
+                        modmath.stack_dot_mod(
+                            list(zip(digits, keys1)), _col, out=writes[1]
+                        )
+
+                _DISPATCH.elementwise(
+                    "ks-inner-product",
+                    reads=tuple(digit_reads)
+                    + tuple(k for _, k in pairs0)
+                    + tuple(k for _, k in pairs1),
+                    writes=(acc0, acc1),
+                    ops_per_element=len(pairs0) * 2.0 * (MODMUL_OPS + MODADD_OPS),
+                    replay=replay,
+                )
             pool = decomposed.extended_digits[0].stack.buffer.pool
             delta0, delta1 = self._mod_down_pair(acc0, acc1, bsz, limb_count, pool)
             return delta0, delta1
@@ -772,21 +854,29 @@ class BatchEvaluator:
             converted = get_stacked_engine(
                 n, tuple(target_moduli) * (2 * bsz)
             ).forward(converted, consume=True)
-            fused_col = modmath.moduli_column(target_moduli * (2 * bsz))
-            converted = modmath.coerce_stack(converted, fused_col)
-            heads = np.vstack([
-                modmath.coerce_stack(
+            converted = modmath.coerce_stack(
+                converted, modmath.moduli_column(target_moduli * (2 * bsz))
+            )
+            # The ``P^{-1}(x - Conv(x'))`` tail folds each component's head
+            # limbs into its block of ``converted`` in place (no heads
+            # vstack, no separate diff/result buffers) -- per-row math is
+            # identical to the old fused-column form.
+            comp_col = modmath.moduli_column(target_moduli * bsz)
+            comp_pinv = tuple(context.p_inv_mod_q[:limb_count]) * bsz
+            comp_rows = bsz * limb_count
+            for i, acc in enumerate((acc0, acc1)):
+                seg = converted[i * comp_rows : (i + 1) * comp_rows]
+                heads = modmath.coerce_stack(
                     acc.reshape(bsz, extended, *tail)[:, :limb_count]
                     .reshape(-1, *tail),
-                    fused_col,
+                    comp_col,
                 )
-                for acc in (acc0, acc1)
-            ])
-            diff = modmath.stack_sub_mod(heads, converted, fused_col)
-            out = modmath.stack_scalar_mod(
-                diff, context.p_inv_mod_q[:limb_count] * (2 * bsz), fused_col
-            )
+                modmath.stack_sub_mod(heads, seg, comp_col, out=seg)
+                modmath.stack_scalar_mod(seg, comp_pinv, comp_col, out=seg)
+            out = converted
         if _DISPATCH.recording:
+            executable = _DISPATCH.executable_recording
+            p_inv = tuple(context.p_inv_mod_q[:limb_count])
             with _DISPATCH.scope("moddown"):
                 rows = bsz * limb_count
                 for i, acc in enumerate((acc0, acc1)):
@@ -795,18 +885,94 @@ class BatchEvaluator:
                     ]
                     comp_conv = converted[i * rows : (i + 1) * rows]
                     comp_out = out[i * rows : (i + 1) * rows]
+                    intt_replay = conv_replay = tail_replay = None
+                    if executable:
+
+                        def intt_replay(
+                            reads, writes, _b=bsz, _lc=limb_count,
+                            _k=special_count, _n=n, _sm=special_moduli,
+                        ):
+                            acc_r = reads[0]
+                            tail_r = acc_r.shape[1:]
+                            rows_r = acc_r.reshape(_b, _lc + _k, *tail_r)[
+                                :, _lc:
+                            ].reshape(-1, *tail_r)
+                            res = get_stacked_engine(_n, _sm * _b).inverse(
+                                rows_r, consume=True
+                            )
+                            np.copyto(writes[0], res)
+
+                        def conv_replay(
+                            reads, writes, _conv=converter, _b=bsz,
+                            _k=special_count, _lc=limb_count, _n=n,
+                        ):
+                            src = reads[0]
+                            sc_r = src.reshape(_b, _k, *src.shape[1:])
+                            if sc_r.ndim == 4:
+                                fused = sc_r.transpose(1, 2, 0, 3).reshape(
+                                    _k, 2, _b * _n
+                                )
+                            else:
+                                fused = sc_r.transpose(1, 0, 2).reshape(
+                                    _k, _b * _n
+                                )
+                            conv = _conv.convert_stack(fused)
+                            if conv.ndim == 3:
+                                conv = (
+                                    conv.reshape(_lc, 2, _b, _n)
+                                    .transpose(2, 0, 1, 3)
+                                    .reshape(-1, 2, _n)
+                                )
+                            else:
+                                conv = (
+                                    conv.reshape(_lc, _b, _n)
+                                    .transpose(1, 0, 2)
+                                    .reshape(-1, _n)
+                                )
+                            writes[0][...] = conv
+
+                        def tail_replay(
+                            reads, writes, _b=bsz, _lc=limb_count,
+                            _k=special_count, _n=n,
+                            _tm=tuple(target_moduli), _pinv=p_inv,
+                        ):
+                            dst = writes[0]
+                            if not np.shares_memory(reads[0], dst):
+                                np.copyto(dst, reads[0])
+                            res = get_stacked_engine(_n, _tm * _b).forward(
+                                dst, consume=True
+                            )
+                            if res is not dst:
+                                np.copyto(dst, res)
+                            acc_r = reads[1]
+                            tail_r = acc_r.shape[1:]
+                            col = modmath.moduli_column(_tm * _b)
+                            heads = modmath.coerce_stack(
+                                acc_r.reshape(_b, _lc + _k, *tail_r)[
+                                    :, :_lc
+                                ].reshape(-1, *tail_r),
+                                col,
+                            )
+                            modmath.stack_sub_mod(heads, dst, col, out=dst)
+                            modmath.stack_scalar_mod(
+                                dst, _pinv * _b, col, out=dst
+                            )
+
                     _DISPATCH.transform(
                         "intt", bsz * special_count, reads=(acc,),
                         writes=(comp_special,), cols=n,
+                        replay=intt_replay,
                     )
                     _DISPATCH.base_conversion(
                         "baseconv", special_count, limb_count,
                         reads=(comp_special,), writes=(comp_conv,), cols=bsz * n,
+                        replay=conv_replay,
                     )
                     _DISPATCH.transform(
                         "ntt", bsz * limb_count, reads=(comp_conv, acc),
                         writes=(comp_out,), cols=n,
                         fused_ops_per_element=MODMUL_OPS + MODADD_OPS,
+                        replay=tail_replay,
                     )
         rows = bsz * limb_count
         tiled_target = list(target_moduli) * bsz
@@ -916,7 +1082,9 @@ class BatchEvaluator:
                     last_rows = get_stacked_engine(
                         n, (q_last,) * (2 * bsz)
                     ).inverse(last_rows, consume=True)
-                switched = self._switch_modulus_rows(last_rows, q_last, target_col)
+                switched = modmath.stack_switch_modulus_many(
+                    last_rows, q_last, target_col
+                )
                 if is_eval:
                     switched = get_stacked_engine(
                         n, tuple(target_moduli) * (2 * bsz)
@@ -936,24 +1104,71 @@ class BatchEvaluator:
                     diff, inverses * (2 * bsz), fused_col
                 )
             if _DISPATCH.recording:
+                executable = _DISPATCH.executable_recording
                 for i, comp in enumerate(comps):
                     comp_out = out[i * bsz * keep : (i + 1) * bsz * keep]
                     dropped = last_rows[i * bsz : (i + 1) * bsz]
+                    intt_replay = tail_replay = None
+                    if executable:
+
+                        def intt_replay(
+                            reads, writes, _b=bsz, _kp=keep, _n=n, _q=q_last,
+                        ):
+                            comp_r = reads[0]
+                            tail_r = comp_r.shape[1:]
+                            rows_r = np.ascontiguousarray(
+                                comp_r.reshape(_b, _kp + 1, *tail_r)[:, -1]
+                            )
+                            res = get_stacked_engine(_n, (_q,) * _b).inverse(
+                                rows_r, consume=True
+                            )
+                            np.copyto(writes[0], res)
+
+                        def tail_replay(
+                            reads, writes, _b=bsz, _kp=keep, _n=n, _q=q_last,
+                            _tm=tuple(target_moduli), _tcol=target_col,
+                            _inv=_rescale_inverses(member_moduli),
+                            _eval=is_eval,
+                        ):
+                            sw = modmath.stack_switch_modulus_many(
+                                reads[0], _q, _tcol, out=writes[0]
+                            )
+                            col = modmath.moduli_column(list(_tm) * _b)
+                            if _eval:
+                                res = get_stacked_engine(
+                                    _n, _tm * _b
+                                ).forward(sw, consume=True)
+                                if res is not sw:
+                                    np.copyto(sw, res)
+                            comp_r = reads[1]
+                            tail_r = comp_r.shape[1:]
+                            heads = modmath.coerce_stack(
+                                comp_r.reshape(_b, _kp + 1, *tail_r)[
+                                    :, :-1
+                                ].reshape(-1, *tail_r),
+                                col,
+                            )
+                            modmath.stack_sub_mod(heads, sw, col, out=sw)
+                            modmath.stack_scalar_mod(sw, _inv * _b, col, out=sw)
+
                     if is_eval:
                         _DISPATCH.transform(
                             "intt", bsz, reads=(comp,), writes=(dropped,),
                             cols=n, fused_ops_per_element=MODADD_OPS,
+                            replay=intt_replay,
                         )
                         _DISPATCH.transform(
                             "ntt", bsz * keep, reads=(dropped, comp),
                             writes=(comp_out,), cols=n,
                             fused_ops_per_element=MODMUL_OPS + MODADD_OPS,
+                            replay=tail_replay,
                         )
                     else:
                         _DISPATCH.elementwise(
                             "rescale-fused", reads=(dropped, comp),
                             writes=(comp_out,),
                             ops_per_element=MODMUL_OPS + MODADD_OPS,
+                            replay=tail_replay,
                         )
             pool = batch.c0.stack.buffer.pool
             tiled_target = target_moduli * bsz
@@ -965,34 +1180,6 @@ class BatchEvaluator:
                 LimbStack(tiled_target, out[rows:], pool=pool), batch.fmt
             )
         return batch._with(c0, c1, scale=batch.scale / q_last)
-
-    @staticmethod
-    def _switch_modulus_rows(rows: np.ndarray, q_from: int,
-                             target_col: np.ndarray) -> np.ndarray:
-        """Vectorized :func:`~repro.core.modmath.stack_switch_modulus` over
-        many rows at once: ``(M, N)`` last limbs become ``(M*keep, N)``
-        switched stacks (row-major per member), element-for-element
-        identical to the per-row call.
-        """
-        keep = target_col.shape[0]
-        backend = modmath.stack_backend(target_col)
-        if (backend != modmath.BACKEND_OBJECT
-                and q_from < modmath.DWORD_MODULUS_LIMIT):
-            # Centred magnitudes stay below 2**61 and every target modulus
-            # fits int64, so exact int64 arithmetic covers both single-word
-            # and dword columns (same formula as stack_switch_modulus).
-            merged = modmath.dword_merge(rows) if rows.ndim == 3 else rows
-            half = q_from >> 1
-            v = merged.astype(np.int64)
-            centred = np.where(v > half, v - q_from, v)
-            out = centred[:, None, :] % target_col.astype(np.int64)[None, :, :]
-            out = out.astype(np.uint64).reshape(-1, merged.shape[-1])
-            if backend == modmath.BACKEND_DWORD:
-                out = modmath.dword_split(out)
-            return out
-        return np.vstack([
-            modmath.stack_switch_modulus(row, q_from, target_col) for row in rows
-        ])
 
     # ------------------------------------------------------------------
     # rotations

@@ -23,6 +23,7 @@ from repro.ckks.context import Context
 from repro.ckks.encryption import encode
 from repro.ckks.keys import KeySet, KeySwitchingKey
 from repro.ckks.keyswitch import apply_key, decompose_and_mod_up, key_switch
+from repro.core import modmath
 from repro.core.automorphism import conjugation_exponent, rotation_to_exponent
 from repro.core.dispatch import get_dispatcher
 from repro.core.limb import LimbFormat
@@ -247,13 +248,26 @@ class Evaluator:
                 # cross term instead of two reduced products plus a reduced add.
                 d1 = RNSPoly.multiply_accumulate([(a.c0, b.c1), (a.c1, b.c0)])
                 d2 = a.c1.multiply(b.c1)
-            _DISPATCH.elementwise(
-                "tensor",
-                reads=(a.c0.stack.data, a.c1.stack.data,
-                       b.c0.stack.data, b.c1.stack.data),
-                writes=(d0.stack.data, d1.stack.data, d2.stack.data),
-                ops_per_element=4.0 * MODMUL_OPS + 2.0 * MODADD_OPS,
-            )
+            if _DISPATCH.recording:
+                replay = None
+                if _DISPATCH.executable_recording:
+
+                    def replay(reads, writes, _col=a.c0.stack.moduli_col):
+                        ac0, ac1, bc0, bc1 = reads
+                        modmath.stack_mul_mod(ac0, bc0, _col, out=writes[0])
+                        modmath.stack_dot_mod(
+                            [(ac0, bc1), (ac1, bc0)], _col, out=writes[1]
+                        )
+                        modmath.stack_mul_mod(ac1, bc1, _col, out=writes[2])
+
+                _DISPATCH.elementwise(
+                    "tensor",
+                    reads=(a.c0.stack.data, a.c1.stack.data,
+                           b.c0.stack.data, b.c1.stack.data),
+                    writes=(d0.stack.data, d1.stack.data, d2.stack.data),
+                    ops_per_element=4.0 * MODMUL_OPS + 2.0 * MODADD_OPS,
+                    replay=replay,
+                )
             result = self._relinearize(a, d0, d1, d2, a.scale * b.scale) if relinearize else \
                 a.with_polys(d0, d1, scale=a.scale * b.scale)
             return self.rescale(result) if rescale else result
@@ -266,12 +280,24 @@ class Evaluator:
                 cross = ct.c0.multiply(ct.c1)
                 d1 = cross.add(cross)
                 d2 = ct.c1.multiply(ct.c1)
-            _DISPATCH.elementwise(
-                "square-tensor",
-                reads=(ct.c0.stack.data, ct.c1.stack.data),
-                writes=(d0.stack.data, d1.stack.data, d2.stack.data),
-                ops_per_element=3.0 * MODMUL_OPS + MODADD_OPS,
-            )
+            if _DISPATCH.recording:
+                replay = None
+                if _DISPATCH.executable_recording:
+
+                    def replay(reads, writes, _col=ct.c0.stack.moduli_col):
+                        c0, c1 = reads
+                        modmath.stack_mul_mod(c0, c0, _col, out=writes[0])
+                        cross = modmath.stack_mul_mod(c0, c1, _col)
+                        modmath.stack_add_mod(cross, cross, _col, out=writes[1])
+                        modmath.stack_mul_mod(c1, c1, _col, out=writes[2])
+
+                _DISPATCH.elementwise(
+                    "square-tensor",
+                    reads=(ct.c0.stack.data, ct.c1.stack.data),
+                    writes=(d0.stack.data, d1.stack.data, d2.stack.data),
+                    ops_per_element=3.0 * MODMUL_OPS + MODADD_OPS,
+                    replay=replay,
+                )
             result = self._relinearize(ct, d0, d1, d2, ct.scale * ct.scale)
             return self.rescale(result) if rescale else result
 
@@ -289,13 +315,22 @@ class Evaluator:
         with _DISPATCH.suppressed():
             c0 = d0.add(delta0)
             c1 = d1.add(delta1)
-        _DISPATCH.elementwise(
-            "relin-add",
-            reads=(d0.stack.data, delta0.stack.data,
-                   d1.stack.data, delta1.stack.data),
-            writes=(c0.stack.data, c1.stack.data),
-            ops_per_element=2.0 * MODADD_OPS,
-        )
+        if _DISPATCH.recording:
+            replay = None
+            if _DISPATCH.executable_recording:
+
+                def replay(reads, writes, _col=d0.stack.moduli_col):
+                    modmath.stack_add_mod(reads[0], reads[1], _col, out=writes[0])
+                    modmath.stack_add_mod(reads[2], reads[3], _col, out=writes[1])
+
+            _DISPATCH.elementwise(
+                "relin-add",
+                reads=(d0.stack.data, delta0.stack.data,
+                       d1.stack.data, delta1.stack.data),
+                writes=(c0.stack.data, c1.stack.data),
+                ops_per_element=2.0 * MODADD_OPS,
+                replay=replay,
+            )
         return template.with_polys(c0, c1, scale=scale)
 
     def multiply_by_monomial(self, ct: Ciphertext, power: int) -> Ciphertext:

@@ -34,11 +34,20 @@ from repro.core import modmath
 from repro.core.dispatch import get_dispatcher
 from repro.core.limb import LimbFormat
 from repro.core.limb_stack import LimbStack
-from repro.core.ntt import get_stacked_engine
+from repro.core.ntt import get_stacked_engine, record_staged_transform
 from repro.core.rns_poly import RNSPoly
 from repro.gpu.kernel import MODADD_OPS, MODMUL_OPS
 
 _DISPATCH = get_dispatcher()
+
+
+def _empty_stack(backend: str, rows: int, n: int) -> np.ndarray:
+    """Uninitialized limb-stack storage in the given backend's layout."""
+    if backend == modmath.BACKEND_UINT64:
+        return np.empty((rows, n), dtype=np.uint64)
+    if backend == modmath.BACKEND_DWORD:
+        return np.empty((rows, 2, n), dtype=np.uint64)
+    return np.empty((rows, n), dtype=object)
 
 
 @dataclass
@@ -72,61 +81,65 @@ def decompose_and_mod_up(context: Context, poly: RNSPoly) -> DecomposedPolynomia
         # Digits partition the basis contiguously, so one stacked iNTT of the
         # whole polynomial hands every digit its coefficient-domain rows.
         poly_coeff = get_stacked_engine(n, tuple(poly.moduli)).inverse(poly.stack.data)
+        backend = modmath.stack_backend(target_col)
         # Per-digit batched base conversions to the complementary basis ∪ P
-        # (each digit needs its own Equation-1 tables) ...
-        digit_indices_list: list[list[int]] = []
-        converted_blocks: list = []
+        # (each digit needs its own Equation-1 tables), each writing its rows
+        # straight into the fused NTT buffer (layout-aware: no per-block
+        # vstack staging copy, no provenance links to stitch across one).
+        digit_spans: list[tuple[int, int]] = []
+        converters = []
         fused_moduli: list[int] = []
         for digit_index in range(num_digits):
             digit_indices = [
                 i for i in context.digit_limb_indices(digit_index) if i < limb_count
             ]
-            digit_indices_list.append(digit_indices)
+            digit_spans.append((digit_indices[0], digit_indices[-1] + 1))
             converter = context.modup_converter(limb_count, digit_index)
-            digit_rows = poly_coeff[digit_indices]
-            _DISPATCH.link((poly_coeff,), digit_rows)
-            converted_blocks.append(converter.convert_stack(digit_rows))
+            converters.append(converter)
             fused_moduli.extend(converter.target.moduli)
-        # ... then one fused stacked NTT returns every digit's converted rows
-        # to the evaluation domain in a single call (in place: the vstack is a
-        # fresh temporary); the trace records it at GPU launch granularity,
-        # one kernel per digit.
-        stacked = np.vstack([modmath.coerce_stack(b, target_col) for b in converted_blocks])
+        block_rows = [len(conv.target) for conv in converters]
+        stacked = _empty_stack(backend, sum(block_rows), n)
         row = 0
-        for block in converted_blocks:
-            # Per-digit links: digit j's NTT rows descend from digit j's
-            # base conversion only, keeping the digit pipelines parallel.
-            _DISPATCH.link((block,), stacked[row : row + len(block)])
-            row += len(block)
+        for (d0, d1), converter, rows in zip(digit_spans, converters, block_rows):
+            # The digit's coefficient rows are a zero-copy slice of the
+            # stacked iNTT output (digits are contiguous), so the recorded
+            # base conversion reads the transform's buffer directly.
+            block_out = stacked[row : row + rows]
+            if modmath.stack_backend(converter._target_col) == backend:
+                converter.convert_stack(poly_coeff[d0:d1], out=block_out)
+            else:
+                # Mixed-backend chain: the digit's own target basis is
+                # narrower than the fused one, so convert then widen (the
+                # link stitches the dependency edge across the widening copy).
+                block = converter.convert_stack(poly_coeff[d0:d1])
+                block_out[...] = modmath.coerce_stack(block, target_col)
+                _DISPATCH.link((block,), block_out)
+            row += rows
+        # ... then one fused stacked NTT returns every digit's converted rows
+        # to the evaluation domain in a single in-place call; the trace
+        # records it at GPU launch granularity, one kernel per digit.
         fused_eval = get_stacked_engine(n, tuple(fused_moduli)).forward(
             stacked,
             consume=True,
-            segments=[len(block) for block in converted_blocks],
+            segments=block_rows,
         )
         digits_out: list[RNSPoly] = []
         row_offset = 0
         for digit_index in range(num_digits):
-            digit_indices = digit_indices_list[digit_index]
-            block_rows = len(converted_blocks[digit_index])
-            converted_eval = fused_eval[row_offset : row_offset + block_rows]
-            row_offset += block_rows
-            # Assemble the extended stack with two row scatters: own rows
-            # verbatim, converted rows in target order (the converter's target
-            # basis preserves it).
-            # Every row is scattered into below, so an uninitialized buffer
-            # (rather than a zero-filled one) is enough.
-            backend = modmath.stack_backend(target_col)
-            if backend == modmath.BACKEND_UINT64:
-                stack = np.empty((len(target_moduli), n), dtype=np.uint64)
-            elif backend == modmath.BACKEND_DWORD:
-                stack = np.empty((len(target_moduli), 2, n), dtype=np.uint64)
-            else:
-                stack = np.empty((len(target_moduli), n), dtype=object)
-            non_digit = [i for i in range(len(target_moduli)) if i not in digit_indices]
-            stack[digit_indices] = modmath.coerce_stack(
-                poly.stack.data[digit_indices], target_col
+            d0, d1 = digit_spans[digit_index]
+            converted_eval = fused_eval[row_offset : row_offset + block_rows[digit_index]]
+            row_offset += block_rows[digit_index]
+            # Assemble the extended stack with contiguous row copies: own
+            # rows verbatim, converted rows in target order (the converter's
+            # target basis preserves it, with the digit's complement split
+            # around its own span).  Every row is written below, so an
+            # uninitialized buffer is enough.
+            stack = _empty_stack(backend, len(target_moduli), n)
+            stack[d0:d1] = modmath.coerce_stack(
+                poly.stack.data[d0:d1], target_col
             )
-            stack[non_digit] = modmath.coerce_stack(converted_eval, target_col)
+            stack[:d0] = modmath.coerce_stack(converted_eval[:d0], target_col)
+            stack[d1:] = modmath.coerce_stack(converted_eval[d0:], target_col)
             _DISPATCH.link((converted_eval, poly.stack.data), stack)
             digits_out.append(
                 RNSPoly.from_stack(
@@ -180,39 +193,41 @@ def mod_down_many(context: Context, polys: list[RNSPoly]) -> list[RNSPoly]:
             special_rows = get_stacked_engine(
                 n, special_moduli * len(polys)
             ).inverse(special_rows, consume=True)
-        # The base conversion is elementwise per column, so the batch is fused
-        # along the column axis (one matrix expression for every polynomial).
+        # Each component's P -> Q_l conversion writes its rows directly into
+        # the (P*limb_count, N) layout the tail consumes -- the old
+        # column-axis concat/split transposes around one fused conversion
+        # are gone (layout-aware staging elimination; the per-column math
+        # is identical).
         converter = context.moddown_converter(limb_count)
-        converted = converter.convert_stack(
-            np.concatenate(
-                [
-                    special_rows[i * special_count : (i + 1) * special_count]
-                    for i in range(len(polys))
-                ],
-                axis=-1,
-            )
-        )
-        converted = np.vstack(np.split(converted, len(polys), axis=-1))
         target_moduli = context.moduli_at(limb_count)
         target_col = modmath.moduli_column(target_moduli)
+        out = _empty_stack(
+            modmath.stack_backend(target_col), limb_count * len(polys), n
+        )
+        for i in range(len(polys)):
+            converter.convert_stack(
+                special_rows[i * special_count : (i + 1) * special_count],
+                out=out[i * limb_count : (i + 1) * limb_count],
+            )
         if is_eval:
-            converted = get_stacked_engine(
+            out = get_stacked_engine(
                 n, tuple(target_moduli) * len(polys)
-            ).forward(converted, consume=True)
-        fused_col = modmath.moduli_column(target_moduli * len(polys))
-        converted = modmath.coerce_stack(converted, fused_col)
-        heads = np.vstack(
-            [modmath.coerce_stack(p.stack.data[:limb_count], fused_col) for p in polys]
-        )
-        diff = modmath.stack_sub_mod(heads, converted, fused_col)
-        out = modmath.stack_scalar_mod(
-            diff, context.p_inv_mod_q[:limb_count] * len(polys), fused_col
-        )
+            ).forward(out, consume=True)
+        # The ``P^{-1}(x - Conv(x'))`` tail folds each component's head
+        # limbs into its block of ``out`` in place (no heads vstack, no
+        # separate diff/result temporaries).
+        p_inv = tuple(context.p_inv_mod_q[:limb_count])
+        for i, p in enumerate(polys):
+            seg = out[i * limb_count : (i + 1) * limb_count]
+            head = modmath.coerce_stack(p.stack.data[:limb_count], target_col)
+            modmath.stack_sub_mod(head, seg, target_col, out=seg)
+            modmath.stack_scalar_mod(seg, p_inv, target_col, out=seg)
     # Execution-plane record, per component, at GPU launch granularity:
     # iNTT of the special limbs, the P -> Q_l base conversion, and an NTT
     # over the ciphertext limbs with the ``P^{-1}(x - Conv(x'))`` step
     # fused in (the ModDown fusion, §III-F.5).
     if _DISPATCH.recording:
+        executable = _DISPATCH.executable_recording
         with _DISPATCH.scope("moddown"):
             # Per-component slices: the c0/c1 pipelines touch disjoint rows
             # of the fused buffers, so they stay parallel in the DAG (the
@@ -222,30 +237,104 @@ def mod_down_many(context: Context, polys: list[RNSPoly]) -> list[RNSPoly]:
                 component_special = special_rows[
                     i * special_count : (i + 1) * special_count
                 ]
-                component_conv = converted[i * limb_count : (i + 1) * limb_count]
-                if is_eval:
+                intt_replay = conv_replay = tail_replay = None
+                if executable:
+
+                    def intt_replay(reads, writes, _n=n, _sm=special_moduli):
+                        src, dst = reads[0], writes[0]
+                        if not np.shares_memory(src, dst):
+                            np.copyto(dst, src)
+                        res = get_stacked_engine(_n, _sm).inverse(
+                            dst, consume=True
+                        )
+                        if res is not dst:
+                            np.copyto(dst, res)
+
+                    def conv_replay(reads, writes, _conv=converter):
+                        _conv.convert_stack(reads[0], out=writes[0])
+
+                    def tail_replay(
+                        reads, writes, _n=n, _tm=tuple(target_moduli),
+                        _col=target_col, _pinv=p_inv, _eval=is_eval,
+                    ):
+                        dst = writes[0]
+                        if not np.shares_memory(reads[0], dst):
+                            np.copyto(dst, reads[0])
+                        if _eval:
+                            res = get_stacked_engine(_n, _tm).forward(
+                                dst, consume=True
+                            )
+                            if res is not dst:
+                                np.copyto(dst, res)
+                        head = modmath.coerce_stack(reads[1], _col)
+                        modmath.stack_sub_mod(head, dst, _col, out=dst)
+                        modmath.stack_scalar_mod(dst, _pinv, _col, out=dst)
+
+                # Under stage-granular recording the two transforms expand
+                # into per-stage launch runs (the unfused GPU baseline) and
+                # the ``P^{-1}(x - Conv(x'))`` arithmetic becomes its own
+                # elementwise launch after the NTT stages.
+                staged_intt = staged_ntt = False
+                if is_eval and _DISPATCH.stage_granular:
+                    staged_intt = record_staged_transform(
+                        "intt", n, special_moduli,
+                        poly.stack.data[limb_count:], component_special,
+                        executable=executable,
+                    )
+                if is_eval and not staged_intt:
                     _DISPATCH.transform(
                         "intt", special_count,
                         reads=(poly.stack.data[limb_count:],),
                         writes=(component_special,), cols=n,
+                        replay=intt_replay,
                     )
                 _DISPATCH.base_conversion(
                     "baseconv", special_count, limb_count,
-                    reads=(component_special,), writes=(component_conv,), cols=n,
+                    reads=(component_special,), writes=(component_out,), cols=n,
+                    replay=conv_replay,
                 )
-                if is_eval:
+                if is_eval and _DISPATCH.stage_granular:
+                    staged_ntt = record_staged_transform(
+                        "ntt", n, tuple(target_moduli),
+                        component_out, component_out,
+                        executable=executable,
+                    )
+                if is_eval and not staged_ntt:
                     _DISPATCH.transform(
                         "ntt", limb_count,
-                        reads=(component_conv, poly.stack.data[:limb_count]),
+                        reads=(component_out, poly.stack.data[:limb_count]),
                         writes=(component_out,), cols=n,
                         fused_ops_per_element=MODMUL_OPS + MODADD_OPS,
+                        replay=tail_replay,
                     )
-                else:
+                elif not is_eval:
                     _DISPATCH.elementwise(
                         "moddown-fused",
-                        reads=(component_conv, poly.stack.data[:limb_count]),
+                        reads=(component_out, poly.stack.data[:limb_count]),
                         writes=(component_out,),
                         ops_per_element=MODMUL_OPS + MODADD_OPS,
+                        replay=tail_replay,
+                    )
+                else:
+                    tail_launch = None
+                    if executable:
+
+                        def tail_launch(
+                            reads, writes, _col=target_col, _pinv=p_inv,
+                        ):
+                            dst = writes[0]
+                            if not np.shares_memory(reads[0], dst):
+                                np.copyto(dst, reads[0])
+                            head = modmath.coerce_stack(reads[1], _col)
+                            modmath.stack_sub_mod(head, dst, _col, out=dst)
+                            modmath.stack_scalar_mod(dst, _pinv, _col, out=dst)
+
+                    _DISPATCH.elementwise(
+                        "moddown-tail",
+                        reads=(component_out, poly.stack.data[:limb_count]),
+                        writes=(component_out,),
+                        ops_per_element=MODMUL_OPS + MODADD_OPS,
+                        replay=tail_launch,
                     )
     return [
         RNSPoly.from_stack(
@@ -303,14 +392,96 @@ def apply_key(
         with _DISPATCH.suppressed():
             acc0 = RNSPoly.multiply_accumulate(pairs0)
             acc1 = RNSPoly.multiply_accumulate(pairs1)
-        _DISPATCH.elementwise(
-            "ks-inner-product",
-            reads=tuple(digit.stack.data for digit, _ in pairs0)
-            + tuple(key_poly.stack.data for _, key_poly in pairs0)
-            + tuple(key_poly.stack.data for _, key_poly in pairs1),
-            writes=(acc0.stack.data, acc1.stack.data),
-            ops_per_element=len(pairs0) * 2.0 * (MODMUL_OPS + MODADD_OPS),
-        )
+        if _DISPATCH.recording and _DISPATCH.stage_granular and len(pairs0) > 1:
+            # Unfused baseline: without the dot-product fusion each
+            # accumulator is one reduced product plus a reduced
+            # multiply-accumulate launch per further digit, every partial
+            # sum a global-memory round trip.  Each run is registered as a
+            # fusion group replaying the single wide inner-product kernel.
+            executable = _DISPATCH.executable_recording
+            for acc, pairs in ((acc0, pairs0), (acc1, pairs1)):
+                digit_count = len(pairs)
+                col = pairs[0][0].stack.moduli_col
+                mul_replay = None
+                if executable:
+
+                    def mul_replay(reads, writes, _col=col):
+                        modmath.stack_mul_mod(
+                            reads[0], reads[1], _col, out=writes[0]
+                        )
+
+                _DISPATCH.elementwise(
+                    "ks-mul",
+                    reads=(pairs[0][0].stack.data, pairs[0][1].stack.data),
+                    writes=(acc.stack.data,),
+                    ops_per_element=MODMUL_OPS,
+                    replay=mul_replay,
+                )
+                for j in range(1, digit_count):
+                    fma_replay = None
+                    if executable:
+
+                        def fma_replay(reads, writes, _col=col):
+                            prod = modmath.stack_mul_mod(
+                                reads[1], reads[2], _col
+                            )
+                            modmath.stack_add_mod(
+                                reads[0], prod, _col, out=writes[0]
+                            )
+
+                    _DISPATCH.elementwise(
+                        "ks-mul-add",
+                        reads=(
+                            acc.stack.data,
+                            pairs[j][0].stack.data,
+                            pairs[j][1].stack.data,
+                        ),
+                        writes=(acc.stack.data,),
+                        ops_per_element=MODMUL_OPS + MODADD_OPS,
+                        replay=fma_replay,
+                    )
+                if executable:
+
+                    def dot_replay(reads, writes, _d=digit_count, _col=col):
+                        # Member reads in order: (digit0, key0), then
+                        # (acc, digit_j, key_j) per further digit.
+                        dot_pairs = [(reads[0], reads[1])]
+                        idx = 2
+                        for _ in range(_d - 1):
+                            dot_pairs.append(
+                                (reads[idx + 1], reads[idx + 2])
+                            )
+                            idx += 3
+                        modmath.stack_dot_mod(dot_pairs, _col, out=writes[0])
+
+                    _DISPATCH.fusion_group(digit_count, dot_replay)
+        elif _DISPATCH.recording:
+            replay = None
+            if _DISPATCH.executable_recording:
+
+                def replay(
+                    reads, writes, _d=len(pairs0),
+                    _col=pairs0[0][0].stack.moduli_col,
+                ):
+                    digits = reads[:_d]
+                    keys0 = reads[_d : 2 * _d]
+                    keys1 = reads[2 * _d :]
+                    modmath.stack_dot_mod(
+                        list(zip(digits, keys0)), _col, out=writes[0]
+                    )
+                    modmath.stack_dot_mod(
+                        list(zip(digits, keys1)), _col, out=writes[1]
+                    )
+
+            _DISPATCH.elementwise(
+                "ks-inner-product",
+                reads=tuple(digit.stack.data for digit, _ in pairs0)
+                + tuple(key_poly.stack.data for _, key_poly in pairs0)
+                + tuple(key_poly.stack.data for _, key_poly in pairs1),
+                writes=(acc0.stack.data, acc1.stack.data),
+                ops_per_element=len(pairs0) * 2.0 * (MODMUL_OPS + MODADD_OPS),
+                replay=replay,
+            )
         delta0, delta1 = mod_down_many(context, [acc0, acc1])
         return delta0, delta1
 

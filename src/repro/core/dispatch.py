@@ -63,6 +63,25 @@ Buffers are tracked through weak references, so recording never extends
 the lifetime of the arrays it observes.  :meth:`Dispatcher.link`
 propagates writer information across pure data movement (``vstack``
 copies, scatter assembly) that is not modelled as a kernel.
+
+Executable traces (the trace IR)
+--------------------------------
+
+``record(executable=True)`` promotes the trace from a costing artifact to
+an executable IR: every emitter call site passes a ``replay`` thunk with
+signature ``replay(reads, writes) -> None`` that recomputes the kernel's
+declared writes from its declared reads, and the trace captures each
+read/write as a :class:`ViewSpec` -- ``(buffer token, element offset,
+shape)`` into the owning allocation (the same byte-interval machinery the
+dependency edges already use).  :class:`TraceProgram` then re-executes the
+recorded stream against fresh buffers: read-only external inputs bind
+directly to the live recorded arrays (zero copy), buffers that are read
+before being written are re-seeded from a snapshot on every run, and all
+intermediates are allocated once and reused across runs.
+``TraceProgram.verify()`` asserts the replay is bit-identical to the eager
+execution that was recorded.  Executable traces hold strong references to
+every observed allocation (plain traces stay weak); the fusion pass in
+:mod:`repro.core.fusion` consumes this IR.
 """
 
 from __future__ import annotations
@@ -70,7 +89,7 @@ from __future__ import annotations
 import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -102,12 +121,42 @@ def _stack_element_bytes(out: np.ndarray) -> int:
 
 
 @dataclass(frozen=True)
+class ViewSpec:
+    """One recorded array access: a contiguous view into an allocation.
+
+    ``token`` names the owning allocation in the trace's buffer table,
+    ``offset`` is the element offset of the view's first element within
+    that allocation, and ``shape`` is the view's shape.  Together they let
+    :class:`TraceProgram` rebuild the exact view against a *fresh* buffer
+    (``fresh.reshape(-1)[offset:offset+size].reshape(shape)``), which
+    works uniformly across the uint64, dword and object backends.
+    """
+
+    token: int
+    offset: int
+    shape: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        size = 1
+        for dim in self.shape:
+            size *= dim
+        return size
+
+
+@dataclass(frozen=True)
 class TraceEvent:
     """One recorded kernel launch with its provenance.
 
     ``reads``/``writes`` are buffer tokens (indices into the trace's
     buffer table); ``deps`` are indices of earlier events that must
     complete before this kernel may execute (last-writer edges).
+
+    On executable traces, ``read_views``/``write_views`` pin down the
+    exact array slices the kernel touched and ``replay`` recomputes the
+    writes from the reads (``replay(reads, writes)``); ``kind`` classifies
+    the emitter (``elementwise``/``transform``/``baseconv``/``copy``), which
+    is what the fusion pass keys legality on.
     """
 
     index: int
@@ -116,14 +165,28 @@ class TraceEvent:
     reads: tuple[int, ...]
     writes: tuple[int, ...]
     deps: tuple[int, ...]
+    kind: str = ""
+    read_views: tuple[ViewSpec, ...] = ()
+    write_views: tuple[ViewSpec, ...] = ()
+    replay: Callable[[tuple, tuple], None] | None = None
 
 
 @dataclass
 class _BufferState:
-    """Last-writer records of one live allocation (byte intervals)."""
+    """Last-writer records of one live allocation (byte intervals).
+
+    ``ref`` is a generation tag: a weak reference to the exact allocation
+    this state was created for.  Python reuses addresses, so a dict keyed
+    on ``id(array)`` alone can hand a *new* allocation the stale
+    last-writer intervals of a freed one whose ``weakref.finalize``
+    callback has not run yet (e.g. the old array was trapped in a
+    garbage-collection cycle).  Comparing ``ref()`` against the live array
+    detects the reuse and discards the stale state.
+    """
 
     token: int
     base_lo: int
+    ref: "weakref.ref | None" = None
     #: ``[lo, hi, event_index]`` write records, relative byte intervals.
     writes: list[list[int]] = field(default_factory=list)
 
@@ -138,12 +201,30 @@ class KernelTrace:
     across them.  Buffers are held through weak references only: when the
     data plane drops an array, its tracking state is discarded, so traced
     workloads do not accumulate dead intermediates.
+
+    ``executable=True`` additionally captures, per event, the exact
+    read/write views (:class:`ViewSpec`) and the call site's ``replay``
+    thunk, and pins every observed allocation with a strong reference so
+    :class:`TraceProgram` can rebuild and re-run the stream later.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, executable: bool = False) -> None:
         self.events: list[TraceEvent] = []
+        self.executable = executable
         self._buffers: dict[int, _BufferState] = {}
         self._next_token: int = 0
+        #: token -> owning allocation (strong refs, executable traces only).
+        self._bases: dict[int, np.ndarray] = {}
+        #: token -> snapshot taken at the token's first *read* access,
+        #: before any recorded write (executable traces only).  Replay
+        #: needs the value the region started from; the live array may be
+        #: overwritten later inside the recorded region itself.
+        self._seeds: dict[int, np.ndarray] = {}
+        self._written_tokens: set[int] = set()
+        #: ``(member event indices, fused replay)`` launch groups recorded
+        #: at stage granularity (see :meth:`Dispatcher.fusion_group`): a
+        #: run of per-stage launches that one fused mega-kernel replaces.
+        self._fusion_groups: list[tuple[tuple[int, ...], Callable]] = []
 
     # -- recording (called through the Dispatcher) ---------------------------
 
@@ -154,17 +235,40 @@ class KernelTrace:
             base = base.base
         key = id(base)
         state = self._buffers.get(key)
+        if state is not None and (state.ref is None or state.ref() is not base):
+            # Generation mismatch: the allocation this state was created
+            # for died and a new one reused its id before the finalize
+            # callback ran.  Inheriting its last-writer intervals would
+            # fabricate dependency edges, so start fresh.
+            state = None
         if state is None:
             base_lo, _ = _byte_bounds(base)
-            state = _BufferState(token=self._next_token, base_lo=base_lo)
+            state = _BufferState(
+                token=self._next_token, base_lo=base_lo, ref=weakref.ref(base)
+            )
             self._next_token += 1
             self._buffers[key] = state
             # Drop the tracking state when the allocation dies, so a later
             # allocation reusing the id cannot inherit stale writers (and
             # the trace never pins data-plane memory).
             weakref.finalize(base, self._buffers.pop, key, None)
+        if self.executable:
+            self._bases.setdefault(state.token, base)
         lo, hi = _byte_bounds(np.asarray(array))
         return state, (lo - state.base_lo, hi - state.base_lo)
+
+    def _view_spec(self, array: np.ndarray, state: _BufferState,
+                   lo: int) -> ViewSpec:
+        """Capture one access as a (token, element offset, shape) view."""
+        arr = np.asarray(array)
+        if not arr.flags.c_contiguous:
+            raise ValueError(
+                f"executable traces require contiguous kernel operands; got "
+                f"shape {arr.shape} with strides {arr.strides}"
+            )
+        return ViewSpec(
+            token=state.token, offset=lo // arr.itemsize, shape=arr.shape
+        )
 
     @staticmethod
     def _overlapping_writers(state: _BufferState, lo: int, hi: int) -> Iterator[int]:
@@ -180,28 +284,46 @@ class KernelTrace:
         reads: Sequence[np.ndarray] = (),
         writes: Sequence[np.ndarray] = (),
         device: int = 0,
+        kind: str = "",
+        replay: Callable[[tuple, tuple], None] | None = None,
     ) -> TraceEvent:
         """Append one kernel, deriving dependency edges from byte intervals.
 
         ``device`` stamps the kernel with the cluster device that launches
         it (0 in the single-GPU model); per-device drains in the serving
-        plane record with the bucket's home device.
+        plane record with the bucket's home device.  ``kind``/``replay``
+        populate the executable IR (ignored on plain traces).
         """
         index = len(self.events)
         kernel.device = device
         deps: set[int] = set()
         read_tokens: dict[int, None] = {}
+        read_views: list[ViewSpec] = []
         write_spans: list[tuple[_BufferState, int, int]] = []
         write_tokens: dict[int, None] = {}
+        write_views: list[ViewSpec] = []
+        executable = self.executable
         for array in reads:
             state, (lo, hi) = self._buffer(array)
             read_tokens.setdefault(state.token)
             deps.update(self._overlapping_writers(state, lo, hi))
+            if executable:
+                read_views.append(self._view_spec(array, state, lo))
+                if (
+                    state.token not in self._written_tokens
+                    and state.token not in self._seeds
+                ):
+                    # First access is a read: snapshot the starting value
+                    # now -- later events may overwrite it in place.
+                    self._seeds[state.token] = self._bases[state.token].copy()
         for array in writes:
             state, (lo, hi) = self._buffer(array)
             write_tokens.setdefault(state.token)
             deps.update(self._overlapping_writers(state, lo, hi))
             write_spans.append((state, lo, hi))
+            if executable:
+                write_views.append(self._view_spec(array, state, lo))
+                self._written_tokens.add(state.token)
         for state, lo, hi in write_spans:
             # The new record supersedes any it fully covers; partially
             # overlapped older records stay (conservative).
@@ -217,6 +339,10 @@ class KernelTrace:
             reads=tuple(read_tokens),
             writes=tuple(write_tokens),
             deps=tuple(sorted(deps)),
+            kind=kind,
+            read_views=tuple(read_views),
+            write_views=tuple(write_views),
+            replay=replay if executable else None,
         )
         self.events.append(event)
         return event
@@ -339,6 +465,134 @@ class KernelTrace:
         }
 
 
+class TraceProgram:
+    """An executable-trace replayer: the recorded stream as a program.
+
+    Built from an executable :class:`KernelTrace`, a program owns one
+    buffer per recorded allocation and a flat list of ``(replay, reads,
+    writes)`` steps whose views are reconstructed *once* against those
+    buffers -- so :meth:`run` is a bare loop over thunks with zero
+    per-step allocation, wrapper-object or bookkeeping cost.  Buffer
+    policy:
+
+    * allocations the trace only ever reads (input ciphertexts, key
+      stacks, moduli/twiddle columns) bind directly to the live recorded
+      arrays -- zero copy, zero seeding;
+    * allocations read before their first write (in-place updates,
+      consume-transforms) are re-seeded on every :meth:`run` from the
+      snapshot the trace took at the token's first recorded read --
+      later writes inside the recorded region cannot corrupt the seed;
+    * everything else (intermediates, outputs) is allocated once and
+      overwritten in place on every run.
+
+    :meth:`verify` re-runs the program and asserts every byte interval the
+    trace wrote is bit-identical to the live arrays the eager execution
+    produced -- call it before the recorded arrays are mutated further.
+    """
+
+    def __init__(self, trace: KernelTrace) -> None:
+        if not trace.executable:
+            raise ValueError(
+                "TraceProgram needs an executable trace; record with "
+                "record(executable=True)"
+            )
+        missing = [
+            e.kernel.name for e in trace.events if e.replay is None
+        ]
+        if missing:
+            raise ValueError(
+                f"trace contains {len(missing)} non-replayable events "
+                f"(no replay thunk): {sorted(set(missing))}"
+            )
+        self.trace = trace
+        # Classify tokens: written at all / read before their first write.
+        written: set[int] = set()
+        seeded: set[int] = set()
+        for event in trace.events:
+            for view in event.read_views:
+                if view.token not in written:
+                    seeded.add(view.token)
+            for view in event.write_views:
+                written.add(view.token)
+        seeded &= written  # read-only tokens bind directly, no seed needed
+        self._buffers: dict[int, np.ndarray] = {}
+        self._seeds: dict[int, np.ndarray] = {}
+        for token, base in trace._bases.items():
+            if token in written:
+                self._buffers[token] = np.empty_like(base)
+                if token in seeded:
+                    # The snapshot taken at the token's first read: the
+                    # live array may have been overwritten since (even
+                    # inside the recorded region itself).
+                    self._seeds[token] = trace._seeds.get(token, base)
+            else:
+                self._buffers[token] = base
+        # Pre-resolve every step's views against the program buffers.
+        self._steps: list[tuple[Callable, tuple, tuple]] = [
+            (
+                event.replay,
+                tuple(self.view(v) for v in event.read_views),
+                tuple(self.view(v) for v in event.write_views),
+            )
+            for event in trace.events
+        ]
+        # Final-state intervals per written token (merged element ranges),
+        # used by verify(); later writes supersede earlier overlapping
+        # ones implicitly because both sides hold the *final* bytes.
+        intervals: dict[int, list[list[int]]] = {}
+        for event in trace.events:
+            for view in event.write_views:
+                spans = intervals.setdefault(view.token, [])
+                lo, hi = view.offset, view.offset + view.size
+                merged = [s for s in spans if not (lo <= s[0] and s[1] <= hi)]
+                merged.append([lo, hi])
+                intervals[view.token] = merged
+        self._written_intervals = intervals
+
+    def view(self, spec: ViewSpec) -> np.ndarray:
+        """Rebuild one recorded view against this program's buffers."""
+        flat = self._buffers[spec.token].reshape(-1)
+        return flat[spec.offset : spec.offset + spec.size].reshape(spec.shape)
+
+    @property
+    def step_count(self) -> int:
+        return len(self._steps)
+
+    def run(self) -> None:
+        """Re-execute the recorded stream against the program's buffers."""
+        for token, seed in self._seeds.items():
+            np.copyto(self._buffers[token], seed)
+        with _DISPATCHER.suppressed():
+            for replay, reads, writes in self._steps:
+                replay(reads, writes)
+
+    def output(self, array: np.ndarray) -> np.ndarray:
+        """The program buffer holding the replayed value of ``array``.
+
+        ``array`` must be an allocation (or view into one) the trace
+        observed; the returned view covers the same element range in the
+        program's buffer.
+        """
+        state, (lo, hi) = self.trace._buffer(array)
+        if state.token not in self._buffers:
+            raise KeyError("array was not observed by the recorded trace")
+        spec = self.trace._view_spec(array, state, lo)
+        return self.view(spec)
+
+    def verify(self) -> None:
+        """Run and assert bit-identity against the eager execution."""
+        self.run()
+        for token, spans in self._written_intervals.items():
+            live = self.trace._bases[token].reshape(-1)
+            replayed = self._buffers[token].reshape(-1)
+            for lo, hi in spans:
+                if not np.array_equal(replayed[lo:hi], live[lo:hi]):
+                    raise AssertionError(
+                        f"replay diverges from eager execution in buffer "
+                        f"{token}, elements [{lo}, {hi})"
+                    )
+
+
 class _NullContext:
     """Shared reusable no-op context manager (the untraced hot path)."""
 
@@ -352,6 +606,15 @@ class _NullContext:
 
 
 _NULL_CONTEXT = _NullContext()
+
+
+def _replay_copy(reads: tuple, writes: tuple) -> None:
+    """Default replay of a pure copy kernel (limb/stack duplication)."""
+    out = writes[0]
+    if len(reads) == 1:
+        np.copyto(out, reads[0])
+    else:
+        np.concatenate(reads, axis=0, out=out)
 
 
 class _ScopeGuard:
@@ -422,29 +685,72 @@ class Dispatcher:
         self._scopes: list[str] = []
         self._suppress: int = 0
         self._device: int = 0
+        self._stage_granular: bool = False
 
     # -- state ---------------------------------------------------------------
 
     @property
     def recording(self) -> bool:
-        """True when a trace is active and emission is not suppressed."""
+        """True when a trace is active and emission is not suppressed.
+
+        Call sites guard emitter calls on this so the untraced hot path
+        skips even the argument packing (see the modmath stack kernels).
+        """
         return self._trace is not None and self._suppress == 0
 
+    @property
+    def executable_recording(self) -> bool:
+        """True when the active trace also captures the executable IR.
+
+        Replay-thunk closures are only built when this is set, so plain
+        (costing-only) recording stays as cheap as before.
+        """
+        trace = self._trace
+        return trace is not None and self._suppress == 0 and trace.executable
+
+    @property
+    def stage_granular(self) -> bool:
+        """True when recording at per-stage launch granularity.
+
+        In this mode the transform engines emit one event per butterfly
+        stage (the *unfused* GPU baseline: a global-memory round trip per
+        stage) instead of one event per fused transform, and register the
+        stage run as a fusion group so :func:`repro.core.fusion.fuse_trace`
+        can merge it back into the fused mega-kernel.
+        """
+        return (
+            self._trace is not None
+            and self._suppress == 0
+            and self._stage_granular
+        )
+
     @contextmanager
-    def record(self, trace: KernelTrace | None = None) -> Iterator[KernelTrace]:
+    def record(
+        self,
+        trace: KernelTrace | None = None,
+        *,
+        executable: bool = False,
+        stage_launches: bool = False,
+    ) -> Iterator[KernelTrace]:
         """Record every dispatched kernel in the with-block into a trace.
 
         Nested ``record`` blocks are allowed; the innermost trace wins.
         Passing an existing trace appends to it (dependency state carries
-        across recorded regions).
+        across recorded regions).  ``executable=True`` records the
+        executable IR (view specs + replay thunks; see
+        :class:`TraceProgram`).  ``stage_launches=True`` records transforms
+        at per-stage launch granularity (see :attr:`stage_granular`).
         """
         previous = self._trace
-        active = trace if trace is not None else KernelTrace()
+        previous_stage = self._stage_granular
+        active = trace if trace is not None else KernelTrace(executable=executable)
         self._trace = active
+        self._stage_granular = stage_launches
         try:
             yield active
         finally:
             self._trace = previous
+            self._stage_granular = previous_stage
 
     def scope(self, name: str):
         """Tag kernels emitted in the with-block with an operation scope.
@@ -494,12 +800,14 @@ class Dispatcher:
         *,
         reads: Sequence[np.ndarray] = (),
         writes: Sequence[np.ndarray] = (),
+        kind: str = "",
+        replay: Callable[[tuple, tuple], None] | None = None,
     ) -> None:
         """Record a pre-built kernel descriptor."""
         if self._trace is None or self._suppress:
             return
         self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes,
-                        device=self._device)
+                        device=self._device, kind=kind, replay=replay)
 
     def elementwise(
         self,
@@ -509,6 +817,7 @@ class Dispatcher:
         writes: Sequence[np.ndarray],
         ops_per_element: float,
         reuse: float = 1.0,
+        replay: Callable[[tuple, tuple], None] | None = None,
     ) -> None:
         """Record one element-wise kernel; shapes come from the live arrays."""
         if self._trace is None or self._suppress:
@@ -532,7 +841,7 @@ class Dispatcher:
             reuse=reuse,
         )
         self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes,
-                        device=self._device)
+                        device=self._device, kind="elementwise", replay=replay)
 
     def transform(
         self,
@@ -543,6 +852,7 @@ class Dispatcher:
         writes: Sequence[np.ndarray],
         cols: int | None = None,
         fused_ops_per_element: float = 0.0,
+        replay: Callable[[tuple, tuple], None] | None = None,
     ) -> None:
         """Record one (i)NTT kernel over ``rows`` limbs."""
         if self._trace is None or self._suppress:
@@ -556,7 +866,7 @@ class Dispatcher:
             element_bytes=_stack_element_bytes(out),
         )
         self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes,
-                        device=self._device)
+                        device=self._device, kind="transform", replay=replay)
 
     def base_conversion(
         self,
@@ -567,6 +877,7 @@ class Dispatcher:
         reads: Sequence[np.ndarray],
         writes: Sequence[np.ndarray],
         cols: int | None = None,
+        replay: Callable[[tuple, tuple], None] | None = None,
     ) -> None:
         """Record one fast-base-conversion kernel (Equation 1)."""
         if self._trace is None or self._suppress:
@@ -579,7 +890,7 @@ class Dispatcher:
             element_bytes=_stack_element_bytes(out),
         )
         self._trace.add(kernel, scope=self._scope_path(), reads=reads, writes=writes,
-                        device=self._device)
+                        device=self._device, kind="baseconv", replay=replay)
 
     def copy(
         self,
@@ -587,9 +898,36 @@ class Dispatcher:
         reads: Sequence[np.ndarray],
         writes: Sequence[np.ndarray],
         tag: str = "limb-copy",
+        replay: Callable[[tuple, tuple], None] | None = None,
     ) -> None:
         """Record a device-to-device copy (limb/stack duplication)."""
-        self.elementwise(tag, reads=reads, writes=writes, ops_per_element=0.0)
+        if self._trace is None or self._suppress:
+            return
+        if replay is None and self.executable_recording:
+            replay = _replay_copy
+        self.elementwise(tag, reads=reads, writes=writes, ops_per_element=0.0,
+                         replay=replay)
+
+    def fusion_group(
+        self, count: int, replay: Callable[[tuple, tuple], None],
+    ) -> None:
+        """Mark the last ``count`` recorded events as one fusable group.
+
+        Emitters that decompose a fused launch into per-stage events
+        (:attr:`stage_granular`) call this right after emitting the run;
+        ``replay`` is the single mega-kernel thunk -- with the first
+        member's reads and the last member's writes -- that computes the
+        identical result.  The fusion pass substitutes it when a legal
+        chain covers the whole group, so the fused program executes the
+        stage-fused kernel instead of the per-stage launches.
+        """
+        if self._trace is None or self._suppress or not self._trace.executable:
+            return
+        events = self._trace.events
+        if count < 2 or count > len(events):
+            return
+        indices = tuple(event.index for event in events[-count:])
+        self._trace._fusion_groups.append((indices, replay))
 
     def link(self, sources: Sequence[np.ndarray], destination: np.ndarray) -> None:
         """Forward provenance across unrecorded data movement (see trace)."""
@@ -607,4 +945,11 @@ def get_dispatcher() -> Dispatcher:
     return _DISPATCHER
 
 
-__all__ = ["Dispatcher", "KernelTrace", "TraceEvent", "get_dispatcher"]
+__all__ = [
+    "Dispatcher",
+    "KernelTrace",
+    "TraceEvent",
+    "TraceProgram",
+    "ViewSpec",
+    "get_dispatcher",
+]

@@ -1,0 +1,612 @@
+"""Auto-fusion over the executable trace IR: merge elementwise chains.
+
+Module map (where this sits in the execution plane)
+---------------------------------------------------
+
+::
+
+    repro.core.dispatch.KernelTrace (executable=True)
+        the recorded stream: per-event ViewSpecs (buffer token + element
+        interval) and replay thunks -- the trace IR
+                |
+                v
+    repro.core.fusion.fuse_trace          (this module)
+        walks the recorded byte intervals, proves which producer ->
+        consumer pairs are legal to fuse, and greedily merges maximal
+        chains of elementwise kernels into mega-kernels
+                |
+                +--> FusionResult.fused_trace : a rebuilt KernelTrace in
+                |    which each chain is ONE kernel (launches=1, summed
+                |    int_ops, chain-external endpoint bytes only) --
+                |    priced by repro.perf.trace_model.TraceCostModel and
+                |    schedulable like any recorded trace
+                |
+                +--> FusionResult.program() : a FusedProgram that actually
+                     EXECUTES the fused stream -- each chain runs as one
+                     python step whose intermediate values live in
+                     temporaries drawn from the modmath scratch pool
+                     instead of materialised data-plane buffers;
+                     FusedProgram.verify() asserts bit-identity against
+                     the recorded eager execution
+
+Legality (proved from the recorded producer/consumer byte ranges)
+-----------------------------------------------------------------
+
+A producer ``P`` may fuse with a consumer ``C`` when all of:
+
+* both are elementwise kernels with replay thunks, on the same device;
+* ``P`` has exactly one write view ``W``;
+* ``C`` is the *only* event that ever reads ``W``, and reads it as the
+  identical interval and shape (overlapping-but-not-equal is illegal --
+  a partial read needs the materialised buffer);
+* no event between ``P`` and ``C`` writes any byte of ``W`` (no
+  interleaved writer clobbers the intermediate);
+* after ``C``, nothing touches ``W`` -- unless ``C`` itself rewrites the
+  identical interval in place (the rescale/ModDown tails), in which case
+  ``W`` holds the chain output and later readers are fine.
+
+Chains extend greedily (``P -> C -> C' ...``) while each new tail keeps
+every earlier member's *other* operands unclobbered by the events the
+member is moved past -- fused chains execute contiguously at the tail's
+position, so an interleaved writer to any member's read operand vetoes
+the extension.
+
+Pricing of a fused kernel is symbolic, mirroring what a single launched
+mega-kernel would do: ``int_ops`` is the sum over members (arithmetic is
+conserved), while each internal edge's intermediate traffic -- the
+producer's write of ``W`` and the consumer's read of it -- is dropped
+from the byte counts, leaving only the chain-external endpoint bytes.
+Fusion therefore never increases ``bytes_moved`` and always conserves
+``int_ops`` (asserted by ``benchmarks/check_trace_reconciliation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+import numpy as np
+
+from repro.core import modmath
+from repro.core.dispatch import KernelTrace, TraceEvent, ViewSpec, get_dispatcher
+from repro.gpu.kernel import ELEMENT_BYTES, Kernel
+
+_DISPATCH = get_dispatcher()
+
+
+def _overlaps(view: ViewSpec, token: int, lo: int, hi: int) -> bool:
+    """True when ``view`` touches any element of ``[lo, hi)`` on ``token``."""
+    return (
+        view.token == token
+        and view.offset < hi
+        and lo < view.offset + view.size
+    )
+
+
+def _producer_eligible(event: TraceEvent) -> bool:
+    """Can ``event`` head a fusion edge (single intermediate write)?"""
+    return (
+        event.kind == "elementwise"
+        and event.replay is not None
+        and len(event.write_views) == 1
+        and event.write_views[0].size > 0
+    )
+
+
+@dataclass(frozen=True)
+class FusedChain:
+    """One merged producer chain: original event indices plus savings."""
+
+    members: tuple[int, ...]
+    kernels: tuple[str, ...]
+    #: bytes of intermediate traffic eliminated (read + write sides).
+    saved_bytes: float
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class _Fuser:
+    """One fusion pass over an executable trace (shared analysis state)."""
+
+    def __init__(self, trace: KernelTrace) -> None:
+        if not trace.executable:
+            raise ValueError(
+                "fusion needs an executable trace; record with "
+                "record(executable=True) / session.trace(executable=True)"
+            )
+        self.trace = trace
+        self.events = trace.events
+        # token -> [(event_index, is_write, view)] in program order.
+        self._accesses: dict[int, list[tuple[int, bool, ViewSpec]]] = {}
+        for event in self.events:
+            for view in event.read_views:
+                self._accesses.setdefault(view.token, []).append(
+                    (event.index, False, view)
+                )
+            for view in event.write_views:
+                self._accesses.setdefault(view.token, []).append(
+                    (event.index, True, view)
+                )
+
+    # -- edge legality -------------------------------------------------------
+
+    def successor(self, producer: TraceEvent) -> int | None:
+        """The unique legal fusion consumer of ``producer``, if any."""
+        if not _producer_eligible(producer):
+            return None
+        w = producer.write_views[0]
+        lo, hi = w.offset, w.offset + w.size
+        later = [
+            (index, is_write, view)
+            for index, is_write, view in self._accesses.get(w.token, [])
+            if index > producer.index and _overlaps(view, w.token, lo, hi)
+        ]
+        readers = sorted({index for index, is_write, _ in later if not is_write})
+        if not readers:
+            return None  # dead intermediate: nothing to fuse into
+        consumer_index = readers[0]
+        consumer = self.events[consumer_index]
+        if (
+            consumer.kind != "elementwise"
+            or consumer.replay is None
+            or consumer.kernel.device != producer.kernel.device
+        ):
+            return None
+        in_place = False
+        for index, is_write, view in later:
+            if index > consumer_index:
+                continue  # post-consumer accesses are judged below
+            exact = (
+                view.offset == lo
+                and view.offset + view.size == hi
+                and view.shape == w.shape
+            )
+            if not is_write:
+                # The consumer must cover the produced interval exactly
+                # (same interval, same shape) -- a partial read needs the
+                # materialised buffer.
+                if not exact:
+                    return None
+            elif index < consumer_index:
+                return None  # interleaved writer clobbers the intermediate
+            elif not exact:
+                return None  # partial in-place rewrite needs the buffer
+            else:
+                in_place = True
+        # After the consumer, the intermediate must be dead -- unless the
+        # consumer rewrote the identical interval in place, in which case
+        # it holds the chain output and later readers are fine.
+        if not in_place and any(i > consumer_index for i, _, _ in later):
+            return None
+        return consumer_index
+
+    def _extension_safe(self, members: list[int], new_tail: int) -> bool:
+        """Moving ``members`` down to ``new_tail``: operands unclobbered?
+
+        The chain executes contiguously at the tail's position, so every
+        event between the current tail and ``new_tail`` runs *before*
+        members that originally preceded it.  Any such event writing a
+        byte one of the members reads would change what the member sees.
+        """
+        window = range(members[-1] + 1, new_tail)
+        if not window:
+            return True
+        member_reads = [
+            view for m in members for view in self.events[m].read_views
+        ]
+        for index in window:
+            for wv in self.events[index].write_views:
+                wlo, whi = wv.offset, wv.offset + wv.size
+                for rv in member_reads:
+                    if _overlaps(rv, wv.token, wlo, whi):
+                        return False
+        return True
+
+    # -- greedy chain construction -------------------------------------------
+
+    def chains(self) -> list[FusedChain]:
+        """Maximal legal chains, greedily grown in program order."""
+        used: set[int] = set()
+        chains: list[FusedChain] = []
+        for head in range(len(self.events)):
+            if head in used:
+                continue
+            members = [head]
+            while True:
+                tail = self.events[members[-1]]
+                nxt = self.successor(tail)
+                if (
+                    nxt is None
+                    or nxt in used
+                    or not self._extension_safe(members, nxt)
+                ):
+                    break
+                members.append(nxt)
+                if not _producer_eligible(self.events[nxt]):
+                    break  # consumer with external writes ends the chain
+            if len(members) < 2:
+                continue
+            used.update(members)
+            saved = sum(
+                2.0 * self.events[m].write_views[0].size * ELEMENT_BYTES
+                for m in members[:-1]
+            )
+            chains.append(
+                FusedChain(
+                    members=tuple(members),
+                    kernels=tuple(
+                        self.events[m].kernel.name for m in members
+                    ),
+                    saved_bytes=saved,
+                )
+            )
+        return chains
+
+
+def _group_segments(
+    members: tuple[int, ...],
+    group_map: dict[int, tuple[tuple[int, ...], object]],
+):
+    """Split chain ``members`` into fusion-group runs and solo members.
+
+    Yields ``(indices, replay)`` for each registered launch group (see
+    ``Dispatcher.fusion_group``) whose member events appear consecutively
+    in the chain, and ``(index, None)`` for every other member.  A group
+    only substitutes when the chain swallowed it whole -- a partially
+    fused group (e.g. a downstream reader split the stage run) falls back
+    to per-member execution.
+    """
+    i = 0
+    while i < len(members):
+        group = group_map.get(members[i])
+        if group is not None:
+            indices, replay = group
+            k = len(indices)
+            if tuple(members[i : i + k]) == indices:
+                yield indices, replay
+                i += k
+                continue
+        yield members[i], None
+        i += 1
+
+
+def _fused_kernel(events: list[TraceEvent], chain: FusedChain) -> Kernel:
+    """Price one chain as a single launched mega-kernel."""
+    members = [events[m] for m in chain.members]
+    bytes_read = sum(e.kernel.bytes_read for e in members)
+    bytes_written = sum(e.kernel.bytes_written for e in members)
+    # Each internal edge drops the producer's write and the consumer's
+    # read of the intermediate; only endpoint bytes remain.
+    edge_bytes = chain.saved_bytes / 2.0
+    bytes_read = max(0.0, bytes_read - edge_bytes)
+    bytes_written = max(0.0, bytes_written - edge_bytes)
+    names = chain.kernels
+    if len(names) > 4:
+        label = f"{names[0]}+..+{names[-1]}|{len(names)}"
+    else:
+        label = "+".join(names)
+    return Kernel(
+        name=f"fused({label})",
+        bytes_read=bytes_read,
+        bytes_written=bytes_written,
+        int_ops=sum(e.kernel.int_ops for e in members),
+        working_set_bytes=max(e.kernel.working_set_bytes for e in members),
+        reuse=max(e.kernel.reuse for e in members),
+        stream=members[0].kernel.stream,
+        fused=sum(e.kernel.fused for e in members),
+        launches=1.0,
+        device=members[0].kernel.device,
+    )
+
+
+@dataclass
+class FusionResult:
+    """Outcome of one fusion pass: the rewritten trace plus its chains."""
+
+    trace: KernelTrace
+    chains: list[FusedChain]
+    fused_trace: KernelTrace = field(repr=False, default=None)
+
+    @property
+    def events_before(self) -> int:
+        return len(self.trace.events)
+
+    @property
+    def events_after(self) -> int:
+        return len(self.fused_trace.events)
+
+    @property
+    def saved_bytes(self) -> float:
+        return sum(chain.saved_bytes for chain in self.chains)
+
+    def program(self) -> "FusedProgram":
+        """A runnable fused re-execution of the recorded stream."""
+        return FusedProgram(self)
+
+    def summary(self) -> dict:
+        """Machine-readable fusion statistics (benchmark artifacts)."""
+        group_map = {
+            indices[0]: (indices, replay)
+            for indices, replay in getattr(self.trace, "_fusion_groups", [])
+        }
+        stage_groups = sum(
+            1
+            for chain in self.chains
+            for _, replay in _group_segments(chain.members, group_map)
+            if replay is not None
+        )
+        return {
+            "events_before": self.events_before,
+            "events_after": self.events_after,
+            "chains": len(self.chains),
+            "fused_events": sum(len(c) for c in self.chains),
+            "longest_chain": max((len(c) for c in self.chains), default=0),
+            "stage_groups_fused": stage_groups,
+            "int_ops_before": self.trace.int_ops,
+            "int_ops_after": self.fused_trace.int_ops,
+            "bytes_moved_before": self.trace.bytes_moved,
+            "bytes_moved_after": self.fused_trace.bytes_moved,
+            "saved_bytes": self.saved_bytes,
+        }
+
+
+def fuse_trace(trace: KernelTrace) -> FusionResult:
+    """Run the fusion pass over an executable trace.
+
+    Returns a :class:`FusionResult` whose ``fused_trace`` is a plain
+    (priceable, schedulable) :class:`KernelTrace` with each legal chain
+    collapsed to one kernel, and whose :meth:`FusionResult.program`
+    executes the fused stream with scratch-pool intermediates.
+    """
+    fuser = _Fuser(trace)
+    chains = fuser.chains()
+    events = trace.events
+    member_to_chain: dict[int, FusedChain] = {}
+    for chain in chains:
+        for m in chain.members:
+            member_to_chain[m] = chain
+    fused = KernelTrace()
+    new_index: dict[int, int] = {}
+
+    def _remap(deps: tuple[int, ...]) -> list[int]:
+        mapped: set[int] = set()
+        for dep in deps:
+            target = new_index.get(dep)
+            if target is not None:
+                mapped.add(target)
+        return sorted(mapped)
+
+    for event in events:
+        chain = member_to_chain.get(event.index)
+        if chain is None:
+            appended = fused.append(
+                replace(event.kernel), scope=event.scope,
+                deps=_remap(event.deps),
+            )
+            new_index[event.index] = appended.index
+        elif event.index == chain.members[-1]:
+            # The whole chain lands at its tail's position; external
+            # dependencies are the union of member deps outside the chain.
+            deps: set[int] = set()
+            for m in chain.members:
+                deps.update(_remap(events[m].deps))
+            appended = fused.append(
+                _fused_kernel(events, chain),
+                scope=events[chain.members[0]].scope,
+                deps=sorted(deps),
+            )
+            for m in chain.members:
+                new_index[m] = appended.index
+        # mid-chain members emit nothing; their new_index is assigned when
+        # the tail lands (forward deps from later events remap to it).
+    return FusionResult(trace=trace, chains=chains, fused_trace=fused)
+
+
+class FusedProgram:
+    """Executes the fused stream against fresh buffers + pool scratch.
+
+    Mirrors :class:`repro.core.dispatch.TraceProgram`, with two changes:
+
+    * each fused chain is one step -- its member thunks run back to back,
+      and every internal edge's intermediate binds to a temporary drawn
+      from the modmath scratch pool instead of a materialised program
+      buffer (tokens *only* ever touched as intermediates get no buffer
+      at all);
+    * steps execute in the fused trace's order (chains at their tail's
+      position), which the extension-safety legality check proved
+      equivalent to the recorded order.
+
+    :meth:`verify` asserts every chain-external write interval is
+    bit-identical to the recorded eager execution.
+    """
+
+    def __init__(self, result: FusionResult) -> None:
+        trace = result.trace
+        events = trace.events
+        self.result = result
+        self.trace = trace
+        # (event, write position) / (event, read position) -> scratch array
+        # for every internal edge of every chain.
+        scratch_w: dict[tuple[int, int], np.ndarray] = {}
+        scratch_r: dict[tuple[int, int], np.ndarray] = {}
+        for chain in result.chains:
+            tail_event = events[chain.members[-1]]
+            tail_view = (
+                tail_event.write_views[0]
+                if len(tail_event.write_views) == 1
+                else None
+            )
+            for depth, producer_index in enumerate(chain.members[:-1]):
+                w = events[producer_index].write_views[0]
+                if (
+                    tail_view is not None
+                    and w.token == tail_view.token
+                    and w.offset == tail_view.offset
+                    and w.size == tail_view.size
+                ):
+                    # In-place run: the member writes exactly the chain's
+                    # external output interval, and chain legality proved
+                    # nothing else touches it before the tail -- execute
+                    # directly in the output buffer instead of staging
+                    # through scratch (saves the round-trip copies).
+                    continue
+                base = trace._bases[w.token]
+                tmp = modmath._scratch(f"fuse{depth}", w.shape, base.dtype)
+                scratch_w[(producer_index, 0)] = tmp
+                consumer = events[chain.members[depth + 1]]
+                for pos, view in enumerate(consumer.read_views):
+                    if (
+                        view.token == w.token
+                        and view.offset == w.offset
+                        and view.size == w.size
+                    ):
+                        scratch_r[(consumer.index, pos)] = tmp
+        self._scratch_w = scratch_w
+        self._scratch_r = scratch_r
+        # Classify tokens over chain-EXTERNAL accesses only (recorded
+        # order == execution order for externals, by extension safety).
+        written: set[int] = set()
+        seeded: set[int] = set()
+        external: set[int] = set()
+        for event in events:
+            for pos, view in enumerate(event.read_views):
+                if (event.index, pos) in scratch_r:
+                    continue
+                external.add(view.token)
+                if view.token not in written:
+                    seeded.add(view.token)
+            for pos, view in enumerate(event.write_views):
+                if (event.index, pos) in scratch_w:
+                    continue
+                external.add(view.token)
+                written.add(view.token)
+        seeded &= written
+        self._buffers: dict[int, np.ndarray] = {}
+        self._seeds: dict[int, np.ndarray] = {}
+        for token, base in trace._bases.items():
+            if token not in external:
+                continue  # pure intermediate: scratch only, no buffer
+            if token in written:
+                self._buffers[token] = np.empty_like(base)
+                if token in seeded:
+                    # The trace's first-read snapshot, not the live array
+                    # (which the recorded region may have overwritten).
+                    self._seeds[token] = trace._seeds.get(token, base)
+            else:
+                self._buffers[token] = base
+        # One step per fused-trace kernel: chains at their tail position.
+        # Registered launch groups (per-stage transform runs) swallowed
+        # whole by a chain replace their member thunks with the single
+        # stage-fused mega-kernel replay, reading the first member's
+        # operands and writing the last member's destination.
+        member_to_chain: dict[int, FusedChain] = {}
+        for chain in result.chains:
+            for m in chain.members:
+                member_to_chain[m] = chain
+        group_map = {
+            indices[0]: (indices, replay)
+            for indices, replay in getattr(trace, "_fusion_groups", [])
+        }
+        self._steps: list[tuple] = []
+        for event in events:
+            chain = member_to_chain.get(event.index)
+            if chain is None:
+                self._steps.append((self._resolve(event),))
+            elif event.index == chain.members[-1]:
+                step = []
+                for seg, replay in _group_segments(chain.members, group_map):
+                    if replay is None:
+                        step.append(self._resolve(events[seg]))
+                    else:
+                        # The group's replay sees every member's reads in
+                        # member order (it knows its own layout) and the
+                        # last member's writes.
+                        resolved = [self._resolve(events[i]) for i in seg]
+                        reads = tuple(
+                            r for _, member_reads, _ in resolved
+                            for r in member_reads
+                        )
+                        step.append((replay, reads, resolved[-1][2]))
+                self._steps.append(tuple(step))
+        # Final-state verify intervals.  Walk ALL writes in order: an
+        # internal (fused-away) write supersedes earlier external
+        # intervals it touches -- the live array then holds a value the
+        # fused program intentionally never materialises, so those
+        # intervals drop out of verification.
+        intervals: dict[int, list[list[int]]] = {}
+        for event in events:
+            for pos, view in enumerate(event.write_views):
+                spans = intervals.setdefault(view.token, [])
+                lo, hi = view.offset, view.offset + view.size
+                if (event.index, pos) in scratch_w:
+                    spans[:] = [
+                        s for s in spans
+                        if not (s[0] < hi and lo < s[1])
+                    ]
+                else:
+                    spans[:] = [
+                        s for s in spans if not (lo <= s[0] and s[1] <= hi)
+                    ]
+                    spans.append([lo, hi])
+        self._written_intervals = {
+            token: spans for token, spans in intervals.items() if spans
+        }
+
+    def _view(self, spec: ViewSpec) -> np.ndarray:
+        flat = self._buffers[spec.token].reshape(-1)
+        return flat[spec.offset : spec.offset + spec.size].reshape(spec.shape)
+
+    def _resolve(self, event: TraceEvent) -> tuple:
+        """One member as (replay, reads, writes) with scratch bindings."""
+        reads = tuple(
+            self._scratch_r.get((event.index, pos)) if
+            (event.index, pos) in self._scratch_r else self._view(view)
+            for pos, view in enumerate(event.read_views)
+        )
+        writes = tuple(
+            self._scratch_w.get((event.index, pos)) if
+            (event.index, pos) in self._scratch_w else self._view(view)
+            for pos, view in enumerate(event.write_views)
+        )
+        return (event.replay, reads, writes)
+
+    @property
+    def step_count(self) -> int:
+        return len(self._steps)
+
+    def run(self) -> None:
+        """Re-execute the fused stream (chains as single python steps)."""
+        for token, seed in self._seeds.items():
+            np.copyto(self._buffers[token], seed)
+        with _DISPATCH.suppressed():
+            for group in self._steps:
+                for replay_fn, reads, writes in group:
+                    replay_fn(reads, writes)
+
+    def output(self, array: np.ndarray) -> np.ndarray:
+        """The program buffer holding the fused-replay value of ``array``."""
+        state, (lo, _) = self.trace._buffer(array)
+        if state.token not in self._buffers:
+            raise KeyError(
+                "array was not observed by the trace (or was fully fused "
+                "away as an intermediate)"
+            )
+        spec = self.trace._view_spec(array, state, lo)
+        return self._view(spec)
+
+    def verify(self) -> None:
+        """Run and assert bit-identity with the recorded eager execution."""
+        self.run()
+        for token, spans in self._written_intervals.items():
+            live = self.trace._bases[token].reshape(-1)
+            replayed = self._buffers[token].reshape(-1)
+            for lo, hi in spans:
+                if not np.array_equal(replayed[lo:hi], live[lo:hi]):
+                    raise AssertionError(
+                        f"fused replay diverges from eager execution in "
+                        f"buffer {token}, elements [{lo}, {hi})"
+                    )
+
+
+__all__ = ["FusedChain", "FusedProgram", "FusionResult", "fuse_trace"]

@@ -207,7 +207,8 @@ class LimbStack:
     def copy(self) -> "LimbStack":
         """Deep copy, charged to the same pool as this stack's buffer."""
         data = self.data.copy()
-        _DISPATCH.copy(reads=(self.data,), writes=(data,))
+        if _DISPATCH.recording:
+            _DISPATCH.copy(reads=(self.data,), writes=(data,))
         return LimbStack(self.moduli, data, pool=self.buffer.pool)
 
     # -- accessors -----------------------------------------------------------
@@ -348,10 +349,31 @@ class LimbStack:
         else:
             s = data[:, index] + col
             data[:, index] = s % qs
-        _DISPATCH.elementwise(
-            "stack-scalar-add", reads=(self.data, col), writes=(data,),
-            ops_per_element=MODADD_OPS,
-        )
+        if _DISPATCH.recording:
+            replay = None
+            if _DISPATCH.executable_recording:
+
+                def replay(reads, writes, _idx=index, _qs=qs):
+                    src, col_r, dst = reads[0], reads[1], writes[0]
+                    if not np.shares_memory(src, dst):
+                        np.copyto(dst, src)
+                    if dst.ndim == 3:
+                        shift = np.uint64(32)
+                        merged = (dst[:, 0, _idx] << shift) | dst[:, 1, _idx]
+                        s = merged + col_r
+                        s = np.where(s >= _qs, s - _qs, s)
+                        dst[:, 0, _idx] = s >> shift
+                        dst[:, 1, _idx] = s & np.uint64(0xFFFFFFFF)
+                    elif dst.dtype == object:
+                        dst[:, _idx] = (dst[:, _idx] + col_r) % _qs
+                    else:
+                        s = dst[:, _idx] + col_r
+                        dst[:, _idx] = np.where(s >= _qs, s - _qs, s)
+
+            _DISPATCH.elementwise(
+                "stack-scalar-add", reads=(self.data, col), writes=(data,),
+                ops_per_element=MODADD_OPS, replay=replay,
+            )
         return self._wrap(data)
 
     def automorphism_coeff(self, exponent: int) -> "LimbStack":
@@ -364,10 +386,22 @@ class LimbStack:
         with _DISPATCH.suppressed():
             gathered = self.data[..., source]
             negated = modmath.stack_neg_mod(gathered, self._col)
-            out = np.where(sign == 1, gathered, negated)
-        _DISPATCH.elementwise(
-            "automorph", reads=(self.data,), writes=(out,), ops_per_element=2.0
-        )
+            # np.where picks the gather's (Fortran) iteration order; traces
+            # need C-contiguous operands for byte-interval views.
+            out = np.ascontiguousarray(np.where(sign == 1, gathered, negated))
+        if _DISPATCH.recording:
+            replay = None
+            if _DISPATCH.executable_recording:
+
+                def replay(reads, writes, _src=source, _sign=sign, _col=self._col):
+                    gathered = reads[0][..., _src]
+                    negated = modmath.stack_neg_mod(gathered, _col)
+                    writes[0][...] = np.where(_sign == 1, gathered, negated)
+
+            _DISPATCH.elementwise(
+                "automorph", reads=(self.data,), writes=(out,),
+                ops_per_element=2.0, replay=replay,
+            )
         return self._wrap(out)
 
     # -- row management ------------------------------------------------------
@@ -378,15 +412,19 @@ class LimbStack:
         moduli = [self.moduli[i] for i in indices]
         # Fancy indexing already materializes a fresh array.
         data = self.data[indices]
-        _DISPATCH.copy(
-            reads=tuple(self.data[i : i + 1] for i in indices), writes=(data,)
-        )
+        if _DISPATCH.recording:
+            # The per-row read tuple is only packed when a trace is live.
+            _DISPATCH.copy(
+                reads=tuple(self.data[i : i + 1] for i in indices),
+                writes=(data,),
+            )
         return LimbStack(moduli, data, pool=self.buffer.pool)
 
     def head(self, count: int) -> "LimbStack":
         """Return a new stack with copies of the first ``count`` rows."""
         data = self.data[:count].copy()
-        _DISPATCH.copy(reads=(self.data[:count],), writes=(data,))
+        if _DISPATCH.recording:
+            _DISPATCH.copy(reads=(self.data[:count],), writes=(data,))
         return LimbStack(self.moduli[:count], data, pool=self.buffer.pool)
 
     def __len__(self) -> int:

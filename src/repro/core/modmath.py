@@ -866,65 +866,114 @@ def stack_shoup_mul(
     return r
 
 
-def stack_add_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
-    """Row-broadcast elementwise ``(a + b) mod q_i`` over a limb stack."""
+def stack_add_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray,
+                  *, out: np.ndarray | None = None) -> np.ndarray:
+    """Row-broadcast elementwise ``(a + b) mod q_i`` over a limb stack.
+
+    ``out`` (which may alias ``a`` or ``b``) writes the result into an
+    existing buffer -- the replay/fusion path's way of avoiding fresh
+    allocations per kernel.
+    """
     backend = stack_backend(moduli_col)
     if backend == BACKEND_UINT64:
-        out = _fast_reduce_once(a + b, moduli_col)
+        if out is None:
+            s = a + b
+        else:
+            np.add(a, b, out=out)
+            s = out
+        out = _fast_reduce_once(s, moduli_col)
     elif backend == BACKEND_DWORD:
         dw = _dword_tables(moduli_col)
         s = dword_merge(a)
         s += dword_merge(b, out=_scratch("dw-add", s.shape))
         np.minimum(s, s - dw.q, out=s)
-        out = dword_split(s)
+        out = dword_split(s, out=out)
     else:
-        out = (a + b) % moduli_col
-    _DISPATCH.elementwise(
-        "stack-add", reads=(a, b), writes=(out,),
-        ops_per_element=_kernelforms.MODADD_OPS,
-    )
+        result = (a + b) % moduli_col
+        if out is None:
+            out = result
+        else:
+            out[...] = result
+    if _DISPATCH.recording:
+        replay = None
+        if _DISPATCH.executable_recording:
+            def replay(reads, writes, _col=moduli_col):
+                stack_add_mod(reads[0], reads[1], _col, out=writes[0])
+        _DISPATCH.elementwise(
+            "stack-add", reads=(a, b), writes=(out,),
+            ops_per_element=_kernelforms.MODADD_OPS, replay=replay,
+        )
     return out
 
 
-def stack_sub_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
+def stack_sub_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray,
+                  *, out: np.ndarray | None = None) -> np.ndarray:
     """Row-broadcast elementwise ``(a - b) mod q_i`` over a limb stack."""
     backend = stack_backend(moduli_col)
     if backend == BACKEND_UINT64:
-        out = a + moduli_col
-        out -= b
-        out = _fast_reduce_once(out, moduli_col)
+        if out is None:
+            s = a + moduli_col
+            s -= b
+        else:
+            # a - b first, then + q: safe when ``out`` aliases either
+            # operand (uint64 wraparound makes the order immaterial).
+            np.subtract(a, b, out=out)
+            out += moduli_col
+            s = out
+        out = _fast_reduce_once(s, moduli_col)
     elif backend == BACKEND_DWORD:
         dw = _dword_tables(moduli_col)
         s = dword_merge(a)
         s += dw.q
         s -= dword_merge(b, out=_scratch("dw-sub", s.shape))
         np.minimum(s, s - dw.q, out=s)
-        out = dword_split(s)
+        out = dword_split(s, out=out)
     else:
-        out = (a - b) % moduli_col
-    _DISPATCH.elementwise(
-        "stack-sub", reads=(a, b), writes=(out,),
-        ops_per_element=_kernelforms.MODADD_OPS,
-    )
+        result = (a - b) % moduli_col
+        if out is None:
+            out = result
+        else:
+            out[...] = result
+    if _DISPATCH.recording:
+        replay = None
+        if _DISPATCH.executable_recording:
+            def replay(reads, writes, _col=moduli_col):
+                stack_sub_mod(reads[0], reads[1], _col, out=writes[0])
+        _DISPATCH.elementwise(
+            "stack-sub", reads=(a, b), writes=(out,),
+            ops_per_element=_kernelforms.MODADD_OPS, replay=replay,
+        )
     return out
 
 
-def stack_neg_mod(a: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
+def stack_neg_mod(a: np.ndarray, moduli_col: np.ndarray,
+                  *, out: np.ndarray | None = None) -> np.ndarray:
     """Row-broadcast elementwise ``(-a) mod q_i`` over a limb stack."""
     backend = stack_backend(moduli_col)
     if backend == BACKEND_UINT64:
-        out = np.where(a == 0, a, moduli_col - a)
+        result = np.where(a == 0, a, moduli_col - a)
     elif backend == BACKEND_DWORD:
         dw = _dword_tables(moduli_col)
         m = dword_merge(a)
-        out = dword_split(np.where(m == 0, m, dw.q - m))
+        result = dword_split(np.where(m == 0, m, dw.q - m))
     else:
-        out = (-a) % moduli_col
-    _DISPATCH.elementwise("stack-neg", reads=(a,), writes=(out,), ops_per_element=1.0)
+        result = (-a) % moduli_col
+    if out is None:
+        out = result
+    else:
+        out[...] = result
+    if _DISPATCH.recording:
+        replay = None
+        if _DISPATCH.executable_recording:
+            def replay(reads, writes, _col=moduli_col):
+                stack_neg_mod(reads[0], _col, out=writes[0])
+        _DISPATCH.elementwise("stack-neg", reads=(a,), writes=(out,),
+                              ops_per_element=1.0, replay=replay)
     return out
 
 
-def stack_mul_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.ndarray:
+def stack_mul_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray,
+                  *, out: np.ndarray | None = None) -> np.ndarray:
     """Row-broadcast elementwise ``(a * b) mod q_i`` over a limb stack.
 
     Exact on the fast backend because residues are below ``2**31``, so a
@@ -936,19 +985,37 @@ def stack_mul_mod(a: np.ndarray, b: np.ndarray, moduli_col: np.ndarray) -> np.nd
     if stack_is_dword(moduli_col):
         out = dword_split(
             _dword_mul_merged(dword_merge(a), dword_merge(b),
-                              _dword_tables(moduli_col))
+                              _dword_tables(moduli_col)),
+            out=out,
         )
+    elif stack_backend(moduli_col) == BACKEND_UINT64:
+        if out is None:
+            s = a * b
+        else:
+            np.multiply(a, b, out=out)
+            s = out
+        s %= moduli_col
+        out = s
     else:
-        out = a * b
-        out %= moduli_col
-    _DISPATCH.elementwise(
-        "stack-mul", reads=(a, b), writes=(out,),
-        ops_per_element=_kernelforms.MODMUL_OPS,
-    )
+        result = (a * b) % moduli_col
+        if out is None:
+            out = result
+        else:
+            out[...] = result
+    if _DISPATCH.recording:
+        replay = None
+        if _DISPATCH.executable_recording:
+            def replay(reads, writes, _col=moduli_col):
+                stack_mul_mod(reads[0], reads[1], _col, out=writes[0])
+        _DISPATCH.elementwise(
+            "stack-mul", reads=(a, b), writes=(out,),
+            ops_per_element=_kernelforms.MODMUL_OPS, replay=replay,
+        )
     return out
 
 
-def stack_dot_mod(pairs, moduli_col: np.ndarray) -> np.ndarray:
+def stack_dot_mod(pairs, moduli_col: np.ndarray,
+                  *, out: np.ndarray | None = None) -> np.ndarray:
     """Fused ``(Σ x_i * y_i) mod q`` over canonical stacks (§III-F.5).
 
     The dot-product fusion of the paper's key-switching inner loop: on the
@@ -967,7 +1034,11 @@ def stack_dot_mod(pairs, moduli_col: np.ndarray) -> np.ndarray:
         pending = 0
         for x, y in pairs:
             if acc is None:
-                acc = x * y  # fresh: this array is the returned result
+                if out is None:
+                    acc = x * y  # fresh: this array is the returned result
+                else:
+                    np.multiply(x, y, out=out)
+                    acc = out
             else:
                 if product is None:
                     product = _scratch("dot-prod", acc.shape)
@@ -991,18 +1062,29 @@ def stack_dot_mod(pairs, moduli_col: np.ndarray) -> np.ndarray:
             else:
                 acc += term
                 np.minimum(acc, acc - dw.q, out=acc)
-        acc = dword_split(acc)
+        acc = dword_split(acc, out=out)
     else:
         acc = None
         for x, y in pairs:
             product = (x * y) % moduli_col
             acc = product if acc is None else (acc + product) % moduli_col
-    _DISPATCH.elementwise(
-        "stack-dot",
-        reads=tuple(operand for pair in pairs for operand in pair),
-        writes=(acc,),
-        ops_per_element=len(pairs) * (_kernelforms.MODMUL_OPS + _kernelforms.MODADD_OPS),
-    )
+        if out is not None:
+            out[...] = acc
+            acc = out
+    if _DISPATCH.recording:
+        replay = None
+        if _DISPATCH.executable_recording:
+            def replay(reads, writes, _col=moduli_col):
+                stack_dot_mod(
+                    list(zip(reads[0::2], reads[1::2])), _col, out=writes[0]
+                )
+        _DISPATCH.elementwise(
+            "stack-dot",
+            reads=tuple(operand for pair in pairs for operand in pair),
+            writes=(acc,),
+            ops_per_element=len(pairs) * (_kernelforms.MODMUL_OPS + _kernelforms.MODADD_OPS),
+            replay=replay,
+        )
     return acc
 
 
@@ -1028,10 +1110,16 @@ def stack_scalar_mod(a: np.ndarray, scalars, moduli_col: np.ndarray,
             out = result
         else:
             out[...] = result
-    _DISPATCH.elementwise(
-        "stack-scalar-mul", reads=(a, col), writes=(out,),
-        ops_per_element=_kernelforms.SHOUP_MUL_OPS,
-    )
+    if _DISPATCH.recording:
+        replay = None
+        if _DISPATCH.executable_recording:
+            frozen = tuple(int(s) for s in scalars)
+            def replay(reads, writes, _scalars=frozen, _col=moduli_col):
+                stack_scalar_mod(reads[0], _scalars, _col, out=writes[0])
+        _DISPATCH.elementwise(
+            "stack-scalar-mul", reads=(a, col), writes=(out,),
+            ops_per_element=_kernelforms.SHOUP_MUL_OPS, replay=replay,
+        )
     return out
 
 
@@ -1053,24 +1141,40 @@ def _dword_scalar_shoup_cached(scalars: tuple, moduli: tuple) -> np.ndarray:
     return out
 
 
-def stack_add_scalar_mod(a: np.ndarray, scalars, moduli_col: np.ndarray) -> np.ndarray:
+def stack_add_scalar_mod(a: np.ndarray, scalars, moduli_col: np.ndarray,
+                         *, out: np.ndarray | None = None) -> np.ndarray:
     """Add one integer constant per row (broadcast to every element)."""
     col = scalar_column(scalars, moduli_col)
     backend = stack_backend(moduli_col)
     if backend == BACKEND_UINT64:
-        out = _fast_reduce_once(a + col, moduli_col)
+        if out is None:
+            s = a + col
+        else:
+            np.add(a, col, out=out)
+            s = out
+        out = _fast_reduce_once(s, moduli_col)
     elif backend == BACKEND_DWORD:
         dw = _dword_tables(moduli_col)
         s = dword_merge(a)
         s += col
         np.minimum(s, s - dw.q, out=s)
-        out = dword_split(s)
+        out = dword_split(s, out=out)
     else:
-        out = (a + col) % moduli_col
-    _DISPATCH.elementwise(
-        "stack-scalar-add", reads=(a, col), writes=(out,),
-        ops_per_element=_kernelforms.MODADD_OPS,
-    )
+        result = (a + col) % moduli_col
+        if out is None:
+            out = result
+        else:
+            out[...] = result
+    if _DISPATCH.recording:
+        replay = None
+        if _DISPATCH.executable_recording:
+            frozen = tuple(int(s) for s in scalars)
+            def replay(reads, writes, _scalars=frozen, _col=moduli_col):
+                stack_add_scalar_mod(reads[0], _scalars, _col, out=writes[0])
+        _DISPATCH.elementwise(
+            "stack-scalar-add", reads=(a, col), writes=(out,),
+            ops_per_element=_kernelforms.MODADD_OPS, replay=replay,
+        )
     return out
 
 
@@ -1114,11 +1218,63 @@ def stack_switch_modulus(row: np.ndarray, q_from: int, moduli_col: np.ndarray) -
             [int(q) for q in np.asarray(moduli_col).ravel()], dtype=object
         ).reshape(-1, 1)
         out = coerce_stack(out, moduli_col)
-    _DISPATCH.elementwise(
-        "stack-switch-modulus", reads=(row,), writes=(out,),
-        ops_per_element=_kernelforms.MODADD_OPS,
-    )
+    if _DISPATCH.recording:
+        replay = None
+        if _DISPATCH.executable_recording:
+            def replay(reads, writes, _q=q_from, _col=moduli_col):
+                writes[0][...] = stack_switch_modulus(reads[0], _q, _col)
+        _DISPATCH.elementwise(
+            "stack-switch-modulus", reads=(row,), writes=(out,),
+            ops_per_element=_kernelforms.MODADD_OPS, replay=replay,
+        )
     return out
+
+
+def stack_switch_modulus_many(rows: np.ndarray, q_from: int,
+                              moduli_col: np.ndarray,
+                              *, out: np.ndarray | None = None) -> np.ndarray:
+    """Batched :func:`stack_switch_modulus` over ``P`` residue rows at once.
+
+    ``rows`` holds ``P`` rows mod ``q_from`` (``(P, N)`` single-word,
+    ``(P, 2, N)`` dword planes); the result stacks each row's switch into
+    the ``keep`` target moduli contiguously -- ``(P*keep, N)`` (or
+    ``(P*keep, 2, N)``) with row block ``p`` covering ``rows[p]``.  This is
+    the layout the batched rescale tail consumes directly, replacing the
+    per-row python loop + ``vstack`` staging copy of the unbatched path.
+    Row ``p*keep + i`` is bit-identical to
+    ``stack_switch_modulus(rows[p], q_from, moduli_col)[i]``.
+    """
+    rows = np.asarray(rows)
+    half = q_from >> 1
+    backend = stack_backend(moduli_col)
+    keep = int(np.asarray(moduli_col).size)
+    rows_are_dword = is_dword_stack(rows)
+    count = int(rows.shape[0])
+    if backend != BACKEND_OBJECT and q_from < DWORD_MODULUS_LIMIT:
+        merged = dword_merge(rows) if rows_are_dword else rows
+        v = merged.astype(np.int64)
+        centred = np.where(v > half, v - q_from, v)
+        cols = np.asarray(moduli_col).astype(np.int64).reshape(1, keep, 1)
+        switched = (centred[:, None, :] % cols).astype(np.uint64)
+        switched = switched.reshape(count * keep, -1)
+        if backend == BACKEND_DWORD:
+            result = dword_split(switched, out=out)
+        elif out is None:
+            result = switched
+        else:
+            np.copyto(out, switched)
+            result = out
+    else:
+        blocks = [
+            stack_switch_modulus(rows[p], q_from, moduli_col)
+            for p in range(count)
+        ]
+        if out is None:
+            result = np.concatenate(blocks, axis=0)
+        else:
+            np.concatenate(blocks, axis=0, out=out)
+            result = out
+    return result
 
 
 __all__ = [
@@ -1175,4 +1331,5 @@ __all__ = [
     "stack_scalar_mod",
     "stack_add_scalar_mod",
     "stack_switch_modulus",
+    "stack_switch_modulus_many",
 ]

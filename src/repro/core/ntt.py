@@ -34,7 +34,7 @@ import numpy as np
 from repro.core import modmath
 from repro.core.dispatch import get_dispatcher
 from repro.core.primes import find_root_of_unity
-from repro.gpu.kernel import SHOUP_MUL_OPS
+from repro.gpu.kernel import BUTTERFLY_OPS, SHOUP_MUL_OPS
 
 _DISPATCH = get_dispatcher()
 
@@ -711,8 +711,38 @@ class StackedNTTEngine:
         parts = [rows] if segments is None else [int(s) for s in segments]
         if sum(parts) != rows:
             raise ValueError(f"segments {parts} do not cover {rows} rows")
+        executable = _DISPATCH.executable_recording
         row = 0
         for part in parts:
+            if self.fast and _DISPATCH.stage_granular:
+                self._record_stage_launches(
+                    tag, source, out, row, part, executable,
+                )
+                row += part
+                continue
+            replay = None
+            if executable:
+                # Each segment replays through its own cached sub-engine
+                # (chunking/tiling is bit-identical, see the class docstring),
+                # transforming the program's write view in place.
+                seg_moduli = self.moduli[row : row + part]
+
+                def replay(
+                    reads,
+                    writes,
+                    _n=self.ring_degree,
+                    _moduli=seg_moduli,
+                    _forward=(tag == "ntt"),
+                ):
+                    engine = get_stacked_engine(_n, _moduli)
+                    src, dst = reads[0], writes[0]
+                    if not np.shares_memory(src, dst):
+                        np.copyto(dst, src)
+                    fn = engine.forward if _forward else engine.inverse
+                    res = fn(dst, consume=True)
+                    if res is not dst:
+                        np.copyto(dst, res)
+
             # Per-segment row slices keep fused launches independent in the
             # dependency DAG (each digit/component touches its own rows).
             _DISPATCH.transform(
@@ -722,10 +752,156 @@ class StackedNTTEngine:
                 writes=(out[row : row + part],),
                 cols=self.ring_degree,
                 fused_ops_per_element=fused_ops_per_element,
+                replay=replay,
             )
             row += part
 
+    def _record_stage_launches(
+        self,
+        tag: str,
+        source: np.ndarray,
+        out: np.ndarray,
+        row: int,
+        part: int,
+        executable: bool,
+    ) -> None:
+        """Record one segment as per-stage launches (the unfused baseline).
+
+        Emits ``log2 N`` butterfly-stage events (plus the iNTT's ``N^-1``
+        scaling launch), each replaying one canonical stage via
+        :meth:`reference_stage` -- a full global-memory round trip per
+        stage, which is exactly how an unfused GPU NTT executes.  The run
+        is then registered as a fusion group whose mega-kernel replay is
+        the stage-fused engine call, so ``fuse_trace`` can collapse the
+        chain back into the fused transform (§III-F.4/F.5).
+        """
+        n = self.ring_degree
+        stages = n.bit_length() - 1
+        seg_moduli = self.moduli[row : row + part]
+        forward = tag == "ntt"
+        src = source[row : row + part]
+        dst = out[row : row + part]
+        for s in range(stages):
+            replay = None
+            if executable:
+
+                def replay(
+                    reads, writes,
+                    _n=n, _moduli=seg_moduli, _s=s, _fwd=forward,
+                ):
+                    engine = get_stacked_engine(_n, _moduli)
+                    sarr, darr = reads[0], writes[0]
+                    if not np.shares_memory(sarr, darr):
+                        np.copyto(darr, sarr)
+                    engine.reference_stage(darr, _s, forward=_fwd)
+
+            _DISPATCH.elementwise(
+                f"{tag}-stage{s}",
+                reads=(src if s == 0 else dst,),
+                writes=(dst,),
+                # One radix-2 butterfly covers two elements.
+                ops_per_element=BUTTERFLY_OPS / 2.0,
+                replay=replay,
+            )
+        count = stages
+        if not forward:
+            scale_replay = None
+            if executable:
+
+                def scale_replay(reads, writes, _n=n, _moduli=seg_moduli):
+                    engine = get_stacked_engine(_n, _moduli)
+                    sarr, darr = reads[0], writes[0]
+                    if not np.shares_memory(sarr, darr):
+                        np.copyto(darr, sarr)
+                    engine.reference_scale(darr)
+
+            _DISPATCH.elementwise(
+                f"{tag}-scale",
+                reads=(dst,),
+                writes=(dst,),
+                ops_per_element=SHOUP_MUL_OPS,
+                replay=scale_replay,
+            )
+            count += 1
+        if executable:
+
+            def fused_replay(
+                reads, writes, _n=n, _moduli=seg_moduli, _fwd=forward,
+            ):
+                engine = get_stacked_engine(_n, _moduli)
+                sarr, darr = reads[0], writes[0]
+                if not np.shares_memory(sarr, darr):
+                    np.copyto(darr, sarr)
+                fn = engine.forward if _fwd else engine.inverse
+                res = fn(darr, consume=True)
+                if res is not darr:
+                    np.copyto(darr, res)
+
+            _DISPATCH.fusion_group(count, fused_replay)
+
+    def reference_stage(
+        self, a: np.ndarray, stage: int, *, forward: bool = True,
+    ) -> None:
+        """One canonical radix-2 butterfly stage, in place (fast path).
+
+        The per-launch granularity of an *unfused* GPU NTT: each stage
+        streams the whole stack through memory and hands canonical
+        ``[0, q)`` residues to the next launch, with fresh temporaries per
+        launch (cross-stage lazy representatives and scratch pipelining
+        are exactly the privileges stage fusion buys).  Running all
+        ``log2 N`` stages is bit-identical to :meth:`forward` /
+        :meth:`inverse` at the transform boundary -- the fused lazy
+        pipeline canonicalizes to the same residues.
+        """
+        if not self.fast:
+            raise NotImplementedError(
+                "per-stage reference execution covers the uint64 fast path"
+            )
+        n = self.ring_degree
+        rows = int(a.shape[0])
+        if forward:
+            m = 1 << stage
+            t = n >> (stage + 1)
+        else:
+            t = 1 << stage
+            m = n >> (stage + 1)
+        for r0, r1, t0, t1 in self._row_chunks(rows):
+            seg = a[r0:r1]
+            srows = r1 - r0
+            q3 = self._col3[t0:t1]
+            if forward:
+                view = seg.reshape(srows, m, 2 * t)
+                u = view[:, :, :t]
+                x = view[:, :, t:]
+                tw = self._psi_bitrev[t0:t1, m : 2 * m].reshape(t1 - t0, m, 1)
+                sh = self._psi_shoup[t0:t1, m : 2 * m].reshape(t1 - t0, m, 1)
+                v = modmath.stack_shoup_mul(x, tw, sh, q3)
+                lo = u + v
+                np.minimum(lo, lo - q3, out=lo)
+                hi = u - v
+                np.minimum(hi, hi + q3, out=hi)
+                u[...] = lo
+                x[...] = hi
+            else:
+                view = seg.reshape(srows, m, 2 * t)
+                u = view[:, :, :t]
+                v = view[:, :, t:]
+                tw = self._psi_inv_bitrev[t0:t1, m : 2 * m].reshape(t1 - t0, m, 1)
+                sh = self._psi_inv_shoup[t0:t1, m : 2 * m].reshape(t1 - t0, m, 1)
+                total = u + v
+                np.minimum(total, total - q3, out=total)
+                diff = u - v
+                np.minimum(diff, diff + q3, out=diff)
+                diff = modmath.stack_shoup_mul(diff, tw, sh, q3)
+                u[...] = total
+                v[...] = diff
+
+    def reference_scale(self, a: np.ndarray) -> None:
+        """The iNTT's trailing ``N^-1`` scaling as its own launch, in place."""
+        modmath.stack_scalar_mod(a, self._n_inv, self._col, out=a)
+
     # -- fast (uint64) path ---------------------------------------------------
+
     #
     # One batch of rows runs through the whole stage pipeline while its
     # working set (data + scratch) is cache-resident.  All intermediates
@@ -1049,6 +1225,31 @@ def get_stacked_engine(ring_degree: int, moduli: tuple[int, ...]) -> StackedNTTE
     return StackedNTTEngine(ring_degree, moduli)
 
 
+def record_staged_transform(
+    tag: str,
+    ring_degree: int,
+    moduli: tuple[int, ...],
+    source: np.ndarray,
+    out: np.ndarray,
+    *,
+    executable: bool,
+) -> bool:
+    """Record one full-stack transform as per-stage launches.
+
+    The entry point for call sites that record transforms directly (the
+    ModDown and rescale pipelines): under ``stage_launches`` recording
+    they emit the unfused per-stage launch run plus its fusion group
+    instead of one fused transform event.  Returns ``False`` -- recording
+    nothing -- when the stack is off the uint64 fast path, so the caller
+    falls back to its single fused transform record.
+    """
+    engine = get_stacked_engine(ring_degree, moduli)
+    if not engine.fast:
+        return False
+    engine._record_stage_launches(tag, source, out, 0, len(moduli), executable)
+    return True
+
+
 __all__ = [
     "NTTEngine",
     "HierarchicalNTT",
@@ -1057,6 +1258,7 @@ __all__ = [
     "is_power_of_two",
     "get_engine",
     "get_stacked_engine",
+    "record_staged_transform",
     "set_scratch_budget",
     "scratch_cache_bytes",
 ]

@@ -216,7 +216,9 @@ class BaseConverter:
             converted = modmath.dword_merge(converted)
         return [converted[k] for k in range(len(self.target))]
 
-    def convert_stack(self, stack: np.ndarray) -> np.ndarray:
+    def convert_stack(
+        self, stack: np.ndarray, *, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Batched base conversion of a canonical ``(|source|, N)`` stack.
 
         The whole Equation-1 computation -- limb-wise scaling followed by
@@ -227,6 +229,10 @@ class BaseConverter:
         across source limbs with an intermediate fold every four terms
         (``4·(q-1)² < 2**64`` for fast moduli) and one final reduction per
         output element.
+
+        With ``out=`` the converted rows land directly in the caller's
+        buffer (the consumer's layout), so ModUp/ModDown need no staging
+        copy between conversion and the transform that follows.
         """
         source_stack = np.asarray(stack)
         with _DISPATCH.suppressed():
@@ -249,6 +255,7 @@ class BaseConverter:
                         )
                     ],
                     self._target_col,
+                    out=out,
                 )
             elif not exact:
                 # Double-word path.  The scaled source rows are canonical
@@ -283,11 +290,13 @@ class BaseConverter:
                     else:
                         acc += term
                         np.minimum(acc, acc - dw.q, out=acc)
-                converted = (
-                    modmath.dword_split(acc)
-                    if self._target_backend == modmath.BACKEND_DWORD
-                    else acc
-                )
+                if self._target_backend == modmath.BACKEND_DWORD:
+                    converted = modmath.dword_split(acc, out=out)
+                elif out is not None:
+                    np.copyto(out, acc)
+                    converted = out
+                else:
+                    converted = acc
             else:
                 scaled = [
                     modmath.object_row(row) * inv % q
@@ -302,15 +311,26 @@ class BaseConverter:
                         acc = acc + scaled[i] * row[i]
                     outputs.append(modmath.as_residue_array(acc % p, p))
                 converted = np.stack(
-                    [modmath.object_row(out) for out in outputs]
+                    [modmath.object_row(row) for row in outputs]
                 ) if not modmath.all_fast_moduli(self.target.moduli) else np.stack(outputs)
-        _DISPATCH.base_conversion(
-            "baseconv",
-            len(self.source),
-            len(self.target),
-            reads=(source_stack,),
-            writes=(converted,),
-        )
+                if out is not None:
+                    out[...] = converted
+                    converted = out
+        if _DISPATCH.recording:
+            replay = None
+            if _DISPATCH.executable_recording:
+
+                def replay(reads, writes, _conv=self):
+                    _conv.convert_stack(reads[0], out=writes[0])
+
+            _DISPATCH.base_conversion(
+                "baseconv",
+                len(self.source),
+                len(self.target),
+                reads=(source_stack,),
+                writes=(converted,),
+                replay=replay,
+            )
         return converted
 
     def convert_exact(self, limbs: Sequence[np.ndarray]) -> list[np.ndarray]:

@@ -29,7 +29,7 @@ from repro.core.dispatch import get_dispatcher
 from repro.core.limb import Limb, LimbFormat
 from repro.core.limb_stack import LimbStack
 from repro.core.memory import MemoryPool
-from repro.core.ntt import get_engine, get_stacked_engine
+from repro.core.ntt import get_engine, get_stacked_engine, record_staged_transform
 from repro.core.rns import RNSBasis
 from repro.gpu.kernel import MODADD_OPS, MODMUL_OPS
 
@@ -411,53 +411,154 @@ class RNSPoly:
         keep = len(target_moduli)
         target_col = modmath.moduli_column(target_moduli)
         is_eval = first.fmt is LimbFormat.EVALUATION
+        inverses = _rescale_inverses(tuple(first.moduli))
         with _DISPATCH.suppressed():
             last_rows = np.stack([np.asarray(p._stack.data[-1]) for p in polys])
             if is_eval:
                 last_rows = get_stacked_engine(
                     n, (q_last,) * len(polys)
                 ).inverse(last_rows, consume=True)
-            switched = np.vstack(
-                [modmath.stack_switch_modulus(row, q_last, target_col) for row in last_rows]
+            # The batched modulus switch lands every poly's block directly
+            # in the (P*keep, N) layout the tail consumes -- no per-row
+            # loop, no vstack staging copy.
+            switched = modmath.stack_switch_modulus_many(
+                last_rows, q_last, target_col
             )
             if is_eval:
                 switched = get_stacked_engine(
                     n, tuple(target_moduli) * len(polys)
                 ).forward(switched, consume=True)
-            heads = np.vstack(
-                [modmath.coerce_stack(p._stack.data[:-1], target_col) for p in polys]
-            )
-            fused_col = modmath.moduli_column(list(target_moduli) * len(polys))
-            diff = modmath.stack_sub_mod(heads, switched, fused_col)
-            inverses = _rescale_inverses(tuple(first.moduli))
-            out = modmath.stack_scalar_mod(diff, inverses * len(polys), fused_col)
+            # The subtract/scale tail folds each poly's head limbs into its
+            # block of ``switched`` in place (row math identical to the old
+            # fused-column form, without staging the heads into one buffer).
+            for i, poly in enumerate(polys):
+                seg = switched[i * keep : (i + 1) * keep]
+                head = modmath.coerce_stack(poly._stack.data[:-1], target_col)
+                modmath.stack_sub_mod(head, seg, target_col, out=seg)
+                modmath.stack_scalar_mod(seg, inverses, target_col, out=seg)
+            out = switched
         # The execution plane sees the kernels a GPU backend launches per
         # component: an iNTT of the dropped limb plus an NTT over the kept
         # limbs with the switch/subtract/scale arithmetic fused in
         # ("Rescale fusion", §III-F.5); in coefficient format only the
         # fused element-wise kernel remains.
         if _DISPATCH.recording:
+            executable = _DISPATCH.executable_recording
             # Per-polynomial slices keep the fused components parallel in
             # the dependency DAG (disjoint rows of the shared buffers).
             for i, poly in enumerate(polys):
                 kept = out[i * keep : (i + 1) * keep]
                 dropped = last_rows[i : i + 1]
                 if is_eval:
-                    _DISPATCH.transform(
-                        "intt", 1, reads=(poly._stack.data[-1:],),
-                        writes=(dropped,), cols=n,
-                        fused_ops_per_element=MODADD_OPS,
+                    intt_replay = ntt_replay = None
+                    if executable:
+
+                        def intt_replay(reads, writes, _n=n, _q=q_last):
+                            res = get_stacked_engine(_n, (_q,)).inverse(reads[0])
+                            np.copyto(writes[0], res)
+
+                        def ntt_replay(
+                            reads, writes, _n=n, _q=q_last,
+                            _tm=tuple(target_moduli), _col=target_col,
+                            _inv=inverses,
+                        ):
+                            sw = modmath.stack_switch_modulus_many(
+                                reads[0], _q, _col, out=writes[0]
+                            )
+                            res = get_stacked_engine(_n, _tm).forward(
+                                sw, consume=True
+                            )
+                            if res is not sw:
+                                np.copyto(sw, res)
+                            head = modmath.coerce_stack(reads[1], _col)
+                            modmath.stack_sub_mod(head, sw, _col, out=sw)
+                            modmath.stack_scalar_mod(sw, _inv, _col, out=sw)
+
+                    # Stage-granular recording unbundles the pipeline into
+                    # the launches an unfused GPU rescale makes: per-stage
+                    # iNTT, a modulus-switch launch, per-stage NTT, then
+                    # the subtract/scale tail as its own launch.
+                    staged = (
+                        _DISPATCH.stage_granular
+                        and get_stacked_engine(n, (q_last,)).fast
+                        and get_stacked_engine(n, tuple(target_moduli)).fast
                     )
-                    _DISPATCH.transform(
-                        "ntt", keep, reads=(dropped, poly._stack.data[:-1]),
-                        writes=(kept,), cols=n,
-                        fused_ops_per_element=MODMUL_OPS + MODADD_OPS,
-                    )
+                    if staged:
+                        switch_replay = tail_launch = None
+                        if executable:
+
+                            def switch_replay(
+                                reads, writes, _q=q_last, _col=target_col,
+                            ):
+                                modmath.stack_switch_modulus_many(
+                                    reads[0], _q, _col, out=writes[0]
+                                )
+
+                            def tail_launch(
+                                reads, writes, _col=target_col, _inv=inverses,
+                            ):
+                                dst = writes[0]
+                                if not np.shares_memory(reads[0], dst):
+                                    np.copyto(dst, reads[0])
+                                head = modmath.coerce_stack(reads[1], _col)
+                                modmath.stack_sub_mod(head, dst, _col, out=dst)
+                                modmath.stack_scalar_mod(
+                                    dst, _inv, _col, out=dst
+                                )
+
+                        record_staged_transform(
+                            "intt", n, (q_last,),
+                            poly._stack.data[-1:], dropped,
+                            executable=executable,
+                        )
+                        _DISPATCH.elementwise(
+                            "rescale-switch", reads=(dropped,), writes=(kept,),
+                            ops_per_element=MODMUL_OPS, replay=switch_replay,
+                        )
+                        record_staged_transform(
+                            "ntt", n, tuple(target_moduli), kept, kept,
+                            executable=executable,
+                        )
+                        _DISPATCH.elementwise(
+                            "rescale-tail",
+                            reads=(kept, poly._stack.data[:-1]),
+                            writes=(kept,),
+                            ops_per_element=MODMUL_OPS + MODADD_OPS,
+                            replay=tail_launch,
+                        )
+                    else:
+                        _DISPATCH.transform(
+                            "intt", 1, reads=(poly._stack.data[-1:],),
+                            writes=(dropped,), cols=n,
+                            fused_ops_per_element=MODADD_OPS,
+                            replay=intt_replay,
+                        )
+                        _DISPATCH.transform(
+                            "ntt", keep, reads=(dropped, poly._stack.data[:-1]),
+                            writes=(kept,), cols=n,
+                            fused_ops_per_element=MODMUL_OPS + MODADD_OPS,
+                            replay=ntt_replay,
+                        )
                 else:
+                    fused_replay = None
+                    if executable:
+
+                        def fused_replay(
+                            reads, writes, _q=q_last, _col=target_col,
+                            _inv=inverses,
+                        ):
+                            sw = modmath.stack_switch_modulus_many(
+                                reads[0], _q, _col, out=writes[0]
+                            )
+                            head = modmath.coerce_stack(reads[1], _col)
+                            modmath.stack_sub_mod(head, sw, _col, out=sw)
+                            modmath.stack_scalar_mod(sw, _inv, _col, out=sw)
+
                     _DISPATCH.elementwise(
                         "rescale-fused",
-                        reads=(dropped, poly._stack.data[:-1]),
+                        reads=(poly._stack.data[-1:], poly._stack.data[:-1]),
                         writes=(kept,), ops_per_element=MODMUL_OPS + MODADD_OPS,
+                        replay=fused_replay,
                     )
         return [
             poly._wrap(

@@ -14,6 +14,13 @@ resulting :class:`TraceReport` also segments the timeline into
 hmult/modup/moddown/rescale regions, which is how the Fig./Table
 benchmarks consume measured-from-execution traces instead of duplicating
 workload math.
+
+Fused traces price transparently: :func:`repro.core.fusion.fuse_trace`
+replaces each merged chain with a single kernel carrying the *summed*
+``int_ops`` of its members but only the chain-*endpoint* bytes (interior
+producer/consumer round trips subtracted), so pricing the fused trace
+against the original quantifies exactly the launch overhead and global
+memory traffic the fusion pass removed -- no special casing here.
 """
 
 from __future__ import annotations

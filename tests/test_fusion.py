@@ -1,0 +1,492 @@
+"""Tests of the executable trace IR and the auto-fusion pass.
+
+Covers the PR-8 tentpole acceptance criteria:
+
+* ``TraceProgram`` replay is bit-identical to eager execution across all
+  three numeric backends (uint64 / dword / object);
+* fused execution is bit-identical to eager for HMult+rescale, a
+  key-switched rotation, and a B=8 batched drain;
+* fusion conserves ``int_ops`` and never increases ``bytes_moved``;
+
+plus the satellite corner cases: multi-consumer intermediates,
+cross-device chains under ``on_device``, overlapping-but-not-equal byte
+ranges, interleaved writers, the buffer-identity generation tag, and the
+zero-work untraced hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import CKKSSession
+from repro.ckks.params import CKKSParameters
+from repro.core import modmath
+from repro.core.dispatch import (
+    Dispatcher,
+    KernelTrace,
+    TraceProgram,
+    get_dispatcher,
+)
+from repro.core.fusion import FusedProgram, fuse_trace
+from repro.core.ntt import get_stacked_engine
+from repro.gpu.platforms import GPU_RTX_4090
+from repro.perf.trace_model import TraceCostModel
+
+
+@pytest.fixture(scope="module")
+def fusion_session():
+    """A small session for executable-trace tests (own context)."""
+    params = CKKSParameters(
+        ring_degree=1 << 12, mult_depth=4, scale_bits=28, dnum=2,
+        first_mod_bits=30, label="fusion-12-4",
+    )
+    return CKKSSession.create(
+        params, rotations=[1], seed=7, register_default=False
+    )
+
+
+def _add_const(value):
+    def replay(reads, writes, _v=np.uint64(value)):
+        np.add(reads[0], _v, out=writes[0])
+    return replay
+
+
+def _mul_const(value):
+    def replay(reads, writes, _v=np.uint64(value)):
+        np.multiply(reads[0], _v, out=writes[0])
+    return replay
+
+
+def _emit(dispatcher, tag, src, out, replay, *, ops=1.0):
+    """Eagerly run ``replay`` and record it as one elementwise kernel."""
+    replay((src,), (out,))
+    dispatcher.elementwise(
+        tag, reads=(src,), writes=(out,), ops_per_element=ops, replay=replay
+    )
+
+
+class TestFusionLegality:
+    def test_simple_chain_fuses_and_verifies(self):
+        d = get_dispatcher()
+        a = np.arange(32, dtype=np.uint64).reshape(4, 8)
+        t = np.empty_like(a)
+        out = np.empty_like(a)
+        with d.record(executable=True) as trace:
+            _emit(d, "step1", a, t, _add_const(1))
+            _emit(d, "step2", t, out, _mul_const(3))
+        result = fuse_trace(trace)
+        assert [c.members for c in result.chains] == [(0, 1)]
+        assert result.events_after == 1
+        fused = result.fused_trace.events[0].kernel
+        assert fused.launches == 1.0
+        assert fused.name == "fused(step1[4]+step2[4])"
+        # Arithmetic is conserved; the intermediate's traffic is not.
+        assert result.fused_trace.int_ops == trace.int_ops
+        assert result.fused_trace.bytes_moved < trace.bytes_moved
+        prog = result.program()
+        prog.verify()
+        assert np.array_equal(prog.output(out), (a + 1) * 3)
+
+    def test_multi_consumer_intermediate_blocks_fusion(self):
+        d = get_dispatcher()
+        a = np.arange(32, dtype=np.uint64).reshape(4, 8)
+        t, out1, out2 = (np.empty_like(a) for _ in range(3))
+        with d.record(executable=True) as trace:
+            _emit(d, "produce", a, t, _add_const(1))
+            _emit(d, "consume1", t, out1, _mul_const(2))
+            _emit(d, "consume2", t, out2, _mul_const(5))
+        result = fuse_trace(trace)
+        assert result.chains == []
+        result.program().verify()  # degenerates to a plain replay
+
+    def test_overlapping_but_not_equal_ranges_block_fusion(self):
+        d = get_dispatcher()
+        a = np.arange(32, dtype=np.uint64).reshape(4, 8)
+        t = np.empty_like(a)
+        out = np.empty((2, 8), dtype=np.uint64)
+        with d.record(executable=True) as trace:
+            _emit(d, "produce", a, t, _add_const(1))
+            # The consumer reads only half the produced interval.
+            _emit(d, "partial", t[:2], out, _mul_const(2))
+        assert fuse_trace(trace).chains == []
+
+    def test_cross_device_chain_blocks_fusion(self):
+        d = get_dispatcher()
+        a = np.arange(32, dtype=np.uint64).reshape(4, 8)
+        t = np.empty_like(a)
+        out = np.empty_like(a)
+        with d.record(executable=True) as trace:
+            _emit(d, "produce", a, t, _add_const(1))
+            with d.on_device(1):
+                _emit(d, "consume", t, out, _mul_const(2))
+        assert fuse_trace(trace).chains == []
+        # Same chain on one device fuses (the control experiment).
+        with d.record(executable=True) as same_device:
+            _emit(d, "produce", a, t, _add_const(1))
+            _emit(d, "consume", t, out, _mul_const(2))
+        assert len(fuse_trace(same_device).chains) == 1
+
+    def test_interleaved_writer_blocks_fusion(self):
+        d = get_dispatcher()
+        a = np.arange(32, dtype=np.uint64).reshape(4, 8)
+        t = np.empty_like(a)
+        out = np.empty_like(a)
+        with d.record(executable=True) as trace:
+            _emit(d, "produce", a, t, _add_const(1))
+            _emit(d, "clobber", a, t, _add_const(9))  # rewrites the interval
+            _emit(d, "consume", t, out, _mul_const(2))
+        result = fuse_trace(trace)
+        # produce->consume is illegal (clobber interleaves); the
+        # clobber->consume edge itself is a legal adjacent chain.
+        assert [c.members for c in result.chains] == [(1, 2)]
+        result.program().verify()
+
+    def test_operand_clobber_vetoes_chain_extension(self):
+        d = get_dispatcher()
+        a = np.arange(32, dtype=np.uint64).reshape(4, 8)
+        t = np.empty_like(a)
+        out = np.empty_like(a)
+        with d.record(executable=True) as trace:
+            _emit(d, "produce", a, t, _add_const(1))
+            # Writes the producer's READ operand between producer and
+            # consumer: moving the producer to the tail would read the
+            # new value, so the chain must not form.
+            _emit(d, "retarget", t, a, _mul_const(1))
+            _emit(d, "consume", t, out, _mul_const(2))
+        result = fuse_trace(trace)
+        assert (0, 2) not in [c.members for c in result.chains]
+        result.program().verify()
+
+    def test_in_place_tail_fuses_with_live_output(self):
+        d = get_dispatcher()
+        a = np.arange(32, dtype=np.uint64).reshape(4, 8)
+        t = np.empty_like(a)
+        out = np.empty_like(a)
+
+        def inplace_scale(reads, writes):
+            np.multiply(reads[0], np.uint64(7), out=writes[0])
+
+        with d.record(executable=True) as trace:
+            _emit(d, "produce", a, t, _add_const(1))
+            # The consumer rewrites the identical interval in place (the
+            # rescale/ModDown tail shape) ...
+            inplace_scale((t,), (t,))
+            d.elementwise("scale", reads=(t,), writes=(t,),
+                          ops_per_element=1.0, replay=inplace_scale)
+            # ... and a later reader sees the chain output.
+            _emit(d, "after", t, out, _add_const(0))
+        result = fuse_trace(trace)
+        assert result.chains and result.chains[0].members[:2] == (0, 1)
+        prog = result.program()
+        prog.verify()
+        assert np.array_equal(prog.output(out), (a + 1) * 7)
+
+    def test_fusion_requires_executable_trace(self):
+        with pytest.raises(ValueError, match="executable"):
+            fuse_trace(KernelTrace())
+
+
+class TestBufferIdentityGeneration:
+    def test_stale_state_from_reused_id_is_discarded(self):
+        # Python reuses addresses: a dict keyed on id() alone can hand a
+        # new allocation the last-writer intervals of a freed one whose
+        # finalize callback has not run yet.  The generation tag (weakref
+        # to the exact allocation) must detect this and start fresh.
+        d = get_dispatcher()
+        with d.record() as trace:
+            src = np.ones((2, 4), dtype=np.uint64)
+            victim = np.zeros((2, 4), dtype=np.uint64)
+            d.elementwise("writer", reads=(src,), writes=(victim,),
+                          ops_per_element=1.0)
+            stale = trace._buffers[id(victim)]
+            assert stale.writes  # the victim carries a last-writer record
+            # Simulate id reuse: plant the victim's state under a fresh
+            # allocation's id, as if the finalize callback were delayed.
+            fresh = np.zeros((2, 4), dtype=np.uint64)
+            trace._buffers[id(fresh)] = stale
+            out = np.zeros((2, 4), dtype=np.uint64)
+            d.elementwise("reader", reads=(fresh,), writes=(out,),
+                          ops_per_element=1.0)
+        # Without the generation tag the reader would inherit a fabricated
+        # dependency on the writer event.
+        assert trace.events[-1].deps == ()
+
+    def test_free_and_reallocate_between_kernels(self):
+        d = get_dispatcher()
+        src = np.ones((2, 4), dtype=np.uint64)
+        with d.record() as trace:
+            for _ in range(32):
+                tmp = np.zeros((2, 4), dtype=np.uint64)
+                out = np.empty_like(tmp)
+                d.elementwise("probe", reads=(tmp,), writes=(out,),
+                              ops_per_element=1.0)
+                # A fresh allocation must never arrive with writers.
+                assert trace.events[-1].deps == ()
+                d.elementwise("dirty", reads=(src,), writes=(tmp,),
+                              ops_per_element=1.0)
+                del tmp, out  # freed before the next identical allocation
+
+
+class TestUntracedHotPath:
+    def test_untraced_execution_invokes_no_emitter(self, fusion_session,
+                                                   monkeypatch):
+        # Satellite micro-assert: with no trace active, the data plane
+        # must not even *call* the dispatcher emitters (the recording
+        # early-outs are hoisted to the call sites).
+        def boom(self, *args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("emitter invoked on the untraced hot path")
+
+        for name in ("elementwise", "transform", "base_conversion", "copy",
+                     "emit"):
+            monkeypatch.setattr(Dispatcher, name, boom)
+        rng = np.random.default_rng(3)
+        ct_a = fusion_session.encrypt(rng.uniform(-1, 1, 16))
+        ct_b = fusion_session.encrypt(rng.uniform(-1, 1, 16))
+        (ct_a * ct_b).rescale()
+        ct_a.rotate(1)
+        batch = fusion_session.batch([ct_a, ct_b])
+        batch * batch
+
+
+class TestReplayAcrossBackends:
+    """TraceProgram bit-identity on the uint64, dword and object planes."""
+
+    @staticmethod
+    def _record_hmult(scale_bits, first_mod_bits, stage_launches=False):
+        from repro.ckks.context import Context
+        from repro.ckks.encryption import Encryptor
+        from repro.ckks.evaluator import Evaluator
+        from repro.ckks.keys import KeyGenerator
+
+        params = CKKSParameters(
+            ring_degree=1 << 8, mult_depth=2, scale_bits=scale_bits,
+            dnum=2, first_mod_bits=first_mod_bits, secret_hamming_weight=16,
+            label=f"fusion-backend-{scale_bits}",
+        )
+        context = Context(params)
+        keys = KeyGenerator(context, seed=101).generate([])
+        evaluator = Evaluator(context, keys)
+        encryptor = Encryptor(context, keys.public_key, seed=55)
+        rng = np.random.default_rng(9)
+        a = encryptor.encrypt_values(rng.uniform(-1, 1, 8))
+        b = encryptor.encrypt_values(rng.uniform(-1, 1, 8))
+        with get_dispatcher().record(
+            executable=True, stage_launches=stage_launches
+        ) as trace:
+            evaluator.multiply(a, b)
+        return context, trace
+
+    @staticmethod
+    def _clear_backend_caches():
+        modmath._moduli_column_cached.cache_clear()
+        get_stacked_engine.cache_clear()
+
+    def test_uint64_backend_replay(self):
+        context, trace = self._record_hmult(28, 30)
+        assert context.numeric_backend == modmath.BACKEND_UINT64
+        TraceProgram(trace).verify()
+        fuse_trace(trace).program().verify()
+
+    def test_dword_backend_replay(self):
+        context, trace = self._record_hmult(59, 60)
+        assert context.numeric_backend == modmath.BACKEND_DWORD
+        TraceProgram(trace).verify()
+        fuse_trace(trace).program().verify()
+
+    def test_object_backend_replay(self, monkeypatch):
+        monkeypatch.setattr(
+            modmath, "DWORD_MODULUS_LIMIT", modmath.FAST_MODULUS_LIMIT
+        )
+        self._clear_backend_caches()
+        try:
+            with pytest.warns(RuntimeWarning, match="object backend"):
+                context, trace = self._record_hmult(59, 60)
+            assert context.numeric_backend == modmath.BACKEND_OBJECT
+            TraceProgram(trace).verify()
+            fuse_trace(trace).program().verify()
+        finally:
+            monkeypatch.undo()
+            self._clear_backend_caches()
+
+
+class TestFusedEndToEnd:
+    def test_hmult_rescale_replay_and_fusion(self, fusion_session):
+        rng = np.random.default_rng(11)
+        ct_a = fusion_session.encrypt(rng.uniform(-1, 1, 16))
+        ct_b = fusion_session.encrypt(rng.uniform(-1, 1, 16))
+        with fusion_session.trace(executable=True) as trace:
+            (ct_a * ct_b).rescale()
+        prog = TraceProgram(trace)
+        prog.verify()
+        prog.run()  # idempotent: buffers re-seed, second run stays clean
+        prog.verify()
+        result = fuse_trace(trace)
+        result.program().verify()
+        summary = result.summary()
+        assert summary["int_ops_after"] == pytest.approx(
+            summary["int_ops_before"]
+        )
+        assert summary["bytes_moved_after"] <= summary["bytes_moved_before"]
+
+    def test_keyswitched_rotation_replay_and_fusion(self, fusion_session):
+        rng = np.random.default_rng(13)
+        ct = fusion_session.encrypt(rng.uniform(-1, 1, 16))
+        with fusion_session.trace(executable=True) as trace:
+            ct.rotate(1)
+        TraceProgram(trace).verify()
+        fuse_trace(trace).program().verify()
+
+    def test_batched_b8_drain_replay_and_fusion(self, fusion_session):
+        rng = np.random.default_rng(17)
+        cts = [
+            fusion_session.encrypt(rng.uniform(-1, 1, 16)) for _ in range(8)
+        ]
+        batch = fusion_session.batch(cts)
+        with fusion_session.trace(executable=True) as trace:
+            batch * batch
+        TraceProgram(trace).verify()
+        fuse_trace(trace).program().verify()
+
+    def test_elementwise_workload_actually_fuses(self, fusion_session):
+        rng = np.random.default_rng(19)
+        ct_a = fusion_session.encrypt(rng.uniform(-1, 1, 16))
+        ct_b = fusion_session.encrypt(rng.uniform(-1, 1, 16))
+        ct_c = fusion_session.encrypt(rng.uniform(-1, 1, 16))
+        with fusion_session.trace(executable=True) as trace:
+            (ct_a * 1.5 + ct_b) - ct_c
+        result = fuse_trace(trace)
+        assert len(result.chains) > 0
+        assert result.events_after < result.events_before
+        prog = result.program()
+        prog.verify()
+        # The fused trace prices and schedules like any recorded trace,
+        # and fusion never slows the modeled stream down.
+        pricer = TraceCostModel(GPU_RTX_4090)
+        fused = pricer.price(result.fused_trace)
+        unfused = pricer.price(trace)
+        assert fused.kernel_count < unfused.kernel_count
+        assert fused.makespan <= unfused.makespan * (1 + 1e-9)
+
+    def test_trace_program_rejects_partial_ir(self):
+        d = get_dispatcher()
+        a = np.zeros((2, 4), dtype=np.uint64)
+        out = np.empty_like(a)
+        with d.record(executable=True) as trace:
+            d.elementwise("no-replay", reads=(a,), writes=(out,),
+                          ops_per_element=1.0)  # no replay thunk
+        with pytest.raises(ValueError, match="non-replayable"):
+            TraceProgram(trace)
+
+
+class TestStageGranularCapture:
+    """Per-stage launch recording: the unfused GPU baseline (§III-F.4).
+
+    ``stage_launches=True`` records every fast-path transform as its
+    ``log2 N`` butterfly-stage launches (plus the iNTT scale), registered
+    as fusion groups so the pass can merge each run back into the
+    engine's stage-fused mega-kernel.
+    """
+
+    def test_stage_trace_replay_and_group_fusion(self, fusion_session):
+        rng = np.random.default_rng(29)
+        ct_a = fusion_session.encrypt(rng.uniform(-1, 1, 16))
+        ct_b = fusion_session.encrypt(rng.uniform(-1, 1, 16))
+        with fusion_session.trace(
+            executable=True, stage_launches=True
+        ) as trace:
+            (ct_a * ct_b).rescale()
+        names = [e.kernel.name for e in trace.events]
+        assert any("-stage" in n for n in names)
+        assert trace._fusion_groups
+        TraceProgram(trace).verify()
+        result = fuse_trace(trace)
+        summary = result.summary()
+        # Every recorded stage run is swallowed whole by a chain and
+        # replaced by the fused transform; arithmetic is conserved and
+        # the per-stage global-memory round trips drop out.
+        assert summary["stage_groups_fused"] == len(trace._fusion_groups)
+        assert result.events_after < result.events_before / 3
+        assert summary["int_ops_after"] == pytest.approx(
+            summary["int_ops_before"]
+        )
+        assert summary["bytes_moved_after"] < summary["bytes_moved_before"]
+        result.program().verify()
+
+    def test_stage_trace_keyswitch_rotation(self, fusion_session):
+        rng = np.random.default_rng(31)
+        ct = fusion_session.encrypt(rng.uniform(-1, 1, 16))
+        with fusion_session.trace(
+            executable=True, stage_launches=True
+        ) as trace:
+            ct.rotate(1)
+        TraceProgram(trace).verify()
+        fuse_trace(trace).program().verify()
+
+    def test_stage_trace_batched_drain(self, fusion_session):
+        rng = np.random.default_rng(37)
+        cts = [
+            fusion_session.encrypt(rng.uniform(-1, 1, 16)) for _ in range(8)
+        ]
+        batch = fusion_session.batch(cts)
+        with fusion_session.trace(
+            executable=True, stage_launches=True
+        ) as trace:
+            batch * batch
+        TraceProgram(trace).verify()
+        fuse_trace(trace).program().verify()
+
+    def test_reference_stage_matches_fused_engine(self):
+        from repro.ckks.context import Context
+
+        n = 1 << 10
+        params = CKKSParameters(
+            ring_degree=n, mult_depth=3, scale_bits=28, dnum=2,
+            first_mod_bits=30, secret_hamming_weight=16,
+            label="stage-ref-10",
+        )
+        moduli = tuple(Context(params).extended_moduli)
+        engine = get_stacked_engine(n, moduli)
+        rng = np.random.default_rng(23)
+        x = rng.integers(
+            0, np.array(moduli, dtype=np.uint64)[:, None],
+            size=(len(moduli), n), dtype=np.uint64,
+        )
+        staged = x.copy()
+        for s in range(n.bit_length() - 1):
+            engine.reference_stage(staged, s, forward=True)
+        assert np.array_equal(staged, engine.forward(x.copy(), consume=True))
+        back = staged.copy()
+        for s in range(n.bit_length() - 1):
+            engine.reference_stage(back, s, forward=False)
+        engine.reference_scale(back)
+        assert np.array_equal(
+            back, engine.inverse(staged.copy(), consume=True)
+        )
+        assert np.array_equal(back, x)  # exact round trip
+
+    def test_dword_backend_falls_back_to_fused_transforms(self):
+        context, trace = TestReplayAcrossBackends._record_hmult(
+            59, 60, stage_launches=True
+        )
+        assert context.numeric_backend == modmath.BACKEND_DWORD
+        names = [e.kernel.name for e in trace.events]
+        # Off the uint64 fast path the stage expansion declines and the
+        # single fused transform events record instead; the backend-generic
+        # inner-product unbundling still applies.
+        assert not any("-stage" in n for n in names)
+        assert any(n.startswith(("ntt[", "intt[")) for n in names)
+        assert any(n.startswith("ks-mul") for n in names)
+        TraceProgram(trace).verify()
+        fuse_trace(trace).program().verify()
+
+    def test_untraced_dispatcher_is_not_stage_granular(self):
+        d = get_dispatcher()
+        assert d.stage_granular is False
+        with d.record(executable=True) as _:
+            assert d.stage_granular is False
+        with d.record(executable=True, stage_launches=True) as _:
+            assert d.stage_granular is True
+            with d.suppressed():
+                assert d.stage_granular is False
+        assert d.stage_granular is False
