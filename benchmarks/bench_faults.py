@@ -1,0 +1,256 @@
+"""Chaos-replay benchmark: availability and bit-identity under injected faults.
+
+Two runs against the serving plane's fault-tolerant control plane:
+
+* **functional oracle** -- a modest replay on the functional backend with
+  a ``D=4`` cluster, sharded drains and a seeded fault plan (OOM windows,
+  transient drain failures, one device loss).  Every OK response is
+  asserted **bit-identical** to fault-free sequential execution and every
+  failure must carry a typed :class:`~repro.serve.errors.ServeError` --
+  the acceptance contract, checked on real ciphertexts.
+* **scale replay** (headline, CI-gated) -- a burst arrival trace of 10^4
+  requests on the cost-model backend under a plan covering 10% of the
+  timeline with OOM windows plus scattered transients and one device
+  loss at ``D=4``.  Gates: availability (completed / admitted) at or
+  above ``--min-availability`` (CI pins 0.99) and zero OK responses
+  dispatched past their deadlines.
+
+Both runs are pure functions of their seeds on the simulated clock, so
+the artifact trajectory is comparable commit to commit.
+
+    PYTHONPATH=src python benchmarks/bench_faults.py --output BENCH_faults.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import time
+import warnings
+
+import numpy as np
+
+from repro.api import CKKSSession
+from repro.bench.reporting import BenchmarkTable
+from repro.cluster import pcie_box
+from repro.serve import (
+    AdmissionPolicy,
+    BatchingPolicy,
+    FaultPlan,
+    OpProgram,
+    ReplayDriver,
+    RetryPolicy,
+    Server,
+    burst_arrivals,
+)
+
+from run_quick import BENCH_SCHEMA_VERSION, git_sha, quick_params
+
+#: The served program: 1 + 2x^2 (two levels deep, no rotation keys).
+PROGRAM = OpProgram.polynomial([1.0, 0.0, 2.0])
+
+#: Cluster size of both runs (one device dies mid-replay).
+DEVICE_COUNT = 4
+
+#: Requests of the functional bit-identity oracle.
+ORACLE_REQUESTS = 48
+
+#: Requests of the gated cost-model scale replay.
+SCALE_REQUESTS = 10_000
+
+
+def chaos_server(backend, *, plan: FaultPlan, cluster=None,
+                 shard_drains: bool = False,
+                 max_queue_depth: int | None = None) -> Server:
+    """One consistently-configured server for both runs."""
+    admission = (
+        AdmissionPolicy(max_queue_depth=max_queue_depth)
+        if max_queue_depth is not None else None
+    )
+    return Server(
+        backend, BatchingPolicy(max_batch_size=8, max_wait=1e-3),
+        cluster=cluster, shard_drains=shard_drains,
+        admission=admission,
+        retry=RetryPolicy(max_retries=3, backoff=1e-5),
+        fault_plan=plan,
+    )
+
+
+def chaos_plan(seed: int, duration: float, *, device: int | None = None) -> FaultPlan:
+    """OOM windows over 10% of the timeline + transients (+ one device loss)."""
+    device_loss = None if device is None else (duration / 2.0, device)
+    return FaultPlan.generate(
+        seed, duration=duration, oom_fraction=0.10,
+        oom_window=duration / 50.0, transients=3, device_loss=device_loss,
+    )
+
+
+def run_functional_oracle(table: BenchmarkTable, *, ring_log2: int,
+                          depth: int, seed: int) -> dict:
+    """Bit-identity under faults on the real data plane (D=4, sharded)."""
+    session = CKKSSession.create(quick_params(ring_log2, depth), seed=3,
+                                 register_default=False)
+    rng = np.random.default_rng(seed)
+    vectors = [session.encrypt(rng.uniform(-1, 1, 8))
+               for _ in range(ORACLE_REQUESTS)]
+    references = [PROGRAM(vector) for vector in vectors]  # fault-free oracle
+
+    arrivals = burst_arrivals(ORACLE_REQUESTS, bursts=6, burst_gap=1e-2,
+                              seed=seed)
+    duration = float(arrivals[-1]) + 1e-2
+    server = chaos_server(
+        session, plan=chaos_plan(seed, duration, device=0),
+        cluster=pcie_box(DEVICE_COUNT), shard_drains=True,
+    )
+    driver = ReplayDriver(server, PROGRAM, lambda i: vectors[i],
+                          deadline_offset=2e-2)
+    start = time.perf_counter()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        report = driver.run(arrivals)
+    wall = time.perf_counter() - start
+
+    identical = 0
+    for request, reference in zip(driver.requests, references):
+        response = request.response()
+        if response.ok:
+            result = request.result()
+            if not (
+                np.array_equal(result.handle.c0.stack.data,
+                               reference.handle.c0.stack.data)
+                and np.array_equal(result.handle.c1.stack.data,
+                                   reference.handle.c1.stack.data)
+            ):
+                raise AssertionError(
+                    f"response {request.id} diverged from fault-free "
+                    f"sequential execution under the fault plan"
+                )
+            identical += 1
+        elif response.error_kind not in {
+            "RequestRejected", "DeadlineExceeded", "DrainFailed", "DeviceLost",
+        }:
+            raise AssertionError(
+                f"response {request.id} failed with untyped error "
+                f"{response.error_kind}: {response.error}"
+            )
+    table.add_row(
+        run="functional-oracle",
+        requests=ORACLE_REQUESTS,
+        devices=DEVICE_COUNT,
+        bit_identical_ok=identical,
+        availability=round(report.availability, 6),
+        retries=report.retries,
+        degraded_drains=report.degraded_drains,
+        device_losses=report.device_losses,
+        deadline_violations=report.deadline_violations,
+        python_s=round(wall, 6),
+    )
+    summary = report.summary()
+    summary["bit_identical_ok"] = identical
+    return summary
+
+
+def run_scale_replay(table: BenchmarkTable, *, requests: int,
+                     seed: int) -> dict:
+    """The gated 10^4-request burst replay on the cost-model backend."""
+    session = CKKSSession.create(quick_params(), seed=3, register_default=False)
+    backend = session.cost_backend()
+    arrivals = burst_arrivals(requests, bursts=max(1, requests // 100),
+                              burst_gap=5e-3, seed=seed)
+    duration = float(arrivals[-1]) + 5e-3
+    server = chaos_server(
+        backend, plan=chaos_plan(seed, duration, device=0),
+        cluster=pcie_box(DEVICE_COUNT),
+        max_queue_depth=64,
+    )
+    driver = ReplayDriver(server, PROGRAM,
+                          lambda i: backend.encrypt(np.full(16, 0.5)),
+                          deadline_offset=1e-2)
+    start = time.perf_counter()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        report = driver.run(arrivals)
+    wall = time.perf_counter() - start
+    table.add_row(
+        run="scale-replay",
+        requests=requests,
+        devices=DEVICE_COUNT,
+        admitted=report.admitted,
+        shed=report.shed,
+        availability=round(report.availability, 6),
+        retries=report.retries,
+        degraded_drains=report.degraded_drains,
+        deadline_misses=report.deadline_misses,
+        device_losses=report.device_losses,
+        deadline_violations=report.deadline_violations,
+        p95_wait_ms=round(report.p95_latency * 1e3, 3),
+        python_s=round(wall, 6),
+        python_rps=round(requests / wall, 1),
+    )
+    return report.summary()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_faults.json",
+                        help="path of the JSON artifact to write")
+    parser.add_argument("--ring-log2", type=int, default=12)
+    parser.add_argument("--depth", type=int, default=6)
+    parser.add_argument("--requests", type=int, default=SCALE_REQUESTS,
+                        help="request count of the scale replay")
+    parser.add_argument("--seed", type=int, default=29,
+                        help="seed of both the arrival trace and fault plan")
+    parser.add_argument(
+        "--min-availability", type=float, default=None,
+        help="fail unless scale-replay availability (completed / admitted) "
+             "reaches this fraction (CI gate)",
+    )
+    args = parser.parse_args()
+
+    table = BenchmarkTable(
+        "Fault-tolerant serving: availability under a seeded chaos plan",
+        note=f"FaultPlan: 10% OOM timeline + 3 transients + device 0 lost "
+             f"mid-replay on a D={DEVICE_COUNT} PCIe box; burst arrivals; "
+             f"all timing on the simulated clock (deterministic)",
+    )
+    oracle = run_functional_oracle(table, ring_log2=args.ring_log2,
+                                   depth=args.depth, seed=args.seed)
+    scale = run_scale_replay(table, requests=args.requests, seed=args.seed)
+
+    params = quick_params(args.ring_log2, args.depth)
+    document = table.to_json(
+        schema_version=BENCH_SCHEMA_VERSION,
+        git_sha=git_sha(),
+        parameter_set={"label": params.label,
+                       "logN_L_scale_dnum": params.describe()},
+        python=platform.python_version(),
+        machine=platform.machine(),
+        numpy=np.__version__,
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(document + "\n")
+    print(table.to_text())
+    print(f"\nwrote {args.output}")
+
+    for name, report in (("functional-oracle", oracle), ("scale-replay", scale)):
+        if report["deadline_violations"]:
+            raise SystemExit(
+                f"FAIL: {name} dispatched {report['deadline_violations']} OK "
+                f"responses past their deadlines"
+            )
+    if args.min_availability is not None:
+        achieved = scale["availability"]
+        if achieved < args.min_availability:
+            raise SystemExit(
+                f"FAIL: scale-replay availability is {achieved:.4f}, below "
+                f"the {args.min_availability:.4f} gate"
+            )
+        print(
+            f"OK: availability {achieved:.4f} over {scale['admitted']} "
+            f"admitted requests (gate {args.min_availability:.4f}), "
+            f"0 deadline violations, all OK responses bit-identical"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -40,7 +40,11 @@ from repro.perf.trace_model import TraceCostModel
 #: v6: fused-execution rows -- measured python wall clock of the fused
 #: HMult+rescale program vs its per-stage-launch (unfused) trace replay,
 #: both verified bit-identical to eager execution before timing.
-BENCH_SCHEMA_VERSION = 6
+#: v7: availability-under-faults row -- a seeded chaos replay (burst
+#: arrivals through the serving plane under a FaultPlan of OOM windows and
+#: transient drain failures) reporting availability, shed rate, retries
+#: and degraded drains; the full-size gated run is bench_faults.py.
+BENCH_SCHEMA_VERSION = 7
 
 #: Device counts of the member-shard rows (the cluster plane).
 DEVICE_COUNTS = (1, 2, 4)
@@ -348,6 +352,67 @@ def run_cluster_rows(table: BenchmarkTable, *, ring_log2: int = BATCH_RING_LOG2,
     return makespans
 
 
+def run_fault_rows(table: BenchmarkTable, *, requests: int = 2000,
+                   seed: int = 23) -> float:
+    """Chaos-replay availability row (v7): burst load under a fault plan.
+
+    Runs on the cost-model backend (symbolic handles, so thousands of
+    requests replay in well under a second) with a seeded
+    :class:`~repro.serve.FaultPlan` injecting OOM windows over 10% of the
+    timeline plus scattered transient drain failures.  The row reports
+    the availability figure (completed / admitted) together with the shed
+    / retry / degradation counters; ``bench_faults.py`` runs the
+    full-size replay with the CI gate and the functional bit-identity
+    oracle.
+    """
+    import warnings
+
+    from repro.serve import (
+        AdmissionPolicy,
+        BatchingPolicy,
+        FaultPlan,
+        OpProgram,
+        ReplayDriver,
+        RetryPolicy,
+        Server,
+        burst_arrivals,
+    )
+
+    params = quick_params()
+    session = CKKSSession.create(params, seed=3, register_default=False)
+    backend = session.cost_backend()
+    arrivals = burst_arrivals(requests, bursts=requests // 100 or 1,
+                              burst_gap=5e-3, seed=seed)
+    plan = FaultPlan.generate(seed, duration=float(arrivals[-1]) + 5e-3,
+                              oom_fraction=0.1, transients=3)
+    server = Server(
+        backend, BatchingPolicy(max_batch_size=8, max_wait=1e-3),
+        admission=AdmissionPolicy(max_queue_depth=64),
+        retry=RetryPolicy(max_retries=3, backoff=1e-5),
+        fault_plan=plan,
+    )
+    program = OpProgram.polynomial([1.0, 0.0, 2.0])
+    driver = ReplayDriver(server, program,
+                          lambda i: backend.encrypt(np.full(16, 0.5)),
+                          deadline_offset=1e-2)
+    start = time.perf_counter()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        report = driver.run(arrivals)
+    wall = time.perf_counter() - start
+    table.add_row(
+        operation=f"availability under faults [cost-model chaos replay, "
+                  f"{requests} requests, 10% OOM timeline]",
+        seconds=round(wall, 6),
+        availability=round(report.availability, 6),
+        shed=report.shed,
+        retries=report.retries,
+        degraded_drains=report.degraded_drains,
+        deadline_violations=report.deadline_violations,
+    )
+    return report.availability
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_quick.json",
@@ -365,6 +430,7 @@ def main() -> None:
     run_dword_rows(table)
     speedups = run_batch_throughput(table, depth=args.depth)
     run_cluster_rows(table, depth=args.depth)
+    run_fault_rows(table)
     params = quick_params(args.ring_log2, args.depth)
     document = table.to_json(
         schema_version=BENCH_SCHEMA_VERSION,

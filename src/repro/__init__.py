@@ -23,7 +23,10 @@ OpenFHE clients.  This package rebuilds the complete system in Python:
 * :mod:`repro.serve` -- the serving plane: a shape-bucketed request queue
   with dynamic batching (:class:`~repro.serve.Server`, reachable as
   ``session.server()``) that turns a live request stream into fused
-  ``(B·L, N)`` batches, bit-identical to sequential execution.
+  ``(B·L, N)`` batches, bit-identical to sequential execution -- plus the
+  fault-tolerant control plane: typed :class:`ServeError` responses,
+  admission control, deadline/retry semantics and deterministic fault
+  injection (:class:`FaultPlan`) for chaos replay.
 * :mod:`repro.apps` -- realistic encrypted workloads (logistic regression,
   linear algebra, statistics) written once against the backend seam.
 * :mod:`repro.bench` -- Google-Benchmark-style reporting used by the
@@ -43,6 +46,15 @@ from repro.ckks.params import CKKSParameters, PARAMETER_SETS
 from repro.ckks.context import Context
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.keys import KeySet, KeyGenerator
+from repro.serve.errors import (
+    DeadlineExceeded,
+    DeviceLost,
+    DrainFailed,
+    RequestRejected,
+    ServeError,
+    TransientFault,
+)
+from repro.serve.faults import FaultEvent, FaultInjector, FaultPlan
 
 __all__ = [
     "CKKSSession",
@@ -59,6 +71,15 @@ __all__ = [
     "Plaintext",
     "KeySet",
     "KeyGenerator",
+    "ServeError",
+    "RequestRejected",
+    "DeadlineExceeded",
+    "TransientFault",
+    "DrainFailed",
+    "DeviceLost",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "__version__",
 ]
 

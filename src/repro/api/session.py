@@ -370,7 +370,8 @@ class CKKSSession:
     # ------------------------------------------------------------------
 
     def server(self, policy=None, *, backend=None, clock=None, metrics=None,
-               trace_costs=None, cluster=None, shard_drains=False):
+               trace_costs=None, cluster=None, shard_drains=False,
+               admission=None, retry=None, fault_plan=None):
         """A dynamic-batching server over this session (the serving plane).
 
         Returns a :class:`repro.serve.Server`: a shape-bucketed request
@@ -397,6 +398,16 @@ class CKKSSession:
         on devices and metrics report per-device utilisation; add
         ``shard_drains=True`` to member-shard every multi-request drain
         across all devices (execution stays bit-identical).
+
+        The fault-tolerance knobs: ``admission`` (an
+        :class:`~repro.serve.policy.AdmissionPolicy`) sheds overload with
+        typed :class:`~repro.serve.errors.RequestRejected` responses;
+        ``retry`` (a :class:`~repro.serve.policy.RetryPolicy`) bounds
+        transient-failure retry with simulated-clock backoff; and
+        ``fault_plan`` (a :class:`~repro.serve.faults.FaultPlan` or ready
+        :class:`~repro.serve.faults.FaultInjector`) injects deterministic
+        OOM windows, transient drain failures and device losses for chaos
+        replay -- successful responses stay bit-identical throughout.
         """
         from repro.serve import Server
 
@@ -404,6 +415,7 @@ class CKKSSession:
             backend if backend is not None else self.backend,
             policy, clock=clock, metrics=metrics, trace_costs=trace_costs,
             cluster=cluster, shard_drains=shard_drains,
+            admission=admission, retry=retry, fault_plan=fault_plan,
         )
 
     # ------------------------------------------------------------------

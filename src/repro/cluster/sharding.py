@@ -60,6 +60,23 @@ def member_partition(total: int, device_count: int) -> list[int]:
     return [base + (1 if d < extra else 0) for d in range(device_count)]
 
 
+def member_partition_over(total: int, devices: "list[int]") -> dict[int, int]:
+    """Partition ``total`` members over an *explicit* device subset.
+
+    The survivor-aware variant of :func:`member_partition`: after a
+    device loss the serving plane re-plans sharded drains over
+    ``topology.alive_devices()``, which need not be ``range(D)``.
+    Returns ``{device_index: member_count}`` with the same
+    contiguous/near-equal split, extras going to the lowest-indexed
+    survivors (deterministic).
+    """
+    devices = sorted(set(int(d) for d in devices))
+    if not devices:
+        raise ValueError("cannot partition members over zero devices")
+    counts = member_partition(total, len(devices))
+    return {device: counts[i] for i, device in enumerate(devices)}
+
+
 def _fraction_of(kernel: Kernel, fraction: float, device: int,
                  *, full_read: bool = False) -> Kernel:
     """A per-device copy of ``kernel`` owning ``fraction`` of its rows.
@@ -121,12 +138,21 @@ class MemberShardPlan(ShardPlan):
 
     strategy = "member"
 
-    def __init__(self, topology: ClusterTopology, batch_size: int) -> None:
+    def __init__(self, topology: ClusterTopology, batch_size: int, *,
+                 devices: "list[int] | None" = None) -> None:
         super().__init__(topology)
         if batch_size < 1:
             raise ValueError("batch size must be at least 1")
         self.batch_size = batch_size
-        self.members = member_partition(batch_size, topology.device_count)
+        if devices is None:
+            self.members = member_partition(batch_size, topology.device_count)
+        else:
+            # Survivor re-plan after a device loss: shard only over the
+            # named devices, zero members elsewhere.
+            for d in devices:
+                topology.device(d)
+            over = member_partition_over(batch_size, devices)
+            self.members = [over.get(d, 0) for d in range(topology.device_count)]
 
     def apply(self, trace: KernelTrace) -> KernelTrace:
         sharded = KernelTrace()
@@ -208,4 +234,5 @@ __all__ = [
     "MemberShardPlan",
     "LimbShardPlan",
     "member_partition",
+    "member_partition_over",
 ]

@@ -99,6 +99,8 @@ class ClusterTopology:
         self.devices: tuple[ComputePlatform, ...] = tuple(devices)
         if not self.devices:
             raise ValueError("a cluster topology needs at least one device")
+        #: Indices of devices currently marked lost (fault injection).
+        self._down: set[int] = set()
         self.default_link = default_link
         self._links: dict[tuple[int, int], InterconnectLink] = {}
         for pair, link in (links or {}).items():
@@ -121,6 +123,29 @@ class ClusterTopology:
                 f"devices 0..{self.device_count - 1}"
             )
         return self.devices[index]
+
+    # -- device health (fault injection) -------------------------------------
+
+    def mark_down(self, index: int) -> None:
+        """Mark one device lost; idempotent.  The serving plane re-places
+        that device's buckets on the survivors and re-plans sharded drains
+        (see :mod:`repro.serve.faults`)."""
+        self.device(index)
+        self._down.add(int(index))
+
+    def restore(self, index: int) -> None:
+        """Bring a downed device back (idempotent; no automatic re-balance)."""
+        self.device(index)
+        self._down.discard(int(index))
+
+    def is_down(self, index: int) -> bool:
+        """Whether one device is currently marked lost."""
+        self.device(index)
+        return int(index) in self._down
+
+    def alive_devices(self) -> list[int]:
+        """Indices of devices not marked down, ascending."""
+        return [d for d in range(self.device_count) if d not in self._down]
 
     def link(self, a: int, b: int) -> InterconnectLink:
         """The link joining devices ``a`` and ``b`` (order-insensitive)."""
@@ -151,6 +176,7 @@ class ClusterTopology:
         return {
             "name": self.name,
             "devices": [p.name for p in self.devices],
+            "down_devices": sorted(self._down),
             "default_link": (
                 {
                     "name": self.default_link.name,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import Callable
 
 #: The two §III-D allocation strategies a record can be charged under.
 STRATEGY_ARRAY_PER_LIMB = "array-per-limb"
@@ -74,6 +75,12 @@ class MemoryPool:
     requested_bytes: int = 0
     allocation_count: int = 0
     free_count: int = 0
+    #: Optional charge-time hook ``(pool, nbytes, tag) -> None`` consulted
+    #: before every allocation is admitted.  A hook may raise
+    #: :class:`OutOfDeviceMemory` to deny the charge -- this is the fault
+    #: injection seam :class:`repro.serve.faults.FaultInjector` installs to
+    #: produce deterministic OOM windows on the simulated clock.
+    charge_hook: Callable | None = None
     _live: dict[int, AllocationRecord] = field(default_factory=dict)
     _handles: itertools.count = field(default_factory=itertools.count)
 
@@ -88,6 +95,8 @@ class MemoryPool:
         """Allocate ``nbytes`` and return an opaque handle."""
         if nbytes < 0:
             raise ValueError("allocation size must be non-negative")
+        if self.charge_hook is not None:
+            self.charge_hook(self, nbytes, tag)
         rounded = self._round_up(nbytes)
         if self.capacity_bytes is not None and self.bytes_in_use + rounded > self.capacity_bytes:
             raise OutOfDeviceMemory(
@@ -115,6 +124,16 @@ class MemoryPool:
         if self.capacity_bytes is None:
             return None
         return self.capacity_bytes - self.bytes_in_use
+
+    def utilization(self) -> float:
+        """Fraction of the capacity currently in use (0.0 when unbounded).
+
+        The serving plane's admission controller sheds load when this
+        crosses its configured high watermark.
+        """
+        if not self.capacity_bytes:
+            return 0.0
+        return self.bytes_in_use / self.capacity_bytes
 
     def fits(self, *sizes: int) -> bool:
         """Whether allocations of ``sizes`` bytes would all fit right now.

@@ -28,13 +28,30 @@ Module map
 ``executor``
     :class:`BatchExecutor` (fused drains through the backend's
     ``batch_from`` seam; singleton drains on the sequential evaluator;
-    :class:`~repro.core.memory.FusedFootprintError` degrades to
-    sequential) and :class:`Server`, the front door
-    :meth:`~repro.api.session.CKKSSession.server` returns.
+    :class:`~repro.core.memory.FusedFootprintError` triggers the
+    degradation cascade ``B -> B/2 -> ... -> singleton``) and
+    :class:`Server`, the front door
+    :meth:`~repro.api.session.CKKSSession.server` returns -- now with
+    admission control, per-request deadlines, retry-with-backoff and
+    device-loss recovery.
 ``metrics``
     :class:`ServeMetrics`: queue depth, fused-batch-size histogram,
-    deterministic p50/p95 latency, and modeled GPU throughput from priced
-    per-drain traces.
+    deterministic p50/p95 latency, modeled GPU throughput from priced
+    per-drain traces, and the robustness counters behind the
+    ``availability`` figure.
+``errors``
+    The typed :class:`ServeError` taxonomy every failed
+    :class:`Response` carries: :class:`RequestRejected`,
+    :class:`DeadlineExceeded`, :class:`TransientFault`,
+    :class:`DrainFailed`, :class:`DeviceLost`.
+``faults``
+    Deterministic fault injection: seed-derived :class:`FaultPlan`
+    schedules of OOM windows, transient drain failures and device
+    losses, fired by a :class:`FaultInjector` on the simulated clock.
+``replay``
+    Seeded arrival traces (Poisson / burst / diurnal) and the
+    :class:`ReplayDriver` that feeds them through a server under a fault
+    plan, reporting availability, shed rate and deadline compliance.
 
 Responses are **bit-identical to sequential execution**: fused drains
 inherit the throughput plane's member-by-member bit-identity contract, and
@@ -51,22 +68,66 @@ to member-shard each drain across all devices -- still bit-identical,
 since every shard runs the same fused execution on its member slice.
 """
 
-from repro.serve.bucketing import BucketQueue, ShapeKey, shape_key_of
+from repro.serve.bucketing import (
+    BucketQueue,
+    ShapeKey,
+    shape_key_of,
+    validate_handle,
+)
+from repro.serve.errors import (
+    DeadlineExceeded,
+    DeviceLost,
+    DrainFailed,
+    RequestRejected,
+    ServeError,
+    TransientFault,
+)
 from repro.serve.executor import BatchExecutor, Server
+from repro.serve.faults import FaultEvent, FaultInjector, FaultPlan, InjectedOOM
 from repro.serve.metrics import ServeMetrics
-from repro.serve.policy import BatchingPolicy, SimulatedClock
+from repro.serve.policy import (
+    AdmissionPolicy,
+    BatchingPolicy,
+    RetryPolicy,
+    SimulatedClock,
+)
+from repro.serve.replay import (
+    ReplayDriver,
+    ReplayReport,
+    burst_arrivals,
+    diurnal_arrivals,
+    poisson_arrivals,
+)
 from repro.serve.request import OpProgram, Request, Response
 
 __all__ = [
+    "AdmissionPolicy",
     "BatchExecutor",
     "BatchingPolicy",
     "BucketQueue",
+    "DeadlineExceeded",
+    "DeviceLost",
+    "DrainFailed",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedOOM",
     "OpProgram",
+    "ReplayDriver",
+    "ReplayReport",
     "Request",
+    "RequestRejected",
     "Response",
-    "Server",
+    "RetryPolicy",
+    "ServeError",
     "ServeMetrics",
+    "Server",
     "ShapeKey",
     "SimulatedClock",
+    "TransientFault",
+    "burst_arrivals",
+    "diurnal_arrivals",
+    "poisson_arrivals",
     "shape_key_of",
+    "validate_handle",
 ]

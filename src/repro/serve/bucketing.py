@@ -20,6 +20,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.serve.errors import RequestRejected
 from repro.serve.request import OpProgram, Request
 
 
@@ -52,6 +53,54 @@ def shape_key_of(request: Request, *, default_ring_degree: int) -> ShapeKey:
         scale=float(handle.scale),
         program=request.program,
     )
+
+
+def validate_handle(handle, params) -> None:
+    """Reject a handle whose shape cannot serve under ``params`` -- at submit.
+
+    Checks ring degree, level range, slot count and scale against the
+    backend's parameter set and raises a descriptive typed
+    :class:`~repro.serve.errors.RequestRejected` on mismatch, so a
+    foreign-session or corrupted handle fails loudly at
+    :meth:`~repro.serve.executor.Server.submit` instead of deep inside
+    ``CiphertextBatch.from_ciphertexts`` at drain time.  Symbolic
+    (cost-model) handles carry no ring degree; attributes a handle lacks
+    are skipped.
+    """
+    ring_degree = getattr(handle, "ring_degree", None)
+    if ring_degree is not None and int(ring_degree) != params.ring_degree:
+        raise RequestRejected(
+            f"cannot serve a ring-degree N={ring_degree} vector on a "
+            f"N={params.ring_degree} backend; re-encrypt under this "
+            f"session's parameters",
+            reason="invalid-shape",
+        )
+    level = getattr(handle, "level", None)
+    if level is None:
+        raise RequestRejected(
+            f"{type(handle).__name__} carries no level metadata; submit a "
+            f"CipherVector handle (or a backend ciphertext)",
+            reason="invalid-shape",
+        )
+    if not 0 <= int(level) <= params.mult_depth:
+        raise RequestRejected(
+            f"vector level {level} is outside this backend's moduli chain "
+            f"(0..{params.mult_depth})",
+            reason="invalid-level",
+        )
+    slots = getattr(handle, "slots", None)
+    if slots is not None and int(slots) != params.slots:
+        raise RequestRejected(
+            f"cannot serve a {slots}-slot vector on a {params.slots}-slot "
+            f"backend (ring degree N={params.ring_degree})",
+            reason="invalid-shape",
+        )
+    scale = getattr(handle, "scale", None)
+    if scale is None or not float(scale) > 0.0:
+        raise RequestRejected(
+            f"vector scale {scale!r} is not a positive encoding scale",
+            reason="invalid-scale",
+        )
 
 
 class BucketQueue:
@@ -112,6 +161,28 @@ class BucketQueue:
 
     # -- consumers -----------------------------------------------------------
 
+    def prune(self, key: ShapeKey, predicate) -> list[Request]:
+        """Remove and return every queued request matching ``predicate``.
+
+        FIFO order is preserved among the survivors; an emptied bucket is
+        dropped like :meth:`take` drops it.  The server's deadline sweep
+        uses this to expire requests whose deadlines passed while the
+        clock sat in retry backoff.
+        """
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return []
+        kept: deque[Request] = deque()
+        removed: list[Request] = []
+        for request in bucket:
+            (removed if predicate(request) else kept).append(request)
+        if removed:
+            if kept:
+                self._buckets[key] = kept
+            else:
+                del self._buckets[key]
+        return removed
+
     def take(self, key: ShapeKey, count: int) -> list[Request]:
         """Pop up to ``count`` requests from one bucket, FIFO order.
 
@@ -127,4 +198,4 @@ class BucketQueue:
         return drained
 
 
-__all__ = ["ShapeKey", "BucketQueue", "shape_key_of"]
+__all__ = ["ShapeKey", "BucketQueue", "shape_key_of", "validate_handle"]

@@ -12,6 +12,18 @@ evaluator (the throughput-plane contract PR 4 established and the test
 suite asserts), every response is bit-identical to running that request
 alone -- batching is invisible to clients except in latency.
 
+When a fused allocation is denied -- a real
+:class:`~repro.core.memory.FusedFootprintError` or an injected OOM window
+from a :class:`~repro.serve.faults.FaultInjector` -- the executor runs the
+**degradation cascade**: the drain is split in half and each half retried
+fused, recursively, ``B -> B/2 -> ... -> singleton``.  Singleton leaves
+need no fused allocation at all, so the cascade always terminates with
+every member served, bit-identical, just in smaller (eventually
+sequential) pieces.  The first degradation emits a one-time
+:class:`RuntimeWarning` naming the bucket and the denial; after that the
+cascade is silent and counted in
+:attr:`~repro.serve.metrics.ServeMetrics.degraded_drains`.
+
 :class:`Server` is the front door :meth:`repro.api.session.CKKSSession.server`
 returns: a shape-bucketed request queue (:mod:`repro.serve.bucketing`)
 driven by a dynamic-batching policy (:mod:`repro.serve.policy`) on a
@@ -20,87 +32,186 @@ and optional per-drain GPU pricing through a
 :class:`~repro.perf.trace_model.TraceCostModel`.  It works unchanged on
 all three backends -- functional, cost-model and tracing -- since it only
 speaks the :class:`~repro.api.backend.EvaluationBackend` surface.
+
+The failure-first layer (PR 9) threads through both classes: requests are
+shape-validated and admission-controlled at :meth:`Server.submit`,
+per-request deadlines are enforced by the drain loop, transient drain
+failures retry with bounded backoff on the simulated clock
+(:class:`~repro.serve.policy.RetryPolicy`), and a lost cluster device's
+buckets are re-placed round-robin on the survivors with sharded drains
+re-planned over the alive set.  Every admitted request therefore resolves
+-- bit-identical result or typed :class:`~repro.serve.errors.ServeError`
+-- and successful responses never dispatch past their deadline.
 """
 
 from __future__ import annotations
 
 import copy
+import warnings
 from typing import Sequence
 
 from repro.api.backend import as_backend
 from repro.api.batch import CipherBatch
 from repro.api.vector import CipherVector, as_vector
 from repro.core.dispatch import get_dispatcher
-from repro.core.memory import FusedFootprintError
-from repro.serve.bucketing import BucketQueue, ShapeKey, shape_key_of
+from repro.core.memory import FusedFootprintError, OutOfDeviceMemory
+from repro.serve.bucketing import (
+    BucketQueue,
+    ShapeKey,
+    shape_key_of,
+    validate_handle,
+)
+from repro.serve.errors import (
+    DeadlineExceeded,
+    DeviceLost,
+    DrainFailed,
+    RequestRejected,
+    TransientFault,
+)
+from repro.serve.faults import FaultInjector, FaultPlan
 from repro.serve.metrics import ServeMetrics
-from repro.serve.policy import BatchingPolicy, SimulatedClock
+from repro.serve.policy import (
+    AdmissionPolicy,
+    BatchingPolicy,
+    RetryPolicy,
+    SimulatedClock,
+)
 from repro.serve.request import OpProgram, Request
+
+#: Drain failures the server retries with backoff (everything else fails
+#: the drain immediately).  ``OutOfDeviceMemory`` covers real pool
+#: exhaustion and injected pool denials; fused-footprint denials are its
+#: subclass but never reach the server -- the executor cascade absorbs
+#: them.
+RETRYABLE_FAULTS = (TransientFault, OutOfDeviceMemory)
 
 
 class BatchExecutor:
-    """Runs one drained bucket, fused when possible, sequential when not."""
+    """Runs one drained bucket, fused when possible, degraded when not."""
 
-    def __init__(self, backend) -> None:
+    def __init__(self, backend, *, injector: FaultInjector | None = None) -> None:
         self.backend = as_backend(backend)
+        self.injector = injector
+        self._warned_degradation = False
 
-    def execute(self, program: OpProgram,
-                vectors: Sequence[CipherVector]) -> tuple[list[CipherVector], bool]:
-        """Evaluate ``program`` on all vectors; returns ``(results, fell_back)``.
+    def execute(
+        self,
+        program: OpProgram,
+        vectors: Sequence[CipherVector],
+        *,
+        key: ShapeKey | None = None,
+        now: float = 0.0,
+        max_fuse: int | None = None,
+    ) -> tuple[list[CipherVector], int]:
+        """Evaluate ``program`` on all vectors; returns ``(results, degradations)``.
 
-        A drain of one runs sequentially by design.  A fused drain that
-        still trips :class:`FusedFootprintError` (the pool filled up after
-        the policy sized the drain) degrades to the sequential path rather
-        than failing the requests -- correctness is identical either way.
+        ``degradations`` counts the cascade splits this drain needed (0 for
+        a clean fused or singleton drain).  ``max_fuse`` caps the fused
+        chunk size below the drain size -- the retry policy's degradation
+        arm -- by pre-chunking the members before the cascade runs.  A
+        drain of one runs sequentially by design; a fused drain that trips
+        :class:`FusedFootprintError` (real, or injected by the fault
+        plan's OOM window) is split in half and retried, recursively down
+        to singletons, so capacity pressure degrades throughput instead of
+        failing requests -- correctness is identical on every path.
         """
         vectors = list(vectors)
+        if max_fuse is not None and max_fuse >= 1 and max_fuse < len(vectors):
+            results: list[CipherVector] = []
+            degradations = 0
+            for start in range(0, len(vectors), max_fuse):
+                chunk_results, chunk_degradations = self._attempt(
+                    program, vectors[start:start + max_fuse], key, now
+                )
+                results.extend(chunk_results)
+                degradations += chunk_degradations
+            return results, degradations
+        return self._attempt(program, vectors, key, now)
+
+    def _attempt(
+        self,
+        program: OpProgram,
+        vectors: list[CipherVector],
+        key: ShapeKey | None,
+        now: float,
+    ) -> tuple[list[CipherVector], int]:
+        """One cascade level: fuse whole, or halve on footprint denial."""
         if len(vectors) == 1:
-            return [program(vectors[0])], False
+            return [program(vectors[0])], 0
         try:
+            if self.injector is not None:
+                self.injector.check_fuse(now, len(vectors))
             batch = CipherBatch(
                 self.backend, self.backend.batch_from([v.handle for v in vectors])
             )
-            return program(batch).split(), False
-        except FusedFootprintError:
-            return [program(v) for v in vectors], True
+            return program(batch).split(), 0
+        except FusedFootprintError as exc:
+            self._warn_degradation(key, exc)
+            half = (len(vectors) + 1) // 2
+            left, left_degradations = self._attempt(program, vectors[:half], key, now)
+            right, right_degradations = self._attempt(program, vectors[half:], key, now)
+            return left + right, left_degradations + right_degradations + 1
+
+    def _warn_degradation(self, key: ShapeKey | None, exc: Exception) -> None:
+        """One-time heads-up that fused drains are degrading (then silent)."""
+        if self._warned_degradation:
+            return
+        self._warned_degradation = True
+        bucket = f"bucket {key}" if key is not None else "unkeyed drain"
+        warnings.warn(
+            f"fused drain degraded for {bucket}: {exc}; splitting "
+            f"B -> B/2 -> ... -> singleton (results stay bit-identical). "
+            f"Further degradations are counted in "
+            f"ServeMetrics.degraded_drains without this warning.",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
     def execute_sharded(
         self,
         program: OpProgram,
         vectors: Sequence[CipherVector],
-        device_count: int,
-    ) -> tuple[list[CipherVector], bool, tuple[int, ...]]:
-        """Member-shard one drain across ``device_count`` devices.
+        devices: Sequence[int],
+        *,
+        key: ShapeKey | None = None,
+        now: float = 0.0,
+        max_fuse: int | None = None,
+    ) -> tuple[list[CipherVector], int, tuple[int, ...]]:
+        """Member-shard one drain across an explicit device set.
 
-        The members are partitioned contiguously
-        (:func:`~repro.cluster.sharding.member_partition`) and each shard
-        runs the normal fused/sequential path under the shard's device tag,
-        so a recorded trace carries real placement.  Results come back in
-        submission order; because every shard is the same bit-identical
-        batched execution, the concatenation is bit-identical to a
-        single-device drain.  Returns ``(results, fell_back, devices)``
-        with the devices that received members.
+        The members are partitioned contiguously over ``devices``
+        (:func:`~repro.cluster.sharding.member_partition_over` -- after a
+        device loss this is the surviving alive set, not ``range(D)``) and
+        each shard runs the normal fused/cascade path under the shard's
+        device tag, so a recorded trace carries real placement.  Results
+        come back in submission order; because every shard is the same
+        bit-identical batched execution, the concatenation is bit-identical
+        to a single-device drain.  Returns ``(results, degradations,
+        devices_used)``.
         """
-        from repro.cluster.sharding import member_partition
+        from repro.cluster.sharding import member_partition_over
 
         vectors = list(vectors)
-        members = member_partition(len(vectors), device_count)
+        members = member_partition_over(len(vectors), list(devices))
         dispatcher = get_dispatcher()
         results: list[CipherVector] = []
-        fell_back = False
-        devices: list[int] = []
+        degradations = 0
+        used: list[int] = []
         offset = 0
-        for device, count in enumerate(members):
+        for device in sorted(members):
+            count = members[device]
             if count == 0:
                 continue
             shard = vectors[offset:offset + count]
             offset += count
-            devices.append(device)
+            used.append(device)
             with dispatcher.on_device(device):
-                shard_results, shard_fell_back = self.execute(program, shard)
+                shard_results, shard_degradations = self.execute(
+                    program, shard, key=key, now=now, max_fuse=max_fuse
+                )
             results.extend(shard_results)
-            fell_back = fell_back or shard_fell_back
-        return results, fell_back, tuple(devices)
+            degradations += shard_degradations
+        return results, degradations, tuple(used)
 
 
 class Server:
@@ -124,8 +235,23 @@ class Server:
     under their bucket's device tag, modeled time is attributed per device
     and :attr:`metrics` reports per-device utilisation.  With
     ``shard_drains=True`` each multi-request drain is additionally
-    member-sharded across all devices (still bit-identical -- every shard
-    is the same fused execution over a slice of the members).
+    member-sharded across the alive devices (still bit-identical -- every
+    shard is the same fused execution over a slice of the members).
+
+    The failure-first knobs (PR 9):
+
+    * ``admission`` -- an :class:`~repro.serve.policy.AdmissionPolicy`;
+      overload resolves new requests immediately with typed
+      :class:`~repro.serve.errors.RequestRejected` responses (load
+      shedding) instead of queueing unboundedly.
+    * ``retry`` -- a :class:`~repro.serve.policy.RetryPolicy` governing
+      transient-fault / OOM retry with simulated-clock backoff (defaults
+      to ``RetryPolicy()``: 3 retries, exponential backoff, halving the
+      fused size each retry).
+    * ``fault_plan`` -- a :class:`~repro.serve.faults.FaultPlan` (or a
+      ready :class:`~repro.serve.faults.FaultInjector`); the server
+      attaches its clock, topology and device-loss recovery and advances
+      the injector as simulated time moves.
     """
 
     def __init__(self, backend, policy: BatchingPolicy | None = None, *,
@@ -133,7 +259,10 @@ class Server:
                  metrics: ServeMetrics | None = None,
                  trace_costs=None,
                  cluster=None,
-                 shard_drains: bool = False) -> None:
+                 shard_drains: bool = False,
+                 admission: AdmissionPolicy | None = None,
+                 retry: RetryPolicy | None = None,
+                 fault_plan=None) -> None:
         self.backend = as_backend(backend)
         self.policy = policy if policy is not None else BatchingPolicy()
         self.clock = clock if clock is not None else SimulatedClock()
@@ -152,11 +281,27 @@ class Server:
         self.shard_drains = shard_drains and (
             cluster is not None and cluster.device_count > 1
         )
+        self.admission = admission
+        self.retry = retry if retry is not None else RetryPolicy()
+        if fault_plan is None:
+            self.injector: FaultInjector | None = None
+        elif isinstance(fault_plan, FaultInjector):
+            self.injector = fault_plan
+        else:
+            self.injector = FaultInjector(fault_plan)
+        if self.injector is not None:
+            self.injector.attach(
+                clock=self.clock,
+                topology=self.cluster,
+                on_device_down=self._handle_device_down,
+            )
         self.queue = BucketQueue()
-        self.executor = BatchExecutor(self.backend)
+        self.executor = BatchExecutor(self.backend, injector=self.injector)
         #: Bucket home devices, assigned round-robin in bucket-creation
         #: order (the planner's whole-bucket placement).
         self.placements: dict[ShapeKey, int] = {}
+        #: Round-robin cursor for re-placing buckets after device loss.
+        self._replacements = 0
 
     # -- intake --------------------------------------------------------------
 
@@ -168,19 +313,124 @@ class Server:
         backend or a raw backend handle (it is wrapped).  ``deadline`` is
         an absolute simulated time that tightens the policy's ``max_wait``
         for this request only.
+
+        A vector whose shape cannot serve under this backend's parameters
+        **raises** :class:`~repro.serve.errors.RequestRejected` here (a
+        client bug should fail loudly at the call site, not deep inside
+        ``from_ciphertexts`` at drain time).  A request shed by the
+        admission policy instead **returns already resolved** with a
+        ``RequestRejected`` response -- load shedding is normal operation,
+        accounted in :attr:`~repro.serve.metrics.ServeMetrics.shed_requests`.
         """
         vector = as_vector(self.backend, vector)
+        validate_handle(vector.handle, self.backend.params)
         now = self.clock.now()
+        self._advance_faults()
         request = Request(program, vector, arrival_time=now, deadline=deadline)
+        self.metrics.submitted += 1
+        if self.admission is not None:
+            rejection = self.admission.rejection_reason(
+                queue_depth=self.queue.depth
+            )
+            if rejection is not None:
+                reason, message = rejection
+                self.metrics.shed_requests += 1
+                request.resolve(
+                    None, batch_size=0, dispatch_time=now,
+                    error=RequestRejected(message, reason=reason),
+                )
+                return request
+        if deadline is not None and deadline < now:
+            # Admitted but born expired: resolve immediately, counted as a
+            # deadline miss (availability failure), never queued.
+            self.metrics.deadline_misses += 1
+            self.metrics.failed += 1
+            request.resolve(
+                None, batch_size=0, dispatch_time=now,
+                error=DeadlineExceeded(
+                    f"request deadline t={deadline:.6g} already passed at "
+                    f"submission (t={now:.6g})"
+                ),
+            )
+            return request
         key = shape_key_of(
             request, default_ring_degree=self.backend.params.ring_degree
         )
         if self.cluster is not None and key not in self.placements:
-            self.placements[key] = len(self.placements) % self.cluster.device_count
+            self.placements[key] = self._place_new_bucket()
         self.queue.push(key, request)
-        self.metrics.submitted += 1
         self.metrics.observe_queue_depth(now, self.queue.depth)
         return request
+
+    def _place_new_bucket(self) -> int:
+        """Home device of a new bucket: round-robin over alive devices."""
+        alive = self._alive_devices()
+        if not alive:
+            # Every device is down; keep the placement slot -- the drain
+            # will resolve the requests with DeviceLost.
+            return 0
+        return alive[len(self.placements) % len(alive)]
+
+    # -- fault plumbing ------------------------------------------------------
+
+    def _advance_faults(self) -> None:
+        """Fire every fault event scheduled at or before the current time."""
+        if self.injector is not None:
+            self.injector.advance(self.clock.now())
+
+    def _alive_devices(self) -> list[int]:
+        """Cluster devices not marked down ([0] without a cluster)."""
+        if self.cluster is None:
+            return [0]
+        return self.cluster.alive_devices()
+
+    def _handle_device_down(self, device: int) -> None:
+        """Recovery: re-place the dead device's buckets on the survivors.
+
+        Buckets homed on the lost device move round-robin over the alive
+        set (deterministic: bucket-creation order, one shared cursor);
+        subsequent sharded drains re-plan over the survivors in
+        :meth:`_run`.  With no survivors the placements stand and drains
+        resolve their requests with :class:`DeviceLost`.
+        """
+        self.metrics.device_losses += 1
+        if self.cluster is None:
+            return
+        alive = self.cluster.alive_devices()
+        if not alive:
+            return
+        for key, home in list(self.placements.items()):
+            if home == device:
+                self.placements[key] = alive[self._replacements % len(alive)]
+                self._replacements += 1
+
+    def _expire(self, now: float) -> list[Request]:
+        """Resolve every queued request whose deadline has already passed.
+
+        Under the normal drain loop deadlines are met exactly (timeouts
+        cap at the deadline), so this only fires when retry backoff moved
+        the clock past other requests' deadlines.
+        """
+        expired: list[Request] = []
+        for key in self.queue.keys():
+            expired.extend(self.queue.prune(
+                key,
+                lambda request: request.deadline is not None
+                and request.deadline < now,
+            ))
+        for request in expired:
+            self.metrics.deadline_misses += 1
+            self.metrics.failed += 1
+            request.resolve(
+                None, batch_size=0, dispatch_time=now,
+                error=DeadlineExceeded(
+                    f"deadline t={request.deadline:.6g} passed while queued "
+                    f"(resolved t={now:.6g})"
+                ),
+            )
+        if expired:
+            self.metrics.observe_queue_depth(now, self.queue.depth)
+        return expired
 
     # -- introspection -------------------------------------------------------
 
@@ -210,7 +460,8 @@ class Server:
         read them through ``request.result()`` / ``request.response()``).
         """
         now = self.clock.now()
-        completed: list[Request] = []
+        self._advance_faults()
+        completed: list[Request] = self._expire(now)
         for key in self.queue.keys():
             target = self.policy.drain_limit(key)
             while True:
@@ -226,13 +477,14 @@ class Server:
                     self._execute(key, self.queue.take(key, target), now)
                 )
         if completed:
-            self.metrics.observe_queue_depth(now, self.queue.depth)
+            self.metrics.observe_queue_depth(self.clock.now(), self.queue.depth)
         return completed
 
     def flush(self) -> list[Request]:
         """Drain everything immediately, ignoring readiness (still respecting
         the policy's per-drain size and memory caps)."""
         now = self.clock.now()
+        self._advance_faults()
         completed: list[Request] = []
         for key in self.queue.keys():
             target = self.policy.drain_limit(key)
@@ -241,7 +493,7 @@ class Server:
                     self._execute(key, self.queue.take(key, target), now)
                 )
         if completed:
-            self.metrics.observe_queue_depth(now, self.queue.depth)
+            self.metrics.observe_queue_depth(self.clock.now(), self.queue.depth)
         return completed
 
     def drain(self) -> list[Request]:
@@ -259,52 +511,153 @@ class Server:
 
     # -- execution -----------------------------------------------------------
 
-    def _run(self, program: OpProgram, vectors: list[CipherVector],
-             home: int) -> tuple[list[CipherVector], bool, tuple[int, ...]]:
-        """Execute one drain on its home device (or member-sharded)."""
+    def _home_of(self, key: ShapeKey) -> int | None:
+        """Resolve a bucket's home device, re-placing off dead devices.
+
+        Returns ``None`` when every cluster device is down (the drain then
+        resolves its requests with :class:`DeviceLost`).
+        """
+        if self.cluster is None:
+            return 0
+        home = self.placements.get(key, 0)
+        if self.cluster.is_down(home):
+            alive = self.cluster.alive_devices()
+            if not alive:
+                return None
+            home = alive[self._replacements % len(alive)]
+            self._replacements += 1
+            self.placements[key] = home
+        return home
+
+    def _run(self, key: ShapeKey, vectors: list[CipherVector], home: int,
+             now: float, max_fuse: int | None
+             ) -> tuple[list[CipherVector], int, tuple[int, ...]]:
+        """Execute one drain attempt on its home device (or member-sharded)."""
         if self.shard_drains and len(vectors) > 1:
-            return self.executor.execute_sharded(
-                program, vectors, self.cluster.device_count
-            )
+            devices = self._alive_devices()
+            if len(devices) > 1:
+                return self.executor.execute_sharded(
+                    key.program, vectors, devices,
+                    key=key, now=now, max_fuse=max_fuse,
+                )
         with get_dispatcher().on_device(home):
-            results, fell_back = self.executor.execute(program, vectors)
-        return results, fell_back, (home,)
+            results, degradations = self.executor.execute(
+                key.program, vectors, key=key, now=now, max_fuse=max_fuse
+            )
+        return results, degradations, (home,)
+
+    def _run_priced(self, key: ShapeKey, vectors: list[CipherVector],
+                    home: int, now: float, max_fuse: int | None
+                    ) -> tuple[list[CipherVector], int]:
+        """One drain attempt, with the kernel stream priced when configured."""
+        if self.trace_costs is not None:
+            with get_dispatcher().record() as trace:
+                results, degradations, devices = self._run(
+                    key, vectors, home, now, max_fuse
+                )
+            report = self.trace_costs.price(trace, streams=1)
+            self.metrics.record_modeled(
+                report.makespan, report.kernel_count, devices=devices
+            )
+            return results, degradations
+        results, degradations, _ = self._run(key, vectors, home, now, max_fuse)
+        return results, degradations
 
     def _execute(self, key: ShapeKey, requests: list[Request],
                  now: float) -> list[Request]:
-        """Run one drained bucket, resolve its requests, update metrics."""
-        vectors = [request.vector for request in requests]
-        size = len(requests)
-        home = self.placements.get(key, 0)
+        """Run one drained bucket with retry, resolve requests, update metrics.
+
+        The retry loop: a :class:`TransientFault` or a bare
+        :class:`OutOfDeviceMemory` advances the simulated clock by the
+        retry policy's backoff and tries again (halving the fused cap each
+        retry when ``degrade_on_retry``), up to ``max_retries``; then the
+        survivors resolve with :class:`DrainFailed` chaining the last
+        error.  Requests whose deadlines pass during backoff resolve with
+        :class:`DeadlineExceeded` instead of retrying.  Footprint denials
+        never reach this loop -- the executor's cascade absorbs them.
+        """
+        drained_size = len(requests)
         results: list[CipherVector] | None = None
-        fell_back = False
         error: Exception | None = None
-        try:
-            if self.trace_costs is not None:
-                with get_dispatcher().record() as trace:
-                    results, fell_back, devices = self._run(
-                        key.program, vectors, home
-                    )
-                report = self.trace_costs.price(trace, streams=1)
-                self.metrics.record_modeled(
-                    report.makespan, report.kernel_count, devices=devices
+        degradations = 0
+        max_fuse: int | None = None
+        attempts = 0
+        resolved: list[Request] = []
+        while True:
+            home = self._home_of(key)
+            if home is None:
+                error = DeviceLost(
+                    f"every device of cluster {self.cluster.name!r} is down; "
+                    f"drain of {len(requests)} requests cannot run"
                 )
-            else:
-                results, fell_back, _ = self._run(key.program, vectors, home)
-        except Exception as exc:  # program errors fail the drain, not the server
-            error = exc
+                break
+            try:
+                if self.injector is not None:
+                    self.injector.check_drain(now, len(requests))
+                results, degradations = self._run_priced(
+                    key, [r.vector for r in requests], home, now, max_fuse
+                )
+                break
+            except RETRYABLE_FAULTS as exc:
+                attempts += 1
+                if attempts > self.retry.max_retries:
+                    error = DrainFailed(
+                        f"drain of {len(requests)} requests failed after "
+                        f"{self.retry.max_retries} retries: {exc}"
+                    )
+                    error.__cause__ = exc
+                    break
+                self.metrics.retries += 1
+                self.clock.advance(self.retry.delay(attempts))
+                now = self.clock.now()
+                self._advance_faults()
+                if self.retry.degrade_on_retry and len(requests) > 1:
+                    cap = max_fuse if max_fuse is not None else len(requests)
+                    max_fuse = max(1, cap // 2)
+                # Backoff moved the clock: requests whose deadline passed
+                # must not retry -- they resolve as deadline misses now.
+                overdue = [
+                    r for r in requests
+                    if r.deadline is not None and r.deadline < now
+                ]
+                if overdue:
+                    requests = [r for r in requests if r not in overdue]
+                    for request in overdue:
+                        self.metrics.deadline_misses += 1
+                        self.metrics.failed += 1
+                        request.resolve(
+                            None, batch_size=drained_size, dispatch_time=now,
+                            error=DeadlineExceeded(
+                                f"deadline t={request.deadline:.6g} passed "
+                                f"during retry backoff (t={now:.6g})"
+                            ),
+                        )
+                    resolved.extend(overdue)
+                    if not requests:
+                        return resolved
+            except Exception as exc:  # program errors fail the drain, not the server
+                error = exc
+                break
         latencies = [now - request.arrival_time for request in requests]
         if error is None:
             for request, result in zip(requests, results):
-                request.resolve(result, batch_size=size, dispatch_time=now)
-            self.metrics.record_batch(size, latencies)
+                request.resolve(
+                    result, batch_size=drained_size, dispatch_time=now
+                )
+            self.metrics.record_batch(len(requests), latencies)
+            if degradations > 0 or (max_fuse is not None and drained_size > 1):
+                self.metrics.degraded_drains += 1
+            if degradations > 0:
+                self.metrics.footprint_fallbacks += 1
         else:
             for request in requests:
-                request.resolve(None, batch_size=size, dispatch_time=now, error=error)
-            self.metrics.record_batch(size, latencies, failed=True)
-        if fell_back:
-            self.metrics.footprint_fallbacks += 1
-        return requests
+                request.resolve(
+                    None, batch_size=drained_size, dispatch_time=now,
+                    error=error,
+                )
+            self.metrics.record_batch(len(requests), latencies, failed=True)
+        resolved.extend(requests)
+        return resolved
 
     def describe(self) -> dict:
         """Server configuration plus a metrics snapshot."""
@@ -315,6 +668,25 @@ class Server:
                 "max_wait": self.policy.max_wait,
                 "memory_budget_bytes": self.policy.memory_budget_bytes,
             },
+            "admission": (
+                {
+                    "max_queue_depth": self.admission.max_queue_depth,
+                    "memory_high_watermark": self.admission.memory_high_watermark,
+                }
+                if self.admission is not None
+                else None
+            ),
+            "retry": {
+                "max_retries": self.retry.max_retries,
+                "backoff": self.retry.backoff,
+                "backoff_factor": self.retry.backoff_factor,
+                "degrade_on_retry": self.retry.degrade_on_retry,
+            },
+            "fault_plan": (
+                self.injector.plan.describe()
+                if self.injector is not None
+                else None
+            ),
             "clock": self.clock.now(),
             "pending": self.pending,
             "cluster": (
@@ -325,4 +697,4 @@ class Server:
         }
 
 
-__all__ = ["BatchExecutor", "Server"]
+__all__ = ["BatchExecutor", "Server", "RETRYABLE_FAULTS"]

@@ -11,7 +11,12 @@ The metrics a dynamic-batching deployment is tuned by:
   :class:`~repro.perf.trace_model.TraceCostModel`, every drained batch's
   recorded kernel stream is priced and accumulated here, so
   ``completed / modeled_seconds`` is the requests-per-modeled-GPU-second
-  figure the serve benchmark gates on.
+  figure the serve benchmark gates on;
+* the **robustness counters** of the fault-tolerant control plane:
+  ``shed_requests`` (admission control), ``degraded_drains`` (the
+  footprint/retry degradation cascade), ``retries``, ``deadline_misses``
+  and ``device_losses``, rolled up into the ``availability`` figure
+  (completed / admitted) the chaos-replay benchmark gates at >= 99%.
 """
 
 from __future__ import annotations
@@ -28,6 +33,17 @@ class ServeMetrics:
     completed: int = 0
     failed: int = 0
     footprint_fallbacks: int = 0
+    #: Requests shed by admission control (queue bound / memory watermark).
+    shed_requests: int = 0
+    #: Drains that completed at reduced fused size (footprint cascade or
+    #: retry-driven halving) instead of failing their requests.
+    degraded_drains: int = 0
+    #: Drain retry attempts actually scheduled (transient faults / OOM).
+    retries: int = 0
+    #: Admitted requests resolved with :class:`DeadlineExceeded`.
+    deadline_misses: int = 0
+    #: Cluster devices lost (``device_down`` fault events handled).
+    device_losses: int = 0
     batch_sizes: list[int] = field(default_factory=list)
     latencies: list[float] = field(default_factory=list)
     queue_depth_samples: list[tuple[float, int]] = field(default_factory=list)
@@ -72,6 +88,26 @@ class ServeMetrics:
             )
 
     # -- readouts ------------------------------------------------------------
+
+    @property
+    def admitted(self) -> int:
+        """Requests that entered the queue (submitted minus shed)."""
+        return self.submitted - self.shed_requests
+
+    @property
+    def availability(self) -> float:
+        """Fraction of *admitted* requests that completed successfully.
+
+        The chaos-replay figure ``benchmarks/bench_faults.py`` gates:
+        shed requests are excluded (load shedding is the admission
+        controller doing its job), so this measures whether every request
+        the server *accepted* was actually served.  1.0 before any
+        admission (vacuously available).
+        """
+        admitted = self.admitted
+        if admitted <= 0:
+            return 1.0
+        return self.completed / admitted
 
     def batch_histogram(self) -> dict[int, int]:
         """How many drains ran at each fused batch size."""
@@ -150,8 +186,15 @@ class ServeMetrics:
         """Machine-readable snapshot (benchmark artifacts embed this)."""
         return {
             "submitted": self.submitted,
+            "admitted": self.admitted,
             "completed": self.completed,
             "failed": self.failed,
+            "availability": self.availability,
+            "shed_requests": self.shed_requests,
+            "degraded_drains": self.degraded_drains,
+            "retries": self.retries,
+            "deadline_misses": self.deadline_misses,
+            "device_losses": self.device_losses,
             "footprint_fallbacks": self.footprint_fallbacks,
             "batches": len(self.batch_sizes),
             "batch_histogram": self.batch_histogram(),

@@ -14,6 +14,17 @@ expresses that trade-off with three knobs --
   (the capacity knob) -- the budget arithmetic here mirrors the pre-check
   in :meth:`~repro.ckks.batch.CiphertextBatch.from_ciphertexts` exactly.
 
+Two further policies make the server failure-first (PR 9):
+
+* :class:`AdmissionPolicy` -- when to *refuse* work: a queue-depth bound
+  and a :class:`~repro.core.memory.MemoryPool` utilisation high watermark,
+  consulted by :meth:`~repro.serve.executor.Server.submit` so overload
+  resolves to typed :class:`~repro.serve.errors.RequestRejected`
+  responses (load shedding) instead of unbounded queues;
+* :class:`RetryPolicy` -- bounded retry-with-backoff for transient drain
+  failures on the simulated clock, optionally halving the fused batch
+  size each retry (the degradation cascade's retry arm).
+
 All timing runs on :class:`SimulatedClock`, a deterministic virtual clock
 the caller advances explicitly, so policy behaviour -- and every serving
 test -- is reproducible with no wall-clock flakiness.
@@ -24,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.memory import MemoryPool, default_pool
 from repro.serve.bucketing import ShapeKey
 from repro.serve.request import Request
 
@@ -122,4 +134,92 @@ class BatchingPolicy:
         return size >= target or now >= earliest_timeout
 
 
-__all__ = ["BatchingPolicy", "SimulatedClock", "ELEMENT_BYTES"]
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """When :meth:`~repro.serve.executor.Server.submit` refuses work.
+
+    ``max_queue_depth`` bounds the total queued requests across all
+    buckets; ``memory_high_watermark`` is a pool-utilisation fraction in
+    ``(0, 1]`` above which new requests are shed (``pool`` defaults to the
+    process-wide :data:`repro.core.memory.default_pool`; an unbounded pool
+    never trips the watermark).  A shed request resolves immediately with
+    a typed :class:`~repro.serve.errors.RequestRejected` response -- load
+    shedding is normal operation, not an exception.
+    """
+
+    max_queue_depth: int | None = None
+    memory_high_watermark: float | None = None
+    pool: MemoryPool | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1 when set")
+        if self.memory_high_watermark is not None and \
+                not 0.0 < self.memory_high_watermark <= 1.0:
+            raise ValueError(
+                "memory_high_watermark is a pool-utilisation fraction in (0, 1]"
+            )
+
+    def rejection_reason(self, *, queue_depth: int) -> tuple[str, str] | None:
+        """``(reason_tag, message)`` when a request must be shed, else None."""
+        if self.max_queue_depth is not None and queue_depth >= self.max_queue_depth:
+            return (
+                "queue-full",
+                f"queue depth {queue_depth} is at the admission bound "
+                f"{self.max_queue_depth}; request shed",
+            )
+        if self.memory_high_watermark is not None:
+            pool = self.pool if self.pool is not None else default_pool
+            utilization = pool.utilization()
+            if utilization >= self.memory_high_watermark:
+                return (
+                    "memory-pressure",
+                    f"pool utilisation {utilization:.3f} is at the "
+                    f"{self.memory_high_watermark:.3f} high watermark "
+                    f"({pool.bytes_in_use}/{pool.capacity_bytes} bytes); "
+                    f"request shed",
+                )
+        return None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient drain failures.
+
+    After a :class:`~repro.serve.errors.TransientFault` or a (non-fused)
+    :class:`~repro.core.memory.OutOfDeviceMemory`, the server advances the
+    simulated clock by :meth:`delay` and retries the drain, at most
+    ``max_retries`` times before resolving the survivors with
+    :class:`~repro.serve.errors.DrainFailed`.  With ``degrade_on_retry``
+    each retry also halves the maximum fused batch size (``B -> B/2 ->
+    ... -> singleton``), so repeated capacity pressure converges on the
+    allocation-free sequential path.
+    """
+
+    max_retries: int = 3
+    backoff: float = 1e-4
+    backoff_factor: float = 2.0
+    degrade_on_retry: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.backoff < 0:
+            raise ValueError("backoff cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1.0")
+
+    def delay(self, attempt: int) -> float:
+        """Simulated backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("retry attempts are numbered from 1")
+        return self.backoff * self.backoff_factor ** (attempt - 1)
+
+
+__all__ = [
+    "AdmissionPolicy",
+    "BatchingPolicy",
+    "RetryPolicy",
+    "SimulatedClock",
+    "ELEMENT_BYTES",
+]

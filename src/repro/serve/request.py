@@ -131,6 +131,18 @@ class Response:
         return self.error is None
 
     @property
+    def error_kind(self) -> str | None:
+        """Structured error tag: the typed error's class name, None when ok.
+
+        Stable values are the :mod:`repro.serve.errors` taxonomy
+        (``"RequestRejected"``, ``"DeadlineExceeded"``, ``"DrainFailed"``,
+        ``"DeviceLost"``); program bugs surface their own exception class
+        name.  Replay drivers and benchmarks aggregate on this instead of
+        string-matching messages.
+        """
+        return None if self.error is None else type(self.error).__name__
+
+    @property
     def latency(self) -> float:
         """Simulated queueing latency (seconds on the server clock)."""
         return self.dispatch_time - self.arrival_time
