@@ -44,7 +44,10 @@ from repro.perf.trace_model import TraceCostModel
 #: arrivals through the serving plane under a FaultPlan of OOM windows and
 #: transient drain failures) reporting availability, shed rate, retries
 #: and degraded drains; the full-size gated run is bench_faults.py.
-BENCH_SCHEMA_VERSION = 7
+#: v8: instrumentation-overhead row -- HMult+rescale wall clock with the
+#: observability seam present-but-disabled vs absent (the pre-obs
+#: Dispatcher.scope patched back in), CI-gated at <= 5% overhead.
+BENCH_SCHEMA_VERSION = 8
 
 #: Device counts of the member-shard rows (the cluster plane).
 DEVICE_COUNTS = (1, 2, 4)
@@ -413,6 +416,67 @@ def run_fault_rows(table: BenchmarkTable, *, requests: int = 2000,
     return report.availability
 
 
+def run_obs_overhead_row(table: BenchmarkTable, *, ring_log2: int = 12,
+                         depth: int = 6) -> float:
+    """Instrumentation-overhead row (v8): the cost of the disabled seam.
+
+    The observability plane promises to be free when off: with no trace
+    and no profiler installed, :meth:`Dispatcher.scope` hands out a shared
+    null context after one extra attribute check (``_profiler``).  This
+    row times the HMult+rescale hot path twice -- once as shipped
+    ("obs disabled") and once with the pre-observability ``scope`` (which
+    checks only ``_trace``) patched back in ("obs absent") -- and reports
+    the ratio, which CI gates at <= 1.05.
+    """
+    from repro.core import dispatch as _dispatch
+
+    params = quick_params(ring_log2, depth)
+    session = CKKSSession.create(params, seed=3, register_default=False)
+    rng = np.random.default_rng(11)
+    ct_a = session.encrypt(rng.uniform(-1, 1, 16))
+    ct_b = session.encrypt(rng.uniform(-1, 1, 16))
+
+    # The pre-obs scope fast path: no profiler seam, trace check only.
+    # Reaches into dispatch privates on purpose -- the measurement has to
+    # splice the old implementation into the live singleton's class.
+    def scope_absent(self, name):
+        if self._trace is None:
+            return _dispatch._NULL_CONTEXT
+        return _dispatch._ScopeGuard(self, name)
+
+    shipped_scope = _dispatch.Dispatcher.scope
+
+    # The seam's true cost is one extra attribute check per scope entry
+    # -- far below the run-to-run noise of a single timed block -- so the
+    # two configurations are timed *interleaved*, best-of per config, and
+    # machine-load phases hit both equally.
+    def timed_call() -> float:
+        start = time.perf_counter()
+        ct_a * ct_b
+        return time.perf_counter() - start
+
+    timed_call()  # warm caches and twiddle tables
+    best = {"disabled": float("inf"), "absent": float("inf")}
+    for _ in range(12):
+        best["disabled"] = min(best["disabled"], timed_call())
+        _dispatch.Dispatcher.scope = scope_absent
+        try:
+            best["absent"] = min(best["absent"], timed_call())
+        finally:
+            _dispatch.Dispatcher.scope = shipped_scope
+
+    disabled, absent = best["disabled"], best["absent"]
+    overhead = disabled / absent
+    table.add_row(
+        operation="observability seam overhead [HMult+rescale, obs "
+                  "disabled vs absent]",
+        seconds=round(disabled, 6),
+        baseline_seconds=round(absent, 6),
+        overhead_ratio=round(overhead, 4),
+    )
+    return overhead
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_quick.json",
@@ -424,6 +488,11 @@ def main() -> None:
         help="fail unless the modeled batched speedup at the largest batch "
              "size reaches this factor (CI regression gate)",
     )
+    parser.add_argument(
+        "--max-obs-overhead", type=float, default=None,
+        help="fail if the disabled observability seam costs more than this "
+             "ratio of the seam-free HMult+rescale wall clock (CI gate)",
+    )
     args = parser.parse_args()
 
     table = run(args.ring_log2, args.depth)
@@ -431,6 +500,8 @@ def main() -> None:
     speedups = run_batch_throughput(table, depth=args.depth)
     run_cluster_rows(table, depth=args.depth)
     run_fault_rows(table)
+    obs_overhead = run_obs_overhead_row(table, ring_log2=args.ring_log2,
+                                        depth=args.depth)
     params = quick_params(args.ring_log2, args.depth)
     document = table.to_json(
         schema_version=BENCH_SCHEMA_VERSION,
@@ -459,6 +530,18 @@ def main() -> None:
         print(
             f"OK: modeled batched speedup at B={largest} is {achieved:.2f}x "
             f"(gate {args.min_batch_speedup:.2f}x)"
+        )
+
+    if args.max_obs_overhead is not None:
+        if obs_overhead > args.max_obs_overhead:
+            raise SystemExit(
+                f"FAIL: disabled observability seam costs "
+                f"{obs_overhead:.3f}x the seam-free hot path, above the "
+                f"{args.max_obs_overhead:.3f}x gate"
+            )
+        print(
+            f"OK: disabled observability seam overhead is "
+            f"{obs_overhead:.3f}x (gate {args.max_obs_overhead:.3f}x)"
         )
 
 

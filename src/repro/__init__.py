@@ -27,6 +27,12 @@ OpenFHE clients.  This package rebuilds the complete system in Python:
   fault-tolerant control plane: typed :class:`ServeError` responses,
   admission control, deadline/retry semantics and deterministic fault
   injection (:class:`FaultPlan`) for chaos replay.
+* :mod:`repro.obs` -- the unified observability plane: a labeled metrics
+  registry with Prometheus exposition, request-lifecycle spans on the
+  simulated clock, Chrome-trace/Perfetto timeline export of kernel
+  schedules plus spans, and per-scope profiling rollups
+  (:class:`~repro.obs.Observability`, reachable as
+  ``session.observability()``).
 * :mod:`repro.apps` -- realistic encrypted workloads (logistic regression,
   linear algebra, statistics) written once against the backend seam.
 * :mod:`repro.bench` -- Google-Benchmark-style reporting used by the
@@ -55,8 +61,11 @@ from repro.serve.errors import (
     TransientFault,
 )
 from repro.serve.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.obs import MetricsRegistry, Observability
 
 __all__ = [
+    "MetricsRegistry",
+    "Observability",
     "CKKSSession",
     "CipherBatch",
     "CipherVector",
@@ -83,4 +92,4 @@ __all__ = [
     "__version__",
 ]
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"

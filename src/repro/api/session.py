@@ -369,9 +369,43 @@ class CKKSSession:
     # serving plane
     # ------------------------------------------------------------------
 
+    def observability(self, *, enabled=True, registry=None, clock=None,
+                      watch_default_pool=True):
+        """The unified observability plane (:class:`repro.obs.Observability`).
+
+        Returns a facade bundling a metrics registry, a span tracer, the
+        per-scope rollup and the Perfetto export timelines.  Hand it to
+        :meth:`server` to record the full request lifecycle::
+
+            obs = session.observability()
+            server = session.server(
+                BatchingPolicy(max_batch_size=8),
+                trace_costs=TraceCostModel(GPU_RTX_4090),
+                observability=obs,
+            )
+            ...
+            print(obs.to_prometheus())            # metrics dump
+            print(obs.report().to_text())          # per-scope rollup
+            obs.export_chrome_trace("trace.perfetto.json")
+
+        ``enabled=False`` returns an inert facade (every hook early-outs;
+        a server given one behaves exactly as one given no observability
+        at all).  ``watch_default_pool`` (default) publishes the
+        process-wide :data:`repro.core.memory.default_pool` accounting as
+        ``memory_pool_*`` gauges.
+        """
+        from repro.core.memory import default_pool
+        from repro.obs import Observability
+
+        obs = Observability(enabled=enabled, registry=registry, clock=clock)
+        if watch_default_pool:
+            obs.watch_pool(default_pool)
+        return obs
+
     def server(self, policy=None, *, backend=None, clock=None, metrics=None,
                trace_costs=None, cluster=None, shard_drains=False,
-               admission=None, retry=None, fault_plan=None):
+               admission=None, retry=None, fault_plan=None,
+               observability=None):
         """A dynamic-batching server over this session (the serving plane).
 
         Returns a :class:`repro.serve.Server`: a shape-bucketed request
@@ -408,6 +442,10 @@ class CKKSSession:
         :class:`~repro.serve.faults.FaultInjector`) injects deterministic
         OOM windows, transient drain failures and device losses for chaos
         replay -- successful responses stay bit-identical throughout.
+        ``observability`` (from :meth:`observability`) wires the unified
+        observability plane: request-lifecycle spans, registry re-homing
+        and -- with ``trace_costs`` -- per-scope rollups plus the
+        Perfetto timeline export.
         """
         from repro.serve import Server
 
@@ -416,6 +454,7 @@ class CKKSSession:
             policy, clock=clock, metrics=metrics, trace_costs=trace_costs,
             cluster=cluster, shard_drains=shard_drains,
             admission=admission, retry=retry, fault_plan=fault_plan,
+            observability=observability,
         )
 
     # ------------------------------------------------------------------

@@ -618,7 +618,7 @@ def _replay_copy(reads: tuple, writes: tuple) -> None:
 
 
 class _ScopeGuard:
-    """Pushes/pops one scope name on the dispatcher (tracing only)."""
+    """Pushes/pops one scope name on the dispatcher (tracing/profiling)."""
 
     __slots__ = ("_dispatcher", "_name")
 
@@ -628,9 +628,15 @@ class _ScopeGuard:
 
     def __enter__(self) -> None:
         self._dispatcher._scopes.append(self._name)
+        profiler = self._dispatcher._profiler
+        if profiler is not None:
+            profiler.enter(self._name)
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self._dispatcher._scopes.pop()
+        profiler = self._dispatcher._profiler
+        if profiler is not None:
+            profiler.exit(self._name)
         return False
 
 
@@ -686,6 +692,10 @@ class Dispatcher:
         self._suppress: int = 0
         self._device: int = 0
         self._stage_granular: bool = False
+        #: Optional scope profiler (``enter(name)``/``exit(name)``) the
+        #: observability plane installs via :meth:`profiling`; ``None``
+        #: keeps :meth:`scope` on the shared null context.
+        self._profiler = None
 
     # -- state ---------------------------------------------------------------
 
@@ -755,15 +765,32 @@ class Dispatcher:
     def scope(self, name: str):
         """Tag kernels emitted in the with-block with an operation scope.
 
-        With no active trace this is a zero-allocation no-op: scope names
-        only matter to recorded kernels, so a recording started *inside* an
-        already-open scope block does not see that outer name (recording
-        regions wrap whole operations in practice -- see
-        :class:`repro.api.backend.TracingBackend`).
+        With no active trace (and no profiler) this is a zero-allocation
+        no-op: scope names only matter to recorded kernels, so a recording
+        started *inside* an already-open scope block does not see that
+        outer name (recording regions wrap whole operations in practice --
+        see :class:`repro.api.backend.TracingBackend`).
         """
-        if self._trace is None:
+        if self._trace is None and self._profiler is None:
             return _NULL_CONTEXT
         return _ScopeGuard(self, name)
+
+    @contextmanager
+    def profiling(self, profiler) -> Iterator[object]:
+        """Route scope enter/exit through ``profiler`` in the with-block.
+
+        ``profiler`` needs ``enter(name)`` / ``exit(name)`` methods (see
+        :class:`repro.obs.rollup.WallClockProfiler`): every
+        :meth:`scope` block then reports its eager wall-clock interval,
+        with or without an active trace.  Nested blocks restore the
+        previous profiler; execution is unchanged (profiling observes).
+        """
+        previous = self._profiler
+        self._profiler = profiler
+        try:
+            yield profiler
+        finally:
+            self._profiler = previous
 
     def suppressed(self):
         """Silence emission inside a composite kernel's implementation.

@@ -185,6 +185,18 @@ class MemoryPool:
             if allocated[strategy] > 0
         }
 
+    def reset_peak(self) -> int:
+        """Rewind the high-water mark to current usage; returns the old peak.
+
+        The observability plane calls this at drain start so
+        :attr:`peak_bytes` reads as the *per-drain* peak at drain end
+        (sampled into the ``serve_drain_peak_bytes`` histogram); lifetime
+        counters are untouched.
+        """
+        previous = self.peak_bytes
+        self.peak_bytes = self.bytes_in_use
+        return previous
+
     def reset_statistics(self) -> None:
         """Reset counters without touching live allocations."""
         self.peak_bytes = self.bytes_in_use

@@ -252,6 +252,15 @@ class Server:
       ready :class:`~repro.serve.faults.FaultInjector`); the server
       attaches its clock, topology and device-loss recovery and advances
       the injector as simulated time moves.
+
+    Pass ``observability`` (a :class:`repro.obs.Observability`, see
+    :meth:`repro.api.session.CKKSSession.observability`) to wire the
+    unified observability plane: the request lifecycle is recorded as
+    parent/child spans on the simulated clock, the queue/metrics/fault
+    state is re-homed onto the metrics registry, and (with
+    ``trace_costs``) every priced drain feeds the per-scope rollup and
+    the Perfetto timeline export.  A disabled facade (or ``None``) costs
+    one ``is not None`` check per hook.
     """
 
     def __init__(self, backend, policy: BatchingPolicy | None = None, *,
@@ -262,7 +271,8 @@ class Server:
                  shard_drains: bool = False,
                  admission: AdmissionPolicy | None = None,
                  retry: RetryPolicy | None = None,
-                 fault_plan=None) -> None:
+                 fault_plan=None,
+                 observability=None) -> None:
         self.backend = as_backend(backend)
         self.policy = policy if policy is not None else BatchingPolicy()
         self.clock = clock if clock is not None else SimulatedClock()
@@ -297,6 +307,19 @@ class Server:
             )
         self.queue = BucketQueue()
         self.executor = BatchExecutor(self.backend, injector=self.injector)
+        # The observability plane (repro.obs.Observability): a disabled or
+        # absent facade leaves self.obs None, so every hook below is one
+        # `is not None` check -- the zero-cost-when-disabled contract.
+        self.obs = None
+        if observability is not None and getattr(observability, "enabled", False):
+            self.obs = observability
+            observability.adopt_clock(self.clock)
+            observability.watch_queue(self.queue)
+            observability.watch_metrics(self.metrics)
+            if self.injector is not None:
+                observability.watch_injector(self.injector)
+        #: request.id -> (root span, queued child) of in-flight requests.
+        self._request_spans: dict = {}
         #: Bucket home devices, assigned round-robin in bucket-creation
         #: order (the planner's whole-bucket placement).
         self.placements: dict[ShapeKey, int] = {}
@@ -328,6 +351,12 @@ class Server:
         self._advance_faults()
         request = Request(program, vector, arrival_time=now, deadline=deadline)
         self.metrics.submitted += 1
+        root = None
+        if self.obs is not None:
+            root = self.obs.tracer.begin(
+                "request", at=now, request_id=request.id,
+                program=program.name, deadline=deadline,
+            )
         if self.admission is not None:
             rejection = self.admission.rejection_reason(
                 queue_depth=self.queue.depth
@@ -339,6 +368,12 @@ class Server:
                     None, batch_size=0, dispatch_time=now,
                     error=RequestRejected(message, reason=reason),
                 )
+                if root is not None:
+                    tracer = self.obs.tracer
+                    tracer.event("admission", parent=root, at=now,
+                                 outcome=f"shed:{reason}")
+                    tracer.finish(root, at=now, outcome="shed",
+                                  error_kind="RequestRejected")
                 return request
         if deadline is not None and deadline < now:
             # Admitted but born expired: resolve immediately, counted as a
@@ -352,6 +387,12 @@ class Server:
                     f"submission (t={now:.6g})"
                 ),
             )
+            if root is not None:
+                tracer = self.obs.tracer
+                tracer.event("admission", parent=root, at=now,
+                             outcome="expired-at-submit")
+                tracer.finish(root, at=now, outcome="error",
+                              error_kind="DeadlineExceeded")
             return request
         key = shape_key_of(
             request, default_ring_degree=self.backend.params.ring_degree
@@ -360,6 +401,12 @@ class Server:
             self.placements[key] = self._place_new_bucket()
         self.queue.push(key, request)
         self.metrics.observe_queue_depth(now, self.queue.depth)
+        if root is not None:
+            tracer = self.obs.tracer
+            tracer.event("admission", parent=root, at=now, outcome="admitted")
+            queued = tracer.begin("queued", parent=root, at=now,
+                                  bucket=repr(key))
+            self._request_spans[request.id] = (root, queued)
         return request
 
     def _place_new_bucket(self) -> int:
@@ -429,8 +476,28 @@ class Server:
                 ),
             )
         if expired:
+            for request in expired:
+                self._finish_request_span(request, now)
             self.metrics.observe_queue_depth(now, self.queue.depth)
         return expired
+
+    def _finish_request_span(self, request: Request, now: float) -> None:
+        """Close a resolved request's queued/root spans with its outcome."""
+        if self.obs is None:
+            return
+        spans = self._request_spans.pop(request.id, None)
+        if spans is None:
+            return
+        root, queued = spans
+        tracer = self.obs.tracer
+        response = request.response()
+        tracer.finish(queued, at=now)
+        tracer.finish(
+            root, at=now,
+            outcome="ok" if response.ok else "error",
+            error_kind=response.error_kind,
+            batch_size=response.batch_size,
+        )
 
     # -- introspection -------------------------------------------------------
 
@@ -559,6 +626,11 @@ class Server:
             self.metrics.record_modeled(
                 report.makespan, report.kernel_count, devices=devices
             )
+            if self.obs is not None:
+                self.obs.record_drain(
+                    trace, report, offset=now,
+                    label=f"{key.program.name} B={len(vectors)}",
+                )
             return results, degradations
         results, degradations, _ = self._run(key, vectors, home, now, max_fuse)
         return results, degradations
@@ -583,6 +655,13 @@ class Server:
         max_fuse: int | None = None
         attempts = 0
         resolved: list[Request] = []
+        obs = self.obs
+        drain_span = None
+        if obs is not None:
+            drain_span = obs.tracer.begin(
+                "drain", at=now, bucket=repr(key), batch_size=drained_size,
+            )
+            obs.reset_drain_peaks()
         while True:
             home = self._home_of(key)
             if home is None:
@@ -591,14 +670,26 @@ class Server:
                     f"drain of {len(requests)} requests cannot run"
                 )
                 break
+            attempt_span = None
             try:
                 if self.injector is not None:
                     self.injector.check_drain(now, len(requests))
+                if drain_span is not None:
+                    attempt_span = obs.tracer.begin(
+                        "fused", parent=drain_span, at=now,
+                        batch_size=len(requests), device=home,
+                    )
                 results, degradations = self._run_priced(
                     key, [r.vector for r in requests], home, now, max_fuse
                 )
+                if attempt_span is not None:
+                    obs.tracer.finish(attempt_span, at=now,
+                                      degradations=degradations)
                 break
             except RETRYABLE_FAULTS as exc:
+                if attempt_span is not None:
+                    obs.tracer.finish(attempt_span, at=now,
+                                      error_kind=type(exc).__name__)
                 attempts += 1
                 if attempts > self.retry.max_retries:
                     error = DrainFailed(
@@ -608,8 +699,15 @@ class Server:
                     error.__cause__ = exc
                     break
                 self.metrics.retries += 1
+                backoff_start = now
                 self.clock.advance(self.retry.delay(attempts))
                 now = self.clock.now()
+                if drain_span is not None:
+                    backoff = obs.tracer.begin(
+                        "retry", parent=drain_span, at=backoff_start,
+                        attempt=attempts, error_kind=type(exc).__name__,
+                    )
+                    obs.tracer.finish(backoff, at=now)
                 self._advance_faults()
                 if self.retry.degrade_on_retry and len(requests) > 1:
                     cap = max_fuse if max_fuse is not None else len(requests)
@@ -632,10 +730,21 @@ class Server:
                                 f"during retry backoff (t={now:.6g})"
                             ),
                         )
+                        self._finish_request_span(request, now)
                     resolved.extend(overdue)
                     if not requests:
+                        if drain_span is not None:
+                            obs.tracer.finish(
+                                drain_span, at=now, outcome="error",
+                                error_kind="DeadlineExceeded",
+                                retries=attempts,
+                            )
+                            obs.observe_drain_peaks()
                         return resolved
             except Exception as exc:  # program errors fail the drain, not the server
+                if attempt_span is not None:
+                    obs.tracer.finish(attempt_span, at=now,
+                                      error_kind=type(exc).__name__)
                 error = exc
                 break
         latencies = [now - request.arrival_time for request in requests]
@@ -656,6 +765,16 @@ class Server:
                     error=error,
                 )
             self.metrics.record_batch(len(requests), latencies, failed=True)
+        if obs is not None:
+            obs.observe_drain_peaks()
+            obs.tracer.finish(
+                drain_span, at=now,
+                outcome="ok" if error is None else "error",
+                error_kind=None if error is None else type(error).__name__,
+                retries=attempts,
+            )
+            for request in requests:
+                self._finish_request_span(request, now)
         resolved.extend(requests)
         return resolved
 

@@ -17,6 +17,11 @@ The metrics a dynamic-batching deployment is tuned by:
   footprint/retry degradation cascade), ``retries``, ``deadline_misses``
   and ``device_losses``, rolled up into the ``availability`` figure
   (completed / admitted) the chaos-replay benchmark gates at >= 99%.
+
+All fields stay plain attributes (the back-compat surface every caller
+already reads); :meth:`ServeMetrics.bind_registry` re-homes them onto a
+:class:`repro.obs.registry.MetricsRegistry` through a read-time
+collector, so publishing costs nothing on the serving hot path.
 """
 
 from __future__ import annotations
@@ -181,6 +186,89 @@ class ServeMetrics:
         if makespan <= 0.0:
             return 0.0
         return self.completed / makespan
+
+    # -- registry re-homing --------------------------------------------------
+
+    def bind_registry(self, registry) -> None:
+        """Publish these metrics through a ``MetricsRegistry`` collector.
+
+        Registers a collector that restates the current totals into
+        labeled instruments at every registry readout -- the plain
+        attributes above remain the source of truth (and the back-compat
+        surface), so recording stays free of registry calls.  Idempotent
+        per registry.  ``registry`` is duck-typed
+        (:class:`repro.obs.registry.MetricsRegistry`).
+        """
+        bound = getattr(self, "_bound_registries", None)
+        if bound is None:
+            bound = self._bound_registries = set()
+        if id(registry) in bound:
+            return
+        bound.add(id(registry))
+
+        requests = registry.counter(
+            "serve_requests_total", "Requests by lifecycle outcome",
+        )
+        drains = registry.counter(
+            "serve_drains_total", "Bucket drains executed",
+        )
+        robustness = registry.counter(
+            "serve_faults_handled_total",
+            "Control-plane events by kind (retry/shed/degrade/...)",
+        )
+        availability = registry.gauge(
+            "serve_availability", "completed / admitted (1.0 pre-admission)",
+        )
+        mean_batch = registry.gauge(
+            "serve_mean_batch_size", "Average fused batch size over all drains",
+        )
+        max_depth = registry.gauge(
+            "serve_max_queue_depth", "Deepest the queue ever got",
+        )
+        latency = registry.gauge(
+            "serve_queue_latency_seconds",
+            "Queueing latency percentiles on the simulated clock",
+        )
+        modeled = registry.gauge(
+            "serve_modeled_gpu_seconds",
+            "Modeled GPU seconds by cluster device (priced drains)",
+        )
+        modeled_kernels = registry.counter(
+            "serve_modeled_kernels_total", "Kernel launches in priced drains",
+        )
+        batch_hist = registry.histogram(
+            "serve_fused_batch_size", "Fused batch size per drain",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        )
+
+        def collect() -> None:
+            requests.set_total(self.submitted, outcome="submitted")
+            requests.set_total(self.admitted, outcome="admitted")
+            requests.set_total(self.completed, outcome="completed")
+            requests.set_total(self.failed, outcome="failed")
+            drains.set_total(len(self.batch_sizes))
+            robustness.set_total(self.shed_requests, kind="shed")
+            robustness.set_total(self.degraded_drains, kind="degraded_drain")
+            robustness.set_total(self.retries, kind="retry")
+            robustness.set_total(self.deadline_misses, kind="deadline_miss")
+            robustness.set_total(self.device_losses, kind="device_loss")
+            robustness.set_total(
+                self.footprint_fallbacks, kind="footprint_fallback"
+            )
+            availability.set(self.availability)
+            mean_batch.set(self.mean_batch_size)
+            max_depth.set(self.max_queue_depth)
+            latency.set(self.p50_latency, quantile="0.5")
+            latency.set(self.p95_latency, quantile="0.95")
+            modeled.set(self.modeled_seconds, device="all")
+            for device, seconds in sorted(self.device_seconds.items()):
+                modeled.set(seconds, device=str(device))
+            modeled_kernels.set_total(self.modeled_kernels)
+            batch_hist.reset()
+            for size in self.batch_sizes:
+                batch_hist.observe(size)
+
+        registry.register_collector(collect)
 
     def summary(self) -> dict:
         """Machine-readable snapshot (benchmark artifacts embed this)."""

@@ -148,6 +148,48 @@ class ReplayReport:
             "deadline_violations": self.deadline_violations,
         }
 
+    def publish(self, registry) -> None:
+        """Restate this report through a ``MetricsRegistry``.
+
+        The one-source-of-truth seam ``benchmarks/bench_faults.py`` reads:
+        every availability/shed/retry/latency figure lands on labeled
+        ``replay_*`` instruments, so downstream consumers need no
+        hand-folding of :class:`~repro.serve.metrics.ServeMetrics`
+        counters.  ``registry`` is duck-typed
+        (:class:`repro.obs.registry.MetricsRegistry`).
+        """
+        requests = registry.counter(
+            "replay_requests_total", "Replayed requests by outcome",
+        )
+        requests.set_total(self.submitted, outcome="submitted")
+        requests.set_total(self.admitted, outcome="admitted")
+        requests.set_total(self.shed, outcome="shed")
+        requests.set_total(self.completed, outcome="completed")
+        requests.set_total(self.failed, outcome="failed")
+        registry.gauge(
+            "replay_availability",
+            "completed / admitted over the replayed trace",
+        ).set(self.availability)
+        events = registry.counter(
+            "replay_events_total", "Control-plane events during the replay",
+        )
+        events.set_total(self.retries, kind="retry")
+        events.set_total(self.degraded_drains, kind="degraded_drain")
+        events.set_total(self.deadline_misses, kind="deadline_miss")
+        events.set_total(self.device_losses, kind="device_loss")
+        events.set_total(self.deadline_violations, kind="deadline_violation")
+        latency = registry.gauge(
+            "replay_latency_seconds",
+            "Queueing latency percentiles of the replayed trace",
+        )
+        latency.set(self.p50_latency, quantile="0.5")
+        latency.set(self.p95_latency, quantile="0.95")
+        errors = registry.counter(
+            "replay_errors_total", "Failed responses by typed error kind",
+        )
+        for kind, count in sorted(self.error_kinds.items()):
+            errors.set_total(count, kind=kind)
+
 
 class ReplayDriver:
     """Feeds an arrival trace through one server on the simulated clock.
@@ -167,13 +209,19 @@ class ReplayDriver:
 
     def __init__(self, server: Server, program: OpProgram,
                  vector_factory: Callable[[int], object], *,
-                 deadline_offset: float | None = None) -> None:
+                 deadline_offset: float | None = None,
+                 registry=None) -> None:
         self.server = server
         self.program = program
         self.vector_factory = vector_factory
         self.deadline_offset = (
             None if deadline_offset is None else float(deadline_offset)
         )
+        #: Optional MetricsRegistry the final report is published through
+        #: (defaults to the server's observability registry when wired).
+        self.registry = registry
+        if self.registry is None and getattr(server, "obs", None) is not None:
+            self.registry = server.obs.registry
         self.requests: list[Request] = []
 
     def run(self, arrivals: Sequence[float]) -> ReplayReport:
@@ -199,7 +247,10 @@ class ReplayDriver:
                               deadline=deadline)
             )
         server.drain()
-        return self.report()
+        report = self.report()
+        if self.registry is not None:
+            report.publish(self.registry)
+        return report
 
     def report(self) -> ReplayReport:
         """Fold responses and server metrics into a :class:`ReplayReport`."""
